@@ -1,0 +1,46 @@
+// Command scdb-bench regenerates the experiment tables recorded in
+// EXPERIMENTS.md: one experiment per open problem of the paper (Table 1,
+// FS.1–FS.11 and OS.1–OS.4) plus the Figure-2 fusion check.
+//
+// Usage:
+//
+//	scdb-bench            run every experiment
+//	scdb-bench -list      list experiment IDs
+//	scdb-bench -run E-OS2 run one experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"scdb/internal/bench"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiments and exit")
+	run := flag.String("run", "", "run only the experiment with this ID")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Name)
+		}
+		return
+	}
+	if *run != "" {
+		e, ok := bench.ByID(*run)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "scdb-bench: unknown experiment %q (try -list)\n", *run)
+			os.Exit(1)
+		}
+		fmt.Print(e.Run().Render())
+		return
+	}
+	for i, e := range bench.Experiments() {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Print(e.Run().Render())
+	}
+}

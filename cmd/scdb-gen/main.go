@@ -1,0 +1,139 @@
+// Command scdb-gen emits the synthetic benchmark corpora as JSON lines,
+// one source dataset per line, for inspection or external tooling.
+//
+// Usage:
+//
+//	scdb-gen -corpus lifesci -seed 1 -drugs 100 -genes 60 -diseases 40
+//	scdb-gen -corpus dirty -seed 7 -sources 4 -universe 100
+//	scdb-gen -corpus stream -seed 3 -events 200
+//	scdb-gen -corpus clinical -seed 1 -records 20
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"scdb/internal/datagen"
+	"scdb/internal/model"
+)
+
+func main() {
+	corpus := flag.String("corpus", "lifesci", "lifesci | dirty | stream | clinical")
+	seed := flag.Int64("seed", 1, "generator seed")
+	drugs := flag.Int("drugs", 100, "lifesci: synthetic drugs")
+	genes := flag.Int("genes", 60, "lifesci: synthetic genes")
+	diseases := flag.Int("diseases", 40, "lifesci: synthetic diseases")
+	sources := flag.Int("sources", 4, "dirty: number of sources")
+	universe := flag.Int("universe", 100, "dirty: distinct real entities")
+	events := flag.Int("events", 200, "stream: number of events")
+	records := flag.Int("records", 20, "clinical: records per source")
+	flag.Parse()
+
+	enc := json.NewEncoder(os.Stdout)
+	emit := func(v any) {
+		if err := enc.Encode(v); err != nil {
+			fmt.Fprintln(os.Stderr, "scdb-gen:", err)
+			os.Exit(1)
+		}
+	}
+	switch *corpus {
+	case "lifesci":
+		for _, ds := range datagen.LifeSci(*seed, *drugs, *genes, *diseases) {
+			emit(datasetJSON(ds))
+		}
+	case "dirty":
+		sets, truth := datagen.DirtyTables(*seed, *sources, *universe, 0.7, 0.15)
+		for _, ds := range sets {
+			emit(datasetJSON(ds))
+		}
+		emit(map[string]any{"ground_truth_pairs": truth})
+	case "stream":
+		for _, ds := range datagen.Stream(*seed, *events) {
+			emit(datasetJSON(ds))
+		}
+	case "clinical":
+		for _, ts := range datagen.ClinicalTrials(*seed, *records) {
+			recs := make([]map[string]any, 0, len(ts.Records))
+			for _, r := range ts.Records {
+				recs = append(recs, recordJSON(r))
+			}
+			emit(map[string]any{
+				"source": ts.Source, "population": ts.Population,
+				"effective_dose": ts.Dose, "records": recs,
+			})
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "scdb-gen: unknown corpus %q\n", *corpus)
+		os.Exit(1)
+	}
+}
+
+func datasetJSON(ds datagen.Dataset) map[string]any {
+	ents := make([]map[string]any, 0, len(ds.Entities))
+	for _, e := range ds.Entities {
+		ents = append(ents, map[string]any{
+			"key": e.Key, "types": e.Types, "attrs": recordJSON(e.Attrs),
+		})
+	}
+	links := make([]map[string]any, 0, len(ds.Links))
+	for _, l := range ds.Links {
+		m := map[string]any{"from": l.FromKey, "predicate": l.Predicate}
+		if l.ToKey != "" {
+			m["to"] = l.ToKey
+		} else {
+			m["value"] = valueJSON(l.Literal)
+		}
+		if l.Confidence != 0 && l.Confidence != 1 {
+			m["confidence"] = l.Confidence
+		}
+		links = append(links, m)
+	}
+	out := map[string]any{"source": ds.Source, "entities": ents, "links": links}
+	if len(ds.Texts) > 0 {
+		out["texts"] = ds.Texts
+	}
+	return out
+}
+
+func recordJSON(r model.Record) map[string]any {
+	out := map[string]any{}
+	for _, k := range r.Keys() {
+		out[k] = valueJSON(r[k])
+	}
+	return out
+}
+
+func valueJSON(v model.Value) any {
+	switch v.Kind() {
+	case model.KindNull:
+		return nil
+	case model.KindBool:
+		b, _ := v.AsBool()
+		return b
+	case model.KindInt:
+		i, _ := v.AsInt()
+		return i
+	case model.KindFloat:
+		f, _ := v.AsFloat()
+		return f
+	case model.KindString:
+		s, _ := v.AsString()
+		return s
+	case model.KindTime:
+		t, _ := v.AsTime()
+		return t
+	case model.KindList:
+		l, _ := v.AsList()
+		out := make([]any, len(l))
+		for i, e := range l {
+			out[i] = valueJSON(e)
+		}
+		return out
+	case model.KindRef:
+		id, _ := v.AsRef()
+		return fmt.Sprintf("@%d", id)
+	}
+	return v.String()
+}

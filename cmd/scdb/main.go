@@ -1,0 +1,251 @@
+// Command scdb is the interactive shell and batch runner for the
+// self-curating database.
+//
+// Usage:
+//
+//	scdb [flags] [query...]
+//
+//	-dir DIR        open a durable database at DIR (default: in-memory)
+//	-load NAME      load a sample corpus: lifesci | clinical | stream
+//	-q QUERY        run one SCQL query and exit (repeatable via args)
+//	-explain QUERY  print the optimized plan and rewrites, then exit
+//	-stats          print engine statistics after loading
+//
+// With no -q/-explain, scdb reads SCQL statements from stdin, one per
+// line (lines starting with \ are shell commands: \stats, \witnesses,
+// \sources, \quit).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"scdb"
+)
+
+func main() {
+	dir := flag.String("dir", "", "storage directory (empty = in-memory)")
+	load := flag.String("load", "", "sample corpus to load: lifesci | clinical | stream")
+	q := flag.String("q", "", "run one query and exit")
+	explain := flag.String("explain", "", "explain one query and exit")
+	stats := flag.Bool("stats", false, "print engine statistics after loading")
+	flag.Parse()
+
+	opts := scdb.Options{Dir: *dir}
+	switch *load {
+	case "lifesci", "clinical":
+		opts.Axioms = scdb.LifeSciAxioms + scdb.PopulationAxioms
+		opts.LinkRules = scdb.LifeSciLinkRules()
+		opts.Patterns = scdb.LifeSciPatterns()
+	case "stream":
+		opts.Axioms = "concept Device"
+	case "":
+	default:
+		fatalf("unknown sample %q (want lifesci, clinical, or stream)", *load)
+	}
+
+	db, err := scdb.Open(opts)
+	if err != nil {
+		fatalf("open: %v", err)
+	}
+	defer db.Close()
+
+	switch *load {
+	case "lifesci":
+		for _, src := range scdb.LifeSciSample(1, 100, 60, 40) {
+			must(db.Ingest(src))
+		}
+	case "clinical":
+		for _, src := range scdb.LifeSciSample(1, 0, 0, 0) {
+			must(db.Ingest(src))
+		}
+		for _, src := range scdb.ClinicalTrialSources(1, 20) {
+			must(db.Ingest(src))
+		}
+		for _, c := range scdb.ClinicalClaims() {
+			must(db.AddClaim(c))
+		}
+		db.RefreshRichness()
+	case "stream":
+		for _, src := range scdb.StreamSample(1, 100) {
+			must(db.Ingest(src))
+		}
+	}
+
+	if *stats {
+		printStats(db)
+	}
+	if *explain != "" {
+		info, err := db.Explain(*explain)
+		if err != nil {
+			fatalf("explain: %v", err)
+		}
+		fmt.Print(info.Plan)
+		for _, r := range info.Rules {
+			fmt.Println("rewrite:", r)
+		}
+		fmt.Printf("estimated cost: %.0f\n", info.EstimatedCost)
+		return
+	}
+	ran := false
+	if *q != "" {
+		runQuery(db, *q)
+		ran = true
+	}
+	for _, arg := range flag.Args() {
+		runQuery(db, arg)
+		ran = true
+	}
+	if ran {
+		return
+	}
+
+	// Interactive / stdin batch mode.
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if isTTY() {
+		fmt.Println(`scdb shell — SCQL statements, or \stats \witnesses \sources \conflicts \schema T \explain Q \tables \quit`)
+		fmt.Print("scdb> ")
+	}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case line == `\quit` || line == `\q`:
+			return
+		case line == `\stats`:
+			printStats(db)
+		case line == `\witnesses`:
+			for _, w := range db.Witnesses() {
+				fmt.Printf("%s must have %s to some %s (via %s)\n", w.Entity, w.Role, w.Filler, w.Because)
+			}
+		case line == `\sources`:
+			for src, score := range db.RefreshRichness() {
+				fmt.Printf("%-16s richness %.3f\n", src, score)
+			}
+		case line == `\conflicts`:
+			for _, c := range db.Conflicts() {
+				kind := "contradiction"
+				if c.Reconcilable {
+					kind = "parallel worlds"
+				}
+				fmt.Printf("%s.%s (%s):\n", c.Entity, c.Attr, kind)
+				for v, srcs := range c.Values {
+					fmt.Printf("  %-14s from %s\n", v, strings.Join(srcs, ", "))
+				}
+			}
+		case line == `\tables`:
+			for _, name := range db.Tables() {
+				fmt.Println(name)
+			}
+		case strings.HasPrefix(line, `\schema `):
+			table := strings.TrimSpace(strings.TrimPrefix(line, `\schema `))
+			for _, a := range db.Schema(table) {
+				kinds := make([]string, 0, len(a.Kinds))
+				for k, n := range a.Kinds {
+					kinds = append(kinds, fmt.Sprintf("%s×%d", k, n))
+				}
+				fmt.Printf("%-16s filled %-5d %s\n", a.Name, a.Filled, strings.Join(kinds, " "))
+			}
+		case strings.HasPrefix(line, `\explain `):
+			q := strings.TrimSpace(strings.TrimPrefix(line, `\explain `))
+			info, err := db.Explain(q)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				break
+			}
+			fmt.Print(info.Plan)
+			for _, r := range info.Rules {
+				fmt.Println("rewrite:", r)
+			}
+			fmt.Printf("estimated cost: %.0f\n", info.EstimatedCost)
+		case strings.HasPrefix(line, `\`):
+			fmt.Fprintf(os.Stderr, "unknown command %s\n", line)
+		default:
+			runQuery(db, line)
+		}
+		if isTTY() {
+			fmt.Print("scdb> ")
+		}
+	}
+}
+
+func runQuery(db *scdb.DB, q string) {
+	rows, info, err := db.QueryInfo(q)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		return
+	}
+	widths := make([]int, len(rows.Columns))
+	cells := func(row []any) []string {
+		out := make([]string, len(row))
+		for i, v := range row {
+			out[i] = fmt.Sprintf("%v", v)
+		}
+		return out
+	}
+	for i, c := range rows.Columns {
+		widths[i] = len(c)
+	}
+	var all [][]string
+	for _, r := range rows.Data {
+		cs := cells(r)
+		for i, c := range cs {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+		all = append(all, cs)
+	}
+	printRow := func(cs []string) {
+		for i, c := range cs {
+			if i > 0 {
+				fmt.Print("  ")
+			}
+			fmt.Printf("%-*s", widths[i], c)
+		}
+		fmt.Println()
+	}
+	printRow(rows.Columns)
+	for i := range rows.Columns {
+		if i > 0 {
+			fmt.Print("  ")
+		}
+		fmt.Print(strings.Repeat("-", widths[i]))
+	}
+	fmt.Println()
+	for _, cs := range all {
+		printRow(cs)
+	}
+	cached := ""
+	if info.CacheHit {
+		cached = " (materialized)"
+	}
+	fmt.Printf("(%d rows)%s\n", len(rows.Data), cached)
+}
+
+func printStats(db *scdb.DB) {
+	st := db.Stats()
+	fmt.Printf("tables=%d entities=%d edges=%d concepts=%d inferred=%d witnesses=%d inconsistencies=%d merges=%d cache-hit=%.0f%%\n",
+		st.Tables, st.Entities, st.Edges, st.Concepts, st.InferredTypes,
+		st.Witnesses, st.Inconsistencies, st.Merges, 100*st.CacheHitRate)
+}
+
+func isTTY() bool {
+	fi, err := os.Stdin.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
+}
+
+func must(err error) {
+	if err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "scdb: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+
+	"scdb"
+)
+
+// captureStdout runs fn with os.Stdout redirected and returns what it
+// printed.
+func captureStdout(t *testing.T, fn func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, r)
+		done <- buf.String()
+	}()
+	fn()
+	w.Close()
+	os.Stdout = old
+	return <-done
+}
+
+func testDB(t *testing.T) *scdb.DB {
+	t.Helper()
+	db, err := scdb.Open(scdb.Options{Axioms: "concept Thing"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	if err := db.Ingest(scdb.Source{Name: "things", Entities: []scdb.Entity{
+		{Key: "a", Types: []string{"Thing"}, Attrs: scdb.Record{"name": "alpha", "n": 1}},
+		{Key: "b", Types: []string{"Thing"}, Attrs: scdb.Record{"name": "beta", "n": 2}},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestRunQueryFormatsTable(t *testing.T) {
+	db := testDB(t)
+	out := captureStdout(t, func() {
+		runQuery(db, "SELECT name, n FROM things ORDER BY n")
+	})
+	for _, want := range []string{"name", "alpha", "beta", "(2 rows)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Column alignment: header separator present.
+	if !strings.Contains(out, "----") {
+		t.Errorf("no separator:\n%s", out)
+	}
+	// Cache marker on the repeat run.
+	out = captureStdout(t, func() {
+		runQuery(db, "SELECT name, n FROM things ORDER BY n")
+	})
+	if !strings.Contains(out, "(materialized)") {
+		t.Errorf("repeat run not marked materialized:\n%s", out)
+	}
+}
+
+func TestRunQueryErrorGoesToStderr(t *testing.T) {
+	db := testDB(t)
+	out := captureStdout(t, func() {
+		runQuery(db, "SELECT FROM nowhere")
+	})
+	if strings.Contains(out, "error") {
+		t.Errorf("errors must not go to stdout:\n%s", out)
+	}
+}
+
+func TestPrintStats(t *testing.T) {
+	db := testDB(t)
+	out := captureStdout(t, func() { printStats(db) })
+	for _, want := range []string{"tables=", "entities=2", "concepts="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats missing %q: %s", want, out)
+		}
+	}
+}

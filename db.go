@@ -1,0 +1,448 @@
+package scdb
+
+import (
+	"fmt"
+	"strings"
+
+	"scdb/internal/core"
+	"scdb/internal/curate"
+	"scdb/internal/datagen"
+	"scdb/internal/er"
+	"scdb/internal/extract"
+	"scdb/internal/fusion"
+	"scdb/internal/model"
+	"scdb/internal/storage"
+	"scdb/internal/txn"
+)
+
+// Options configures Open. The zero value is a usable in-memory database.
+type Options struct {
+	// Dir enables durability: the store keeps an append-only log and
+	// snapshots there. Empty means in-memory.
+	Dir string
+	// Axioms seeds the ontology, one axiom per line:
+	//
+	//	concept C          declare a concept
+	//	sub C D            C ⊑ D
+	//	disjoint C D       C and D share no instances
+	//	exists C R D       C ⊑ ∃R.D
+	//	subrole R P        R ⊑ P
+	//	trans R            R is transitive
+	//	inverse R S        R and S are inverses
+	//	domain R C         subjects of R are C
+	//	range R C          objects of R are C
+	//
+	// Multi-word names use underscores ("Approved_Drugs").
+	Axioms string
+	// LinkRules drive online literal-to-entity link discovery.
+	LinkRules []LinkRule
+	// Patterns drive information extraction over Source.Texts.
+	Patterns []Pattern
+	// ResolutionThreshold tunes entity resolution (default 0.85).
+	ResolutionThreshold float64
+	// CacheSize bounds the materialization cache (default 256 entries).
+	CacheSize int
+	// DisableSemanticOptimizer turns the ontology-driven query rewrites
+	// off (for ablation measurements).
+	DisableSemanticOptimizer bool
+	// DisableCache turns result materialization off.
+	DisableCache bool
+}
+
+// DB is a self-curating database handle.
+type DB struct {
+	inner *core.DB
+}
+
+// Open creates or reopens a database.
+func Open(opts Options) (*DB, error) {
+	coreOpts := core.Options{
+		Dir:                opts.Dir,
+		MatCacheSize:       opts.CacheSize,
+		DisableSemanticOpt: opts.DisableSemanticOptimizer,
+		DisableMatCache:    opts.DisableCache,
+		ERConfig:           er.Config{Threshold: opts.ResolutionThreshold},
+	}
+	for _, r := range opts.LinkRules {
+		coreOpts.LinkRules = append(coreOpts.LinkRules, curate.LinkRule{
+			Predicate:     r.Predicate,
+			EdgePredicate: r.EdgePredicate,
+			TargetAttrs:   r.TargetAttrs,
+			TargetType:    r.TargetType,
+		})
+	}
+	for _, p := range opts.Patterns {
+		coreOpts.Patterns = append(coreOpts.Patterns, extract.Pattern{
+			Trigger:        p.Trigger,
+			Predicate:      p.Predicate,
+			SubjectConcept: p.SubjectConcept,
+			ObjectConcept:  p.ObjectConcept,
+		})
+	}
+	db, err := core.Open(coreOpts)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Axioms != "" {
+		if err := db.Ontology().Parse(strings.NewReader(opts.Axioms)); err != nil {
+			db.Close()
+			return nil, err
+		}
+	}
+	return &DB{inner: db}, nil
+}
+
+// Close flushes meta-data and closes the store.
+func (db *DB) Close() error { return db.inner.Close() }
+
+// AddAxioms appends ontology axioms (same format as Options.Axioms).
+// Curation picks them up on the next ingest; existing inferences are
+// re-derived lazily.
+func (db *DB) AddAxioms(axioms string) error {
+	return db.inner.Ontology().Parse(strings.NewReader(axioms))
+}
+
+// Ingest runs one source delivery through the curation pipeline:
+// instance-layer storage, schema observation, entity/edge creation, link
+// discovery, incremental entity resolution, information extraction, and
+// incremental semantic inference.
+func (db *DB) Ingest(src Source) error {
+	ds, err := toDataset(src)
+	if err != nil {
+		return err
+	}
+	return db.inner.Ingest(ds)
+}
+
+func toDataset(src Source) (datagen.Dataset, error) {
+	if src.Name == "" {
+		return datagen.Dataset{}, fmt.Errorf("scdb: source needs a name")
+	}
+	ds := datagen.Dataset{Source: src.Name, Texts: src.Texts}
+	for _, e := range src.Entities {
+		attrs, err := toRecord(e.Attrs)
+		if err != nil {
+			return datagen.Dataset{}, fmt.Errorf("scdb: entity %q: %w", e.Key, err)
+		}
+		ds.Entities = append(ds.Entities, datagen.EntitySpec{Key: e.Key, Types: e.Types, Attrs: attrs})
+	}
+	for _, l := range src.Links {
+		var lit model.Value
+		if l.ToKey == "" {
+			v, err := toValue(l.Value)
+			if err != nil {
+				return datagen.Dataset{}, fmt.Errorf("scdb: link %s-[%s]: %w", l.FromKey, l.Predicate, err)
+			}
+			lit = v
+		}
+		ds.Links = append(ds.Links, datagen.LinkSpec{
+			FromKey:    l.FromKey,
+			Predicate:  l.Predicate,
+			ToKey:      l.ToKey,
+			Literal:    lit,
+			Confidence: l.Confidence,
+		})
+	}
+	return ds, nil
+}
+
+// Rows is a materialized query result with public values.
+type Rows struct {
+	Columns []string
+	Data    [][]any
+}
+
+// QueryInfo reports how a query was answered.
+type QueryInfo struct {
+	// Plan is the optimized plan tree, one node per line.
+	Plan string
+	// Rules lists optimizer rewrites applied.
+	Rules []string
+	// CacheHit reports whether a materialized result was reused.
+	CacheHit bool
+	// EstimatedCost is the optimizer's work estimate for the plan.
+	EstimatedCost float64
+}
+
+// Query executes one SCQL statement.
+func (db *DB) Query(q string) (*Rows, error) {
+	rows, _, err := db.QueryInfo(q)
+	return rows, err
+}
+
+// QueryInfo executes one SCQL statement and reports how it was answered.
+func (db *DB) QueryInfo(q string) (*Rows, *QueryInfo, error) {
+	res, info, err := db.inner.Query(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := &Rows{Columns: res.Columns}
+	for _, r := range res.Rows {
+		row := make([]any, len(r))
+		for i, v := range r {
+			row[i] = fromValue(v)
+		}
+		out.Data = append(out.Data, row)
+	}
+	return out, &QueryInfo{
+		Plan:          info.Plan,
+		Rules:         info.Rules,
+		CacheHit:      info.CacheHit,
+		EstimatedCost: info.EstimatedCost,
+	}, nil
+}
+
+// Explain returns the optimized plan without executing.
+func (db *DB) Explain(q string) (*QueryInfo, error) {
+	info, err := db.inner.Explain(q)
+	if err != nil {
+		return nil, err
+	}
+	return &QueryInfo{Plan: info.Plan, Rules: info.Rules, EstimatedCost: info.EstimatedCost}, nil
+}
+
+// AddClaim records a parallel-world claim. The entity is looked up by any
+// indexed name or key.
+func (db *DB) AddClaim(c Claim) error {
+	e, ok := db.inner.LookupEntity("", c.Entity)
+	if !ok {
+		return fmt.Errorf("scdb: claim about unknown entity %q", c.Entity)
+	}
+	v, err := toValue(c.Value)
+	if err != nil {
+		return err
+	}
+	db.inner.AddClaim(fusion.Claim{
+		Source:     c.Source,
+		Entity:     e.ID,
+		Attr:       c.Attr,
+		Value:      v,
+		Context:    c.Context,
+		Confidence: model.Fuzzy(c.Confidence),
+	})
+	return nil
+}
+
+// RefreshRichness measures every source's richness (information content,
+// connectivity, density — FS.2) and uses the scores to weight claims in
+// fusion. It returns source → score.
+func (db *DB) RefreshRichness() map[string]float64 {
+	out := map[string]float64{}
+	for _, m := range db.inner.RefreshRichness() {
+		out[m.Source] = m.Score
+	}
+	return out
+}
+
+// Answer is the outcome of the context-aware query loop.
+type Answer struct {
+	// NaiveCertain is the classical certain answer (all worlds agree).
+	NaiveCertain bool
+	// JustifiedDegree is the parallel-world justification in [0,1].
+	JustifiedDegree float64
+	// Explanation names the supporting context and sources.
+	Explanation string
+	// ByContext gives each context class's degree.
+	ByContext map[string]float64
+	// Refinements lists the follow-up questions the system raised.
+	Refinements []string
+	// Sensitive reports whether the attribute varies across disjoint
+	// context classes; NarrowRange whether its values span a narrow band.
+	Sensitive   bool
+	NarrowRange bool
+}
+
+// JustifiedAnswer runs the paper's context-aware loop for "is target an
+// acceptable value of attr for this entity?": the naive certain answer,
+// the automatically raised refinements, and the justified parallel-world
+// answer under fuzzy closeness with tolerance tol.
+func (db *DB) JustifiedAnswer(entity, attr string, target, tol float64) (Answer, error) {
+	ca, err := db.inner.JustifiedAnswer(entity, attr, target, tol)
+	if err != nil {
+		return Answer{}, err
+	}
+	out := Answer{
+		NaiveCertain:    ca.NaiveCertain,
+		JustifiedDegree: float64(ca.Justified.Degree),
+		Explanation:     ca.Justified.Explanation,
+		ByContext:       map[string]float64{},
+		Sensitive:       ca.Sensitive,
+		NarrowRange:     ca.NarrowRange,
+	}
+	for ctx, d := range ca.Justified.ByContext {
+		out.ByContext[ctx] = float64(d)
+	}
+	for _, r := range ca.Refinements {
+		out.Refinements = append(out.Refinements, r.Question)
+	}
+	return out, nil
+}
+
+// ErrConflict is returned by Tx.Commit on a write-write conflict
+// (first-committer-wins).
+var ErrConflict = txn.ErrConflict
+
+// ErrEnrichmentPhantom is returned by Tx.Commit under Snapshot isolation
+// when the semantic layers changed under a transaction that read them.
+var ErrEnrichmentPhantom = txn.ErrEnrichmentPhantom
+
+// IsolationLevel selects transaction semantics.
+type IsolationLevel int
+
+const (
+	// Snapshot is snapshot isolation with enrichment-phantom aborts: a
+	// transaction that consulted the semantic layers aborts if enrichment
+	// advanced under it.
+	Snapshot IsolationLevel = iota
+	// EventualEnrichment never aborts on enrichment churn; commits carry
+	// a staleness bound instead.
+	EventualEnrichment
+)
+
+// Tx is a transaction over the instance layer.
+type Tx struct {
+	inner *txn.Txn
+}
+
+// Begin starts a transaction.
+func (db *DB) Begin(level IsolationLevel) *Tx {
+	l := txn.Snapshot
+	if level == EventualEnrichment {
+		l = txn.EventualEnrichment
+	}
+	return &Tx{inner: db.inner.Begin(l)}
+}
+
+// Insert buffers a row; the returned ID is final and remains valid after
+// commit.
+func (tx *Tx) Insert(table string, rec Record) (uint64, error) {
+	r, err := toRecord(rec)
+	if err != nil {
+		return 0, err
+	}
+	id, err := tx.inner.Insert(table, r)
+	return uint64(id), err
+}
+
+// Update buffers an overwrite.
+func (tx *Tx) Update(table string, id uint64, rec Record) error {
+	r, err := toRecord(rec)
+	if err != nil {
+		return err
+	}
+	return tx.inner.Update(table, storage.RowID(id), r)
+}
+
+// Delete buffers a deletion.
+func (tx *Tx) Delete(table string, id uint64) error {
+	return tx.inner.Delete(table, storage.RowID(id))
+}
+
+// Get reads at the transaction's snapshot, own writes included.
+func (tx *Tx) Get(table string, id uint64) (Record, bool, error) {
+	rec, ok, err := tx.inner.Get(table, storage.RowID(id))
+	if err != nil || !ok {
+		return nil, ok, err
+	}
+	out := Record{}
+	for k, v := range rec {
+		out[k] = fromValue(v)
+	}
+	return out, true, nil
+}
+
+// MarkSemanticRead records that the transaction consulted the semantic
+// layers (arming enrichment-phantom validation under Snapshot).
+func (tx *Tx) MarkSemanticRead() { tx.inner.MarkSemanticRead() }
+
+// Commit validates and installs the write set. The returned staleness is
+// how many enrichment versions passed during the transaction (always 0
+// under Snapshot).
+func (tx *Tx) Commit() (staleness uint64, err error) {
+	info, err := tx.inner.Commit()
+	if err != nil {
+		return 0, err
+	}
+	return info.EnrichmentStaleness, nil
+}
+
+// Abort discards the transaction.
+func (tx *Tx) Abort() { tx.inner.Abort() }
+
+// Stats summarizes the engine.
+type Stats struct {
+	Tables          int
+	Entities        int
+	Edges           int
+	Concepts        int
+	InferredTypes   int
+	Witnesses       int
+	Inconsistencies int
+	Merges          int
+	CacheHitRate    float64
+}
+
+// Stats returns a snapshot of the engine's state.
+func (db *DB) Stats() Stats {
+	s := db.inner.Stats()
+	return Stats{
+		Tables:          s.Tables,
+		Entities:        s.Entities,
+		Edges:           s.Edges,
+		Concepts:        s.Concepts,
+		InferredTypes:   s.InferredTypes,
+		Witnesses:       s.Witnesses,
+		Inconsistencies: s.Inconsistencies,
+		Merges:          s.Merges,
+		CacheHitRate:    s.CacheHitRate,
+	}
+}
+
+// Witness is an inferred existential: the entity must have Role to some
+// instance of Filler although no concrete edge is known (the paper's
+// Acetaminophen example).
+type Witness struct {
+	Entity  string
+	Role    string
+	Filler  string
+	Because string
+}
+
+// Witnesses returns all current existential witnesses, with entities
+// rendered by their best-known name.
+func (db *DB) Witnesses() []Witness {
+	var out []Witness
+	for _, w := range db.inner.Reasoner().AllWitnesses() {
+		out = append(out, Witness{
+			Entity:  db.entityLabel(w.Entity),
+			Role:    w.Role,
+			Filler:  w.Filler,
+			Because: w.Because,
+		})
+	}
+	return out
+}
+
+// Inconsistencies returns current semantic inconsistencies as
+// human-readable strings.
+func (db *DB) Inconsistencies() []string {
+	var out []string
+	for _, ic := range db.inner.Reasoner().Inconsistencies() {
+		out = append(out, fmt.Sprintf("%s belongs to disjoint concepts %q and %q",
+			db.entityLabel(ic.Entity), ic.ConceptA, ic.ConceptB))
+	}
+	return out
+}
+
+func (db *DB) entityLabel(id model.EntityID) string {
+	e, ok := db.inner.Graph().Entity(id)
+	if !ok {
+		return fmt.Sprintf("entity(%d)", id)
+	}
+	for _, attr := range []string{"name", "symbol", "label", "disease_name", "gene_symbol"} {
+		if s, ok := e.Attrs.Get(attr).AsString(); ok && s != "" {
+			return s
+		}
+	}
+	return e.Key
+}

@@ -1,0 +1,111 @@
+package scdb_test
+
+import (
+	"fmt"
+	"log"
+
+	"scdb"
+)
+
+// Example shows the minimal end-to-end flow: open, ingest two
+// heterogeneous sources, and let curation unify them.
+func Example() {
+	db, err := scdb.Open(scdb.Options{
+		Axioms: "sub Gadget Product\ndisjoint Product Vendor\nexists Product soldBy Vendor",
+		LinkRules: []scdb.LinkRule{{
+			Predicate: "vendor_name", EdgePredicate: "soldBy",
+			TargetAttrs: []string{"name"}, TargetType: "Vendor",
+		}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	db.Ingest(scdb.Source{
+		Name: "catalog",
+		Entities: []scdb.Entity{
+			{Key: "p1", Types: []string{"Gadget"}, Attrs: scdb.Record{"name": "Widget", "price": 9.5}},
+		},
+		Links: []scdb.Link{{FromKey: "p1", Predicate: "vendor_name", Value: "Acme Corp"}},
+	})
+	db.Ingest(scdb.Source{
+		Name:     "registry",
+		Entities: []scdb.Entity{{Key: "v1", Types: []string{"Vendor"}, Attrs: scdb.Record{"name": "Acme Corp"}}},
+	})
+
+	rows, _ := db.Query(`SELECT name, price FROM Gadget AS g WHERE REACHES(g._id, 'Acme Corp', 1) WITH SEMANTICS`)
+	for _, r := range rows.Data {
+		fmt.Println(r[0], r[1])
+	}
+	// Output: Widget 9.5
+}
+
+// ExampleDB_JustifiedAnswer reproduces the paper's Warfarin question: the
+// naive certain answer is false, the parallel-world answer is justified.
+func ExampleDB_JustifiedAnswer() {
+	db, err := scdb.Open(scdb.Options{
+		Axioms:    scdb.LifeSciAxioms + scdb.PopulationAxioms,
+		LinkRules: scdb.LifeSciLinkRules(),
+		Patterns:  scdb.LifeSciPatterns(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	for _, src := range scdb.LifeSciSample(1, 0, 0, 0) {
+		db.Ingest(src)
+	}
+	for _, c := range scdb.ClinicalClaims() {
+		db.AddClaim(c)
+	}
+
+	ans, _ := db.JustifiedAnswer("Warfarin", "effective_dose_mg", 5.0, 0.5)
+	fmt.Printf("naive certain: %v\n", ans.NaiveCertain)
+	fmt.Printf("justified: %.2f\n", ans.JustifiedDegree)
+	fmt.Printf("sensitive to context: %v\n", ans.Sensitive)
+	// Output:
+	// naive certain: false
+	// justified: 0.80
+	// sensitive to context: true
+}
+
+// ExampleDB_Witnesses shows the existential inference from the paper:
+// every Drug must have a target, even before one is known.
+func ExampleDB_Witnesses() {
+	db, err := scdb.Open(scdb.Options{
+		Axioms: "sub Aspirin_Class Drug\nexists Drug hasTarget Gene\nconcept Gene",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	db.Ingest(scdb.Source{
+		Name: "kb",
+		Entities: []scdb.Entity{
+			{Key: "d1", Types: []string{"Drug"}, Attrs: scdb.Record{"name": "Newdrug"}},
+		},
+	})
+	for _, w := range db.Witnesses() {
+		fmt.Printf("%s must have %s to some %s\n", w.Entity, w.Role, w.Filler)
+	}
+	// Output: Newdrug must have hasTarget to some Gene
+}
+
+// ExampleDB_Explain shows the semantic optimizer proving a query empty
+// from disjointness alone.
+func ExampleDB_Explain() {
+	db, err := scdb.Open(scdb.Options{Axioms: "sub Drug Chemical\nsub Tumor Disease\ndisjoint Chemical Disease"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	db.Ingest(scdb.Source{Name: "kb", Entities: []scdb.Entity{
+		{Key: "d", Types: []string{"Drug"}, Attrs: scdb.Record{"name": "x"}},
+	}})
+	info, _ := db.Explain(`SELECT name FROM Drug AS d WHERE ISA(d._id, 'Tumor') WITH SEMANTICS`)
+	fmt.Print(info.Plan)
+	// Output:
+	// Project name
+	//   Empty ("Drug" and "Tumor" are disjoint)
+}

@@ -1,0 +1,340 @@
+package scdb
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestCompletePublicAPI(t *testing.T) {
+	db, _ := Open(Options{})
+	defer db.Close()
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	ents := []Entity{}
+	for i, row := range []struct{ name, class, target string }{
+		{"Warfarin", "anticoagulant", "VKORC1"},
+		{"Heparin", "anticoagulant", "ATIII"},
+		{"Ibuprofen", "nsaid", "PTGS2"},
+		{"Naproxen", "nsaid", "PTGS2"},
+		{"Aspirin", "nsaid", "PTGS1"},
+	} {
+		ents = append(ents, Entity{
+			Key:   row.name,
+			Attrs: Record{"name": row.name, "class": row.class, "target": row.target},
+		})
+		_ = i
+	}
+	must(db.Ingest(Source{Name: "drugs", Entities: ents}))
+
+	c, err := db.Complete("drugs", Record{"name": "Ibuprofen", "class": nil, "target": nil}, nil, 3)
+	must(err)
+	if c.Completed["class"] != "nsaid" {
+		t.Errorf("class = %v", c.Completed["class"])
+	}
+	if c.Completed["target"] != "PTGS2" {
+		t.Errorf("target = %v", c.Completed["target"])
+	}
+	if c.Confidence["class"] <= 0 || c.Support["class"] < 1 {
+		t.Errorf("confidence/support = %v %v", c.Confidence, c.Support)
+	}
+	if _, err := db.Complete("missing", Record{}, nil, 3); err == nil {
+		t.Error("unknown table must fail")
+	}
+	if _, err := db.Complete("drugs", Record{"bad": struct{}{}}, nil, 3); err == nil {
+		t.Error("bad value type must fail")
+	}
+}
+
+func TestResolveClaimPolicies(t *testing.T) {
+	db := openSample(t)
+	for _, c := range []Claim{
+		{Source: "a", Entity: "Warfarin", Attr: "color", Value: "white", Confidence: 0.5},
+		{Source: "b", Entity: "Warfarin", Attr: "color", Value: "white", Confidence: 0.5},
+		{Source: "c", Entity: "Warfarin", Attr: "color", Value: "ivory", Confidence: 0.99},
+	} {
+		if err := db.AddClaim(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, support, err := db.ResolveClaim("Warfarin", "color", Vote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != "white" || support < 0.6 {
+		t.Errorf("vote = %v (%v)", v, support)
+	}
+	v, _, err = db.ResolveClaim("Warfarin", "color", MostConfident)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != "ivory" {
+		t.Errorf("most confident = %v", v)
+	}
+	if _, _, err := db.ResolveClaim("Nothing", "color", Vote); err == nil {
+		t.Error("unknown entity must fail")
+	}
+	if _, _, err := db.ResolveClaim("Warfarin", "absent", Vote); err == nil {
+		t.Error("attribute without claims must fail")
+	}
+	if _, _, err := db.ResolveClaim("Warfarin", "color", ResolutionPolicy(99)); err == nil {
+		t.Error("unknown policy must fail")
+	}
+}
+
+func TestConflictsPublicAPI(t *testing.T) {
+	db := openSample(t)
+	for _, c := range ClinicalClaims() {
+		if err := db.AddClaim(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	conflicts := db.Conflicts()
+	if len(conflicts) != 1 {
+		t.Fatalf("conflicts = %+v", conflicts)
+	}
+	cf := conflicts[0]
+	if cf.Entity != "Warfarin" || cf.Attr != "effective_dose_mg" {
+		t.Errorf("conflict = %+v", cf)
+	}
+	if !cf.Reconcilable {
+		t.Error("disjoint population contexts must be reconcilable")
+	}
+	if len(cf.Values) != 3 {
+		t.Errorf("values = %v", cf.Values)
+	}
+	if srcs := cf.Values["5.1"]; len(srcs) != 1 || srcs[0] != "trials-us" {
+		t.Errorf("5.1 sources = %v", srcs)
+	}
+}
+
+func TestDiscoverPublic(t *testing.T) {
+	db := openSample(t)
+	found, err := db.Discover("Methotrexate", 10, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(found) == 0 {
+		t.Fatal("walk discovered nothing")
+	}
+	// Determinism per seed.
+	again, _ := db.Discover("Methotrexate", 10, 42)
+	if len(found) != len(again) {
+		t.Error("walk not deterministic")
+	}
+	// Methotrexate's neighborhood includes its target or its disease.
+	joined := strings.Join(found, "|")
+	if !strings.Contains(joined, "DHFR") && !strings.Contains(joined, "Osteosarcoma") &&
+		!strings.Contains(joined, "Rheumatoid Arthritis") {
+		t.Errorf("unexpected discoveries: %v", found)
+	}
+	if _, err := db.Discover("Nobody", 5, 1); err == nil {
+		t.Error("unknown entity must fail")
+	}
+}
+
+func TestCrowdResolvePublic(t *testing.T) {
+	db := openSample(t)
+	for _, c := range []Claim{
+		{Source: "a", Entity: "Warfarin", Attr: "class", Value: "anticoagulant"},
+		{Source: "b", Entity: "Warfarin", Attr: "class", Value: "anticoagulant"},
+		{Source: "c", Entity: "Warfarin", Attr: "class", Value: "rodenticide"},
+	} {
+		if err := db.AddClaim(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ans, err := db.CrowdResolve("Warfarin", "class", 20, 0.9, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Value != "anticoagulant" {
+		t.Errorf("crowd picked %v", ans.Value)
+	}
+	if ans.Asks == 0 || ans.Spent > 20 || ans.Agreement <= 0 {
+		t.Errorf("outcome = %+v", ans)
+	}
+	// Determinism per seed.
+	again, _ := db.CrowdResolve("Warfarin", "class", 20, 0.9, 42)
+	if again.Asks != ans.Asks || again.Value != ans.Value {
+		t.Error("crowd resolution not seed-deterministic")
+	}
+	if _, err := db.CrowdResolve("Warfarin", "no-claims", 20, 0.9, 1); err == nil {
+		t.Error("attribute without claims must fail")
+	}
+	if _, err := db.CrowdResolve("Nobody", "class", 20, 0.9, 1); err == nil {
+		t.Error("unknown entity must fail")
+	}
+}
+
+func TestSuggestAndEnrichLinks(t *testing.T) {
+	// Many drugs treat arthritis; one drug with the same target does not
+	// yet have the edge — prediction should propose it.
+	db, err := Open(Options{Axioms: `
+sub Drug Chemical
+concept Disease
+concept Gene
+domain treats Drug
+`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	src := Source{Name: "kb"}
+	src.Entities = append(src.Entities,
+		Entity{Key: "arthritis", Types: []string{"Disease"}, Attrs: Record{"name": "Arthritis"}},
+		Entity{Key: "ptgs2", Types: []string{"Gene"}, Attrs: Record{"name": "PTGS2-gene"}},
+	)
+	for i := 0; i < 5; i++ {
+		key := fmt.Sprintf("drug%d", i)
+		src.Entities = append(src.Entities, Entity{Key: key, Types: []string{"Drug"}, Attrs: Record{"name": "compound " + key}})
+		src.Links = append(src.Links, Link{FromKey: key, Predicate: "targets", ToKey: "ptgs2"})
+		if i > 0 { // drug0 lacks the treats edge
+			src.Links = append(src.Links, Link{FromKey: key, Predicate: "treats", ToKey: "arthritis"})
+		}
+	}
+	if err := db.Ingest(src); err != nil {
+		t.Fatal(err)
+	}
+
+	sugg, err := db.SuggestLinks("compound drug0", "treats", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sugg) == 0 {
+		t.Fatal("no suggestions")
+	}
+	if sugg[0].To != "Arthritis" {
+		t.Errorf("top suggestion = %+v", sugg[0])
+	}
+	if sugg[0].Confidence <= 0 || sugg[0].Confidence >= 1 {
+		t.Errorf("confidence = %v", sugg[0].Confidence)
+	}
+	if _, err := db.SuggestLinks("nobody", "treats", 3); err == nil {
+		t.Error("unknown entity must fail")
+	}
+
+	// Materialize predictions as enrichment; a semantic snapshot reader
+	// must observe the churn.
+	tx := db.Begin(Snapshot)
+	tx.MarkSemanticRead()
+	added, err := db.EnrichPredictedLinks("treats", 1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added == 0 {
+		t.Fatal("no predicted edges added")
+	}
+	if _, err := tx.Commit(); err == nil {
+		t.Error("predictive enrichment must trip the snapshot reader")
+	}
+	// The new edge is queryable.
+	rows, err := db.Query(`SELECT name FROM Drug AS d WHERE REACHES(d._id, 'Arthritis', 1) ORDER BY name WITH SEMANTICS`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 5 {
+		t.Errorf("drugs treating arthritis after enrichment = %v", rows.Data)
+	}
+}
+
+func TestPredictInPublicSCQL(t *testing.T) {
+	db := openSample(t)
+	// Ingest enough typed entities for the model, then an untyped one.
+	for _, src := range LifeSciSample(5, 40, 30, 20) {
+		if err := db.Ingest(src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rows, err := db.Query(`SELECT PREDICT(d._id) AS guess FROM Drug AS d WHERE d._key = 'DB00682'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 1 || rows.Data[0][0] != "Drug" {
+		t.Errorf("PREDICT = %v", rows.Data)
+	}
+}
+
+func TestSchemaAndTables(t *testing.T) {
+	db := openSample(t)
+	schema := db.Schema("drugbank")
+	if len(schema) == 0 {
+		t.Fatal("no schema observed")
+	}
+	found := false
+	for _, a := range schema {
+		if a.Name == "name" {
+			found = true
+			if a.Filled != 5 {
+				t.Errorf("name filled = %d", a.Filled)
+			}
+			if a.Kinds["string"] != 5 {
+				t.Errorf("name kinds = %v", a.Kinds)
+			}
+		}
+	}
+	if !found {
+		t.Error("name attribute missing from schema")
+	}
+	tables := db.Tables()
+	has := map[string]bool{}
+	for _, t := range tables {
+		has[t] = true
+	}
+	if !has["drugbank"] || !has["_catalog_tables"] {
+		t.Errorf("tables = %v", tables)
+	}
+	if got := db.Schema("never-seen"); len(got) != 0 {
+		t.Errorf("schema of unknown table = %v", got)
+	}
+}
+
+func TestCheckpointAndVacuumPublic(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := db.Begin(Snapshot)
+	id, _ := tx.Insert("t", Record{"v": 1})
+	tx.Commit()
+	for i := 2; i <= 5; i++ {
+		tx := db.Begin(Snapshot)
+		tx.Update("t", id, Record{"v": i})
+		if _, err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if removed := db.Vacuum(); removed < 3 {
+		t.Errorf("vacuum removed %d versions", removed)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+
+	db2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	rows, err := db2.Query("SELECT v FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 1 || rows.Data[0][0].(int64) != 5 {
+		t.Errorf("recovered rows = %v", rows.Data)
+	}
+	// In-memory checkpoint/vacuum are harmless no-ops.
+	mem, _ := Open(Options{})
+	defer mem.Close()
+	if err := mem.Checkpoint(); err != nil {
+		t.Errorf("in-memory checkpoint: %v", err)
+	}
+	if mem.Vacuum() != 0 {
+		t.Error("fresh db vacuum must remove nothing")
+	}
+}

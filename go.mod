@@ -1,0 +1,3 @@
+module scdb
+
+go 1.23

@@ -1,0 +1,108 @@
+// Package bench implements the experiment harness: one function per
+// experiment in DESIGN.md's index, each returning a formatted table of the
+// measurements EXPERIMENTS.md records. The cmd/scdb-bench binary prints
+// them; the root bench_test.go exposes the hot paths as testing.B
+// benchmarks.
+//
+// The paper (a vision paper) reports no measurements of its own, so every
+// experiment here operationalizes a qualitative claim from the text — who
+// should win and why is documented per experiment; EXPERIMENTS.md records
+// whether the measured shape agrees.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Table is one experiment's result.
+type Table struct {
+	ID     string
+	Title  string
+	Claim  string // the paper's qualitative claim being tested
+	Header []string
+	Rows   [][]string
+	// Verdict summarizes whether the shape held.
+	Verdict string
+}
+
+// Render formats the table for terminal output.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s — %s ==\n", t.ID, t.Title)
+	if t.Claim != "" {
+		fmt.Fprintf(&b, "claim: %s\n", t.Claim)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for i := range t.Header {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", widths[i]))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	if t.Verdict != "" {
+		fmt.Fprintf(&b, "verdict: %s\n", t.Verdict)
+	}
+	return b.String()
+}
+
+// Experiment is a registered experiment.
+type Experiment struct {
+	ID   string
+	Name string
+	Run  func() *Table
+}
+
+var registry []Experiment
+
+func register(id, name string, run func() *Table) {
+	registry = append(registry, Experiment{ID: id, Name: name, Run: run})
+}
+
+// Experiments returns all registered experiments sorted by ID.
+func Experiments() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID finds one experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string  { return fmt.Sprintf("%.3f", v) }
+func d(v int) string       { return fmt.Sprintf("%d", v) }
+func b2s(v bool) string    { return fmt.Sprintf("%v", v) }
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }

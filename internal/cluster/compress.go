@@ -1,0 +1,247 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"scdb/internal/model"
+)
+
+// Encoding names a column codec.
+type Encoding uint8
+
+const (
+	// EncPlain stores values back to back.
+	EncPlain Encoding = iota
+	// EncDict stores a dictionary of distinct values plus varint indexes.
+	EncDict
+	// EncRLE stores (value, run length) pairs.
+	EncRLE
+	// EncDelta stores varint deltas between consecutive integers (falls
+	// back automatically when the column is not all-int).
+	EncDelta
+)
+
+// String names the encoding.
+func (e Encoding) String() string {
+	switch e {
+	case EncPlain:
+		return "plain"
+	case EncDict:
+		return "dict"
+	case EncRLE:
+		return "rle"
+	case EncDelta:
+		return "delta"
+	}
+	return fmt.Sprintf("enc(%d)", uint8(e))
+}
+
+// Compressed is one encoded column.
+type Compressed struct {
+	Encoding Encoding
+	Data     []byte
+	N        int
+}
+
+// Size returns the encoded byte size.
+func (c Compressed) Size() int { return len(c.Data) }
+
+// encodePlain concatenates value encodings.
+func encodePlain(col []model.Value) []byte {
+	var out []byte
+	for _, v := range col {
+		out = model.AppendValue(out, v)
+	}
+	return out
+}
+
+func decodePlain(data []byte, n int) ([]model.Value, error) {
+	out := make([]model.Value, 0, n)
+	pos := 0
+	for i := 0; i < n; i++ {
+		v, used, err := model.DecodeValue(data[pos:])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+		pos += used
+	}
+	return out, nil
+}
+
+// encodeDict emits: uvarint dict size, dict values, then per row a uvarint
+// index.
+func encodeDict(col []model.Value) []byte {
+	var dict []model.Value
+	index := map[uint64]int{}
+	ids := make([]int, len(col))
+	for i, v := range col {
+		h := v.Hash()
+		id, ok := index[h]
+		if !ok {
+			id = len(dict)
+			index[h] = id
+			dict = append(dict, v)
+		}
+		ids[i] = id
+	}
+	out := binary.AppendUvarint(nil, uint64(len(dict)))
+	for _, v := range dict {
+		out = model.AppendValue(out, v)
+	}
+	for _, id := range ids {
+		out = binary.AppendUvarint(out, uint64(id))
+	}
+	return out
+}
+
+func decodeDict(data []byte, n int) ([]model.Value, error) {
+	dn, used := binary.Uvarint(data)
+	if used <= 0 {
+		return nil, fmt.Errorf("cluster: corrupt dict header")
+	}
+	pos := used
+	// Every dictionary entry needs at least one byte.
+	if dn > uint64(len(data)-pos) {
+		return nil, fmt.Errorf("cluster: dict size %d exceeds buffer", dn)
+	}
+	dict := make([]model.Value, dn)
+	for i := range dict {
+		v, u, err := model.DecodeValue(data[pos:])
+		if err != nil {
+			return nil, err
+		}
+		dict[i] = v
+		pos += u
+	}
+	out := make([]model.Value, 0, n)
+	for i := 0; i < n; i++ {
+		id, u := binary.Uvarint(data[pos:])
+		if u <= 0 || id >= dn {
+			return nil, fmt.Errorf("cluster: corrupt dict index")
+		}
+		pos += u
+		out = append(out, dict[id])
+	}
+	return out, nil
+}
+
+// encodeRLE emits (value, uvarint run length) pairs.
+func encodeRLE(col []model.Value) []byte {
+	var out []byte
+	i := 0
+	for i < len(col) {
+		j := i + 1
+		for j < len(col) && model.Equal(col[j], col[i]) {
+			j++
+		}
+		out = model.AppendValue(out, col[i])
+		out = binary.AppendUvarint(out, uint64(j-i))
+		i = j
+	}
+	return out
+}
+
+func decodeRLE(data []byte, n int) ([]model.Value, error) {
+	out := make([]model.Value, 0, n)
+	pos := 0
+	for len(out) < n {
+		v, used, err := model.DecodeValue(data[pos:])
+		if err != nil {
+			return nil, err
+		}
+		pos += used
+		run, u := binary.Uvarint(data[pos:])
+		if u <= 0 {
+			return nil, fmt.Errorf("cluster: corrupt run length")
+		}
+		pos += u
+		if run > uint64(n-len(out)) {
+			return nil, fmt.Errorf("cluster: run length %d overflows column of %d", run, n)
+		}
+		for k := uint64(0); k < run; k++ {
+			out = append(out, v)
+		}
+	}
+	if len(out) != n {
+		return nil, fmt.Errorf("cluster: RLE decoded %d values, want %d", len(out), n)
+	}
+	return out, nil
+}
+
+// encodeDelta emits varint deltas; only valid for all-int columns.
+func encodeDelta(col []model.Value) ([]byte, bool) {
+	var out []byte
+	prev := int64(0)
+	for _, v := range col {
+		i, ok := v.AsInt()
+		if !ok {
+			return nil, false
+		}
+		out = binary.AppendVarint(out, i-prev)
+		prev = i
+	}
+	return out, true
+}
+
+func decodeDelta(data []byte, n int) ([]model.Value, error) {
+	out := make([]model.Value, 0, n)
+	pos := 0
+	prev := int64(0)
+	for i := 0; i < n; i++ {
+		d, u := binary.Varint(data[pos:])
+		if u <= 0 {
+			return nil, fmt.Errorf("cluster: corrupt delta")
+		}
+		pos += u
+		prev += d
+		out = append(out, model.Int(prev))
+	}
+	return out, nil
+}
+
+// Compress encodes the column with every applicable codec and keeps the
+// smallest result.
+func Compress(col []model.Value) Compressed {
+	best := Compressed{Encoding: EncPlain, Data: encodePlain(col), N: len(col)}
+	if d := encodeDict(col); len(d) < best.Size() {
+		best = Compressed{Encoding: EncDict, Data: d, N: len(col)}
+	}
+	if r := encodeRLE(col); len(r) < best.Size() {
+		best = Compressed{Encoding: EncRLE, Data: r, N: len(col)}
+	}
+	if d, ok := encodeDelta(col); ok && len(d) < best.Size() {
+		best = Compressed{Encoding: EncDelta, Data: d, N: len(col)}
+	}
+	return best
+}
+
+// Decompress restores the column.
+func Decompress(c Compressed) ([]model.Value, error) {
+	switch c.Encoding {
+	case EncPlain:
+		return decodePlain(c.Data, c.N)
+	case EncDict:
+		return decodeDict(c.Data, c.N)
+	case EncRLE:
+		return decodeRLE(c.Data, c.N)
+	case EncDelta:
+		return decodeDelta(c.Data, c.N)
+	}
+	return nil, fmt.Errorf("cluster: unknown encoding %d", c.Encoding)
+}
+
+// Ratio reports plain size over compressed size for a set of columns
+// (1.0 = incompressible; higher is better).
+func Ratio(cols map[string][]model.Value) float64 {
+	plain, best := 0, 0
+	for _, col := range cols {
+		plain += len(encodePlain(col))
+		best += Compress(col).Size()
+	}
+	if best == 0 {
+		return 1
+	}
+	return float64(plain) / float64(best)
+}

@@ -1,0 +1,78 @@
+package cluster
+
+import (
+	"sort"
+
+	"scdb/internal/storage"
+)
+
+// Layout assigns each row a physical position; positions sharing a page
+// (position/pageSize) are fetched together.
+type Layout struct {
+	pos map[storage.RowID]int
+}
+
+// NewLayout lays rows out in the given order (typically insertion order —
+// the static baseline).
+func NewLayout(ids []storage.RowID) Layout {
+	pos := make(map[storage.RowID]int, len(ids))
+	for i, id := range ids {
+		pos[id] = i
+	}
+	return Layout{pos: pos}
+}
+
+// LayoutFromClusters packs rows cluster by cluster (clusters ordered by
+// label, members by RowID): the dynamic instance-level layout OS.1 asks
+// about.
+func LayoutFromClusters(label map[storage.RowID]int, ids []storage.RowID) Layout {
+	ordered := append([]storage.RowID(nil), ids...)
+	sort.Slice(ordered, func(i, j int) bool {
+		li, lj := label[ordered[i]], label[ordered[j]]
+		if li != lj {
+			return li < lj
+		}
+		return ordered[i] < ordered[j]
+	})
+	return NewLayout(ordered)
+}
+
+// Pos returns the row's position, or -1 if the layout does not place it.
+func (l Layout) Pos(id storage.RowID) int {
+	if p, ok := l.pos[id]; ok {
+		return p
+	}
+	return -1
+}
+
+// Len returns the number of placed rows.
+func (l Layout) Len() int { return len(l.pos) }
+
+// PagesTouched counts the distinct pages one access set touches under this
+// layout. Rows the layout does not place each cost one page (a miss).
+func (l Layout) PagesTouched(access []storage.RowID, pageSize int) int {
+	if pageSize <= 0 {
+		pageSize = 16
+	}
+	pages := map[int]bool{}
+	misses := 0
+	for _, id := range access {
+		p, ok := l.pos[id]
+		if !ok {
+			misses++
+			continue
+		}
+		pages[p/pageSize] = true
+	}
+	return len(pages) + misses
+}
+
+// WorkloadCost sums PagesTouched over a workload of access sets — the
+// locality metric E-OS1 compares between the static and clustered layouts.
+func WorkloadCost(l Layout, workload [][]storage.RowID, pageSize int) int {
+	total := 0
+	for _, access := range workload {
+		total += l.PagesTouched(access, pageSize)
+	}
+	return total
+}

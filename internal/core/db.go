@@ -1,0 +1,469 @@
+// Package core assembles the self-curating database: the storage engine
+// (instance layer), entity graph (relation layer), ontology and reasoner
+// (semantic layer), the curation pipeline that keeps them enriched, the
+// SCQL query engine with semantic optimization, parallel-world claim
+// fusion, context-aware refinement, transactions, and the materialization
+// cache. This is the system Figure 1 of the paper sketches, as one engine.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"scdb/internal/catalog"
+	"scdb/internal/cluster"
+	"scdb/internal/curate"
+	"scdb/internal/datagen"
+	"scdb/internal/er"
+	"scdb/internal/extract"
+	"scdb/internal/fusion"
+	"scdb/internal/graph"
+	"scdb/internal/model"
+	"scdb/internal/ontology"
+	"scdb/internal/reason"
+	"scdb/internal/refine"
+	"scdb/internal/richness"
+	"scdb/internal/semantic"
+	"scdb/internal/storage"
+	"scdb/internal/txn"
+)
+
+// ClaimsTable is the virtual table exposing the parallel-world claim base
+// to SCQL (FROM claims ... UNDER CERTAIN / UNDER FUZZY(t)).
+const ClaimsTable = "claims"
+
+// Options configures Open.
+type Options struct {
+	// Dir is the storage directory; empty means in-memory.
+	Dir string
+	// Ontology seeds the semantic layer (nil starts empty; axioms may
+	// also be loaded from the catalog or added later).
+	Ontology *ontology.Ontology
+	// LinkRules drive online literal-to-entity link discovery.
+	LinkRules []curate.LinkRule
+	// Patterns drive information extraction over unstructured text.
+	Patterns []extract.Pattern
+	// ERConfig tunes incremental entity resolution.
+	ERConfig er.Config
+	// MatCacheSize bounds the materialization cache (0 = default 256).
+	MatCacheSize int
+	// MatPolicy selects its retention policy (default PolicyRanked).
+	MatPolicy curate.MatPolicy
+	// DisableSemanticOpt turns the OS.3 rewrites off (ablation).
+	DisableSemanticOpt bool
+	// DisableMatCache turns materialization off (ablation).
+	DisableMatCache bool
+}
+
+// DB is the self-curating database engine.
+type DB struct {
+	mu sync.RWMutex
+
+	store    *storage.Store
+	cat      *catalog.Catalog
+	graph    *graph.Graph
+	onto     *ontology.Ontology
+	reasoner *reason.Reasoner
+	pipeline *curate.Pipeline
+	worlds   *fusion.Worlds
+	refiner  *refine.Refiner
+	txns     *txn.Manager
+	matCache *curate.MatCache
+	tracker  *cluster.Tracker
+	opts     Options
+
+	// csrMu guards the cached traversal snapshot (OS.2): rebuilt lazily
+	// whenever the graph version moves.
+	csrMu  sync.Mutex
+	csr    *graph.CSR
+	csrVer uint64
+
+	// tpMu guards the cached type-prediction model (FS.4/FS.5's PREDICT
+	// function), retrained lazily when the graph version moves.
+	tpMu  sync.Mutex
+	tp    *semantic.TypePredictor
+	tpVer uint64
+}
+
+// Open assembles the engine.
+func Open(opts Options) (*DB, error) {
+	store, err := storage.Open(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	cat, err := catalog.Open(store)
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	onto := opts.Ontology
+	if onto == nil {
+		if onto, err = cat.LoadOntology(); err != nil {
+			store.Close()
+			return nil, err
+		}
+	}
+	g := graph.New()
+	reasoner := reason.New(g, onto)
+	pipe, err := curate.NewPipeline(curate.Config{
+		Store:     store,
+		Catalog:   cat,
+		Graph:     g,
+		Ontology:  onto,
+		Reasoner:  reasoner,
+		LinkRules: opts.LinkRules,
+		Patterns:  opts.Patterns,
+		ERConfig:  opts.ERConfig,
+	})
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	// Re-derive the relation and semantic layers from the instance layer
+	// (no-op on a fresh store).
+	if err := pipe.RebuildFromStore(); err != nil {
+		store.Close()
+		return nil, err
+	}
+	worlds := fusion.New(onto)
+	db := &DB{
+		store:    store,
+		cat:      cat,
+		graph:    g,
+		onto:     onto,
+		reasoner: reasoner,
+		pipeline: pipe,
+		worlds:   worlds,
+		refiner:  refine.New(onto, g, worlds),
+		matCache: curate.NewMatCache(opts.MatCacheSize, opts.MatPolicy),
+		tracker:  cluster.NewTracker(),
+		opts:     opts,
+	}
+	db.txns = txn.NewManager(store, db.enrichmentVersion)
+	if err := db.loadClaims(); err != nil {
+		store.Close()
+		return nil, err
+	}
+	return db, nil
+}
+
+// claimsTable persists the parallel-world claim base. Entities are
+// referenced by (source, key), which survives merges.
+const claimsTable = "_claims"
+
+func (db *DB) loadClaims() error {
+	tb, ok := db.store.Table(claimsTable)
+	if !ok {
+		return nil
+	}
+	tb.Scan(func(_ storage.RowID, rec model.Record) bool {
+		src, _ := rec.Get("claim_source").AsString()
+		eSrc, _ := rec.Get("entity_source").AsString()
+		eKey, _ := rec.Get("entity_key").AsString()
+		attr, _ := rec.Get("attr").AsString()
+		conf, _ := rec.Get("conf").AsFloat()
+		var ctx []string
+		if l, ok := rec.Get("context").AsList(); ok {
+			for _, v := range l {
+				if s, ok := v.AsString(); ok {
+					ctx = append(ctx, s)
+				}
+			}
+		}
+		e, ok := db.graph.FindByKey(eSrc, eKey)
+		if !ok {
+			return true // entity gone; drop the claim
+		}
+		db.worlds.AddClaim(fusion.Claim{
+			Source: src, Entity: e.ID, Attr: attr,
+			Value: rec.Get("value"), Context: ctx, Confidence: model.Fuzzy(conf),
+		})
+		return true
+	})
+	return nil
+}
+
+// persistClaim appends the claim to the claims table.
+func (db *DB) persistClaim(c fusion.Claim) error {
+	e, ok := db.graph.Entity(c.Entity)
+	if !ok {
+		return fmt.Errorf("core: claim about unknown entity %d", c.Entity)
+	}
+	tb, err := db.store.EnsureTable(claimsTable)
+	if err != nil {
+		return err
+	}
+	ctx := make([]model.Value, len(c.Context))
+	for i, s := range c.Context {
+		ctx[i] = model.String(s)
+	}
+	conf := c.Confidence
+	if conf == 0 {
+		conf = 1
+	}
+	_, err = tb.Insert(model.Record{
+		"claim_source":  model.String(c.Source),
+		"entity_source": model.String(e.Source),
+		"entity_key":    model.String(e.Key),
+		"attr":          model.String(c.Attr),
+		"value":         c.Value,
+		"context":       model.List(ctx...),
+		"conf":          model.Float(float64(conf)),
+	})
+	return err
+}
+
+// Close persists the catalog and ontology, then closes the store.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.cat.Flush(); err != nil {
+		db.store.Close()
+		return err
+	}
+	if err := db.cat.SaveOntology(db.onto); err != nil {
+		db.store.Close()
+		return err
+	}
+	if err := db.store.Sync(); err != nil {
+		db.store.Close()
+		return err
+	}
+	return db.store.Close()
+}
+
+// csrSnapshot returns a CSR snapshot of the current graph, rebuilding it
+// in BFS order when the graph changed since the last build. Returns nil
+// for tiny graphs where the build cost outweighs the traversal win.
+func (db *DB) csrSnapshot() *graph.CSR {
+	const minEntities = 32
+	if db.graph.NumEntities() < minEntities {
+		return nil
+	}
+	ver := db.graph.Version()
+	db.csrMu.Lock()
+	defer db.csrMu.Unlock()
+	if db.csr == nil || db.csrVer != ver {
+		db.csr = db.graph.BuildCSR(graph.OrderBFS)
+		db.csrVer = ver
+	}
+	return db.csr
+}
+
+// typePredictor returns the cached naive-Bayes type model, retraining it
+// from the typed entities when the graph changed. Returns nil when the
+// graph holds no typed entities to learn from.
+func (db *DB) typePredictor() *semantic.TypePredictor {
+	ver := db.graph.Version()
+	db.tpMu.Lock()
+	defer db.tpMu.Unlock()
+	if db.tp == nil || db.tpVer != ver {
+		tp := semantic.NewTypePredictor()
+		trained := tp.TrainGraph(db.graph, func(id model.EntityID) []string {
+			e, ok := db.graph.Entity(id)
+			if !ok || len(e.Types) == 0 {
+				return nil
+			}
+			return e.Types[:1]
+		})
+		if trained == 0 {
+			db.tp = nil
+		} else {
+			db.tp = tp
+		}
+		db.tpVer = ver
+	}
+	return db.tp
+}
+
+// enrichmentVersion is the combined clock of the relation and semantic
+// layers, watched by transaction validation (FS.11).
+func (db *DB) enrichmentVersion() uint64 {
+	return db.graph.Version() + db.onto.Version()
+}
+
+// Ingest runs a source delivery through the curation pipeline. The
+// materialization cache is invalidated: enrichment may change any derived
+// result.
+func (db *DB) Ingest(ds datagen.Dataset) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.pipeline.IngestDataset(ds); err != nil {
+		return err
+	}
+	db.matCache.InvalidateAll()
+	return nil
+}
+
+// AddClaim records a parallel-world claim (one source's context-scoped
+// statement about an entity attribute) and persists it.
+func (db *DB) AddClaim(c fusion.Claim) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.worlds.AddClaim(c)
+	// Persistence is best-effort bookkeeping: an unknown entity (claims
+	// created directly against synthetic IDs in tests) stays in-memory.
+	_ = db.persistClaim(c)
+	db.matCache.InvalidateAll()
+}
+
+// RefreshRichness measures every source's richness (FS.2) and feeds the
+// scores into claim fusion as source weights.
+func (db *DB) RefreshRichness() []richness.Metrics {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	all := richness.MeasureAll(db.graph)
+	for _, m := range all {
+		db.worlds.SetRichness(m.Source, m.Score)
+	}
+	return all
+}
+
+// Graph exposes the relation layer (read-mostly analytical use).
+func (db *DB) Graph() *graph.Graph { return db.graph }
+
+// Ontology exposes the semantic layer's TBox/RBox.
+func (db *DB) Ontology() *ontology.Ontology { return db.onto }
+
+// Reasoner exposes the ABox reasoner.
+func (db *DB) Reasoner() *reason.Reasoner { return db.reasoner }
+
+// Catalog exposes the unified meta-data.
+func (db *DB) Catalog() *catalog.Catalog { return db.cat }
+
+// Store exposes the instance layer.
+func (db *DB) Store() *storage.Store { return db.store }
+
+// Worlds exposes the parallel-world claim base.
+func (db *DB) Worlds() *fusion.Worlds { return db.worlds }
+
+// Refiner exposes the context-aware refinement engine.
+func (db *DB) Refiner() *refine.Refiner { return db.refiner }
+
+// Pipeline exposes curation statistics.
+func (db *DB) Pipeline() *curate.Pipeline { return db.pipeline }
+
+// Begin starts a transaction (FS.11).
+func (db *DB) Begin(level txn.Level) *txn.Txn { return db.txns.Begin(level) }
+
+// TxnStats returns transaction outcome counters.
+func (db *DB) TxnStats() txn.Stats { return db.txns.Stats() }
+
+// Vacuum reclaims record versions below the oldest live transaction's
+// snapshot and returns how many were removed.
+func (db *DB) Vacuum() int {
+	horizon := db.txns.OldestSnapshot()
+	removed := 0
+	for _, name := range db.store.Tables() {
+		if t, ok := db.store.Table(name); ok {
+			removed += t.Vacuum(horizon)
+		}
+	}
+	return removed
+}
+
+// TableRecords materializes every live record of a table (for QBE and
+// export paths; queries should use SCQL).
+func (db *DB) TableRecords(name string) ([]model.Record, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.store.Table(name)
+	if !ok {
+		return nil, false
+	}
+	var recs []model.Record
+	t.Scan(func(_ storage.RowID, rec model.Record) bool {
+		recs = append(recs, rec)
+		return true
+	})
+	return recs, true
+}
+
+// LookupEntity finds an entity by source-local key, or by any indexed
+// string attribute value when source is empty.
+func (db *DB) LookupEntity(source, key string) (*model.Entity, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if source != "" {
+		return db.graph.FindByKey(source, key)
+	}
+	id := db.lookupByText(key)
+	if id == model.NoEntity {
+		return nil, false
+	}
+	return db.graph.Entity(id)
+}
+
+// lookupByText grounds a name to an entity via the graph (linear scan over
+// string attributes; the pipeline's index is not exposed, and lookups by
+// name are interactive-path only).
+func (db *DB) lookupByText(text string) model.EntityID {
+	norm := er.Normalize(text)
+	best := model.NoEntity
+	db.graph.ForEachEntity(func(e *model.Entity) bool {
+		for _, k := range e.Attrs.Keys() {
+			if s, ok := e.Attrs[k].AsString(); ok && er.Normalize(s) == norm {
+				if best == model.NoEntity || e.ID < best {
+					best = e.ID
+				}
+			}
+		}
+		return true
+	})
+	return best
+}
+
+// JustifiedAnswer runs the paper's context-aware loop for "is target an
+// effective value of attr for the named entity?" — naive certain answer,
+// automatic refinements, and the justified parallel-world answer.
+func (db *DB) JustifiedAnswer(entityName, attr string, target, tol float64) (refine.ContextAnswer, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	id := db.lookupByText(entityName)
+	if id == model.NoEntity {
+		// Claims may reference entities that only exist in the claim base.
+		if len(db.worlds.ClaimsAbout(0, attr)) == 0 {
+			return refine.ContextAnswer{}, fmt.Errorf("core: unknown entity %q", entityName)
+		}
+		id = 0
+	}
+	return db.refiner.AnswerWithRefinement(id, attr, target, tol), nil
+}
+
+// Stats summarizes the engine.
+type Stats struct {
+	Tables          int
+	Entities        int
+	Edges           int
+	Concepts        int
+	InferredTypes   int
+	Witnesses       int
+	Inconsistencies int
+	Merges          int
+	Claims          int
+	CacheHitRate    float64
+}
+
+// Stats returns a snapshot.
+func (db *DB) Stats() Stats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	rs := db.reasoner.Stats()
+	ps := db.pipeline.Stats()
+	claims := 0
+	for _, c := range db.worlds.Conflicts() {
+		claims += len(c.Claims)
+	}
+	return Stats{
+		Tables:          len(db.store.Tables()),
+		Entities:        db.graph.NumEntities(),
+		Edges:           db.graph.NumEdges(),
+		Concepts:        len(db.onto.Concepts()),
+		InferredTypes:   rs.InferredTypes,
+		Witnesses:       rs.Witnesses,
+		Inconsistencies: rs.Inconsistencies,
+		Merges:          ps.Merges,
+		Claims:          claims,
+		CacheHitRate:    db.matCache.Stats().HitRate(),
+	}
+}

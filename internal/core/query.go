@@ -1,0 +1,336 @@
+package core
+
+import (
+	"sort"
+	"strings"
+
+	"scdb/internal/model"
+	"scdb/internal/optimizer"
+	"scdb/internal/query"
+	"scdb/internal/storage"
+)
+
+// QueryInfo reports how a query was answered: the final plan, the
+// optimizer rewrites, cache behaviour, and the answer mode.
+type QueryInfo struct {
+	Plan          string
+	Rules         []string
+	EstimatedCost float64
+	CacheHit      bool
+	Mode          query.AnswerMode
+}
+
+// Query parses, optimizes, and executes one SCQL statement.
+func (db *DB) Query(src string) (*query.Result, *QueryInfo, error) {
+	stmt, err := query.Parse(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	info := &QueryInfo{Mode: stmt.Mode}
+	key := stmt.String()
+	if !db.opts.DisableMatCache {
+		if v, ok := db.matCache.Get(key); ok {
+			info.CacheHit = true
+			return v.(*query.Result), info, nil
+		}
+	}
+	env := &queryEnv{db: db, mode: stmt.Mode, fuzzyT: stmt.FuzzyThreshold}
+	plan, err := query.BuildPlan(stmt, env)
+	if err != nil {
+		return nil, nil, err
+	}
+	plan, rep := optimizer.Optimize(plan, db.optimizerOptions(stmt))
+	res, err := query.Execute(plan, env, stmt.Semantics)
+	if err != nil {
+		return nil, nil, err
+	}
+	info.Plan = query.Explain(plan)
+	info.Rules = rep.Rules
+	info.EstimatedCost = rep.EstimatedCost
+	if !db.opts.DisableMatCache {
+		db.matCache.Put(key, res, rep.EstimatedCost)
+	}
+	return res, info, nil
+}
+
+// Explain returns the optimized plan and rewrite log without executing.
+func (db *DB) Explain(src string) (*QueryInfo, error) {
+	stmt, err := query.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	env := &queryEnv{db: db, mode: stmt.Mode, fuzzyT: stmt.FuzzyThreshold}
+	plan, err := query.BuildPlan(stmt, env)
+	if err != nil {
+		return nil, err
+	}
+	plan, rep := optimizer.Optimize(plan, db.optimizerOptions(stmt))
+	return &QueryInfo{
+		Plan:          query.Explain(plan),
+		Rules:         rep.Rules,
+		EstimatedCost: rep.EstimatedCost,
+		Mode:          stmt.Mode,
+	}, nil
+}
+
+// optimizerOptions wires the semantic layer into the optimizer. Semantic
+// rewrites are only sound when ISA consults inference (WITH SEMANTICS), so
+// they follow the statement's flag.
+func (db *DB) optimizerOptions(stmt *query.SelectStmt) optimizer.Options {
+	return optimizer.Options{
+		DisableSemantic: !stmt.Semantics || db.opts.DisableSemanticOpt,
+		Semantics:       db.onto,
+		Stats:           dbStats{db},
+	}
+}
+
+// dbStats feeds instance-layer cardinalities to the optimizer.
+type dbStats struct{ db *DB }
+
+func (s dbStats) TableCard(name string) int {
+	if name == ClaimsTable {
+		return len(s.db.worlds.Claims())
+	}
+	if t, ok := s.db.store.Table(name); ok {
+		return t.Len()
+	}
+	return 0
+}
+
+func (s dbStats) TotalEntities() int { return s.db.graph.NumEntities() }
+
+// queryEnv implements query.Env and query.Resolver over the engine, scoped
+// to one statement's answer mode. Name-to-entity lookups are memoized per
+// statement: REACHES('Osteosarcoma', ...) resolves its target once, not
+// once per candidate row.
+type queryEnv struct {
+	db     *DB
+	mode   query.AnswerMode
+	fuzzyT float64
+	names  map[string]model.EntityID
+}
+
+func (e *queryEnv) lookupName(text string) model.EntityID {
+	if id, ok := e.names[text]; ok {
+		return id
+	}
+	id := e.db.lookupByText(text)
+	if e.names == nil {
+		e.names = map[string]model.EntityID{}
+	}
+	e.names[text] = id
+	return id
+}
+
+func (e *queryEnv) HasTable(name string) bool {
+	if name == ClaimsTable {
+		return true
+	}
+	_, ok := e.db.store.Table(name)
+	return ok
+}
+
+func (e *queryEnv) HasConcept(name string) bool { return e.db.onto.HasConcept(name) }
+
+func (e *queryEnv) ScanTable(name string) ([]model.Record, bool) {
+	if name == ClaimsTable {
+		return e.claimRows(), true
+	}
+	t, ok := e.db.store.Table(name)
+	if !ok {
+		return nil, false
+	}
+	var recs []model.Record
+	t.Scan(func(_ storage.RowID, rec model.Record) bool {
+		recs = append(recs, rec)
+		return true
+	})
+	return recs, true
+}
+
+// claimRows materializes the claims virtual table under the statement's
+// answer semantics (Section 4.2):
+//
+//	default       — every claim as a row;
+//	UNDER CERTAIN — only claims from (entity, attr) groups where all
+//	                sources agree (the classical certain answer);
+//	UNDER FUZZY t — claims whose value is justified to degree >= t within
+//	                some context class (parallel-world justification).
+func (e *queryEnv) claimRows() []model.Record {
+	w := e.db.worlds
+	var rows []model.Record
+	for _, c := range w.Claims() {
+		include := false
+		justification := 1.0
+		switch e.mode {
+		case query.AnswerDefault:
+			include = true
+		case query.AnswerCertain:
+			val := c.Value
+			include = w.NaiveCertain(c.Entity, c.Attr, func(v model.Value) bool {
+				return model.Equal(v, val)
+			})
+		case query.AnswerFuzzy:
+			val := c.Value
+			j := w.Justified(c.Entity, c.Attr, func(v model.Value) model.Fuzzy {
+				if model.Equal(v, val) {
+					return 1
+				}
+				return 0
+			})
+			justification = float64(j.Degree)
+			include = j.Degree.AtLeast(e.fuzzyT)
+		}
+		if !include {
+			continue
+		}
+		rows = append(rows, model.Record{
+			"entity":        model.Ref(c.Entity),
+			"attr":          model.String(c.Attr),
+			"value":         c.Value,
+			"source":        model.String(c.Source),
+			"context":       model.String(strings.Join(c.Context, "+")),
+			"confidence":    model.Float(float64(c.Confidence)),
+			"justification": model.Float(justification),
+		})
+	}
+	return rows
+}
+
+func (e *queryEnv) ScanConcept(concept string, semantic bool) ([]model.Record, bool) {
+	if !e.db.onto.HasConcept(concept) {
+		return nil, false
+	}
+	var ids []model.EntityID
+	if semantic {
+		ids = e.db.reasoner.Instances(concept)
+	} else {
+		ids = e.db.graph.EntitiesByType(concept)
+	}
+	recs := make([]model.Record, 0, len(ids))
+	for _, id := range ids {
+		ent, ok := e.db.graph.Entity(id)
+		if !ok {
+			continue
+		}
+		rec := ent.Attrs.Clone()
+		rec["_id"] = model.Ref(ent.ID)
+		rec["_key"] = model.String(ent.Key)
+		rec["_source"] = model.String(ent.Source)
+		types := e.typesList(ent.ID, semantic)
+		rec["_types"] = types
+		recs = append(recs, rec)
+	}
+	return recs, true
+}
+
+func (e *queryEnv) typesList(id model.EntityID, semantic bool) model.Value {
+	var names []string
+	if semantic {
+		names = e.db.reasoner.EntityTypes(id)
+	} else if ent, ok := e.db.graph.Entity(id); ok {
+		names = append([]string(nil), ent.Types...)
+	}
+	sort.Strings(names)
+	vals := make([]model.Value, len(names))
+	for i, n := range names {
+		vals[i] = model.String(n)
+	}
+	return model.List(vals...)
+}
+
+func (e *queryEnv) IsA(v model.Value, concept string, semantic bool) model.Truth {
+	id, ok := v.AsRef()
+	if !ok {
+		return model.Unknown
+	}
+	if semantic {
+		return model.TruthOf(e.db.reasoner.HasType(id, concept))
+	}
+	ent, ok := e.db.graph.Entity(id)
+	if !ok {
+		return model.Unknown
+	}
+	return model.TruthOf(ent.HasType(concept))
+}
+
+func (e *queryEnv) Reaches(from model.Value, target string, k int, pred string) model.Truth {
+	id, ok := from.AsRef()
+	if !ok {
+		return model.Unknown
+	}
+	tid := e.lookupName(target)
+	if tid == model.NoEntity {
+		return model.False
+	}
+	// Unpredicated reachability runs over the locality-optimized CSR
+	// snapshot (OS.2); the snapshot is cached per graph version, so the
+	// update-friendly mutable graph stays the system of record.
+	if pred == "" {
+		if csr := e.db.csrSnapshot(); csr != nil {
+			start := e.db.graph.Resolve(id)
+			tid = e.db.graph.Resolve(tid)
+			if start == tid {
+				return model.True
+			}
+			reached, _ := csr.KHop(start, k, "")
+			for _, r := range reached {
+				if r == tid {
+					return model.True
+				}
+			}
+			return model.False
+		}
+	}
+	return model.TruthOf(e.db.graph.Reaches(id, tid, k, pred))
+}
+
+func (e *queryEnv) Linked(a, b model.Value, pred string) model.Truth {
+	ia, ok1 := a.AsRef()
+	ib, ok2 := b.AsRef()
+	if !ok1 || !ok2 {
+		return model.Unknown
+	}
+	ib = e.db.graph.Resolve(ib)
+	for _, edge := range e.db.graph.Edges(ia) {
+		if pred != "" && edge.Predicate != pred {
+			continue
+		}
+		if to, ok := edge.To.AsRef(); ok && e.db.graph.Resolve(to) == ib {
+			return model.True
+		}
+	}
+	return model.False
+}
+
+func (e *queryEnv) TypesOf(v model.Value, semantic bool) model.Value {
+	id, ok := v.AsRef()
+	if !ok {
+		return model.Null()
+	}
+	return e.typesList(id, semantic)
+}
+
+func (e *queryEnv) PredictType(v model.Value) model.Value {
+	id, ok := v.AsRef()
+	if !ok {
+		return model.Null()
+	}
+	ent, ok := e.db.graph.Entity(id)
+	if !ok {
+		return model.Null()
+	}
+	tp := e.db.typePredictor()
+	if tp == nil {
+		return model.Null()
+	}
+	preds := tp.Predict(ent, 1)
+	if len(preds) == 0 {
+		return model.Null()
+	}
+	return model.String(preds[0].Concept)
+}

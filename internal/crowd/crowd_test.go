@@ -1,0 +1,207 @@
+package crowd
+
+import (
+	"fmt"
+	"testing"
+
+	"scdb/internal/model"
+)
+
+func candidates(n int) []model.Value {
+	out := make([]model.Value, n)
+	for i := range out {
+		out[i] = model.String(fmt.Sprintf("answer-%d", i))
+	}
+	return out
+}
+
+func mkTasks(n, nCands int) []Task {
+	tasks := make([]Task, n)
+	for i := range tasks {
+		tasks[i] = Task{ID: fmt.Sprintf("t%d", i), Candidates: candidates(nCands), Truth: i % nCands}
+	}
+	return tasks
+}
+
+func poolOf(s *Simulator, n int, accuracy, cost float64) {
+	for i := 0; i < n; i++ {
+		s.AddWorker(Worker{ID: fmt.Sprintf("w%d", i), Accuracy: accuracy, Cost: cost})
+	}
+}
+
+func TestAskRespectsAccuracyExtremes(t *testing.T) {
+	s := NewSimulator(1)
+	task := Task{ID: "t", Candidates: candidates(4), Truth: 2}
+	perfect := Worker{ID: "p", Accuracy: 1}
+	for i := 0; i < 50; i++ {
+		if !model.Equal(s.Ask(task, perfect), task.Candidates[2]) {
+			t.Fatal("perfect worker answered wrong")
+		}
+	}
+	hopeless := Worker{ID: "h", Accuracy: 0}
+	for i := 0; i < 50; i++ {
+		if model.Equal(s.Ask(task, hopeless), task.Candidates[2]) {
+			t.Fatal("zero-accuracy worker answered right")
+		}
+	}
+	// Single candidate: always "right".
+	single := Task{ID: "s", Candidates: candidates(1), Truth: 0}
+	if !model.Equal(s.Ask(single, hopeless), single.Candidates[0]) {
+		t.Error("single-candidate task must return it")
+	}
+	// No candidates → null.
+	if !s.Ask(Task{ID: "e"}, perfect).IsNull() {
+		t.Error("empty task must answer null")
+	}
+}
+
+func TestAskStatisticalAccuracy(t *testing.T) {
+	s := NewSimulator(7)
+	task := Task{ID: "t", Candidates: candidates(4), Truth: 1}
+	w := Worker{ID: "w", Accuracy: 0.8}
+	right := 0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if model.Equal(s.Ask(task, w), task.Candidates[1]) {
+			right++
+		}
+	}
+	rate := float64(right) / n
+	if rate < 0.77 || rate > 0.83 {
+		t.Errorf("empirical accuracy = %v, want ≈0.8", rate)
+	}
+}
+
+func TestVote(t *testing.T) {
+	a := model.String("a")
+	b := model.String("b")
+	v, share := Vote([]model.Value{a, b, a, a})
+	if !model.Equal(v, a) || share != 0.75 {
+		t.Errorf("Vote = %v %v", v, share)
+	}
+	// Tie breaks deterministically by value order.
+	v, _ = Vote([]model.Value{b, a})
+	if !model.Equal(v, a) {
+		t.Errorf("tie break = %v", v)
+	}
+	if v, share := Vote(nil); !v.IsNull() || share != 0 {
+		t.Error("empty vote")
+	}
+}
+
+func TestResolveBudgetAccounting(t *testing.T) {
+	s := NewSimulator(3)
+	poolOf(s, 5, 0.8, 1.0)
+	tasks := mkTasks(10, 3)
+	out := s.Resolve(tasks, 25, AllocUniform)
+	if out.Spent > 25 {
+		t.Errorf("overspent: %v", out.Spent)
+	}
+	if out.Asks != int(out.Spent) {
+		t.Errorf("asks %d != spent %v at unit cost", out.Asks, out.Spent)
+	}
+	if len(out.Answers) != 10 {
+		t.Errorf("answered %d tasks", len(out.Answers))
+	}
+	// Zero budget answers nothing.
+	out = s.Resolve(tasks, 0, AllocUniform)
+	if out.Asks != 0 || len(out.Answers) != 0 {
+		t.Errorf("zero budget ran %d asks", out.Asks)
+	}
+	// No workers.
+	empty := NewSimulator(1)
+	if got := empty.Resolve(tasks, 10, AllocUniform); got.Asks != 0 {
+		t.Error("no workers must not ask")
+	}
+}
+
+func TestMoreBudgetMoreAccuracy(t *testing.T) {
+	// With mediocre workers, accuracy should climb with budget. Average
+	// over seeds to keep the test stable.
+	const tasks = 40
+	accAt := func(budget float64) float64 {
+		total := 0.0
+		for seed := int64(0); seed < 5; seed++ {
+			s := NewSimulator(seed)
+			poolOf(s, 7, 0.65, 1.0)
+			out := s.Resolve(mkTasks(tasks, 3), budget, AllocUniform)
+			total += out.Accuracy(tasks)
+		}
+		return total / 5
+	}
+	low := accAt(40)    // one ask per task
+	high := accAt(280)  // seven asks per task
+	if high <= low {
+		t.Errorf("accuracy must improve with budget: %v → %v", low, high)
+	}
+	if high < 0.8 {
+		t.Errorf("7-vote accuracy = %v, too low", high)
+	}
+}
+
+func TestAdaptiveBeatsUniformAtSameBudget(t *testing.T) {
+	// Adaptive spends contested-task asks where they matter; at a budget
+	// too small for uniform to triple-cover everything it should win (or
+	// at least never lose) on average.
+	const tasks = 30
+	run := func(alloc Allocation) float64 {
+		total := 0.0
+		for seed := int64(0); seed < 8; seed++ {
+			s := NewSimulator(seed)
+			poolOf(s, 9, 0.7, 1.0)
+			out := s.Resolve(mkTasks(tasks, 3), 60, alloc)
+			total += out.Accuracy(tasks)
+		}
+		return total / 8
+	}
+	uniform := run(AllocUniform)
+	adaptive := run(AllocAdaptive)
+	if adaptive < uniform-0.02 {
+		t.Errorf("adaptive %v worse than uniform %v", adaptive, uniform)
+	}
+}
+
+func TestResolveDeterministicPerSeed(t *testing.T) {
+	run := func() Outcome {
+		s := NewSimulator(99)
+		poolOf(s, 4, 0.75, 1.0)
+		return s.Resolve(mkTasks(12, 3), 30, AllocAdaptive)
+	}
+	a, b := run(), run()
+	if a.Asks != b.Asks || a.Spent != b.Spent || a.Correct != b.Correct {
+		t.Errorf("nondeterministic: %+v vs %+v", a, b)
+	}
+	for id, v := range a.Answers {
+		if !model.Equal(v, b.Answers[id]) {
+			t.Errorf("answer for %s differs", id)
+		}
+	}
+}
+
+func TestAdaptiveStopsWhenConfident(t *testing.T) {
+	// Perfect workers agree immediately: adaptive should stop early and
+	// spend less than budget.
+	s := NewSimulator(5)
+	poolOf(s, 5, 1.0, 1.0)
+	tasks := mkTasks(5, 3)
+	out := s.Resolve(tasks, 1000, AllocAdaptive)
+	if out.Spent >= 1000 {
+		t.Errorf("adaptive must stop when confident, spent %v", out.Spent)
+	}
+	if out.Correct != 5 {
+		t.Errorf("correct = %d", out.Correct)
+	}
+	// Each task needs exactly 3 asks to clear the ≥3 answers rule.
+	if out.Asks != 15 {
+		t.Errorf("asks = %d, want 15", out.Asks)
+	}
+}
+
+func TestAllocationString(t *testing.T) {
+	if AllocUniform.String() != "uniform" || AllocAdaptive.String() != "adaptive" {
+		t.Error("Allocation.String broken")
+	}
+	if Allocation(9).String() != "alloc(9)" {
+		t.Error("unknown allocation string")
+	}
+}

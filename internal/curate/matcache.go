@@ -1,0 +1,176 @@
+package curate
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// MatPolicy selects the materialization cache's retention policy.
+type MatPolicy int
+
+const (
+	// PolicyRanked retains entries by rank = hits × benefit (recompute
+	// cost), the context-aware policy FS.9 proposes: discovered results
+	// that are expensive to rebuild and frequently reused stay
+	// materialized.
+	PolicyRanked MatPolicy = iota
+	// PolicyLRU is the classical recency baseline.
+	PolicyLRU
+)
+
+// String names the policy.
+func (p MatPolicy) String() string {
+	switch p {
+	case PolicyRanked:
+		return "ranked"
+	case PolicyLRU:
+		return "lru"
+	}
+	return fmt.Sprintf("matpolicy(%d)", int(p))
+}
+
+// MatStats reports cache effectiveness.
+type MatStats struct {
+	Hits, Misses, Evictions int
+}
+
+// HitRate returns hits / (hits+misses).
+func (s MatStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// matEntry is one materialized result.
+type matEntry struct {
+	key     string
+	value   any
+	benefit float64 // recompute cost
+	hits    int
+	lruElem *list.Element
+}
+
+// rank is the retention score under PolicyRanked.
+func (e *matEntry) rank() float64 { return float64(1+e.hits) * e.benefit }
+
+// MatCache is the materialization cache for discovered/derived results
+// (FS.9). Safe for concurrent use.
+type MatCache struct {
+	mu       sync.Mutex
+	policy   MatPolicy
+	capacity int
+	entries  map[string]*matEntry
+	lru      *list.List // front = most recent
+	stats    MatStats
+}
+
+// NewMatCache creates a cache holding up to capacity entries.
+func NewMatCache(capacity int, policy MatPolicy) *MatCache {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &MatCache{
+		policy:   policy,
+		capacity: capacity,
+		entries:  map[string]*matEntry{},
+		lru:      list.New(),
+	}
+}
+
+// Get returns the materialized result for the key.
+func (c *MatCache) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	c.stats.Hits++
+	e.hits++
+	c.lru.MoveToFront(e.lruElem)
+	return e.value, true
+}
+
+// Put materializes a result. benefit is the cost of recomputing it (the
+// ranked policy keeps high-benefit entries; LRU ignores it).
+func (c *MatCache) Put(key string, value any, benefit float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		e.value = value
+		e.benefit = benefit
+		c.lru.MoveToFront(e.lruElem)
+		return
+	}
+	if len(c.entries) >= c.capacity {
+		c.evict()
+	}
+	e := &matEntry{key: key, value: value, benefit: benefit}
+	e.lruElem = c.lru.PushFront(e)
+	c.entries[key] = e
+}
+
+// evict removes one entry per the policy.
+func (c *MatCache) evict() {
+	switch c.policy {
+	case PolicyLRU:
+		back := c.lru.Back()
+		if back == nil {
+			return
+		}
+		c.remove(back.Value.(*matEntry))
+	case PolicyRanked:
+		var victim *matEntry
+		for _, e := range c.entries {
+			if victim == nil || e.rank() < victim.rank() ||
+				(e.rank() == victim.rank() && e.key < victim.key) {
+				victim = e
+			}
+		}
+		if victim != nil {
+			c.remove(victim)
+		}
+	}
+}
+
+func (c *MatCache) remove(e *matEntry) {
+	delete(c.entries, e.key)
+	c.lru.Remove(e.lruElem)
+	c.stats.Evictions++
+}
+
+// Invalidate drops an entry (curation changed its inputs).
+func (c *MatCache) Invalidate(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		delete(c.entries, e.key)
+		c.lru.Remove(e.lruElem)
+	}
+}
+
+// InvalidateAll clears the cache (enrichment version changed).
+func (c *MatCache) InvalidateAll() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = map[string]*matEntry{}
+	c.lru.Init()
+}
+
+// Len returns the number of materialized entries.
+func (c *MatCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats returns the hit/miss counters.
+func (c *MatCache) Stats() MatStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}

@@ -1,0 +1,394 @@
+// Package curate implements the self-curation pipeline — the paper's
+// "gradual curation process that transforms the raw data into a new
+// unified entity that has knowledge-like characteristics" (Section 1).
+//
+// One IngestDataset call runs the full layer stack for a source delivery:
+//
+//	instance layer   – records land in storage, the catalog observes their
+//	                   schema (no DDL);
+//	relation layer   – entities and edges enter the graph; literal
+//	                   foreign references are resolved to entity edges via
+//	                   link rules (online instance-level integration, with
+//	                   unresolved references retried as later sources
+//	                   arrive — "continuous online integration", §4.2);
+//	                   incremental entity resolution merges duplicates
+//	                   (FS.1); information extraction turns unstructured
+//	                   text into mentions and confidence-weighted edges;
+//	semantic layer   – the reasoner incrementally re-materializes inferred
+//	                   types, existential witnesses, and inconsistencies.
+//
+// The package also provides the ranked materialization cache of FS.9
+// ("context-aware materialization of ranked & discovered data").
+package curate
+
+import (
+	"fmt"
+
+	"scdb/internal/catalog"
+	"scdb/internal/datagen"
+	"scdb/internal/er"
+	"scdb/internal/extract"
+	"scdb/internal/graph"
+	"scdb/internal/model"
+	"scdb/internal/ontology"
+	"scdb/internal/reason"
+	"scdb/internal/storage"
+)
+
+// LinkRule tells the pipeline how to resolve a source's literal foreign
+// references into relation-layer edges: a literal edge with Predicate is
+// matched against entities whose TargetAttrs carry the same (normalized)
+// value, producing an EdgePredicate edge.
+type LinkRule struct {
+	Predicate     string
+	EdgePredicate string
+	TargetAttrs   []string
+	// TargetType optionally restricts matches to entities asserting the
+	// concept.
+	TargetType string
+}
+
+// Stats accumulates pipeline counters.
+type Stats struct {
+	Datasets        int
+	Records         int
+	Entities        int
+	Edges           int
+	LiteralEdges    int
+	LinksDiscovered int
+	LinksPending    int
+	Merges          int
+	Extractions     int
+	InferredTypes   int
+	Witnesses       int
+	Inconsistencies int
+}
+
+// pendingLink is a literal reference that found no target yet.
+type pendingLink struct {
+	from model.EntityID
+	rule LinkRule
+	val  string
+	conf model.Fuzzy
+}
+
+// Pipeline wires the layers together. It is not safe for concurrent use;
+// the engine serializes curation.
+type Pipeline struct {
+	store    *storage.Store
+	cat      *catalog.Catalog
+	graph    *graph.Graph
+	onto     *ontology.Ontology
+	reasoner *reason.Reasoner
+	resolver *er.Resolver
+	gaz      *extract.Gazetteer
+	patterns []extract.Pattern
+	rules    []LinkRule
+
+	// attrIndex maps normalized attribute values to entity IDs, per
+	// indexed attribute, for link discovery and mention grounding.
+	attrIndex map[string][]model.EntityID
+	pending   []pendingLink
+	stats     Stats
+
+	// Replay bookkeeping (see rebuild.go).
+	seenSources map[string]bool
+	seq         int
+}
+
+// Config assembles a pipeline.
+type Config struct {
+	Store     *storage.Store
+	Catalog   *catalog.Catalog
+	Graph     *graph.Graph
+	Ontology  *ontology.Ontology
+	Reasoner  *reason.Reasoner
+	LinkRules []LinkRule
+	Patterns  []extract.Pattern
+	// ERConfig tunes incremental entity resolution.
+	ERConfig er.Config
+}
+
+// NewPipeline creates the pipeline.
+func NewPipeline(cfg Config) (*Pipeline, error) {
+	if cfg.Store == nil || cfg.Graph == nil || cfg.Ontology == nil {
+		return nil, fmt.Errorf("curate: store, graph, and ontology are required")
+	}
+	r := cfg.Reasoner
+	if r == nil {
+		r = reason.New(cfg.Graph, cfg.Ontology)
+	}
+	return &Pipeline{
+		store:       cfg.Store,
+		cat:         cfg.Catalog,
+		graph:       cfg.Graph,
+		onto:        cfg.Ontology,
+		reasoner:    r,
+		resolver:    er.NewResolver(cfg.ERConfig),
+		gaz:         extract.NewGazetteer(),
+		patterns:    cfg.Patterns,
+		rules:       cfg.LinkRules,
+		attrIndex:   map[string][]model.EntityID{},
+		seenSources: map[string]bool{},
+	}, nil
+}
+
+// Stats returns the accumulated counters.
+func (p *Pipeline) Stats() Stats { return p.stats }
+
+// Reasoner exposes the pipeline's reasoner (the query layer needs it).
+func (p *Pipeline) Reasoner() *reason.Reasoner { return p.reasoner }
+
+// Resolver exposes the incremental ER state.
+func (p *Pipeline) Resolver() *er.Resolver { return p.resolver }
+
+// IngestDataset runs the full curation pass for one source delivery.
+func (p *Pipeline) IngestDataset(ds datagen.Dataset) error {
+	p.stats.Datasets++
+	if p.cat != nil {
+		if err := p.cat.RegisterSource(catalog.SourceInfo{Name: ds.Source, Kind: "dataset"}); err != nil {
+			return err
+		}
+	}
+	if err := p.recordIngestMeta(ds); err != nil {
+		return err
+	}
+	table, err := p.store.EnsureTable(ds.Source)
+	if err != nil {
+		return err
+	}
+	// Instance layer: records (with their asserted types, so the relation
+	// layer is rebuildable) land in the source's table.
+	for _, spec := range ds.Entities {
+		rec := spec.Attrs.Clone()
+		rec["_key"] = model.String(spec.Key)
+		if len(spec.Types) > 0 {
+			tvals := make([]model.Value, len(spec.Types))
+			for i, t := range spec.Types {
+				tvals[i] = model.String(t)
+			}
+			rec[typesAttr] = model.List(tvals...)
+		}
+		if _, err := table.Insert(rec); err != nil {
+			return err
+		}
+		p.stats.Records++
+		if p.cat != nil {
+			p.cat.Observe(ds.Source, rec)
+		}
+	}
+
+	var touched []model.EntityID
+	if err := p.replayDataset(ds, &touched); err != nil {
+		return err
+	}
+
+	// Semantic layer: incremental re-inference over touched entities.
+	rs := p.reasoner.MaterializeEntities(touched)
+	p.stats.InferredTypes = rs.InferredTypes
+	p.stats.Witnesses = rs.Witnesses
+	p.stats.Inconsistencies = rs.Inconsistencies
+	p.refreshConceptStats()
+	return nil
+}
+
+// replayDataset runs the relation-layer half of curation: entities into
+// the graph, incremental ER, link discovery, and extraction. It is shared
+// by live ingestion and RebuildFromStore (which replays stored inputs
+// without touching the instance layer again).
+func (p *Pipeline) replayDataset(ds datagen.Dataset, touched *[]model.EntityID) error {
+	for _, spec := range ds.Entities {
+		e := &model.Entity{Key: spec.Key, Source: ds.Source, Types: spec.Types, Attrs: spec.Attrs, Confidence: 1}
+		id := p.graph.AddEntity(e)
+		p.stats.Entities++
+		*touched = append(*touched, id)
+		p.indexEntity(id, spec.Attrs)
+
+		// Incremental ER against everything already curated.
+		resolved, _ := p.graph.Entity(id)
+		for _, m := range p.resolver.Add(&model.Entity{ID: id, Key: spec.Key, Source: ds.Source, Attrs: resolved.Attrs, Types: resolved.Types}) {
+			if err := p.graph.Merge(m.A, m.B); err != nil {
+				return err
+			}
+			p.stats.Merges++
+			*touched = append(*touched, m.A)
+		}
+	}
+
+	// Intra-dataset entity edges.
+	for _, l := range ds.Links {
+		from, ok := p.graph.FindByKey(ds.Source, l.FromKey)
+		if !ok {
+			return fmt.Errorf("curate: link from unknown key %q in %s", l.FromKey, ds.Source)
+		}
+		conf := model.Fuzzy(l.Confidence)
+		if conf == 0 {
+			conf = 1
+		}
+		if l.ToKey != "" {
+			to, ok := p.graph.FindByKey(ds.Source, l.ToKey)
+			if !ok {
+				return fmt.Errorf("curate: link to unknown key %q in %s", l.ToKey, ds.Source)
+			}
+			if err := p.graph.AddEdge(graph.Edge{From: from.ID, Predicate: l.Predicate, To: model.Ref(to.ID), Source: ds.Source, Confidence: conf}); err != nil {
+				return err
+			}
+			p.stats.Edges++
+			*touched = append(*touched, from.ID, to.ID)
+			continue
+		}
+		// Literal edge: try link rules, else store the literal.
+		if p.applyRules(from.ID, ds.Source, l.Predicate, l.Literal, conf, touched) {
+			continue
+		}
+		if err := p.graph.AddEdge(graph.Edge{From: from.ID, Predicate: l.Predicate, To: l.Literal, Source: ds.Source, Confidence: conf}); err != nil {
+			return err
+		}
+		p.stats.LiteralEdges++
+	}
+
+	// Unstructured text → extractions → edges.
+	for _, text := range ds.Texts {
+		for _, ex := range extract.ExtractRelations(text, p.gaz, p.patterns) {
+			subj := p.lookupValue(ex.Subject.Canonical)
+			obj := p.lookupValue(ex.Object.Canonical)
+			if subj == model.NoEntity || obj == model.NoEntity || subj == obj {
+				continue
+			}
+			if err := p.graph.AddEdge(graph.Edge{From: subj, Predicate: ex.Predicate, To: model.Ref(obj), Source: ds.Source + ":text", Confidence: model.Fuzzy(ex.Confidence)}); err != nil {
+				return err
+			}
+			p.stats.Extractions++
+			*touched = append(*touched, subj, obj)
+		}
+	}
+
+	// Continuous integration: links that failed earlier may resolve now.
+	p.retryPending(touched)
+	return nil
+}
+
+// applyRules attempts to resolve a literal reference through the link
+// rules; unresolved matches are parked for retry.
+func (p *Pipeline) applyRules(from model.EntityID, source, predicate string, literal model.Value, conf model.Fuzzy, touched *[]model.EntityID) bool {
+	for _, rule := range p.rules {
+		if rule.Predicate != predicate {
+			continue
+		}
+		val := er.Normalize(literal.Text())
+		if target := p.findTarget(rule, val); target != model.NoEntity {
+			if err := p.graph.AddEdge(graph.Edge{From: from, Predicate: rule.EdgePredicate, To: model.Ref(target), Source: source, Confidence: conf}); err == nil {
+				p.stats.Edges++
+				p.stats.LinksDiscovered++
+				*touched = append(*touched, from, target)
+			}
+			return true
+		}
+		p.pending = append(p.pending, pendingLink{from: from, rule: rule, val: val, conf: conf})
+		p.stats.LinksPending++
+		return true
+	}
+	return false
+}
+
+// retryPending re-attempts parked literal references (new arrivals may
+// have supplied the target).
+func (p *Pipeline) retryPending(touched *[]model.EntityID) {
+	var still []pendingLink
+	for _, pl := range p.pending {
+		if target := p.findTarget(pl.rule, pl.val); target != model.NoEntity {
+			if err := p.graph.AddEdge(graph.Edge{From: pl.from, Predicate: pl.rule.EdgePredicate, To: model.Ref(target), Source: "discovered", Confidence: pl.conf}); err == nil {
+				p.stats.Edges++
+				p.stats.LinksDiscovered++
+				*touched = append(*touched, p.graph.Resolve(pl.from), target)
+			}
+			continue
+		}
+		still = append(still, pl)
+	}
+	p.pending = still
+	p.stats.LinksPending = len(still)
+}
+
+// findTarget resolves a normalized literal to an entity via the attribute
+// index, honoring the rule's type filter. Ambiguity (multiple distinct
+// canonical entities) resolves to the first by ID for determinism.
+func (p *Pipeline) findTarget(rule LinkRule, val string) model.EntityID {
+	best := model.NoEntity
+	for _, id := range p.attrIndex[val] {
+		id = p.graph.Resolve(id)
+		e, ok := p.graph.Entity(id)
+		if !ok {
+			continue
+		}
+		if rule.TargetType != "" && !p.reasoner.HasType(id, rule.TargetType) && !e.HasType(rule.TargetType) {
+			continue
+		}
+		if best == model.NoEntity || id < best {
+			best = id
+		}
+	}
+	return best
+}
+
+// lookupValue grounds an extracted mention to an entity.
+func (p *Pipeline) lookupValue(text string) model.EntityID {
+	ids := p.attrIndex[er.Normalize(text)]
+	if len(ids) == 0 {
+		return model.NoEntity
+	}
+	best := p.graph.Resolve(ids[0])
+	for _, id := range ids[1:] {
+		if r := p.graph.Resolve(id); r < best {
+			best = r
+		}
+	}
+	return best
+}
+
+// indexEntity adds the entity's string attribute values to the lookup
+// index and the gazetteer.
+func (p *Pipeline) indexEntity(id model.EntityID, attrs model.Record) {
+	e, ok := p.graph.Entity(id)
+	if !ok {
+		return
+	}
+	concept := ""
+	if len(e.Types) > 0 {
+		concept = e.Types[0]
+	}
+	for _, k := range attrs.Keys() {
+		v := attrs[k]
+		s, ok := v.AsString()
+		if !ok || s == "" {
+			continue
+		}
+		norm := er.Normalize(s)
+		if norm == "" {
+			continue
+		}
+		p.attrIndex[norm] = append(p.attrIndex[norm], id)
+		p.gaz.Add(s, concept)
+	}
+}
+
+// refreshConceptStats pushes instance counts into the ontology for the
+// optimizer's semantic selectivity (OS.3).
+func (p *Pipeline) refreshConceptStats() {
+	counts := map[string]int{}
+	p.graph.ForEachEntity(func(e *model.Entity) bool {
+		for _, t := range p.reasoner.EntityTypes(e.ID) {
+			counts[t]++
+		}
+		return true
+	})
+	for c, n := range counts {
+		p.onto.SetInstanceCount(c, n)
+	}
+}
+
+// EnrichmentVersion combines the graph and ontology versions — the
+// enrichment clock FS.11's transaction validation watches.
+func (p *Pipeline) EnrichmentVersion() uint64 {
+	return p.graph.Version() + p.onto.Version()
+}

@@ -1,0 +1,197 @@
+package curate
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"scdb/internal/datagen"
+	"scdb/internal/extract"
+	"scdb/internal/graph"
+	"scdb/internal/model"
+	"scdb/internal/storage"
+)
+
+// pipelineOver builds a fresh pipeline over an existing store.
+func pipelineOver(t *testing.T, s *storage.Store) (*Pipeline, *graph.Graph) {
+	t.Helper()
+	g := graph.New()
+	p, err := NewPipeline(Config{
+		Store:    s,
+		Graph:    g,
+		Ontology: datagen.LifeSciOntology(),
+		LinkRules: []LinkRule{
+			{Predicate: "targets_symbol", EdgePredicate: "targets", TargetAttrs: []string{"symbol", "gene_symbol"}, TargetType: "Gene"},
+			{Predicate: "treats_name", EdgePredicate: "treats", TargetAttrs: []string{"disease_name"}},
+		},
+		Patterns: []extract.Pattern{
+			{Trigger: "treats", Predicate: "treats"},
+			{Trigger: "targets", Predicate: "targets"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, g
+}
+
+func TestRebuildReproducesGraph(t *testing.T) {
+	s, err := storage.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	p1, g1 := pipelineOver(t, s)
+	for _, ds := range datagen.LifeSci(1, 20, 15, 10) {
+		if err := p1.IngestDataset(ds); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A second pipeline over the same store rebuilds the same graph.
+	p2, g2 := pipelineOver(t, s)
+	if err := p2.RebuildFromStore(); err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEntities() != g1.NumEntities() {
+		t.Errorf("entities: rebuilt %d vs live %d", g2.NumEntities(), g1.NumEntities())
+	}
+	if g2.NumEdges() != g1.NumEdges() {
+		t.Errorf("edges: rebuilt %d vs live %d", g2.NumEdges(), g1.NumEdges())
+	}
+	if p2.Stats().Merges != p1.Stats().Merges {
+		t.Errorf("merges: rebuilt %d vs live %d", p2.Stats().Merges, p1.Stats().Merges)
+	}
+	if p2.Stats().LinksPending != p1.Stats().LinksPending {
+		t.Errorf("pending: rebuilt %d vs live %d", p2.Stats().LinksPending, p1.Stats().LinksPending)
+	}
+	// Reasoner state matches too.
+	if p2.Reasoner().Stats().Witnesses != p1.Reasoner().Stats().Witnesses {
+		t.Errorf("witnesses: rebuilt %d vs live %d",
+			p2.Reasoner().Stats().Witnesses, p1.Reasoner().Stats().Witnesses)
+	}
+	// Per-entity check on the canonical Figure-2 chain.
+	w1, ok1 := g1.FindByKey("drugbank", "DB00682")
+	w2, ok2 := g2.FindByKey("drugbank", "DB00682")
+	if !ok1 || !ok2 {
+		t.Fatal("warfarin missing")
+	}
+	if len(g1.Edges(w1.ID)) != len(g2.Edges(w2.ID)) {
+		t.Errorf("warfarin edges: %d vs %d", len(g1.Edges(w1.ID)), len(g2.Edges(w2.ID)))
+	}
+	// New ingests after a rebuild use fresh sequence numbers.
+	if err := p2.IngestDataset(datagen.Dataset{
+		Source: "drugbank",
+		Entities: []datagen.EntitySpec{{Key: "DBNEW", Types: []string{"Drug"},
+			Attrs: model.Record{"name": model.String("post rebuild")}}},
+		Links: []datagen.LinkSpec{{FromKey: "DBNEW", Predicate: "targets_symbol",
+			Literal: model.String("DHFR"), Confidence: 1}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEntities() != g1.NumEntities()+1 {
+		t.Error("post-rebuild ingest broken")
+	}
+}
+
+func TestRebuildEmptyStoreNoop(t *testing.T) {
+	s, _ := storage.Open("")
+	defer s.Close()
+	p, g := pipelineOver(t, s)
+	if err := p.RebuildFromStore(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEntities() != 0 {
+		t.Error("empty rebuild created entities")
+	}
+}
+
+func TestRebuildSkipsTransactionalRows(t *testing.T) {
+	s, _ := storage.Open("")
+	defer s.Close()
+	p1, _ := pipelineOver(t, s)
+	p1.IngestDataset(datagen.Dataset{
+		Source:   "src",
+		Entities: []datagen.EntitySpec{{Key: "k", Attrs: model.Record{"name": model.String("real")}}},
+	})
+	// A row without _key (as a transaction would write) is instance-only.
+	tb, _ := s.Table("src")
+	tb.Insert(model.Record{"note": model.String("not curated")})
+
+	p2, g2 := pipelineOver(t, s)
+	if err := p2.RebuildFromStore(); err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEntities() != 1 {
+		t.Errorf("rebuilt entities = %d, want 1 (keyless rows skipped)", g2.NumEntities())
+	}
+}
+
+func TestIsSystemTable(t *testing.T) {
+	for name, want := range map[string]bool{
+		"_catalog_tables": true,
+		"_curate_links":   true,
+		"_claims":         true,
+		"drugbank":        false,
+		"notes":           false,
+	} {
+		if got := IsSystemTable(name); got != want {
+			t.Errorf("IsSystemTable(%q) = %v", name, got)
+		}
+	}
+}
+
+// TestPropertyRebuildEquivalence: for random dataset sequences, a rebuilt
+// pipeline reproduces the live pipeline's graph counts exactly.
+func TestPropertyRebuildEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s, err := storage.Open("")
+		if err != nil {
+			return false
+		}
+		defer s.Close()
+		p1, g1 := pipelineOver(t, s)
+		nSources := 1 + r.Intn(3)
+		for si := 0; si < nSources; si++ {
+			ds := datagen.Dataset{Source: fmt.Sprintf("src%d", si)}
+			n := 1 + r.Intn(8)
+			for i := 0; i < n; i++ {
+				ds.Entities = append(ds.Entities, datagen.EntitySpec{
+					Key:   fmt.Sprintf("k%d", i),
+					Types: []string{[]string{"Drug", "Gene", "Disease"}[r.Intn(3)]},
+					Attrs: model.Record{"name": model.String(fmt.Sprintf("entity %d of %d", i, si))},
+				})
+			}
+			for i := 0; i+1 < n && i < 3; i++ {
+				ds.Links = append(ds.Links, datagen.LinkSpec{
+					FromKey: fmt.Sprintf("k%d", i), Predicate: "rel",
+					ToKey: fmt.Sprintf("k%d", i+1), Confidence: 1,
+				})
+			}
+			if r.Intn(2) == 0 {
+				ds.Links = append(ds.Links, datagen.LinkSpec{
+					FromKey: "k0", Predicate: "targets_symbol",
+					Literal: model.String("GENX"), Confidence: 1,
+				})
+			}
+			if err := p1.IngestDataset(ds); err != nil {
+				t.Log(err)
+				return false
+			}
+		}
+		p2, g2 := pipelineOver(t, s)
+		if err := p2.RebuildFromStore(); err != nil {
+			t.Log(err)
+			return false
+		}
+		return g2.NumEntities() == g1.NumEntities() &&
+			g2.NumEdges() == g1.NumEdges() &&
+			p2.Stats().Merges == p1.Stats().Merges &&
+			p2.Stats().LinksPending == p1.Stats().LinksPending
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,102 @@
+package er
+
+import (
+	"sort"
+
+	"scdb/internal/model"
+)
+
+// Alignment maps attribute names of one source to the best-matching
+// attribute names of another, discovered from instance-value overlap rather
+// than schema documentation — the paper's requirement that resolution work
+// "across different schemata without requiring prior knowledge about
+// external data sources" (FS.1).
+type Alignment struct {
+	// Pairs maps source-A attribute → source-B attribute.
+	Pairs map[string]string
+	// Scores maps source-A attribute → the overlap score of its pair.
+	Scores map[string]float64
+}
+
+// AlignAttributes aligns the attributes of two record samples by value
+// overlap: attribute a matches attribute b when the Jaccard similarity of
+// their normalized value sets is maximal and at least minOverlap. Each B
+// attribute is used at most once (greedy best-first assignment).
+func AlignAttributes(a, b []model.Record, minOverlap float64) Alignment {
+	avals := valueSets(a)
+	bvals := valueSets(b)
+
+	type cand struct {
+		aAttr, bAttr string
+		score        float64
+	}
+	var cands []cand
+	for aAttr, as := range avals {
+		for bAttr, bs := range bvals {
+			s := setJaccard(as, bs)
+			if s >= minOverlap {
+				cands = append(cands, cand{aAttr, bAttr, s})
+			}
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].score != cands[j].score {
+			return cands[i].score > cands[j].score
+		}
+		if cands[i].aAttr != cands[j].aAttr {
+			return cands[i].aAttr < cands[j].aAttr
+		}
+		return cands[i].bAttr < cands[j].bAttr
+	})
+	out := Alignment{Pairs: map[string]string{}, Scores: map[string]float64{}}
+	usedB := map[string]bool{}
+	for _, c := range cands {
+		if _, taken := out.Pairs[c.aAttr]; taken || usedB[c.bAttr] {
+			continue
+		}
+		out.Pairs[c.aAttr] = c.bAttr
+		out.Scores[c.aAttr] = c.score
+		usedB[c.bAttr] = true
+	}
+	return out
+}
+
+// valueSets builds the normalized value set of each attribute.
+func valueSets(recs []model.Record) map[string]map[string]bool {
+	out := map[string]map[string]bool{}
+	for _, r := range recs {
+		for k, v := range r {
+			if v.IsNull() {
+				continue
+			}
+			n := Normalize(v.Text())
+			if n == "" {
+				continue
+			}
+			set, ok := out[k]
+			if !ok {
+				set = map[string]bool{}
+				out[k] = set
+			}
+			set[n] = true
+		}
+	}
+	return out
+}
+
+func setJaccard(a, b map[string]bool) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	small, large := a, b
+	if len(small) > len(large) {
+		small, large = large, small
+	}
+	inter := 0
+	for v := range small {
+		if large[v] {
+			inter++
+		}
+	}
+	return float64(inter) / float64(len(a)+len(b)-inter)
+}

@@ -1,0 +1,278 @@
+package er
+
+import (
+	"sort"
+
+	"scdb/internal/model"
+)
+
+// Config tunes the resolver.
+type Config struct {
+	// Threshold is the minimum pair score treated as a match. Zero means
+	// the default 0.85.
+	Threshold float64
+	// BlockPrefix is the blocking-key length in characters. Each token of
+	// each string attribute contributes its prefix as a blocking key, so
+	// only entities sharing at least one key are ever compared. Zero means
+	// the default 4.
+	BlockPrefix int
+	// MaxBlock caps the number of candidates considered per blocking key;
+	// oversized blocks (stop-word-like keys) are skipped beyond the cap,
+	// trading recall for bounded cost. Zero means the default 64.
+	MaxBlock int
+	// DisableBlocking compares every new entity against every indexed
+	// entity — the quadratic ablation baseline for the blocking design
+	// choice (see DESIGN.md).
+	DisableBlocking bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Threshold == 0 {
+		c.Threshold = 0.85
+	}
+	if c.BlockPrefix == 0 {
+		c.BlockPrefix = 4
+	}
+	if c.MaxBlock == 0 {
+		c.MaxBlock = 64
+	}
+	return c
+}
+
+// Match is one resolved duplicate pair with its similarity score.
+type Match struct {
+	A, B  model.EntityID
+	Score float64
+}
+
+// indexed holds what the resolver retains per entity: the normalized value
+// tokens and the per-attribute normalized strings.
+type indexed struct {
+	id     model.EntityID
+	source string
+	tokens []string
+	attrs  map[string]string
+}
+
+// Resolver performs incremental entity resolution: entities are added one
+// at a time (or source by source) and each addition is compared only
+// against the candidates selected by shared blocking keys. The resolver is
+// schema-agnostic — it compares bags of normalized values, so sources with
+// different attribute names still match (FS.1's "across different
+// schemata without requiring prior knowledge").
+type Resolver struct {
+	cfg     Config
+	blocks  map[string][]int // blocking key → indexes into ents
+	ents    []indexed
+	byID    map[model.EntityID]int
+	uf      *UnionFind
+	matches []Match
+	// Comparisons counts candidate pairs actually scored — the work metric
+	// the incremental-vs-batch experiment (E-FS1) reports.
+	Comparisons int
+}
+
+// NewResolver creates a resolver with the given configuration.
+func NewResolver(cfg Config) *Resolver {
+	return &Resolver{
+		cfg:    cfg.withDefaults(),
+		blocks: make(map[string][]int),
+		byID:   make(map[model.EntityID]int),
+		uf:     NewUnionFind(),
+	}
+}
+
+// index extracts the comparable representation of an entity.
+func index(e *model.Entity) indexed {
+	ix := indexed{id: e.ID, source: e.Source, attrs: map[string]string{}}
+	seen := map[string]bool{}
+	for _, k := range e.Attrs.Keys() {
+		v := e.Attrs[k]
+		if v.IsNull() {
+			continue
+		}
+		text := Normalize(v.Text())
+		if text == "" {
+			continue
+		}
+		ix.attrs[k] = text
+		for _, t := range Tokens(text) {
+			if !seen[t] {
+				seen[t] = true
+				ix.tokens = append(ix.tokens, t)
+			}
+		}
+	}
+	sort.Strings(ix.tokens)
+	return ix
+}
+
+// blockKeys derives the blocking keys of an indexed entity: the prefix of
+// every token.
+func (r *Resolver) blockKeys(ix indexed) []string {
+	seen := map[string]bool{}
+	var keys []string
+	for _, t := range ix.tokens {
+		k := t
+		if len(k) > r.cfg.BlockPrefix {
+			k = k[:r.cfg.BlockPrefix]
+		}
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+// minIdentifyingLen is the minimum normalized length for an attribute
+// value to count as identifying in pairwise scoring: very short values
+// ("emea", "ok") are categorical, shared by many distinct entities, and
+// must not produce perfect-match evidence on their own.
+const minIdentifyingLen = 6
+
+// sortedIntersection counts common elements of two sorted, duplicate-free
+// slices — the resolver's hot path avoids the map allocations of the
+// general Jaccard.
+func sortedIntersection(a, b []string) int {
+	i, j, n := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			n++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return n
+}
+
+// pairScore computes the similarity of two indexed entities: the maximum
+// over (best matching identifying-attribute pair, whole-record token
+// Jaccard, token-set containment), so a strong identifying attribute (a
+// name), overall value overlap, and one record extending the other
+// ("Ibuprofen" vs "Ibuprofen (Advil)") all count. Short categorical values
+// contribute only through the whole-record measures. The token lists are
+// sorted and deduplicated by index(), so set measures run allocation-free.
+func pairScore(a, b indexed) float64 {
+	var score float64
+	if len(a.tokens) > 0 && len(b.tokens) > 0 {
+		inter := sortedIntersection(a.tokens, b.tokens)
+		union := len(a.tokens) + len(b.tokens) - inter
+		score = float64(inter) / float64(union)
+		minLen := len(a.tokens)
+		if len(b.tokens) < minLen {
+			minLen = len(b.tokens)
+		}
+		if c := float64(inter) / float64(minLen); c > score {
+			score = c
+		}
+	} else if len(a.tokens) == 0 && len(b.tokens) == 0 {
+		score = 1
+	}
+	if score >= 1 {
+		return 1 // exact containment: the fuzzy measures cannot improve it
+	}
+	for _, av := range a.attrs {
+		if len(av) < minIdentifyingLen {
+			continue
+		}
+		for _, bv := range b.attrs {
+			if len(bv) < minIdentifyingLen {
+				continue
+			}
+			if s := StringSim(av, bv); s > score {
+				score = s
+				if score == 1 {
+					return 1
+				}
+			}
+		}
+	}
+	return score
+}
+
+// Add incrementally resolves one entity: it is compared against candidates
+// sharing a blocking key, clustered with those scoring above the
+// threshold, and indexed for future arrivals. Matches found by this
+// addition are returned. Entities from the same source are never matched
+// to each other (sources are assumed internally duplicate-free; the
+// generic dirty-table workload overrides this by giving each record its
+// own source).
+func (r *Resolver) Add(e *model.Entity) []Match {
+	ix := index(e)
+	pos := len(r.ents)
+	var found []Match
+	compare := func(ci int) {
+		cand := r.ents[ci]
+		if cand.source == ix.source || r.uf.Same(cand.id, ix.id) {
+			return
+		}
+		r.Comparisons++
+		if s := pairScore(ix, cand); s >= r.cfg.Threshold {
+			r.uf.Union(ix.id, cand.id)
+			found = append(found, Match{A: cand.id, B: ix.id, Score: s})
+		}
+	}
+	if r.cfg.DisableBlocking {
+		for ci := range r.ents {
+			compare(ci)
+		}
+	} else {
+		seenCand := map[int]bool{}
+		for _, key := range r.blockKeys(ix) {
+			cands := r.blocks[key]
+			if len(cands) > r.cfg.MaxBlock {
+				cands = cands[:r.cfg.MaxBlock]
+			}
+			for _, ci := range cands {
+				if seenCand[ci] {
+					continue
+				}
+				seenCand[ci] = true
+				compare(ci)
+			}
+			r.blocks[key] = append(r.blocks[key], pos)
+		}
+	}
+	r.ents = append(r.ents, ix)
+	r.byID[ix.id] = pos
+	r.uf.Find(ix.id)
+	r.matches = append(r.matches, found...)
+	return found
+}
+
+// AddAll incrementally resolves a batch of entities in order.
+func (r *Resolver) AddAll(es []*model.Entity) []Match {
+	var all []Match
+	for _, e := range es {
+		all = append(all, r.Add(e)...)
+	}
+	return all
+}
+
+// Matches returns every match found so far.
+func (r *Resolver) Matches() []Match { return r.matches }
+
+// Canonical returns the cluster representative of the entity.
+func (r *Resolver) Canonical(id model.EntityID) model.EntityID { return r.uf.Find(id) }
+
+// Same reports whether two entities resolved to one cluster.
+func (r *Resolver) Same(a, b model.EntityID) bool { return r.uf.Same(a, b) }
+
+// Clusters returns the duplicate clusters (size >= 2).
+func (r *Resolver) Clusters() [][]model.EntityID { return r.uf.Clusters(2) }
+
+// ResolveBatch is the non-incremental baseline (the "all-to-all entity
+// resolution performed comprehensively across all data sources" the paper
+// warns about): it rebuilds a fresh resolver over all entities and returns
+// its matches. Cost grows with the full corpus on every call, which is
+// exactly what E-FS1 measures against the incremental path.
+func ResolveBatch(es []*model.Entity, cfg Config) (*Resolver, []Match) {
+	r := NewResolver(cfg)
+	return r, r.AddAll(es)
+}

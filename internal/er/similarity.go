@@ -1,0 +1,207 @@
+// Package er implements entity resolution for the relation layer (paper
+// FS.1): deciding which instance records from independently produced
+// sources denote the same real-world entity, without manual ETL or prior
+// schema alignment.
+//
+// The package provides the classical batch formulation (all candidate
+// pairs within blocks) and the incremental formulation the paper calls for
+// — each arriving entity is compared only against the candidates its
+// blocking keys select, so integrating a new source never re-resolves the
+// whole database. Cross-schema matching uses value-overlap attribute
+// alignment (see Align) so no a-priori knowledge of the external source's
+// schema is required.
+package er
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Normalize lower-cases, trims, and collapses non-alphanumeric runs into
+// single spaces — the canonical form all similarity measures operate on.
+func Normalize(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	lastSpace := true
+	for _, r := range strings.ToLower(s) {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			b.WriteRune(r)
+			lastSpace = false
+		} else if !lastSpace {
+			b.WriteByte(' ')
+			lastSpace = true
+		}
+	}
+	return strings.TrimRight(b.String(), " ")
+}
+
+// Tokens splits a normalized string into its word tokens.
+func Tokens(s string) []string {
+	n := Normalize(s)
+	if n == "" {
+		return nil
+	}
+	return strings.Split(n, " ")
+}
+
+// Jaccard returns |A∩B| / |A∪B| over two token multisets (treated as
+// sets). Two empty sets are identical (1); one empty set matches nothing.
+func Jaccard(a, b []string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	set := make(map[string]bool, len(a))
+	for _, t := range a {
+		set[t] = true
+	}
+	inter := 0
+	seen := make(map[string]bool, len(b))
+	for _, t := range b {
+		if seen[t] {
+			continue
+		}
+		seen[t] = true
+		if set[t] {
+			inter++
+		}
+	}
+	union := len(set) + len(seen) - inter
+	return float64(inter) / float64(union)
+}
+
+// Levenshtein returns the edit distance between two strings (runes).
+func Levenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = minInt(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+func minInt(xs ...int) int {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// LevenshteinSim normalizes edit distance into a similarity in [0,1].
+func LevenshteinSim(a, b string) float64 {
+	if a == "" && b == "" {
+		return 1
+	}
+	maxLen := len([]rune(a))
+	if l := len([]rune(b)); l > maxLen {
+		maxLen = l
+	}
+	return 1 - float64(Levenshtein(a, b))/float64(maxLen)
+}
+
+// Trigrams returns the padded character trigrams of the normalized string.
+func Trigrams(s string) []string {
+	n := Normalize(s)
+	if n == "" {
+		return nil
+	}
+	padded := "  " + n + "  "
+	var out []string
+	runes := []rune(padded)
+	for i := 0; i+3 <= len(runes); i++ {
+		out = append(out, string(runes[i:i+3]))
+	}
+	return out
+}
+
+// TrigramSim is Jaccard similarity over character trigrams — robust to
+// token reordering and small typos.
+func TrigramSim(a, b string) float64 {
+	return Jaccard(Trigrams(a), Trigrams(b))
+}
+
+// StringSim is the combined string similarity the resolver uses: the
+// maximum of token Jaccard, trigram, and normalized edit similarity, so
+// that reordered tokens ("Arthritis, Rheumatoid"), typos, and short codes
+// are each handled by the measure that suits them.
+//
+// Digit-bearing tokens act as identifiers: when the two strings carry
+// different digit tokens ("sensor unit 0033" vs "sensor unit 0054"), the
+// fuzzy measures are withheld and only token overlap counts — serial
+// numbers differing by one digit are different things, not typos.
+func StringSim(a, b string) float64 {
+	na, nb := Normalize(a), Normalize(b)
+	if na == nb {
+		return 1
+	}
+	ta, tb := Tokens(na), Tokens(nb)
+	s := Jaccard(ta, tb)
+	if !digitTokensAgree(ta, tb) {
+		return s
+	}
+	if t := TrigramSim(na, nb); t > s {
+		s = t
+	}
+	// Edit similarity only for short strings: O(len²) and meaningless for
+	// long text.
+	if len(na) <= 64 && len(nb) <= 64 {
+		if l := LevenshteinSim(na, nb); l > s {
+			s = l
+		}
+	}
+	return s
+}
+
+// digitTokensAgree reports whether the digit-bearing token sets of the two
+// token lists are equal (vacuously true when either has none).
+func digitTokensAgree(a, b []string) bool {
+	da, db := digitTokens(a), digitTokens(b)
+	if len(da) == 0 || len(db) == 0 {
+		return true
+	}
+	if len(da) != len(db) {
+		return false
+	}
+	for t := range da {
+		if !db[t] {
+			return false
+		}
+	}
+	return true
+}
+
+func digitTokens(tokens []string) map[string]bool {
+	var out map[string]bool
+	for _, t := range tokens {
+		if strings.ContainsAny(t, "0123456789") {
+			if out == nil {
+				out = map[string]bool{}
+			}
+			out[t] = true
+		}
+	}
+	return out
+}

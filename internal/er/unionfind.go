@@ -1,0 +1,83 @@
+package er
+
+import (
+	"sort"
+
+	"scdb/internal/model"
+)
+
+// UnionFind maintains the merge clusters produced by entity resolution,
+// with path compression and union by size.
+type UnionFind struct {
+	parent map[model.EntityID]model.EntityID
+	size   map[model.EntityID]int
+}
+
+// NewUnionFind creates an empty structure.
+func NewUnionFind() *UnionFind {
+	return &UnionFind{
+		parent: make(map[model.EntityID]model.EntityID),
+		size:   make(map[model.EntityID]int),
+	}
+}
+
+// Find returns the canonical representative of the entity's cluster,
+// registering the entity on first sight.
+func (u *UnionFind) Find(id model.EntityID) model.EntityID {
+	p, ok := u.parent[id]
+	if !ok {
+		u.parent[id] = id
+		u.size[id] = 1
+		return id
+	}
+	if p == id {
+		return id
+	}
+	root := u.Find(p)
+	u.parent[id] = root
+	return root
+}
+
+// Union merges the clusters of a and b; the smaller cluster joins the
+// larger, ties keep the lower ID as representative (determinism). It
+// reports whether a merge actually happened.
+func (u *UnionFind) Union(a, b model.EntityID) bool {
+	ra, rb := u.Find(a), u.Find(b)
+	if ra == rb {
+		return false
+	}
+	if u.size[ra] < u.size[rb] || (u.size[ra] == u.size[rb] && rb < ra) {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	u.size[ra] += u.size[rb]
+	return true
+}
+
+// Same reports whether the two entities are in one cluster.
+func (u *UnionFind) Same(a, b model.EntityID) bool {
+	return u.Find(a) == u.Find(b)
+}
+
+// Clusters returns all clusters with at least minSize members, each sorted
+// ascending, ordered by their smallest member.
+func (u *UnionFind) Clusters(minSize int) [][]model.EntityID {
+	byRoot := map[model.EntityID][]model.EntityID{}
+	ids := make([]model.EntityID, 0, len(u.parent))
+	for id := range u.parent {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		root := u.Find(id)
+		byRoot[root] = append(byRoot[root], id)
+	}
+	var out [][]model.EntityID
+	for _, members := range byRoot {
+		if len(members) >= minSize {
+			out = append(out, members)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}

@@ -1,0 +1,53 @@
+package model
+
+import "testing"
+
+// FuzzDecodeValue: arbitrary bytes must never panic the decoder, and any
+// value it accepts must re-encode to a decodable form.
+func FuzzDecodeValue(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendValue(nil, Int(42)))
+	f.Add(AppendValue(nil, String("warfarin")))
+	f.Add(AppendValue(nil, List(Int(1), Float(2.5), Null())))
+	f.Add(AppendValue(nil, Bytes([]byte{0, 1, 2})))
+	f.Add([]byte{byte(KindList), 0xff, 0xff, 0xff, 0xff, 0x0f})
+	f.Add([]byte{byte(KindString), 200, 1, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, n, err := DecodeValue(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		enc := AppendValue(nil, v)
+		v2, _, err := DecodeValue(enc)
+		if err != nil {
+			t.Fatalf("re-decode of %s: %v", v, err)
+		}
+		if !Equal(v, v2) {
+			t.Fatalf("round trip changed value: %s vs %s", v, v2)
+		}
+	})
+}
+
+// FuzzDecodeRecord mirrors FuzzDecodeValue for records.
+func FuzzDecodeRecord(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendRecord(nil, Record{"a": Int(1), "b": String("x")}))
+	f.Add([]byte{3, 1, 'a', byte(KindInt), 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, n, err := DecodeRecord(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		enc := AppendRecord(nil, rec)
+		rec2, _, err := DecodeRecord(enc)
+		if err != nil || len(rec2) != len(rec) {
+			t.Fatalf("re-decode: %v (%d vs %d fields)", err, len(rec2), len(rec))
+		}
+	})
+}

@@ -1,0 +1,457 @@
+// Package model defines the core value system shared by every layer of the
+// self-curating database: dynamically typed values with systematic null
+// handling (Codd's three-valued logic, extended per the paper's "systematic
+// treatment of null values" rule), fuzzy truth degrees, confidence-annotated
+// data, records, entities, and triples.
+//
+// The paper argues that each data item must be allowed to be "noisy, fuzzy,
+// uncertain, or incomplete so that it can be manipulated systematically"
+// (Section 5). This package is the single place where those notions are
+// defined; higher layers (storage, graph, ontology, query) build on it.
+package model
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Kind identifies the dynamic type of a Value.
+type Kind uint8
+
+// The supported value kinds. KindNull represents a missing or unknown value
+// (interpreted under either the open- or closed-world assumption by the
+// uncertain package). KindRef holds a reference to another entity, which is
+// how instance-level interconnectedness enters the instance layer.
+const (
+	KindNull Kind = iota
+	KindBool
+	KindInt
+	KindFloat
+	KindString
+	KindTime
+	KindBytes
+	KindList
+	KindRef
+)
+
+var kindNames = [...]string{
+	KindNull:   "null",
+	KindBool:   "bool",
+	KindInt:    "int",
+	KindFloat:  "float",
+	KindString: "string",
+	KindTime:   "time",
+	KindBytes:  "bytes",
+	KindList:   "list",
+	KindRef:    "ref",
+}
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// EntityID identifies an entity in the relation layer. IDs are allocated
+// densely by the graph store so they can double as array indexes in
+// locality-optimized representations (CSR snapshots, clustered layouts).
+type EntityID uint64
+
+// NoEntity is the zero EntityID, used to signal "no such entity".
+const NoEntity EntityID = 0
+
+// Value is a dynamically typed scalar, list, or entity reference. The zero
+// Value is null. Values are immutable by convention: helpers return new
+// Values rather than mutating in place.
+type Value struct {
+	kind Kind
+	i    int64 // bool (0/1), int, ref, time (UnixNano)
+	f    float64
+	s    string
+	b    []byte
+	list []Value
+}
+
+// Null returns the null value.
+func Null() Value { return Value{} }
+
+// Bool returns a boolean value.
+func Bool(b bool) Value {
+	var i int64
+	if b {
+		i = 1
+	}
+	return Value{kind: KindBool, i: i}
+}
+
+// Int returns an integer value.
+func Int(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// Float returns a floating-point value.
+func Float(f float64) Value { return Value{kind: KindFloat, f: f} }
+
+// String returns a string value.
+func String(s string) Value { return Value{kind: KindString, s: s} }
+
+// Time returns a time value with nanosecond precision.
+func Time(t time.Time) Value { return Value{kind: KindTime, i: t.UnixNano()} }
+
+// Bytes returns a binary value. The slice is not copied; callers must not
+// mutate it afterwards.
+func Bytes(b []byte) Value { return Value{kind: KindBytes, b: b} }
+
+// List returns a list value. The slice is not copied.
+func List(vs ...Value) Value { return Value{kind: KindList, list: vs} }
+
+// Ref returns a reference to the entity with the given ID.
+func Ref(id EntityID) Value { return Value{kind: KindRef, i: int64(id)} }
+
+// Kind reports the dynamic kind of v.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether v is the null value.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// AsBool returns the boolean payload; ok is false if v is not a bool.
+func (v Value) AsBool() (b, ok bool) { return v.i != 0, v.kind == KindBool }
+
+// AsInt returns the integer payload; ok is false if v is not an int.
+func (v Value) AsInt() (int64, bool) { return v.i, v.kind == KindInt }
+
+// AsFloat returns v as a float64 when v is numeric (int or float).
+func (v Value) AsFloat() (float64, bool) {
+	switch v.kind {
+	case KindFloat:
+		return v.f, true
+	case KindInt:
+		return float64(v.i), true
+	}
+	return 0, false
+}
+
+// AsString returns the string payload; ok is false if v is not a string.
+func (v Value) AsString() (string, bool) { return v.s, v.kind == KindString }
+
+// AsTime returns the time payload; ok is false if v is not a time.
+func (v Value) AsTime() (time.Time, bool) {
+	if v.kind != KindTime {
+		return time.Time{}, false
+	}
+	return time.Unix(0, v.i).UTC(), true
+}
+
+// AsBytes returns the bytes payload; ok is false if v is not bytes.
+func (v Value) AsBytes() ([]byte, bool) { return v.b, v.kind == KindBytes }
+
+// AsList returns the list payload; ok is false if v is not a list.
+func (v Value) AsList() ([]Value, bool) { return v.list, v.kind == KindList }
+
+// AsRef returns the entity reference payload; ok is false if v is not a ref.
+func (v Value) AsRef() (EntityID, bool) { return EntityID(v.i), v.kind == KindRef }
+
+// Numeric reports whether v is an int or float.
+func (v Value) Numeric() bool { return v.kind == KindInt || v.kind == KindFloat }
+
+// String renders the value for debugging and CLI output. Strings are quoted
+// so that null, "null", and 0 are distinguishable.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "null"
+	case KindBool:
+		if v.i != 0 {
+			return "true"
+		}
+		return "false"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return strconv.Quote(v.s)
+	case KindTime:
+		t, _ := v.AsTime()
+		return t.Format(time.RFC3339Nano)
+	case KindBytes:
+		return fmt.Sprintf("0x%x", v.b)
+	case KindList:
+		parts := make([]string, len(v.list))
+		for i, e := range v.list {
+			parts[i] = e.String()
+		}
+		return "[" + strings.Join(parts, ", ") + "]"
+	case KindRef:
+		return fmt.Sprintf("@%d", v.i)
+	}
+	return "?"
+}
+
+// Text renders the value as bare text, without quoting strings. It is the
+// form used for similarity comparison and information extraction.
+func (v Value) Text() string {
+	if v.kind == KindString {
+		return v.s
+	}
+	return v.String()
+}
+
+// IncomparableError is returned by Compare when two values have kinds that
+// admit no meaningful order (for example a string and a list).
+type IncomparableError struct {
+	A, B Kind
+}
+
+func (e *IncomparableError) Error() string {
+	return fmt.Sprintf("model: cannot compare %s with %s", e.A, e.B)
+}
+
+// Compare orders two non-null values. Ints and floats compare numerically
+// across kinds; all other kinds compare only with themselves. Lists compare
+// lexicographically. Comparing a null or incomparable kinds returns an
+// error: per the paper's treatment of nulls, predicates over nulls must
+// evaluate to Unknown, which is the caller's job (see Truth).
+func Compare(a, b Value) (int, error) {
+	if a.kind == KindNull || b.kind == KindNull {
+		return 0, &IncomparableError{a.kind, b.kind}
+	}
+	if a.Numeric() && b.Numeric() {
+		af, _ := a.AsFloat()
+		bf, _ := b.AsFloat()
+		switch {
+		case af < bf:
+			return -1, nil
+		case af > bf:
+			return 1, nil
+		}
+		return 0, nil
+	}
+	if a.kind != b.kind {
+		return 0, &IncomparableError{a.kind, b.kind}
+	}
+	switch a.kind {
+	case KindBool, KindTime, KindRef:
+		switch {
+		case a.i < b.i:
+			return -1, nil
+		case a.i > b.i:
+			return 1, nil
+		}
+		return 0, nil
+	case KindString:
+		return strings.Compare(a.s, b.s), nil
+	case KindBytes:
+		return strings.Compare(string(a.b), string(b.b)), nil
+	case KindList:
+		n := min(len(a.list), len(b.list))
+		for i := 0; i < n; i++ {
+			c, err := Compare(a.list[i], b.list[i])
+			if err != nil {
+				return 0, err
+			}
+			if c != 0 {
+				return c, nil
+			}
+		}
+		switch {
+		case len(a.list) < len(b.list):
+			return -1, nil
+		case len(a.list) > len(b.list):
+			return 1, nil
+		}
+		return 0, nil
+	}
+	return 0, &IncomparableError{a.kind, b.kind}
+}
+
+// Equal reports whether two values are identical. Unlike Compare, Equal is
+// total: nulls are equal to nulls, and two NaNs are equal (identity
+// semantics, keeping Equal consistent with Hash for deduplication; SQL
+// equality semantics live in the query layer via Truth).
+func Equal(a, b Value) bool {
+	if a.kind == KindNull && b.kind == KindNull {
+		return true
+	}
+	if a.Numeric() && b.Numeric() {
+		af, _ := a.AsFloat()
+		bf, _ := b.AsFloat()
+		if math.IsNaN(af) && math.IsNaN(bf) {
+			return true
+		}
+		return af == bf
+	}
+	if a.kind != b.kind {
+		return false
+	}
+	switch a.kind {
+	case KindBool, KindTime, KindRef:
+		return a.i == b.i
+	case KindString:
+		return a.s == b.s
+	case KindBytes:
+		return string(a.b) == string(b.b)
+	case KindList:
+		if len(a.list) != len(b.list) {
+			return false
+		}
+		for i := range a.list {
+			if !Equal(a.list[i], b.list[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// Less is a total order over values used for deterministic sorting of
+// heterogeneous data: null sorts first, then by kind, then by Compare within
+// comparable kinds.
+func Less(a, b Value) bool {
+	ra, rb := kindRank(a.kind), kindRank(b.kind)
+	if ra != rb {
+		return ra < rb
+	}
+	c, err := Compare(a, b)
+	if err != nil {
+		return false
+	}
+	return c < 0
+}
+
+// kindRank groups int and float into one rank so mixed numeric columns sort
+// numerically.
+func kindRank(k Kind) int {
+	switch k {
+	case KindNull:
+		return 0
+	case KindBool:
+		return 1
+	case KindInt, KindFloat:
+		return 2
+	case KindString:
+		return 3
+	case KindTime:
+		return 4
+	case KindBytes:
+		return 5
+	case KindList:
+		return 6
+	case KindRef:
+		return 7
+	}
+	return 8
+}
+
+// Hash returns a 64-bit FNV-1a hash of the value's canonical encoding,
+// suitable for hash joins and deduplication. Equal values hash equally
+// (ints and floats representing the same number included).
+func (v Value) Hash() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(b byte) { h = (h ^ uint64(b)) * prime }
+	mix64 := func(x uint64) {
+		for i := 0; i < 8; i++ {
+			mix(byte(x >> (8 * i)))
+		}
+	}
+	switch v.kind {
+	case KindNull:
+		mix(0)
+	case KindBool:
+		mix(1)
+		mix(byte(v.i))
+	case KindInt, KindFloat:
+		// Canonicalize numerics: hash the float64 bit pattern.
+		f, _ := v.AsFloat()
+		mix(2)
+		mix64(math.Float64bits(f))
+	case KindString:
+		mix(3)
+		for i := 0; i < len(v.s); i++ {
+			mix(v.s[i])
+		}
+	case KindTime:
+		mix(4)
+		mix64(uint64(v.i))
+	case KindBytes:
+		mix(5)
+		for _, b := range v.b {
+			mix(b)
+		}
+	case KindList:
+		mix(6)
+		for _, e := range v.list {
+			mix64(e.Hash())
+		}
+	case KindRef:
+		mix(7)
+		mix64(uint64(v.i))
+	}
+	return h
+}
+
+// Record is a flexible attribute map: the instance-layer representation of
+// one data item from a possibly schema-less source. Attribute order is not
+// significant; use Keys for deterministic iteration.
+type Record map[string]Value
+
+// Keys returns the record's attribute names in sorted order.
+func (r Record) Keys() []string {
+	keys := make([]string, 0, len(r))
+	for k := range r {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Clone returns a shallow copy of the record (values are immutable, so a
+// shallow copy is safe).
+func (r Record) Clone() Record {
+	c := make(Record, len(r))
+	for k, v := range r {
+		c[k] = v
+	}
+	return c
+}
+
+// Get returns the value for attribute k, or null if absent. Treating absent
+// attributes as null is the open-world reading the paper requires.
+func (r Record) Get(k string) Value {
+	if v, ok := r[k]; ok {
+		return v
+	}
+	return Null()
+}
+
+// Hash returns a hash of the whole record (order-independent).
+func (r Record) Hash() uint64 {
+	var h uint64
+	for k, v := range r {
+		h ^= String(k).Hash()*31 + v.Hash()
+	}
+	return h
+}
+
+// String renders the record deterministically for debugging.
+func (r Record) String() string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, k := range r.Keys() {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%s: %s", k, r[k])
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}

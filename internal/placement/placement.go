@@ -1,0 +1,278 @@
+// Package placement implements the paper's OS.4: "How can existing
+// placement strategies be adapted to transition from disk data placement
+// to placing data in distributed main memory at cloud scale? How can the
+// data be judiciously placed in distributed shared memory with close
+// affinity when online integration of data sources is likely in order to
+// eliminate the storage access cost and to reduce the main memory
+// footprint by avoiding data cache duplication?"
+//
+// The simulator models a cluster of memory nodes, data partitions with
+// sizes, a workload of co-accesses, and a cost model with cheap local and
+// expensive remote accesses. Three placement policies are compared —
+// round-robin, random, and affinity-aware greedy placement — under two
+// caching regimes: remote-caching (each node caches remote partitions it
+// touches, duplicating memory) and no caching. The experiment's claim is
+// the paper's: affinity placement keeps accesses local, achieving
+// low access cost *without* the duplicated-cache footprint.
+package placement
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Partition is one placeable unit of data.
+type Partition struct {
+	ID   int
+	Size float64
+}
+
+// Access is one workload event: partitions touched together (one query's
+// working set, typically an integrated view spanning sources).
+type Access struct {
+	Parts []int
+}
+
+// Workload is a sequence of accesses.
+type Workload []Access
+
+// Affinity accumulates pairwise co-access weight between partitions.
+type Affinity struct {
+	weights map[[2]int]float64
+}
+
+// NewAffinity creates an empty affinity matrix.
+func NewAffinity() *Affinity { return &Affinity{weights: map[[2]int]float64{}} }
+
+// Observe adds weight to every pair in the access.
+func (a *Affinity) Observe(acc Access) {
+	for i := 0; i < len(acc.Parts); i++ {
+		for j := i + 1; j < len(acc.Parts); j++ {
+			a.weights[pairKey(acc.Parts[i], acc.Parts[j])]++
+		}
+	}
+}
+
+// ObserveWorkload folds a whole workload in.
+func (a *Affinity) ObserveWorkload(w Workload) {
+	for _, acc := range w {
+		a.Observe(acc)
+	}
+}
+
+// Weight returns the co-access weight of two partitions.
+func (a *Affinity) Weight(x, y int) float64 { return a.weights[pairKey(x, y)] }
+
+func pairKey(x, y int) [2]int {
+	if x > y {
+		x, y = y, x
+	}
+	return [2]int{x, y}
+}
+
+// Placement maps partitions to nodes.
+type Placement struct {
+	Nodes  int
+	NodeOf map[int]int
+}
+
+// RoundRobin places partitions cyclically — the classical storage-striping
+// baseline.
+func RoundRobin(parts []Partition, nodes int) Placement {
+	p := Placement{Nodes: nodes, NodeOf: make(map[int]int, len(parts))}
+	for i, part := range parts {
+		p.NodeOf[part.ID] = i % nodes
+	}
+	return p
+}
+
+// Random places partitions uniformly at random (seeded).
+func Random(parts []Partition, nodes int, seed int64) Placement {
+	r := rand.New(rand.NewSource(seed))
+	p := Placement{Nodes: nodes, NodeOf: make(map[int]int, len(parts))}
+	for _, part := range parts {
+		p.NodeOf[part.ID] = r.Intn(nodes)
+	}
+	return p
+}
+
+// AffinityPlace greedily co-locates partitions with high mutual affinity:
+// partitions are placed in descending total-affinity order, each on the
+// node where its affinity to already-placed partitions is maximal, subject
+// to the per-node capacity (falls back to the least-loaded node when the
+// preferred node is full). capacity <= 0 means unbounded.
+func AffinityPlace(parts []Partition, aff *Affinity, nodes int, capacity float64) Placement {
+	p := Placement{Nodes: nodes, NodeOf: make(map[int]int, len(parts))}
+	load := make([]float64, nodes)
+	size := make(map[int]float64, len(parts))
+	for _, part := range parts {
+		size[part.ID] = part.Size
+	}
+
+	// Order by total affinity, descending (ties by ID for determinism).
+	total := map[int]float64{}
+	for pair, w := range aff.weights {
+		total[pair[0]] += w
+		total[pair[1]] += w
+	}
+	order := append([]Partition(nil), parts...)
+	sort.Slice(order, func(i, j int) bool {
+		ti, tj := total[order[i].ID], total[order[j].ID]
+		if ti != tj {
+			return ti > tj
+		}
+		return order[i].ID < order[j].ID
+	})
+
+	for _, part := range order {
+		bestNode, bestScore := -1, -1.0
+		for n := 0; n < nodes; n++ {
+			if capacity > 0 && load[n]+part.Size > capacity {
+				continue
+			}
+			score := 0.0
+			for other, on := range p.NodeOf {
+				if on == n {
+					score += aff.Weight(part.ID, other)
+				}
+			}
+			// Prefer lighter nodes on ties so placement stays balanced.
+			if score > bestScore || (score == bestScore && bestNode >= 0 && load[n] < load[bestNode]) {
+				bestNode, bestScore = n, score
+			}
+		}
+		if bestNode < 0 {
+			// Everything full: least-loaded node takes the overflow.
+			bestNode = 0
+			for n := 1; n < nodes; n++ {
+				if load[n] < load[bestNode] {
+					bestNode = n
+				}
+			}
+		}
+		p.NodeOf[part.ID] = bestNode
+		load[bestNode] += part.Size
+	}
+	return p
+}
+
+// CostModel prices accesses.
+type CostModel struct {
+	// Local is the cost of touching a partition resident (or cached) on
+	// the access's home node; Remote the cost otherwise. Defaults 1 / 10.
+	Local, Remote float64
+}
+
+func (cm CostModel) withDefaults() CostModel {
+	if cm.Local == 0 {
+		cm.Local = 1
+	}
+	if cm.Remote == 0 {
+		cm.Remote = 10
+	}
+	return cm
+}
+
+// Result reports one simulation.
+type Result struct {
+	// AccessCost is the total workload cost under the cost model.
+	AccessCost float64
+	// Footprint is resident memory: placed partitions plus cached copies.
+	Footprint float64
+	// RemoteFraction is the fraction of partition touches that went
+	// remote (after caching).
+	RemoteFraction float64
+}
+
+// Evaluate runs the workload against the placement. Each access executes
+// at its home node — the node holding the plurality of its partitions
+// (ties: lowest node). With cacheRemote, a node caches every remote
+// partition it touches: later touches are local, but each cached copy adds
+// its size to the footprint — the duplication OS.4 wants to avoid.
+func Evaluate(p Placement, parts []Partition, w Workload, cm CostModel, cacheRemote bool) Result {
+	cm = cm.withDefaults()
+	size := make(map[int]float64, len(parts))
+	var res Result
+	for _, part := range parts {
+		size[part.ID] = part.Size
+		res.Footprint += part.Size
+	}
+	cached := map[[2]int]bool{} // (node, partition)
+	touches, remote := 0, 0
+	for _, acc := range w {
+		home := homeNode(p, acc)
+		for _, part := range acc.Parts {
+			touches++
+			local := p.NodeOf[part] == home || cached[[2]int{home, part}]
+			if local {
+				res.AccessCost += cm.Local
+				continue
+			}
+			remote++
+			res.AccessCost += cm.Remote
+			if cacheRemote {
+				cached[[2]int{home, part}] = true
+				res.Footprint += size[part]
+			}
+		}
+	}
+	if touches > 0 {
+		res.RemoteFraction = float64(remote) / float64(touches)
+	}
+	return res
+}
+
+// homeNode picks the node holding the plurality of the access's parts.
+func homeNode(p Placement, acc Access) int {
+	counts := make(map[int]int)
+	for _, part := range acc.Parts {
+		counts[p.NodeOf[part]]++
+	}
+	best, bestN := 0, -1
+	for n := 0; n < p.Nodes; n++ {
+		if c := counts[n]; c > bestN {
+			best, bestN = n, c
+		}
+	}
+	return best
+}
+
+// Balance reports the max/mean load ratio of the placement (1 = perfectly
+// balanced).
+func Balance(p Placement, parts []Partition) float64 {
+	load := make([]float64, p.Nodes)
+	total := 0.0
+	for _, part := range parts {
+		load[p.NodeOf[part.ID]] += part.Size
+		total += part.Size
+	}
+	if total == 0 || p.Nodes == 0 {
+		return 1
+	}
+	mean := total / float64(p.Nodes)
+	maxL := 0.0
+	for _, l := range load {
+		if l > maxL {
+			maxL = l
+		}
+	}
+	if mean == 0 {
+		return 1
+	}
+	return maxL / mean
+}
+
+// String renders a placement compactly for debugging.
+func (p Placement) String() string {
+	ids := make([]int, 0, len(p.NodeOf))
+	for id := range p.NodeOf {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	s := ""
+	for _, id := range ids {
+		s += fmt.Sprintf("%d→n%d ", id, p.NodeOf[id])
+	}
+	return s
+}

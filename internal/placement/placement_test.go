@@ -1,0 +1,173 @@
+package placement
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// groupedWorkload builds partitions in affinity groups of size groupSize;
+// every access touches exactly one whole group.
+func groupedWorkload(groups, groupSize, accesses int, seed int64) ([]Partition, Workload) {
+	var parts []Partition
+	groupParts := make([][]int, groups)
+	id := 0
+	for g := 0; g < groups; g++ {
+		for k := 0; k < groupSize; k++ {
+			parts = append(parts, Partition{ID: id, Size: 1})
+			groupParts[g] = append(groupParts[g], id)
+			id++
+		}
+	}
+	r := rand.New(rand.NewSource(seed))
+	var w Workload
+	for i := 0; i < accesses; i++ {
+		w = append(w, Access{Parts: groupParts[r.Intn(groups)]})
+	}
+	return parts, w
+}
+
+func TestRoundRobinAndRandomCover(t *testing.T) {
+	parts, _ := groupedWorkload(4, 3, 0, 1)
+	rr := RoundRobin(parts, 3)
+	if rr.NodeOf[0] != 0 || rr.NodeOf[1] != 1 || rr.NodeOf[2] != 2 || rr.NodeOf[3] != 0 {
+		t.Errorf("round robin = %v", rr.NodeOf)
+	}
+	rnd := Random(parts, 3, 42)
+	for id, n := range rnd.NodeOf {
+		if n < 0 || n >= 3 {
+			t.Errorf("random placed %d on node %d", id, n)
+		}
+	}
+	// Deterministic per seed.
+	again := Random(parts, 3, 42)
+	for id, n := range rnd.NodeOf {
+		if again.NodeOf[id] != n {
+			t.Error("random placement not seed-deterministic")
+		}
+	}
+}
+
+func TestAffinityColocatesGroups(t *testing.T) {
+	parts, w := groupedWorkload(6, 4, 200, 7)
+	aff := NewAffinity()
+	aff.ObserveWorkload(w)
+	p := AffinityPlace(parts, aff, 3, 0)
+	// Every group must land on one node.
+	for g := 0; g < 6; g++ {
+		base := p.NodeOf[g*4]
+		for k := 1; k < 4; k++ {
+			if p.NodeOf[g*4+k] != base {
+				t.Errorf("group %d split across nodes: %v", g, p.NodeOf)
+			}
+		}
+	}
+}
+
+func TestAffinityRespectsCapacity(t *testing.T) {
+	parts, w := groupedWorkload(4, 4, 100, 3)
+	aff := NewAffinity()
+	aff.ObserveWorkload(w)
+	p := AffinityPlace(parts, aff, 4, 4) // each node fits exactly one group
+	load := make([]float64, 4)
+	for _, part := range parts {
+		load[p.NodeOf[part.ID]] += part.Size
+	}
+	for n, l := range load {
+		if l > 4 {
+			t.Errorf("node %d overloaded: %v", n, l)
+		}
+	}
+	if b := Balance(p, parts); b > 1.01 {
+		t.Errorf("balance = %v", b)
+	}
+}
+
+func TestAffinityOverflowFallsBack(t *testing.T) {
+	// Capacity too small for everything: overflow must still place.
+	parts := []Partition{{0, 10}, {1, 10}, {2, 10}}
+	p := AffinityPlace(parts, NewAffinity(), 2, 5)
+	if len(p.NodeOf) != 3 {
+		t.Errorf("unplaced partitions: %v", p.NodeOf)
+	}
+}
+
+func TestEvaluateCosts(t *testing.T) {
+	parts := []Partition{{0, 1}, {1, 1}}
+	w := Workload{{Parts: []int{0, 1}}}
+	together := Placement{Nodes: 2, NodeOf: map[int]int{0: 0, 1: 0}}
+	apart := Placement{Nodes: 2, NodeOf: map[int]int{0: 0, 1: 1}}
+	cm := CostModel{Local: 1, Remote: 10}
+
+	r := Evaluate(together, parts, w, cm, false)
+	if r.AccessCost != 2 || r.RemoteFraction != 0 {
+		t.Errorf("co-located: %+v", r)
+	}
+	r = Evaluate(apart, parts, w, cm, false)
+	if r.AccessCost != 11 || r.RemoteFraction != 0.5 {
+		t.Errorf("split: %+v", r)
+	}
+	if r.Footprint != 2 {
+		t.Errorf("footprint without cache = %v", r.Footprint)
+	}
+}
+
+func TestCachingTradesMemoryForCost(t *testing.T) {
+	parts := []Partition{{0, 1}, {1, 1}}
+	w := Workload{}
+	for i := 0; i < 10; i++ {
+		w = append(w, Access{Parts: []int{0, 1}})
+	}
+	apart := Placement{Nodes: 2, NodeOf: map[int]int{0: 0, 1: 1}}
+	cm := CostModel{Local: 1, Remote: 10}
+
+	noCache := Evaluate(apart, parts, w, cm, false)
+	withCache := Evaluate(apart, parts, w, cm, true)
+	if withCache.AccessCost >= noCache.AccessCost {
+		t.Errorf("cache must cut cost: %v vs %v", withCache.AccessCost, noCache.AccessCost)
+	}
+	if withCache.Footprint <= noCache.Footprint {
+		t.Errorf("cache must grow footprint: %v vs %v", withCache.Footprint, noCache.Footprint)
+	}
+	// First access remote (10 + 1 local for home part), then 9×2 local.
+	if withCache.AccessCost != 10+1+18 {
+		t.Errorf("cached cost = %v", withCache.AccessCost)
+	}
+}
+
+func TestAffinityBeatsBaselinesWithoutCacheDuplication(t *testing.T) {
+	// The OS.4 headline: affinity placement achieves near-local cost at
+	// base footprint, while round-robin needs duplicated caches to match.
+	parts, w := groupedWorkload(8, 4, 400, 5)
+	aff := NewAffinity()
+	aff.ObserveWorkload(w)
+	cm := CostModel{Local: 1, Remote: 10}
+
+	affinity := Evaluate(AffinityPlace(parts, aff, 4, 8), parts, w, cm, false)
+	rr := Evaluate(RoundRobin(parts, 4), parts, w, cm, false)
+	rrCached := Evaluate(RoundRobin(parts, 4), parts, w, cm, true)
+
+	if affinity.AccessCost >= rr.AccessCost {
+		t.Errorf("affinity %v must beat round-robin %v", affinity.AccessCost, rr.AccessCost)
+	}
+	if affinity.RemoteFraction != 0 {
+		t.Errorf("grouped workload should be fully local: %v", affinity.RemoteFraction)
+	}
+	// Caching lets round-robin approach affinity's cost but pays memory.
+	if rrCached.Footprint <= affinity.Footprint {
+		t.Errorf("round-robin+cache footprint %v must exceed affinity %v",
+			rrCached.Footprint, affinity.Footprint)
+	}
+}
+
+func TestBalanceDegenerate(t *testing.T) {
+	if b := Balance(Placement{Nodes: 2, NodeOf: map[int]int{}}, nil); b != 1 {
+		t.Errorf("empty balance = %v", b)
+	}
+}
+
+func TestHomeNodePlurality(t *testing.T) {
+	p := Placement{Nodes: 3, NodeOf: map[int]int{0: 2, 1: 2, 2: 0}}
+	if h := homeNode(p, Access{Parts: []int{0, 1, 2}}); h != 2 {
+		t.Errorf("home = %d, want 2 (plurality)", h)
+	}
+}

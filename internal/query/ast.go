@@ -1,0 +1,300 @@
+// Package query implements SCQL, the unified query language of the
+// self-curating database (paper FS.5): one declarative language combining
+// relational selection/projection/join/aggregation, semantic predicates
+// that consult the ontology and reasoner (ISA), graph-traversal predicates
+// over the relation layer (REACHES, LINKED), and fuzzy closeness (CLOSE),
+// with answer-semantics modifiers (UNDER CERTAIN / UNDER FUZZY t) for
+// queries over parallel worlds.
+//
+// The package provides the lexer, parser, logical plan, and executor; the
+// optimizer package rewrites plans using the semantic layer (OS.3).
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"scdb/internal/model"
+)
+
+// Expr is a SCQL expression.
+type Expr interface {
+	fmt.Stringer
+}
+
+// Literal is a constant value.
+type Literal struct {
+	Val model.Value
+}
+
+func (l *Literal) String() string { return sqlValue(l.Val) }
+
+// sqlValue renders a value in SCQL literal syntax (single-quoted strings
+// with '' escaping); other kinds use their natural rendering.
+func sqlValue(v model.Value) string {
+	if s, ok := v.AsString(); ok {
+		return "'" + strings.ReplaceAll(s, "'", "''") + "'"
+	}
+	return v.String()
+}
+
+// ColRef references a column, optionally qualified by a binding (table
+// alias).
+type ColRef struct {
+	Binding string
+	Name    string
+}
+
+func (c *ColRef) String() string {
+	if c.Binding != "" {
+		return quoteName(c.Binding) + "." + quoteName(c.Name)
+	}
+	return quoteName(c.Name)
+}
+
+// Unary is -x or NOT x.
+type Unary struct {
+	Op string // "-" or "NOT"
+	X  Expr
+}
+
+func (u *Unary) String() string { return fmt.Sprintf("(%s %s)", u.Op, u.X) }
+
+// Binary is a binary operation: arithmetic (+ - * /), comparison
+// (= != < <= > >=), or logical (AND OR).
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+func (b *Binary) String() string { return fmt.Sprintf("(%s %s %s)", b.L, b.Op, b.R) }
+
+// IsNull is "x IS NULL" (or IS NOT NULL when Negate).
+type IsNull struct {
+	X      Expr
+	Negate bool
+}
+
+func (i *IsNull) String() string {
+	if i.Negate {
+		return fmt.Sprintf("(%s IS NOT NULL)", i.X)
+	}
+	return fmt.Sprintf("(%s IS NULL)", i.X)
+}
+
+// InList is "x IN (v1, v2, ...)".
+type InList struct {
+	X    Expr
+	Vals []model.Value
+}
+
+func (i *InList) String() string {
+	parts := make([]string, len(i.Vals))
+	for j, v := range i.Vals {
+		parts[j] = sqlValue(v)
+	}
+	return fmt.Sprintf("(%s IN (%s))", i.X, strings.Join(parts, ", "))
+}
+
+// Like is "x LIKE pattern" with % and _ wildcards.
+type Like struct {
+	X       Expr
+	Pattern string
+}
+
+func (l *Like) String() string {
+	return fmt.Sprintf("(%s LIKE %s)", l.X, sqlValue(model.String(l.Pattern)))
+}
+
+// Call is a function call: aggregates (COUNT, SUM, AVG, MIN, MAX) and the
+// semantic/graph builtins (ISA, REACHES, LINKED, CLOSE, TYPES).
+type Call struct {
+	Name string // canonical upper case
+	Args []Expr
+	Star bool // COUNT(*)
+}
+
+func (c *Call) String() string {
+	if c.Star {
+		return c.Name + "(*)"
+	}
+	parts := make([]string, len(c.Args))
+	for i, a := range c.Args {
+		parts[i] = a.String()
+	}
+	return fmt.Sprintf("%s(%s)", c.Name, strings.Join(parts, ", "))
+}
+
+// SelectItem is one projected expression with an optional alias.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+}
+
+// Label returns the output column name.
+func (s SelectItem) Label() string {
+	if s.Alias != "" {
+		return s.Alias
+	}
+	return s.Expr.String()
+}
+
+// TableRef names a FROM or JOIN source with an optional alias. The name
+// resolves to a storage table or, failing that, an ontology concept
+// (scanning the entities holding it) — the unification of tabular and
+// semantic data in one FROM clause.
+type TableRef struct {
+	Name  string
+	Alias string
+}
+
+// Binding returns the name expressions use to reference this source.
+func (t TableRef) Binding() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Name
+}
+
+// JoinClause is one JOIN ... ON ....
+type JoinClause struct {
+	Table TableRef
+	On    Expr
+}
+
+// OrderKey is one ORDER BY key.
+type OrderKey struct {
+	Expr Expr
+	Desc bool
+}
+
+// AnswerMode selects the answer semantics for queries over conflicting
+// parallel worlds (Section 4.2).
+type AnswerMode int
+
+const (
+	// AnswerDefault returns all rows that satisfy the query.
+	AnswerDefault AnswerMode = iota
+	// AnswerCertain keeps only answers every world supports.
+	AnswerCertain
+	// AnswerFuzzy keeps answers justified to at least Stmt.FuzzyThreshold
+	// in some world.
+	AnswerFuzzy
+)
+
+// SelectStmt is a parsed SCQL SELECT.
+type SelectStmt struct {
+	Star     bool
+	Distinct bool
+	Items    []SelectItem
+	From     TableRef
+	Joins    []JoinClause
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderKey
+	Limit    int // -1 when absent
+
+	// Semantics is set by WITH SEMANTICS: ISA consults inferred types and
+	// the optimizer may use semantic rewrites.
+	Semantics bool
+	// Mode and FuzzyThreshold come from UNDER CERTAIN / UNDER FUZZY(t).
+	Mode           AnswerMode
+	FuzzyThreshold float64
+}
+
+// String reassembles a canonical form of the statement (for EXPLAIN and
+// the refinement engine, which manipulates statements programmatically).
+func (s *SelectStmt) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	if s.Star {
+		b.WriteString("*")
+	} else {
+		parts := make([]string, len(s.Items))
+		for i, it := range s.Items {
+			parts[i] = it.Expr.String()
+			if it.Alias != "" {
+				parts[i] += " AS " + quoteName(it.Alias)
+			}
+		}
+		b.WriteString(strings.Join(parts, ", "))
+	}
+	b.WriteString(" FROM " + quoteName(s.From.Name))
+	if s.From.Alias != "" {
+		b.WriteString(" AS " + quoteName(s.From.Alias))
+	}
+	for _, j := range s.Joins {
+		b.WriteString(" JOIN " + quoteName(j.Table.Name))
+		if j.Table.Alias != "" {
+			b.WriteString(" AS " + quoteName(j.Table.Alias))
+		}
+		b.WriteString(" ON " + j.On.String())
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE " + s.Where.String())
+	}
+	if len(s.GroupBy) > 0 {
+		parts := make([]string, len(s.GroupBy))
+		for i, g := range s.GroupBy {
+			parts[i] = g.String()
+		}
+		b.WriteString(" GROUP BY " + strings.Join(parts, ", "))
+	}
+	if s.Having != nil {
+		b.WriteString(" HAVING " + s.Having.String())
+	}
+	if len(s.OrderBy) > 0 {
+		parts := make([]string, len(s.OrderBy))
+		for i, o := range s.OrderBy {
+			parts[i] = o.Expr.String()
+			if o.Desc {
+				parts[i] += " DESC"
+			}
+		}
+		b.WriteString(" ORDER BY " + strings.Join(parts, ", "))
+	}
+	if s.Limit >= 0 {
+		fmt.Fprintf(&b, " LIMIT %d", s.Limit)
+	}
+	if s.Semantics {
+		b.WriteString(" WITH SEMANTICS")
+	}
+	switch s.Mode {
+	case AnswerCertain:
+		b.WriteString(" UNDER CERTAIN")
+	case AnswerFuzzy:
+		fmt.Fprintf(&b, " UNDER FUZZY(%g)", s.FuzzyThreshold)
+	}
+	return b.String()
+}
+
+// quoteName wraps any name that would not lex back as a plain identifier
+// (spaces, punctuation, leading digits, keywords) in double quotes.
+func quoteName(n string) string {
+	if isPlainIdent(n) {
+		return n
+	}
+	return `"` + n + `"`
+}
+
+func isPlainIdent(n string) bool {
+	if n == "" || keywords[strings.ToUpper(n)] {
+		return false
+	}
+	for i, r := range n {
+		switch {
+		case r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z'):
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

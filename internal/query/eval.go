@@ -1,0 +1,501 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"scdb/internal/model"
+)
+
+// Env is what the executor needs from the database: tabular scans from the
+// instance layer, concept scans and semantic predicates from the relation
+// and semantic layers. The core package implements it over the real engine;
+// tests implement it over fixtures.
+type Env interface {
+	// ScanTable returns the records of a storage table, reporting whether
+	// the table exists.
+	ScanTable(name string) ([]model.Record, bool)
+	// ScanConcept returns one record per entity holding the concept
+	// (attributes plus "_id" ref and "_key"), reporting whether the
+	// concept is known. With semantic=false only asserted types count.
+	ScanConcept(concept string, semantic bool) ([]model.Record, bool)
+	// IsA reports whether the entity reference holds the concept.
+	IsA(v model.Value, concept string, semantic bool) model.Truth
+	// Reaches reports whether the entity reference reaches the entity
+	// named target (by key or name) within k hops over pred ("" = any).
+	Reaches(from model.Value, target string, k int, pred string) model.Truth
+	// Linked reports whether an edge with pred ("" = any) connects the two
+	// entity references.
+	Linked(a, b model.Value, pred string) model.Truth
+	// TypesOf returns the entity's types as a list value.
+	TypesOf(v model.Value, semantic bool) model.Value
+	// PredictType returns the statistical layer's best type prediction for
+	// the entity as a string value (null when no model or no entity) — the
+	// ML extension of the unified language FS.5 asks about.
+	PredictType(v model.Value) model.Value
+}
+
+// Row is one tuple flowing through the executor: values keyed by
+// "binding\x00column", plus the set of bindings present (so that a missing
+// attribute of a known binding reads as null — the open-world reading of
+// heterogeneous records).
+type Row struct {
+	vals     map[string]model.Value
+	bindings map[string]bool
+}
+
+func newRow() Row {
+	return Row{vals: map[string]model.Value{}, bindings: map[string]bool{}}
+}
+
+func rowKey(binding, name string) string { return binding + "\x00" + name }
+
+// Set stores a value under binding.name.
+func (r Row) Set(binding, name string, v model.Value) {
+	r.vals[rowKey(binding, name)] = v
+	r.bindings[binding] = true
+}
+
+// merge combines two rows (for joins); bindings must be disjoint.
+func (r Row) merge(o Row) Row {
+	out := newRow()
+	for k, v := range r.vals {
+		out.vals[k] = v
+	}
+	for k, v := range o.vals {
+		out.vals[k] = v
+	}
+	for b := range r.bindings {
+		out.bindings[b] = true
+	}
+	for b := range o.bindings {
+		out.bindings[b] = true
+	}
+	return out
+}
+
+// Lookup resolves a column reference. Qualified references to a known
+// binding read null when the attribute is absent; unqualified references
+// resolve when exactly one binding carries the name, read null when no
+// binding does, and error when ambiguous.
+func (r Row) Lookup(binding, name string) (model.Value, error) {
+	if binding != "" {
+		if v, ok := r.vals[rowKey(binding, name)]; ok {
+			return v, nil
+		}
+		if r.bindings[binding] {
+			return model.Null(), nil
+		}
+		return model.Null(), fmt.Errorf("query: unknown binding %q", binding)
+	}
+	var found model.Value
+	matches := 0
+	suffix := "\x00" + name
+	for k, v := range r.vals {
+		if strings.HasSuffix(k, suffix) {
+			found = v
+			matches++
+		}
+	}
+	switch matches {
+	case 0:
+		return model.Null(), nil
+	case 1:
+		return found, nil
+	}
+	return model.Null(), fmt.Errorf("query: ambiguous column %q", name)
+}
+
+// evalCtx carries evaluation state.
+type evalCtx struct {
+	env      Env
+	semantic bool
+}
+
+// truth3 interprets a value as three-valued truth: null is Unknown.
+func truth3(v model.Value) (model.Truth, error) {
+	if v.IsNull() {
+		return model.Unknown, nil
+	}
+	if b, ok := v.AsBool(); ok {
+		return model.TruthOf(b), nil
+	}
+	return model.Unknown, fmt.Errorf("query: value %s is not boolean", v)
+}
+
+// truthValue renders three-valued truth back as a value: Unknown is null.
+func truthValue(t model.Truth) model.Value {
+	switch t {
+	case model.True:
+		return model.Bool(true)
+	case model.False:
+		return model.Bool(false)
+	}
+	return model.Null()
+}
+
+// Eval evaluates the expression against a row.
+func (c *evalCtx) Eval(e Expr, row Row) (model.Value, error) {
+	switch e := e.(type) {
+	case *Literal:
+		return e.Val, nil
+	case *ColRef:
+		return row.Lookup(e.Binding, e.Name)
+	case *Unary:
+		return c.evalUnary(e, row)
+	case *Binary:
+		return c.evalBinary(e, row)
+	case *IsNull:
+		v, err := c.Eval(e.X, row)
+		if err != nil {
+			return model.Value{}, err
+		}
+		return model.Bool(v.IsNull() != e.Negate), nil
+	case *InList:
+		return c.evalIn(e, row)
+	case *Like:
+		v, err := c.Eval(e.X, row)
+		if err != nil {
+			return model.Value{}, err
+		}
+		if v.IsNull() {
+			return model.Null(), nil
+		}
+		s, ok := v.AsString()
+		if !ok {
+			s = v.Text()
+		}
+		return model.Bool(likeMatch(e.Pattern, s)), nil
+	case *Call:
+		return c.evalCall(e, row)
+	}
+	return model.Value{}, fmt.Errorf("query: cannot evaluate %T", e)
+}
+
+func (c *evalCtx) evalUnary(e *Unary, row Row) (model.Value, error) {
+	v, err := c.Eval(e.X, row)
+	if err != nil {
+		return model.Value{}, err
+	}
+	switch e.Op {
+	case "-":
+		if v.IsNull() {
+			return model.Null(), nil
+		}
+		if i, ok := v.AsInt(); ok {
+			return model.Int(-i), nil
+		}
+		if f, ok := v.AsFloat(); ok {
+			return model.Float(-f), nil
+		}
+		return model.Value{}, fmt.Errorf("query: cannot negate %s", v)
+	case "NOT":
+		t, err := truth3(v)
+		if err != nil {
+			return model.Value{}, err
+		}
+		return truthValue(t.Not()), nil
+	}
+	return model.Value{}, fmt.Errorf("query: unknown unary op %q", e.Op)
+}
+
+func (c *evalCtx) evalBinary(e *Binary, row Row) (model.Value, error) {
+	switch e.Op {
+	case "AND", "OR":
+		lv, err := c.Eval(e.L, row)
+		if err != nil {
+			return model.Value{}, err
+		}
+		lt, err := truth3(lv)
+		if err != nil {
+			return model.Value{}, err
+		}
+		// Short-circuit where three-valued logic allows.
+		if e.Op == "AND" && lt == model.False {
+			return model.Bool(false), nil
+		}
+		if e.Op == "OR" && lt == model.True {
+			return model.Bool(true), nil
+		}
+		rv, err := c.Eval(e.R, row)
+		if err != nil {
+			return model.Value{}, err
+		}
+		rt, err := truth3(rv)
+		if err != nil {
+			return model.Value{}, err
+		}
+		if e.Op == "AND" {
+			return truthValue(lt.And(rt)), nil
+		}
+		return truthValue(lt.Or(rt)), nil
+	}
+
+	lv, err := c.Eval(e.L, row)
+	if err != nil {
+		return model.Value{}, err
+	}
+	rv, err := c.Eval(e.R, row)
+	if err != nil {
+		return model.Value{}, err
+	}
+	switch e.Op {
+	case "=", "!=", "<", "<=", ">", ">=":
+		if lv.IsNull() || rv.IsNull() {
+			return model.Null(), nil
+		}
+		cmp, err := model.Compare(lv, rv)
+		if err != nil {
+			// Incomparable kinds: heterogeneity reads as Unknown, not as a
+			// query failure (the "systematic treatment" rule).
+			if e.Op == "=" {
+				return model.Bool(false), nil
+			}
+			if e.Op == "!=" {
+				return model.Bool(true), nil
+			}
+			return model.Null(), nil
+		}
+		var b bool
+		switch e.Op {
+		case "=":
+			b = cmp == 0
+		case "!=":
+			b = cmp != 0
+		case "<":
+			b = cmp < 0
+		case "<=":
+			b = cmp <= 0
+		case ">":
+			b = cmp > 0
+		case ">=":
+			b = cmp >= 0
+		}
+		return model.Bool(b), nil
+	case "+", "-", "*", "/":
+		if lv.IsNull() || rv.IsNull() {
+			return model.Null(), nil
+		}
+		lf, lok := lv.AsFloat()
+		rf, rok := rv.AsFloat()
+		if !lok || !rok {
+			if e.Op == "+" {
+				// String concatenation.
+				if ls, ok := lv.AsString(); ok {
+					return model.String(ls + rv.Text()), nil
+				}
+			}
+			return model.Value{}, fmt.Errorf("query: %s needs numeric operands, got %s and %s", e.Op, lv, rv)
+		}
+		li, lInt := lv.AsInt()
+		ri, rInt := rv.AsInt()
+		switch e.Op {
+		case "+":
+			if lInt && rInt {
+				return model.Int(li + ri), nil
+			}
+			return model.Float(lf + rf), nil
+		case "-":
+			if lInt && rInt {
+				return model.Int(li - ri), nil
+			}
+			return model.Float(lf - rf), nil
+		case "*":
+			if lInt && rInt {
+				return model.Int(li * ri), nil
+			}
+			return model.Float(lf * rf), nil
+		case "/":
+			if rf == 0 {
+				return model.Null(), nil
+			}
+			return model.Float(lf / rf), nil
+		}
+	}
+	return model.Value{}, fmt.Errorf("query: unknown operator %q", e.Op)
+}
+
+func (c *evalCtx) evalIn(e *InList, row Row) (model.Value, error) {
+	v, err := c.Eval(e.X, row)
+	if err != nil {
+		return model.Value{}, err
+	}
+	if v.IsNull() {
+		return model.Null(), nil
+	}
+	sawNull := false
+	for _, cand := range e.Vals {
+		if cand.IsNull() {
+			sawNull = true
+			continue
+		}
+		if model.Equal(v, cand) {
+			return model.Bool(true), nil
+		}
+	}
+	if sawNull {
+		return model.Null(), nil
+	}
+	return model.Bool(false), nil
+}
+
+// aggFuncs are handled by the Aggregate operator, not scalar evaluation.
+var aggFuncs = map[string]bool{"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true}
+
+func (c *evalCtx) evalCall(e *Call, row Row) (model.Value, error) {
+	if aggFuncs[e.Name] {
+		return model.Value{}, fmt.Errorf("query: aggregate %s used outside SELECT/HAVING aggregation", e.Name)
+	}
+	argv := make([]model.Value, len(e.Args))
+	for i, a := range e.Args {
+		v, err := c.Eval(a, row)
+		if err != nil {
+			return model.Value{}, err
+		}
+		argv[i] = v
+	}
+	switch e.Name {
+	case "ISA":
+		if len(argv) != 2 {
+			return model.Value{}, fmt.Errorf("query: ISA(ref, concept) takes 2 arguments")
+		}
+		concept, ok := argv[1].AsString()
+		if !ok {
+			return model.Value{}, fmt.Errorf("query: ISA concept must be a string")
+		}
+		return truthValue(c.env.IsA(argv[0], concept, c.semantic)), nil
+	case "REACHES":
+		if len(argv) < 3 || len(argv) > 4 {
+			return model.Value{}, fmt.Errorf("query: REACHES(ref, target, k [, pred]) takes 3-4 arguments")
+		}
+		target, ok := argv[1].AsString()
+		if !ok {
+			return model.Value{}, fmt.Errorf("query: REACHES target must be a string")
+		}
+		k, ok := argv[2].AsInt()
+		if !ok {
+			return model.Value{}, fmt.Errorf("query: REACHES hop count must be an integer")
+		}
+		pred := ""
+		if len(argv) == 4 {
+			pred, ok = argv[3].AsString()
+			if !ok {
+				return model.Value{}, fmt.Errorf("query: REACHES predicate must be a string")
+			}
+		}
+		return truthValue(c.env.Reaches(argv[0], target, int(k), pred)), nil
+	case "LINKED":
+		if len(argv) < 2 || len(argv) > 3 {
+			return model.Value{}, fmt.Errorf("query: LINKED(a, b [, pred]) takes 2-3 arguments")
+		}
+		pred := ""
+		if len(argv) == 3 {
+			var ok bool
+			pred, ok = argv[2].AsString()
+			if !ok {
+				return model.Value{}, fmt.Errorf("query: LINKED predicate must be a string")
+			}
+		}
+		return truthValue(c.env.Linked(argv[0], argv[1], pred)), nil
+	case "CLOSE":
+		if len(argv) != 3 {
+			return model.Value{}, fmt.Errorf("query: CLOSE(x, target, tol) takes 3 arguments")
+		}
+		x, xok := argv[0].AsFloat()
+		tgt, tok := argv[1].AsFloat()
+		tol, lok := argv[2].AsFloat()
+		if argv[0].IsNull() {
+			return model.Null(), nil
+		}
+		if !xok || !tok || !lok {
+			return model.Value{}, fmt.Errorf("query: CLOSE arguments must be numeric")
+		}
+		return model.Float(float64(model.Closeness(x, tgt, tol))), nil
+	case "TYPES":
+		if len(argv) != 1 {
+			return model.Value{}, fmt.Errorf("query: TYPES(ref) takes 1 argument")
+		}
+		return c.env.TypesOf(argv[0], c.semantic), nil
+	case "PREDICT":
+		if len(argv) != 1 {
+			return model.Value{}, fmt.Errorf("query: PREDICT(ref) takes 1 argument")
+		}
+		return c.env.PredictType(argv[0]), nil
+	case "LOWER", "UPPER":
+		if len(argv) != 1 {
+			return model.Value{}, fmt.Errorf("query: %s takes 1 argument", e.Name)
+		}
+		if argv[0].IsNull() {
+			return model.Null(), nil
+		}
+		s := argv[0].Text()
+		if e.Name == "LOWER" {
+			return model.String(strings.ToLower(s)), nil
+		}
+		return model.String(strings.ToUpper(s)), nil
+	case "LENGTH":
+		if len(argv) != 1 {
+			return model.Value{}, fmt.Errorf("query: LENGTH takes 1 argument")
+		}
+		if argv[0].IsNull() {
+			return model.Null(), nil
+		}
+		if l, ok := argv[0].AsList(); ok {
+			return model.Int(int64(len(l))), nil
+		}
+		return model.Int(int64(len(argv[0].Text()))), nil
+	case "ABS":
+		if len(argv) != 1 {
+			return model.Value{}, fmt.Errorf("query: ABS takes 1 argument")
+		}
+		if argv[0].IsNull() {
+			return model.Null(), nil
+		}
+		if i, ok := argv[0].AsInt(); ok {
+			if i < 0 {
+				i = -i
+			}
+			return model.Int(i), nil
+		}
+		if f, ok := argv[0].AsFloat(); ok {
+			if f < 0 {
+				f = -f
+			}
+			return model.Float(f), nil
+		}
+		return model.Value{}, fmt.Errorf("query: ABS needs a numeric argument")
+	case "COALESCE":
+		for _, v := range argv {
+			if !v.IsNull() {
+				return v, nil
+			}
+		}
+		return model.Null(), nil
+	}
+	return model.Value{}, fmt.Errorf("query: unknown function %s", e.Name)
+}
+
+// likeMatch implements SQL LIKE with % (any run) and _ (any single rune),
+// case-insensitively.
+func likeMatch(pattern, s string) bool {
+	return likeRunes([]rune(strings.ToLower(pattern)), []rune(strings.ToLower(s)))
+}
+
+func likeRunes(p, s []rune) bool {
+	if len(p) == 0 {
+		return len(s) == 0
+	}
+	switch p[0] {
+	case '%':
+		for i := 0; i <= len(s); i++ {
+			if likeRunes(p[1:], s[i:]) {
+				return true
+			}
+		}
+		return false
+	case '_':
+		return len(s) > 0 && likeRunes(p[1:], s[1:])
+	default:
+		return len(s) > 0 && s[0] == p[0] && likeRunes(p[1:], s[1:])
+	}
+}

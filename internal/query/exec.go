@@ -1,0 +1,497 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"scdb/internal/model"
+)
+
+// Result is a materialized query result.
+type Result struct {
+	Columns []string
+	Rows    [][]model.Value
+}
+
+// Execute runs the plan against the environment. semantic enables inferred
+// types in ISA/ConceptScan (the WITH SEMANTICS modifier).
+func Execute(n Node, env Env, semantic bool) (*Result, error) {
+	ctx := &evalCtx{env: env, semantic: semantic}
+	rows, cols, err := run(n, ctx)
+	if err != nil {
+		return nil, err
+	}
+	if cols == nil {
+		// The plan's top produced raw rows (no projection) — normalize.
+		cols = unionColumns(rows)
+	}
+	res := &Result{Columns: cols}
+	for _, r := range rows {
+		out := make([]model.Value, len(cols))
+		for i, c := range cols {
+			out[i] = r.vals[outKey(c, r)]
+		}
+		res.Rows = append(res.Rows, out)
+	}
+	return res, nil
+}
+
+// outKey maps a display column back to the row key.
+func outKey(col string, r Row) string {
+	if k, ok := displayToKey(col, r); ok {
+		return k
+	}
+	return "\x00" + col
+}
+
+func displayToKey(col string, r Row) (string, bool) {
+	if i := strings.Index(col, "."); i >= 0 {
+		k := rowKey(col[:i], col[i+1:])
+		if _, ok := r.vals[k]; ok {
+			return k, true
+		}
+	}
+	k := rowKey("", col)
+	if _, ok := r.vals[k]; ok {
+		return k, true
+	}
+	// Single-binding shortcut: column without qualifier.
+	for key := range r.vals {
+		if strings.HasSuffix(key, "\x00"+col) {
+			return key, true
+		}
+	}
+	return "", false
+}
+
+// run evaluates a plan node to rows; cols is non-nil once a projection or
+// aggregation fixed the output schema (binding "" labels).
+func run(n Node, ctx *evalCtx) (rows []Row, cols []string, err error) {
+	switch n := n.(type) {
+	case *ScanNode:
+		recs, ok := ctx.env.ScanTable(n.Table)
+		if !ok {
+			return nil, nil, fmt.Errorf("query: unknown table %q", n.Table)
+		}
+		return bindRecords(recs, n.Binding), nil, nil
+	case *ConceptScanNode:
+		recs, ok := ctx.env.ScanConcept(n.Concept, n.Semantic || ctx.semantic)
+		if !ok {
+			return nil, nil, fmt.Errorf("query: unknown concept %q", n.Concept)
+		}
+		return bindRecords(recs, n.Binding), nil, nil
+	case *EmptyNode:
+		return nil, nil, nil
+	case *FilterNode:
+		in, cols, err := run(n.Input, ctx)
+		if err != nil {
+			return nil, nil, err
+		}
+		var out []Row
+		for _, r := range in {
+			v, err := ctx.Eval(n.Pred, r)
+			if err != nil {
+				return nil, nil, err
+			}
+			t, err := truth3(v)
+			if err != nil {
+				return nil, nil, err
+			}
+			if t == model.True {
+				out = append(out, r)
+			}
+		}
+		return out, cols, nil
+	case *JoinNode:
+		return runJoin(n, ctx)
+	case *ProjectNode:
+		in, _, err := run(n.Input, ctx)
+		if err != nil {
+			return nil, nil, err
+		}
+		if n.Star {
+			return in, unionColumns(in), nil
+		}
+		cols := make([]string, len(n.Items))
+		for i, it := range n.Items {
+			cols[i] = it.Label()
+		}
+		var out []Row
+		for _, r := range in {
+			nr := newRow()
+			for i, it := range n.Items {
+				v, err := ctx.Eval(it.Expr, r)
+				if err != nil {
+					return nil, nil, err
+				}
+				nr.Set("", cols[i], v)
+			}
+			out = append(out, nr)
+		}
+		return out, cols, nil
+	case *AggregateNode:
+		return runAggregate(n, ctx)
+	case *DistinctNode:
+		in, cols, err := run(n.Input, ctx)
+		if err != nil {
+			return nil, nil, err
+		}
+		seen := map[uint64]bool{}
+		var out []Row
+		for _, r := range in {
+			h := rowHash(r)
+			if !seen[h] {
+				seen[h] = true
+				out = append(out, r)
+			}
+		}
+		return out, cols, nil
+	case *SortNode:
+		in, cols, err := run(n.Input, ctx)
+		if err != nil {
+			return nil, nil, err
+		}
+		type keyed struct {
+			row  Row
+			keys []model.Value
+		}
+		ks := make([]keyed, len(in))
+		for i, r := range in {
+			kv := make([]model.Value, len(n.Keys))
+			for j, k := range n.Keys {
+				v, err := ctx.Eval(k.Expr, r)
+				if err != nil {
+					return nil, nil, err
+				}
+				kv[j] = v
+			}
+			ks[i] = keyed{r, kv}
+		}
+		sort.SliceStable(ks, func(a, b int) bool {
+			for j, k := range n.Keys {
+				va, vb := ks[a].keys[j], ks[b].keys[j]
+				if model.Equal(va, vb) {
+					continue
+				}
+				less := model.Less(va, vb)
+				if k.Desc {
+					return !less
+				}
+				return less
+			}
+			return false
+		})
+		out := make([]Row, len(ks))
+		for i := range ks {
+			out[i] = ks[i].row
+		}
+		return out, cols, nil
+	case *LimitNode:
+		in, cols, err := run(n.Input, ctx)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(in) > n.N {
+			in = in[:n.N]
+		}
+		return in, cols, nil
+	}
+	return nil, nil, fmt.Errorf("query: cannot execute %T", n)
+}
+
+// rowHash hashes every column of a row, order-independently but
+// key-sensitively, for DISTINCT.
+func rowHash(r Row) uint64 {
+	var h uint64
+	for k, v := range r.vals {
+		h ^= model.String(k).Hash()*31 + v.Hash()
+	}
+	return h
+}
+
+func bindRecords(recs []model.Record, binding string) []Row {
+	rows := make([]Row, len(recs))
+	for i, rec := range recs {
+		r := newRow()
+		r.bindings[binding] = true
+		for k, v := range rec {
+			r.Set(binding, k, v)
+		}
+		rows[i] = r
+	}
+	return rows
+}
+
+// equiJoinCols recognizes "a.x = b.y" predicates joining the two sides.
+func equiJoinCols(on Expr) (l, r *ColRef, ok bool) {
+	b, isBin := on.(*Binary)
+	if !isBin || b.Op != "=" {
+		return nil, nil, false
+	}
+	lc, lok := b.L.(*ColRef)
+	rc, rok := b.R.(*ColRef)
+	if !lok || !rok || lc.Binding == "" || rc.Binding == "" {
+		return nil, nil, false
+	}
+	return lc, rc, true
+}
+
+func runJoin(n *JoinNode, ctx *evalCtx) ([]Row, []string, error) {
+	lrows, _, err := run(n.L, ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	rrows, _, err := run(n.R, ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	if lc, rc, ok := equiJoinCols(n.On); ok {
+		// Orient columns to sides.
+		probeCol, buildCol := lc, rc
+		if len(lrows) > 0 && !lrows[0].bindings[lc.Binding] {
+			probeCol, buildCol = rc, lc
+		}
+		// Hash join: build on the smaller side.
+		build, probe := rrows, lrows
+		bCol, pCol := buildCol, probeCol
+		if len(lrows) < len(rrows) {
+			build, probe = lrows, rrows
+			bCol, pCol = probeCol, buildCol
+		}
+		ht := make(map[uint64][]Row, len(build))
+		for _, r := range build {
+			v, err := r.Lookup(bCol.Binding, bCol.Name)
+			if err != nil || v.IsNull() {
+				continue
+			}
+			h := v.Hash()
+			ht[h] = append(ht[h], r)
+		}
+		var out []Row
+		for _, pr := range probe {
+			v, err := pr.Lookup(pCol.Binding, pCol.Name)
+			if err != nil || v.IsNull() {
+				continue
+			}
+			for _, br := range ht[v.Hash()] {
+				bv, _ := br.Lookup(bCol.Binding, bCol.Name)
+				if model.Equal(v, bv) {
+					out = append(out, pr.merge(br))
+				}
+			}
+		}
+		return out, nil, nil
+	}
+	// Nested-loop join with three-valued predicate.
+	var out []Row
+	for _, lr := range lrows {
+		for _, rr := range rrows {
+			merged := lr.merge(rr)
+			v, err := ctx.Eval(n.On, merged)
+			if err != nil {
+				return nil, nil, err
+			}
+			t, err := truth3(v)
+			if err != nil {
+				return nil, nil, err
+			}
+			if t == model.True {
+				out = append(out, merged)
+			}
+		}
+	}
+	return out, nil, nil
+}
+
+func runAggregate(n *AggregateNode, ctx *evalCtx) ([]Row, []string, error) {
+	in, _, err := run(n.Input, ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	cols := make([]string, len(n.Items))
+	for i, it := range n.Items {
+		cols[i] = it.Label()
+	}
+
+	type group struct {
+		keys []model.Value
+		rows []Row
+	}
+	groups := map[uint64]*group{}
+	var order []uint64
+	for _, r := range in {
+		keys := make([]model.Value, len(n.GroupBy))
+		h := uint64(1469598103934665603)
+		for i, g := range n.GroupBy {
+			v, err := ctx.Eval(g, r)
+			if err != nil {
+				return nil, nil, err
+			}
+			keys[i] = v
+			h = h*1099511628211 ^ v.Hash()
+		}
+		gr, ok := groups[h]
+		if !ok {
+			gr = &group{keys: keys}
+			groups[h] = gr
+			order = append(order, h)
+		}
+		gr.rows = append(gr.rows, r)
+	}
+	// A global aggregate over zero rows still yields one group.
+	if len(groups) == 0 && len(n.GroupBy) == 0 {
+		h := uint64(0)
+		groups[h] = &group{}
+		order = append(order, h)
+	}
+
+	var out []Row
+	for _, h := range order {
+		gr := groups[h]
+		if n.Having != nil {
+			hv, err := evalWithAggregates(ctx, n.Having, gr.rows)
+			if err != nil {
+				return nil, nil, err
+			}
+			ht, err := truth3(hv)
+			if err != nil {
+				return nil, nil, err
+			}
+			if ht != model.True {
+				continue
+			}
+		}
+		nr := newRow()
+		for i, it := range n.Items {
+			v, err := evalWithAggregates(ctx, it.Expr, gr.rows)
+			if err != nil {
+				return nil, nil, err
+			}
+			nr.Set("", cols[i], v)
+		}
+		out = append(out, nr)
+	}
+	return out, cols, nil
+}
+
+// evalWithAggregates evaluates an expression in grouped context: aggregate
+// calls collapse the group's rows; everything else evaluates on the first
+// row (the per-group representative, valid for GROUP BY expressions).
+func evalWithAggregates(ctx *evalCtx, e Expr, rows []Row) (model.Value, error) {
+	switch e := e.(type) {
+	case *Call:
+		if aggFuncs[e.Name] {
+			return evalAggregate(ctx, e, rows)
+		}
+	case *Binary:
+		if containsAggregate(e.L) || containsAggregate(e.R) {
+			l, err := evalWithAggregates(ctx, e.L, rows)
+			if err != nil {
+				return model.Value{}, err
+			}
+			r, err := evalWithAggregates(ctx, e.R, rows)
+			if err != nil {
+				return model.Value{}, err
+			}
+			return ctx.Eval(&Binary{Op: e.Op, L: &Literal{Val: l}, R: &Literal{Val: r}}, newRow())
+		}
+	}
+	if len(rows) == 0 {
+		return model.Null(), nil
+	}
+	return ctx.Eval(e, rows[0])
+}
+
+func evalAggregate(ctx *evalCtx, call *Call, rows []Row) (model.Value, error) {
+	if call.Star {
+		if call.Name != "COUNT" {
+			return model.Value{}, fmt.Errorf("query: %s(*) is not valid", call.Name)
+		}
+		return model.Int(int64(len(rows))), nil
+	}
+	if len(call.Args) != 1 {
+		return model.Value{}, fmt.Errorf("query: %s takes exactly 1 argument", call.Name)
+	}
+	var vals []model.Value
+	for _, r := range rows {
+		v, err := ctx.Eval(call.Args[0], r)
+		if err != nil {
+			return model.Value{}, err
+		}
+		if !v.IsNull() {
+			vals = append(vals, v)
+		}
+	}
+	switch call.Name {
+	case "COUNT":
+		return model.Int(int64(len(vals))), nil
+	case "SUM", "AVG":
+		if len(vals) == 0 {
+			return model.Null(), nil
+		}
+		sum := 0.0
+		allInt := true
+		var isum int64
+		for _, v := range vals {
+			f, ok := v.AsFloat()
+			if !ok {
+				return model.Value{}, fmt.Errorf("query: %s over non-numeric value %s", call.Name, v)
+			}
+			sum += f
+			if i, ok := v.AsInt(); ok {
+				isum += i
+			} else {
+				allInt = false
+			}
+		}
+		if call.Name == "SUM" {
+			if allInt {
+				return model.Int(isum), nil
+			}
+			return model.Float(sum), nil
+		}
+		return model.Float(sum / float64(len(vals))), nil
+	case "MIN", "MAX":
+		if len(vals) == 0 {
+			return model.Null(), nil
+		}
+		best := vals[0]
+		for _, v := range vals[1:] {
+			if (call.Name == "MIN" && model.Less(v, best)) ||
+				(call.Name == "MAX" && model.Less(best, v)) {
+				best = v
+			}
+		}
+		return best, nil
+	}
+	return model.Value{}, fmt.Errorf("query: unknown aggregate %s", call.Name)
+}
+
+// unionColumns derives display columns from raw rows: "binding.name" when
+// several bindings exist, bare names otherwise, sorted.
+func unionColumns(rows []Row) []string {
+	keys := map[string]bool{}
+	bindings := map[string]bool{}
+	for _, r := range rows {
+		for k := range r.vals {
+			keys[k] = true
+		}
+		for b := range r.bindings {
+			bindings[b] = true
+		}
+	}
+	multi := len(bindings) > 1
+	var cols []string
+	for k := range keys {
+		i := strings.Index(k, "\x00")
+		b, name := k[:i], k[i+1:]
+		if multi && b != "" {
+			cols = append(cols, b+"."+name)
+		} else {
+			cols = append(cols, name)
+		}
+	}
+	sort.Strings(cols)
+	return cols
+}

@@ -1,0 +1,139 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates lexical token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokOp    // = != < <= > >= + - * / ( ) , .
+	tokQuoted // "double quoted identifier"
+)
+
+// keywords recognized case-insensitively.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "JOIN": true, "ON": true,
+	"AS": true, "AND": true, "OR": true, "NOT": true, "GROUP": true,
+	"BY": true, "ORDER": true, "LIMIT": true, "ASC": true, "DESC": true,
+	"IS": true, "NULL": true, "IN": true, "LIKE": true, "WITH": true,
+	"DISTINCT": true, "HAVING": true,
+	"SEMANTICS": true, "UNDER": true, "CERTAIN": true, "FUZZY": true,
+	"TRUE": true, "FALSE": true,
+}
+
+type token struct {
+	kind tokKind
+	text string // keywords upper-cased; strings unquoted
+	pos  int
+}
+
+// lex tokenizes the input. It returns a descriptive error on malformed
+// input (unterminated string, unexpected rune).
+func lex(src string) ([]token, error) {
+	var toks []token
+	runes := []rune(src)
+	i := 0
+	for i < len(runes) {
+		r := runes[i]
+		switch {
+		case unicode.IsSpace(r):
+			i++
+		case r == '-' && i+1 < len(runes) && runes[i+1] == '-':
+			// SQL line comment: skip to end of line.
+			for i < len(runes) && runes[i] != '\n' {
+				i++
+			}
+		case unicode.IsLetter(r) || r == '_':
+			start := i
+			for i < len(runes) && (unicode.IsLetter(runes[i]) || unicode.IsDigit(runes[i]) || runes[i] == '_') {
+				i++
+			}
+			word := string(runes[start:i])
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				toks = append(toks, token{tokKeyword, up, start})
+			} else {
+				toks = append(toks, token{tokIdent, word, start})
+			}
+		case unicode.IsDigit(r) || (r == '.' && i+1 < len(runes) && unicode.IsDigit(runes[i+1])):
+			start := i
+			seenDot := false
+			for i < len(runes) && (unicode.IsDigit(runes[i]) || (runes[i] == '.' && !seenDot)) {
+				if runes[i] == '.' {
+					// A dot not followed by a digit is a qualifier, not a
+					// decimal point.
+					if i+1 >= len(runes) || !unicode.IsDigit(runes[i+1]) {
+						break
+					}
+					seenDot = true
+				}
+				i++
+			}
+			toks = append(toks, token{tokNumber, string(runes[start:i]), start})
+		case r == '\'':
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < len(runes) {
+				if runes[i] == '\'' {
+					if i+1 < len(runes) && runes[i+1] == '\'' { // escaped ''
+						sb.WriteRune('\'')
+						i += 2
+						continue
+					}
+					closed = true
+					i++
+					break
+				}
+				sb.WriteRune(runes[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("query: unterminated string literal at %d", i)
+			}
+			toks = append(toks, token{tokString, sb.String(), i})
+		case r == '"':
+			i++
+			start := i
+			for i < len(runes) && runes[i] != '"' {
+				i++
+			}
+			if i >= len(runes) {
+				return nil, fmt.Errorf("query: unterminated quoted identifier at %d", start)
+			}
+			toks = append(toks, token{tokQuoted, string(runes[start:i]), start})
+			i++
+		case strings.ContainsRune("=+-*/(),.", r):
+			toks = append(toks, token{tokOp, string(r), i})
+			i++
+		case r == '!' || r == '<' || r == '>':
+			start := i
+			i++
+			if i < len(runes) && runes[i] == '=' {
+				i++
+			}
+			op := string(runes[start:i])
+			if op == "!" {
+				return nil, fmt.Errorf("query: unexpected '!' at %d (use !=)", start)
+			}
+			if op == "<" && i < len(runes) && runes[i] == '>' {
+				op = "!="
+				i++
+			}
+			toks = append(toks, token{tokOp, op, start})
+		default:
+			return nil, fmt.Errorf("query: unexpected character %q at %d", r, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(runes)})
+	return toks, nil
+}

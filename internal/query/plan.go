@@ -1,0 +1,296 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Node is a logical/physical plan node. The tree is built by BuildPlan,
+// rewritten by the optimizer package, and run by Execute.
+type Node interface {
+	// Label renders the node's own line for EXPLAIN output.
+	Label() string
+}
+
+// ScanNode reads a storage table.
+type ScanNode struct {
+	Table   string
+	Binding string
+}
+
+func (n *ScanNode) Label() string { return fmt.Sprintf("Scan %s AS %s", n.Table, n.Binding) }
+
+// ConceptScanNode reads the entities holding an ontology concept — the
+// semantic-layer FROM source.
+type ConceptScanNode struct {
+	Concept  string
+	Binding  string
+	Semantic bool
+}
+
+func (n *ConceptScanNode) Label() string {
+	mode := "asserted"
+	if n.Semantic {
+		mode = "inferred"
+	}
+	return fmt.Sprintf("ConceptScan %q AS %s (%s)", n.Concept, n.Binding, mode)
+}
+
+// EmptyNode produces no rows; the optimizer plants it when semantics prove
+// a query unsatisfiable (OS.3).
+type EmptyNode struct {
+	Reason string
+}
+
+func (n *EmptyNode) Label() string { return "Empty (" + n.Reason + ")" }
+
+// FilterNode keeps rows whose predicate evaluates to True (three-valued:
+// Unknown drops the row).
+type FilterNode struct {
+	Input Node
+	Pred  Expr
+}
+
+func (n *FilterNode) Label() string { return "Filter " + n.Pred.String() }
+
+// JoinNode joins two inputs on a predicate. Equi-joins on column pairs
+// execute as hash joins; anything else falls back to nested loops.
+type JoinNode struct {
+	L, R Node
+	On   Expr
+}
+
+func (n *JoinNode) Label() string { return "Join ON " + n.On.String() }
+
+// ProjectNode computes the SELECT list (or passes rows through for *).
+type ProjectNode struct {
+	Input Node
+	Star  bool
+	Items []SelectItem
+}
+
+func (n *ProjectNode) Label() string {
+	if n.Star {
+		return "Project *"
+	}
+	parts := make([]string, len(n.Items))
+	for i, it := range n.Items {
+		parts[i] = it.Label()
+	}
+	return "Project " + strings.Join(parts, ", ")
+}
+
+// AggregateNode groups and aggregates; Having (optional) filters groups
+// and may contain aggregate calls.
+type AggregateNode struct {
+	Input   Node
+	GroupBy []Expr
+	Items   []SelectItem
+	Having  Expr
+}
+
+func (n *AggregateNode) Label() string {
+	parts := make([]string, len(n.Items))
+	for i, it := range n.Items {
+		parts[i] = it.Label()
+	}
+	l := "Aggregate " + strings.Join(parts, ", ")
+	if len(n.GroupBy) > 0 {
+		var gs []string
+		for _, g := range n.GroupBy {
+			gs = append(gs, g.String())
+		}
+		l += " GROUP BY " + strings.Join(gs, ", ")
+	}
+	if n.Having != nil {
+		l += " HAVING " + n.Having.String()
+	}
+	return l
+}
+
+// DistinctNode deduplicates rows on every visible column, keeping first
+// occurrences.
+type DistinctNode struct {
+	Input Node
+}
+
+func (n *DistinctNode) Label() string { return "Distinct" }
+
+// SortNode orders rows.
+type SortNode struct {
+	Input Node
+	Keys  []OrderKey
+}
+
+func (n *SortNode) Label() string {
+	parts := make([]string, len(n.Keys))
+	for i, k := range n.Keys {
+		parts[i] = k.Expr.String()
+		if k.Desc {
+			parts[i] += " DESC"
+		}
+	}
+	return "Sort " + strings.Join(parts, ", ")
+}
+
+// LimitNode truncates the row stream.
+type LimitNode struct {
+	Input Node
+	N     int
+}
+
+func (n *LimitNode) Label() string { return fmt.Sprintf("Limit %d", n.N) }
+
+// Resolver tells the planner how FROM names resolve. Tables win over
+// concepts on collision.
+type Resolver interface {
+	HasTable(name string) bool
+	HasConcept(name string) bool
+}
+
+// BuildPlan lowers a parsed statement to the canonical plan: left-deep
+// joins over the FROM/JOIN sources, then filter, then aggregation or
+// projection, then sort and limit. The optimizer rewrites this tree.
+func BuildPlan(stmt *SelectStmt, r Resolver) (Node, error) {
+	src, err := sourceNode(stmt.From, r, stmt.Semantics)
+	if err != nil {
+		return nil, err
+	}
+	var root Node = src
+	for _, j := range stmt.Joins {
+		right, err := sourceNode(j.Table, r, stmt.Semantics)
+		if err != nil {
+			return nil, err
+		}
+		root = &JoinNode{L: root, R: right, On: j.On}
+	}
+	if stmt.Where != nil {
+		root = &FilterNode{Input: root, Pred: stmt.Where}
+	}
+
+	hasAgg := false
+	for _, it := range stmt.Items {
+		if containsAggregate(it.Expr) {
+			hasAgg = true
+			break
+		}
+	}
+	if hasAgg || len(stmt.GroupBy) > 0 {
+		if stmt.Star {
+			return nil, fmt.Errorf("query: SELECT * cannot be combined with aggregation")
+		}
+		root = &AggregateNode{Input: root, GroupBy: stmt.GroupBy, Items: stmt.Items, Having: stmt.Having}
+		if stmt.Distinct {
+			root = &DistinctNode{Input: root}
+		}
+		if len(stmt.OrderBy) > 0 {
+			root = &SortNode{Input: root, Keys: stmt.OrderBy}
+		}
+		if stmt.Limit >= 0 {
+			root = &LimitNode{Input: root, N: stmt.Limit}
+		}
+		return root, nil
+	}
+	if stmt.Having != nil {
+		return nil, fmt.Errorf("query: HAVING requires GROUP BY or aggregates")
+	}
+
+	if stmt.Distinct {
+		// DISTINCT deduplicates the projected rows, so projection runs
+		// first; ORDER BY may then only reference selected columns (the
+		// standard SQL restriction).
+		root = &ProjectNode{Input: root, Star: stmt.Star, Items: stmt.Items}
+		root = &DistinctNode{Input: root}
+		if len(stmt.OrderBy) > 0 {
+			root = &SortNode{Input: root, Keys: stmt.OrderBy}
+		}
+		if stmt.Limit >= 0 {
+			root = &LimitNode{Input: root, N: stmt.Limit}
+		}
+		return root, nil
+	}
+
+	if len(stmt.OrderBy) > 0 {
+		root = &SortNode{Input: root, Keys: stmt.OrderBy}
+	}
+	if stmt.Limit >= 0 {
+		root = &LimitNode{Input: root, N: stmt.Limit}
+	}
+	root = &ProjectNode{Input: root, Star: stmt.Star, Items: stmt.Items}
+	return root, nil
+}
+
+func sourceNode(t TableRef, r Resolver, semantic bool) (Node, error) {
+	switch {
+	case r.HasTable(t.Name):
+		return &ScanNode{Table: t.Name, Binding: t.Binding()}, nil
+	case r.HasConcept(t.Name):
+		return &ConceptScanNode{Concept: t.Name, Binding: t.Binding(), Semantic: semantic}, nil
+	}
+	return nil, fmt.Errorf("query: unknown source %q (neither table nor concept)", t.Name)
+}
+
+// containsAggregate reports whether the expression mentions an aggregate
+// function.
+func containsAggregate(e Expr) bool {
+	switch e := e.(type) {
+	case *Call:
+		if aggFuncs[e.Name] {
+			return true
+		}
+		for _, a := range e.Args {
+			if containsAggregate(a) {
+				return true
+			}
+		}
+	case *Unary:
+		return containsAggregate(e.X)
+	case *Binary:
+		return containsAggregate(e.L) || containsAggregate(e.R)
+	case *IsNull:
+		return containsAggregate(e.X)
+	case *InList:
+		return containsAggregate(e.X)
+	case *Like:
+		return containsAggregate(e.X)
+	}
+	return false
+}
+
+// Explain renders the plan tree, one node per line, children indented.
+func Explain(n Node) string {
+	var b strings.Builder
+	explain(&b, n, 0)
+	return b.String()
+}
+
+func explain(b *strings.Builder, n Node, depth int) {
+	b.WriteString(strings.Repeat("  ", depth))
+	b.WriteString(n.Label())
+	b.WriteByte('\n')
+	for _, child := range Children(n) {
+		explain(b, child, depth+1)
+	}
+}
+
+// Children returns the node's inputs (for traversal by Explain and the
+// optimizer).
+func Children(n Node) []Node {
+	switch n := n.(type) {
+	case *FilterNode:
+		return []Node{n.Input}
+	case *JoinNode:
+		return []Node{n.L, n.R}
+	case *ProjectNode:
+		return []Node{n.Input}
+	case *AggregateNode:
+		return []Node{n.Input}
+	case *DistinctNode:
+		return []Node{n.Input}
+	case *SortNode:
+		return []Node{n.Input}
+	case *LimitNode:
+		return []Node{n.Input}
+	}
+	return nil
+}

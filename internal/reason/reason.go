@@ -1,0 +1,459 @@
+// Package reason implements ABox reasoning over the relation layer
+// (paper Section 3.3): given the entity graph (ABox) and the ontology
+// (TBox/RBox), it materializes inferred type memberships (subsumption
+// closure and domain/range inference), existential witnesses ("Acetaminophen
+// is a Drug, and Drug ⊑ ∃hasTarget.Gene, therefore Acetaminophen has some
+// target even though none is asserted"), and inconsistency reports (an
+// entity asserted to belong to disjoint concepts).
+//
+// Inferred facts are kept separate from asserted facts so that they can be
+// retracted when the ontology or the graph changes — the continuous,
+// non-deterministic enrichment whose transactional consequences FS.11
+// examines. Materialization is incremental: only entities affected by a
+// change are re-inferred.
+package reason
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"scdb/internal/graph"
+	"scdb/internal/model"
+	"scdb/internal/ontology"
+)
+
+// Witness records an inferred existential: the entity must have Role to
+// some instance of Filler although no concrete edge is known.
+type Witness struct {
+	Entity model.EntityID
+	Role   string
+	Filler string
+	// Because names the concept whose existential restriction fired.
+	Because string
+}
+
+// Inconsistency reports an entity whose (asserted + inferred) types contain
+// a disjoint pair.
+type Inconsistency struct {
+	Entity   model.EntityID
+	ConceptA string
+	ConceptB string
+}
+
+func (i Inconsistency) String() string {
+	return fmt.Sprintf("entity %d belongs to disjoint concepts %q and %q", i.Entity, i.ConceptA, i.ConceptB)
+}
+
+// Stats summarizes one materialization pass.
+type Stats struct {
+	Entities        int // entities (re-)inferred
+	InferredTypes   int // inferred type memberships currently held
+	Witnesses       int // existential witnesses currently held
+	Inconsistencies int // inconsistencies currently held
+}
+
+// Reasoner maintains the materialized inferences.
+type Reasoner struct {
+	g *graph.Graph
+	o *ontology.Ontology
+
+	mu        sync.RWMutex
+	inferred  map[model.EntityID]map[string]string // entity → concept → justification
+	witnesses map[model.EntityID][]Witness
+	inconsist map[model.EntityID][]Inconsistency
+}
+
+// New creates a reasoner over the given graph and ontology. No inference
+// happens until Materialize is called.
+func New(g *graph.Graph, o *ontology.Ontology) *Reasoner {
+	return &Reasoner{
+		g:         g,
+		o:         o,
+		inferred:  make(map[model.EntityID]map[string]string),
+		witnesses: make(map[model.EntityID][]Witness),
+		inconsist: make(map[model.EntityID][]Inconsistency),
+	}
+}
+
+// Materialize runs a full inference pass over every entity.
+func (r *Reasoner) Materialize() Stats {
+	return r.MaterializeEntities(r.g.EntityIDs())
+}
+
+// MaterializeEntities re-infers the given entities (and nothing else) —
+// the incremental path (FS.1's "adaptively manage instance relations in
+// light of new information"). Callers pass the entities they touched;
+// domain/range inference also depends on edges, so the direct neighbors of
+// each changed entity are re-inferred too.
+func (r *Reasoner) MaterializeEntities(ids []model.EntityID) Stats {
+	affected := make(map[model.EntityID]bool, len(ids)*2)
+	for _, id := range ids {
+		id = r.g.Resolve(id)
+		affected[id] = true
+		for _, nb := range r.g.Neighbors(id, "") {
+			affected[nb] = true
+		}
+		for _, nb := range r.g.Incoming(id) {
+			affected[nb] = true
+		}
+	}
+	order := make([]model.EntityID, 0, len(affected))
+	for id := range affected {
+		order = append(order, id)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, id := range order {
+		r.inferEntityLocked(id)
+	}
+	s := r.statsLocked()
+	s.Entities = len(order)
+	return s
+}
+
+// inferEntityLocked recomputes all inferences for one entity.
+func (r *Reasoner) inferEntityLocked(id model.EntityID) {
+	e, ok := r.g.Entity(id)
+	if !ok {
+		delete(r.inferred, id)
+		delete(r.witnesses, id)
+		delete(r.inconsist, id)
+		return
+	}
+	inf := make(map[string]string)
+
+	// Subsumption closure of asserted types.
+	for _, t := range e.Types {
+		for _, anc := range r.o.Ancestors(t) {
+			if !e.HasType(anc) {
+				inf[anc] = fmt.Sprintf("subsumption: %s ⊑* %s", t, anc)
+			}
+		}
+	}
+
+	// Domain/range inference from edges. An edge with role p implies the
+	// subject belongs to p's domains and entity objects to p's ranges —
+	// under the role hierarchy, so p's ancestors contribute too.
+	for _, edge := range r.g.Edges(id) {
+		for _, d := range r.o.DomainsOf(edge.Predicate) {
+			r.addWithAncestorsLocked(e, inf, d, fmt.Sprintf("domain of %s", edge.Predicate))
+		}
+	}
+	for _, from := range r.g.Incoming(id) {
+		for _, edge := range r.g.Edges(from) {
+			to, ok := edge.To.AsRef()
+			if !ok || r.g.Resolve(to) != id {
+				continue
+			}
+			for _, rng := range r.o.RangesOf(edge.Predicate) {
+				r.addWithAncestorsLocked(e, inf, rng, fmt.Sprintf("range of %s", edge.Predicate))
+			}
+		}
+	}
+	if len(inf) > 0 {
+		r.inferred[id] = inf
+	} else {
+		delete(r.inferred, id)
+	}
+
+	// Existential witnesses: for every restriction C ⊑ ∃R.D on any held
+	// type, check for a concrete R-edge (or sub-role edge) to an entity of
+	// type D; absent one, record a witness.
+	var wits []Witness
+	allTypes := r.typesOfLocked(e, inf)
+	seen := map[ontology.Existential]bool{}
+	for _, t := range allTypes {
+		for _, ex := range r.o.Existentials(t) {
+			if seen[ex] {
+				continue
+			}
+			seen[ex] = true
+			if !r.hasRoleFillerLocked(id, ex.Role, ex.Filler, inf) {
+				wits = append(wits, Witness{Entity: id, Role: ex.Role, Filler: ex.Filler, Because: t})
+			}
+		}
+	}
+	if len(wits) > 0 {
+		sort.Slice(wits, func(i, j int) bool {
+			if wits[i].Role != wits[j].Role {
+				return wits[i].Role < wits[j].Role
+			}
+			return wits[i].Filler < wits[j].Filler
+		})
+		r.witnesses[id] = wits
+	} else {
+		delete(r.witnesses, id)
+	}
+
+	// Inconsistencies: pairwise disjointness over all held types.
+	var incons []Inconsistency
+	for i := 0; i < len(allTypes); i++ {
+		for j := i + 1; j < len(allTypes); j++ {
+			if r.o.AreDisjoint(allTypes[i], allTypes[j]) {
+				incons = append(incons, Inconsistency{Entity: id, ConceptA: allTypes[i], ConceptB: allTypes[j]})
+			}
+		}
+	}
+	if len(incons) > 0 {
+		r.inconsist[id] = incons
+	} else {
+		delete(r.inconsist, id)
+	}
+}
+
+func (r *Reasoner) addWithAncestorsLocked(e *model.Entity, inf map[string]string, c, why string) {
+	if !e.HasType(c) {
+		if _, dup := inf[c]; !dup {
+			inf[c] = why
+		}
+	}
+	for _, anc := range r.o.Ancestors(c) {
+		if !e.HasType(anc) {
+			if _, dup := inf[anc]; !dup {
+				inf[anc] = why + " (then subsumption)"
+			}
+		}
+	}
+}
+
+// typesOfLocked returns asserted + inferred types, sorted.
+func (r *Reasoner) typesOfLocked(e *model.Entity, inf map[string]string) []string {
+	set := make(map[string]bool, len(e.Types)+len(inf))
+	for _, t := range e.Types {
+		set[t] = true
+	}
+	for t := range inf {
+		set[t] = true
+	}
+	res := make([]string, 0, len(set))
+	for t := range set {
+		res = append(res, t)
+	}
+	sort.Strings(res)
+	return res
+}
+
+// hasRoleFillerLocked reports whether the entity has a concrete edge whose
+// predicate specializes role and whose target holds the filler concept
+// (asserted, previously inferred, or by subsumption).
+func (r *Reasoner) hasRoleFillerLocked(id model.EntityID, role, filler string, selfInf map[string]string) bool {
+	for _, edge := range r.g.Edges(id) {
+		if !r.o.SubsumesRole(role, edge.Predicate) {
+			continue
+		}
+		to, ok := edge.To.AsRef()
+		if !ok {
+			continue
+		}
+		to = r.g.Resolve(to)
+		te, ok := r.g.Entity(to)
+		if !ok {
+			continue
+		}
+		for _, t := range te.Types {
+			if t == filler || r.o.Subsumes(filler, t) {
+				return true
+			}
+		}
+		for t := range r.inferred[to] {
+			if t == filler || r.o.Subsumes(filler, t) {
+				return true
+			}
+		}
+	}
+	_ = selfInf
+	return false
+}
+
+func (r *Reasoner) statsLocked() Stats {
+	s := Stats{}
+	for _, m := range r.inferred {
+		s.InferredTypes += len(m)
+	}
+	for _, w := range r.witnesses {
+		s.Witnesses += len(w)
+	}
+	for _, i := range r.inconsist {
+		s.Inconsistencies += len(i)
+	}
+	return s
+}
+
+// Stats returns the current inference counts without re-inferring.
+func (r *Reasoner) Stats() Stats {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.statsLocked()
+}
+
+// EntityTypes returns the entity's asserted plus inferred types, sorted.
+func (r *Reasoner) EntityTypes(id model.EntityID) []string {
+	id = r.g.Resolve(id)
+	e, ok := r.g.Entity(id)
+	if !ok {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.typesOfLocked(e, r.inferred[id])
+}
+
+// HasType reports whether the entity holds the concept, asserted or
+// inferred, or by subsumption from any held type.
+func (r *Reasoner) HasType(id model.EntityID, concept string) bool {
+	for _, t := range r.EntityTypes(id) {
+		if t == concept || r.o.Subsumes(concept, t) {
+			return true
+		}
+	}
+	return false
+}
+
+// Explain returns the justification for the entity holding the concept:
+// "asserted" for asserted types, the inference rule otherwise, or "" if the
+// membership does not hold. Evidence-based answers are a core demand of the
+// paper's query model ("the results must become evidence-based and
+// justified").
+func (r *Reasoner) Explain(id model.EntityID, concept string) string {
+	id = r.g.Resolve(id)
+	e, ok := r.g.Entity(id)
+	if !ok {
+		return ""
+	}
+	if e.HasType(concept) {
+		return "asserted"
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if why, ok := r.inferred[id][concept]; ok {
+		return why
+	}
+	// Subsumption from a held type without materialized entry.
+	for _, t := range r.typesOfLocked(e, r.inferred[id]) {
+		if r.o.Subsumes(concept, t) {
+			return fmt.Sprintf("subsumption: %s ⊑* %s", t, concept)
+		}
+	}
+	return ""
+}
+
+// Instances returns the IDs of all entities holding the concept (asserted
+// or inferred), ascending.
+func (r *Reasoner) Instances(concept string) []model.EntityID {
+	var res []model.EntityID
+	r.g.ForEachEntity(func(e *model.Entity) bool {
+		if r.HasType(e.ID, concept) {
+			res = append(res, e.ID)
+		}
+		return true
+	})
+	return res
+}
+
+// Witnesses returns the existential witnesses held for the entity.
+func (r *Reasoner) Witnesses(id model.EntityID) []Witness {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.witnesses[r.g.Resolve(id)]
+}
+
+// AllWitnesses returns every held witness, ordered by entity.
+func (r *Reasoner) AllWitnesses() []Witness {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ids := make([]model.EntityID, 0, len(r.witnesses))
+	for id := range r.witnesses {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var res []Witness
+	for _, id := range ids {
+		res = append(res, r.witnesses[id]...)
+	}
+	return res
+}
+
+// Inconsistencies returns every held inconsistency, ordered by entity.
+func (r *Reasoner) Inconsistencies() []Inconsistency {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ids := make([]model.EntityID, 0, len(r.inconsist))
+	for id := range r.inconsist {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var res []Inconsistency
+	for _, id := range ids {
+		res = append(res, r.inconsist[id]...)
+	}
+	return res
+}
+
+// NeighborsSem returns the entities related to id by the role under the
+// RBox semantics: concrete edges labeled with any specialization of role,
+// inverse edges when the role has a declared inverse, and — when the role
+// is transitive — the transitive closure of the above.
+func (r *Reasoner) NeighborsSem(id model.EntityID, role string) []model.EntityID {
+	direct := func(id model.EntityID) []model.EntityID {
+		var out []model.EntityID
+		for _, e := range r.g.Edges(id) {
+			if !r.o.SubsumesRole(role, e.Predicate) {
+				continue
+			}
+			if to, ok := e.To.AsRef(); ok {
+				out = append(out, r.g.Resolve(to))
+			}
+		}
+		if inv, ok := r.o.Inverse(role); ok {
+			for _, from := range r.g.Incoming(id) {
+				for _, e := range r.g.Edges(from) {
+					to, ok := e.To.AsRef()
+					if !ok || r.g.Resolve(to) != r.g.Resolve(id) {
+						continue
+					}
+					if r.o.SubsumesRole(inv, e.Predicate) {
+						out = append(out, r.g.Resolve(from))
+					}
+				}
+			}
+		}
+		return out
+	}
+	id = r.g.Resolve(id)
+	if !r.o.IsTransitive(role) {
+		return dedupe(direct(id))
+	}
+	// Transitive closure.
+	seen := map[model.EntityID]bool{id: true}
+	var res []model.EntityID
+	frontier := []model.EntityID{id}
+	for len(frontier) > 0 {
+		var next []model.EntityID
+		for _, cur := range frontier {
+			for _, nb := range direct(cur) {
+				if !seen[nb] {
+					seen[nb] = true
+					next = append(next, nb)
+					res = append(res, nb)
+				}
+			}
+		}
+		frontier = next
+	}
+	return res
+}
+
+func dedupe(ids []model.EntityID) []model.EntityID {
+	seen := make(map[model.EntityID]bool, len(ids))
+	out := ids[:0]
+	for _, id := range ids {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	return out
+}

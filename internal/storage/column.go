@@ -1,0 +1,62 @@
+package storage
+
+import (
+	"sort"
+
+	"scdb/internal/model"
+)
+
+// ColumnSet is a columnar projection of a table: one value vector per
+// attribute, row-aligned. The paper asks whether the relational model could
+// be "further decomposed in non-linear and non-tabular form" (Section 3.1,
+// OS.1); the column set is the conventional columnar baseline that the
+// cluster package's instance-level clustering is compared against.
+type ColumnSet struct {
+	// RowIDs aligns vector positions back to table rows.
+	RowIDs []RowID
+	// Columns maps attribute name to its row-aligned vector; rows lacking
+	// the attribute hold null.
+	Columns map[string][]model.Value
+	names   []string
+}
+
+// ColumnNames returns the attribute names in sorted order.
+func (c *ColumnSet) ColumnNames() []string { return c.names }
+
+// Len returns the number of rows in the projection.
+func (c *ColumnSet) Len() int { return len(c.RowIDs) }
+
+// Columnize materializes a columnar projection of the table at the latest
+// CSN. If attrs is empty, all attributes observed across the table are
+// included (the union schema — heterogeneous rows simply hold nulls in the
+// columns they lack).
+func Columnize(t *Table, attrs ...string) *ColumnSet {
+	var recs []model.Record
+	var ids []RowID
+	t.Scan(func(id RowID, rec model.Record) bool {
+		ids = append(ids, id)
+		recs = append(recs, rec)
+		return true
+	})
+	if len(attrs) == 0 {
+		seen := map[string]bool{}
+		for _, r := range recs {
+			for k := range r {
+				seen[k] = true
+			}
+		}
+		for k := range seen {
+			attrs = append(attrs, k)
+		}
+	}
+	sort.Strings(attrs)
+	cs := &ColumnSet{RowIDs: ids, Columns: make(map[string][]model.Value, len(attrs)), names: attrs}
+	for _, a := range attrs {
+		col := make([]model.Value, len(recs))
+		for i, r := range recs {
+			col[i] = r.Get(a)
+		}
+		cs.Columns[a] = col
+	}
+	return cs
+}

@@ -1,0 +1,371 @@
+// Package storage implements the instance layer of the self-curating
+// database (paper Section 3.1): a multi-versioned table store for raw data
+// instances, with durability via an append-only, checksummed log plus
+// snapshots.
+//
+// Records are flexible attribute maps (model.Record), so structured,
+// semi-structured, and extracted-from-unstructured data share one substrate;
+// the table is a container of heterogeneous instances rather than a rigid
+// relational schema. Multi-versioning (every mutation is stamped with a
+// commit sequence number) is what the transaction layer's snapshot and
+// relaxed isolation levels are built on, and what lets enrichment run
+// concurrently with queries — a prerequisite for FS.11.
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"scdb/internal/model"
+)
+
+// CSN is a commit sequence number: the logical timestamp of the
+// multi-version store. Reads at CSN c observe exactly the mutations
+// committed with a stamp <= c.
+type CSN uint64
+
+// RowID identifies a row within a table. RowIDs are never reused.
+type RowID uint64
+
+// version is one entry in a row's version chain.
+type version struct {
+	rec  model.Record // nil for a delete tombstone
+	from CSN          // commit stamp that created this version
+}
+
+// row is a version chain, newest last.
+type row struct {
+	versions []version
+}
+
+// at returns the record visible at csn, or nil if none.
+func (r *row) at(csn CSN) model.Record {
+	for i := len(r.versions) - 1; i >= 0; i-- {
+		if r.versions[i].from <= csn {
+			return r.versions[i].rec
+		}
+	}
+	return nil
+}
+
+// Table is a named collection of multi-versioned rows.
+type Table struct {
+	name  string
+	store *Store
+
+	mu     sync.RWMutex
+	rows   map[RowID]*row
+	nextID uint64
+	live   int // rows visible at latest CSN
+}
+
+// Name returns the table's name.
+func (t *Table) Name() string { return t.name }
+
+// Store is the instance-layer database: a set of tables sharing one commit
+// clock and one log. A Store opened with an empty directory is purely
+// in-memory.
+type Store struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+	csn    atomic.Uint64
+	wal    *wal // nil when in-memory
+	dir    string
+}
+
+// Open opens (or creates) a store. If dir is empty the store is in-memory
+// and non-durable; otherwise the directory holds a snapshot file and a log,
+// which are replayed on open.
+func Open(dir string) (*Store, error) {
+	s := &Store{tables: make(map[string]*Table), dir: dir}
+	if dir == "" {
+		return s, nil
+	}
+	w, err := openWAL(dir)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open %s: %w", dir, err)
+	}
+	s.wal = w
+	if err := s.recover(); err != nil {
+		w.close()
+		return nil, fmt.Errorf("storage: recover %s: %w", dir, err)
+	}
+	return s, nil
+}
+
+// Close flushes and closes the underlying log.
+func (s *Store) Close() error {
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.close()
+}
+
+// Now returns the latest commit sequence number; a read at Now() sees all
+// committed data.
+func (s *Store) Now() CSN { return CSN(s.csn.Load()) }
+
+// next advances the commit clock and returns the new stamp.
+func (s *Store) next() CSN { return CSN(s.csn.Add(1)) }
+
+// AllocateCSN advances the commit clock on behalf of the transaction
+// layer, which installs a whole write set under the returned stamp.
+func (s *Store) AllocateCSN() CSN { return s.next() }
+
+// CreateTable creates a new empty table. It is an error if the name is
+// already taken.
+func (s *Store) CreateTable(name string) (*Table, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tables[name]; ok {
+		return nil, fmt.Errorf("storage: table %q already exists", name)
+	}
+	t := &Table{name: name, store: s, rows: make(map[RowID]*row)}
+	s.tables[name] = t
+	if s.wal != nil {
+		if err := s.wal.append(opCreateTable, name, 0, nil); err != nil {
+			delete(s.tables, name)
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// EnsureTable returns the named table, creating it if needed.
+func (s *Store) EnsureTable(name string) (*Table, error) {
+	if t, ok := s.Table(name); ok {
+		return t, nil
+	}
+	t, err := s.CreateTable(name)
+	if err != nil {
+		// Lost a race with a concurrent creator; the table exists now.
+		if t2, ok := s.Table(name); ok {
+			return t2, nil
+		}
+		return nil, err
+	}
+	return t, nil
+}
+
+// Table looks up a table by name.
+func (s *Store) Table(name string) (*Table, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[name]
+	return t, ok
+}
+
+// Tables returns the sorted table names.
+func (s *Store) Tables() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Insert appends a new row and returns its ID. The mutation commits
+// immediately with its own CSN.
+func (t *Table) Insert(rec model.Record) (RowID, error) {
+	return t.InsertAt(rec, t.store.next())
+}
+
+// InsertAt appends a new row stamped with the given CSN. It is used by the
+// transaction layer to install a whole write set under one commit stamp.
+func (t *Table) InsertAt(rec model.Record, csn CSN) (RowID, error) {
+	t.mu.Lock()
+	t.nextID++
+	id := RowID(t.nextID)
+	t.rows[id] = &row{versions: []version{{rec: rec, from: csn}}}
+	t.live++
+	t.mu.Unlock()
+	if w := t.store.wal; w != nil {
+		return id, w.append(opInsert, t.name, uint64(id), model.AppendRecord(nil, rec))
+	}
+	return id, nil
+}
+
+// ReserveID allocates a row ID without creating a row, so transactional
+// inserts can hand out their final IDs before commit. Aborted reservations
+// leave gaps, like any sequence.
+func (t *Table) ReserveID() RowID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextID++
+	return RowID(t.nextID)
+}
+
+// InsertReservedAt installs a row under a previously reserved ID with the
+// given commit stamp.
+func (t *Table) InsertReservedAt(id RowID, rec model.Record, csn CSN) error {
+	t.mu.Lock()
+	if _, exists := t.rows[id]; exists {
+		t.mu.Unlock()
+		return fmt.Errorf("storage: %s: reserved row %d already exists", t.name, id)
+	}
+	t.rows[id] = &row{versions: []version{{rec: rec, from: csn}}}
+	t.live++
+	t.mu.Unlock()
+	if w := t.store.wal; w != nil {
+		return w.append(opInsert, t.name, uint64(id), model.AppendRecord(nil, rec))
+	}
+	return nil
+}
+
+// Update replaces the row's record, committing with a fresh CSN.
+func (t *Table) Update(id RowID, rec model.Record) error {
+	return t.UpdateAt(id, rec, t.store.next())
+}
+
+// UpdateAt replaces the row's record under the given commit stamp.
+func (t *Table) UpdateAt(id RowID, rec model.Record, csn CSN) error {
+	t.mu.Lock()
+	r, ok := t.rows[id]
+	if !ok {
+		t.mu.Unlock()
+		return fmt.Errorf("storage: %s: update of unknown row %d", t.name, id)
+	}
+	if r.versions[len(r.versions)-1].rec == nil {
+		t.mu.Unlock()
+		return fmt.Errorf("storage: %s: update of deleted row %d", t.name, id)
+	}
+	r.versions = append(r.versions, version{rec: rec, from: csn})
+	t.mu.Unlock()
+	if w := t.store.wal; w != nil {
+		return w.append(opUpdate, t.name, uint64(id), model.AppendRecord(nil, rec))
+	}
+	return nil
+}
+
+// Delete removes the row (as a tombstone version), committing with a fresh
+// CSN. Older snapshots continue to see the row.
+func (t *Table) Delete(id RowID) error {
+	return t.DeleteAt(id, t.store.next())
+}
+
+// DeleteAt removes the row under the given commit stamp.
+func (t *Table) DeleteAt(id RowID, csn CSN) error {
+	t.mu.Lock()
+	r, ok := t.rows[id]
+	if !ok || r.versions[len(r.versions)-1].rec == nil {
+		t.mu.Unlock()
+		return fmt.Errorf("storage: %s: delete of unknown row %d", t.name, id)
+	}
+	r.versions = append(r.versions, version{rec: nil, from: csn})
+	t.live--
+	t.mu.Unlock()
+	if w := t.store.wal; w != nil {
+		return w.append(opDelete, t.name, uint64(id), nil)
+	}
+	return nil
+}
+
+// Get returns the latest committed version of the row.
+func (t *Table) Get(id RowID) (model.Record, bool) {
+	return t.GetAt(id, t.store.Now())
+}
+
+// GetAt returns the version of the row visible at csn.
+func (t *Table) GetAt(id RowID, csn CSN) (model.Record, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	r, ok := t.rows[id]
+	if !ok {
+		return nil, false
+	}
+	rec := r.at(csn)
+	return rec, rec != nil
+}
+
+// Len returns the number of live rows at the latest CSN.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.live
+}
+
+// Scan visits every live row at the latest CSN in RowID order. The callback
+// must not mutate the table; returning false stops the scan.
+func (t *Table) Scan(fn func(RowID, model.Record) bool) {
+	t.ScanAt(t.store.Now(), fn)
+}
+
+// ScanAt visits every row visible at csn in RowID order.
+func (t *Table) ScanAt(csn CSN, fn func(RowID, model.Record) bool) {
+	t.mu.RLock()
+	ids := make([]RowID, 0, len(t.rows))
+	for id := range t.rows {
+		ids = append(ids, id)
+	}
+	t.mu.RUnlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		rec, ok := t.GetAt(id, csn)
+		if !ok {
+			continue
+		}
+		if !fn(id, rec) {
+			return
+		}
+	}
+}
+
+// LastModified returns the commit stamp of the row's newest version
+// (including tombstones). It is how the transaction layer validates
+// first-committer-wins: a row modified after a transaction's read snapshot
+// conflicts with that transaction's write.
+func (t *Table) LastModified(id RowID) (CSN, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	r, ok := t.rows[id]
+	if !ok || len(r.versions) == 0 {
+		return 0, false
+	}
+	return r.versions[len(r.versions)-1].from, true
+}
+
+// VersionCount returns the total number of versions held for the row,
+// exposed for vacuum decisions and tests.
+func (t *Table) VersionCount(id RowID) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	r, ok := t.rows[id]
+	if !ok {
+		return 0
+	}
+	return len(r.versions)
+}
+
+// Vacuum drops versions that are invisible at every CSN >= horizon,
+// reclaiming memory once old snapshots are no longer referenced. Fully
+// deleted rows whose tombstone predates the horizon are removed entirely.
+func (t *Table) Vacuum(horizon CSN) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	removed := 0
+	for id, r := range t.rows {
+		// Find the newest version with from <= horizon; everything before
+		// it is invisible at and after the horizon.
+		keepFrom := 0
+		for i := len(r.versions) - 1; i >= 0; i-- {
+			if r.versions[i].from <= horizon {
+				keepFrom = i
+				break
+			}
+		}
+		if keepFrom > 0 {
+			removed += keepFrom
+			r.versions = append([]version(nil), r.versions[keepFrom:]...)
+		}
+		if len(r.versions) == 1 && r.versions[0].rec == nil {
+			delete(t.rows, id)
+			removed++
+		}
+	}
+	return removed
+}

@@ -1,0 +1,392 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"scdb/internal/model"
+)
+
+// Log operation codes.
+const (
+	opCreateTable byte = 1
+	opInsert      byte = 2
+	opUpdate      byte = 3
+	opDelete      byte = 4
+)
+
+const (
+	logName      = "scdb.log"
+	snapshotName = "scdb.snapshot"
+)
+
+// wal is the append-only durability log. Each frame is
+// [u32 length][u64 FNV-1a checksum][payload]; a torn tail (short or
+// checksum-mismatched frame) is truncated on recovery rather than failing
+// the open, as a crash mid-append is expected behaviour.
+type wal struct {
+	f   *os.File
+	w   *bufio.Writer
+	dir string
+}
+
+func openWAL(dir string) (*wal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, logName), os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &wal{f: f, w: bufio.NewWriter(f), dir: dir}, nil
+}
+
+func (w *wal) close() error {
+	if err := w.w.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// append writes one framed operation. data is the op-specific payload
+// (an encoded record for insert/update, nil otherwise).
+func (w *wal) append(op byte, table string, rowID uint64, data []byte) error {
+	payload := make([]byte, 0, 1+10+len(table)+10+len(data))
+	payload = append(payload, op)
+	payload = binary.AppendUvarint(payload, uint64(len(table)))
+	payload = append(payload, table...)
+	payload = binary.AppendUvarint(payload, rowID)
+	payload = binary.AppendUvarint(payload, uint64(len(data)))
+	payload = append(payload, data...)
+
+	h := fnv.New64a()
+	h.Write(payload)
+
+	var hdr [12]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint64(hdr[4:12], h.Sum64())
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("storage: wal append: %w", err)
+	}
+	if _, err := w.w.Write(payload); err != nil {
+		return fmt.Errorf("storage: wal append: %w", err)
+	}
+	return nil
+}
+
+// Sync flushes buffered log frames and fsyncs the file.
+func (s *Store) Sync() error {
+	if s.wal == nil {
+		return nil
+	}
+	if err := s.wal.w.Flush(); err != nil {
+		return err
+	}
+	return s.wal.f.Sync()
+}
+
+// logEntry is one decoded log frame.
+type logEntry struct {
+	op    byte
+	table string
+	rowID uint64
+	data  []byte
+}
+
+// replayLog reads frames until EOF or a torn tail; a torn tail returns the
+// offset at which the file should be truncated.
+func replayLog(r io.Reader, fn func(logEntry) error) (valid int64, err error) {
+	br := bufio.NewReader(r)
+	var off int64
+	for {
+		var hdr [12]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				return off, nil
+			}
+			return off, nil // torn header
+		}
+		n := binary.BigEndian.Uint32(hdr[0:4])
+		sum := binary.BigEndian.Uint64(hdr[4:12])
+		if n > 1<<30 {
+			return off, nil // corrupt length; stop here
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return off, nil // torn payload
+		}
+		h := fnv.New64a()
+		h.Write(payload)
+		if h.Sum64() != sum {
+			return off, nil // checksum mismatch: treat as torn
+		}
+		e, err := decodeEntry(payload)
+		if err != nil {
+			return off, err
+		}
+		if err := fn(e); err != nil {
+			return off, err
+		}
+		off += int64(12 + n)
+	}
+}
+
+func decodeEntry(payload []byte) (logEntry, error) {
+	if len(payload) < 1 {
+		return logEntry{}, fmt.Errorf("storage: empty log payload")
+	}
+	e := logEntry{op: payload[0]}
+	pos := 1
+	l, n := binary.Uvarint(payload[pos:])
+	if n <= 0 || uint64(len(payload)-pos-n) < l {
+		return logEntry{}, fmt.Errorf("storage: malformed table name")
+	}
+	pos += n
+	e.table = string(payload[pos : pos+int(l)])
+	pos += int(l)
+	id, n := binary.Uvarint(payload[pos:])
+	if n <= 0 {
+		return logEntry{}, fmt.Errorf("storage: malformed row id")
+	}
+	pos += n
+	e.rowID = id
+	dl, n := binary.Uvarint(payload[pos:])
+	if n <= 0 || uint64(len(payload)-pos-n) < dl {
+		return logEntry{}, fmt.Errorf("storage: malformed data length")
+	}
+	pos += n
+	e.data = payload[pos : pos+int(dl)]
+	return e, nil
+}
+
+// recover loads the snapshot (if any) and replays the log on top. Recovery
+// compacts history: every replayed mutation gets a fresh CSN in original
+// order, so the latest state is identical though historical snapshots are
+// not preserved across restarts.
+func (s *Store) recover() error {
+	if err := s.loadSnapshot(); err != nil {
+		return err
+	}
+	f, err := os.Open(filepath.Join(s.dir, logName))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil
+		}
+		return err
+	}
+	defer f.Close()
+	valid, err := replayLog(f, s.applyEntry)
+	if err != nil {
+		return err
+	}
+	fi, statErr := f.Stat()
+	if statErr == nil && fi.Size() > valid {
+		// Torn tail: truncate so future appends start at a clean frame.
+		if err := os.Truncate(filepath.Join(s.dir, logName), valid); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyEntry applies one recovered log entry directly to the tables,
+// bypassing the log (we are reading it).
+func (s *Store) applyEntry(e logEntry) error {
+	switch e.op {
+	case opCreateTable:
+		if _, ok := s.tables[e.table]; !ok {
+			s.tables[e.table] = &Table{name: e.table, store: s, rows: make(map[RowID]*row)}
+		}
+		return nil
+	}
+	t, ok := s.tables[e.table]
+	if !ok {
+		return fmt.Errorf("storage: log references unknown table %q", e.table)
+	}
+	switch e.op {
+	case opInsert:
+		rec, _, err := model.DecodeRecord(e.data)
+		if err != nil {
+			return err
+		}
+		id := RowID(e.rowID)
+		t.rows[id] = &row{versions: []version{{rec: rec, from: s.next()}}}
+		if uint64(id) > t.nextID {
+			t.nextID = uint64(id)
+		}
+		t.live++
+	case opUpdate:
+		rec, _, err := model.DecodeRecord(e.data)
+		if err != nil {
+			return err
+		}
+		r, ok := t.rows[RowID(e.rowID)]
+		if !ok {
+			return fmt.Errorf("storage: log update of unknown row %d in %q", e.rowID, e.table)
+		}
+		r.versions = append(r.versions, version{rec: rec, from: s.next()})
+	case opDelete:
+		r, ok := t.rows[RowID(e.rowID)]
+		if !ok {
+			return fmt.Errorf("storage: log delete of unknown row %d in %q", e.rowID, e.table)
+		}
+		r.versions = append(r.versions, version{rec: nil, from: s.next()})
+		t.live--
+	default:
+		return fmt.Errorf("storage: unknown log op %d", e.op)
+	}
+	return nil
+}
+
+// Checkpoint writes a snapshot of the latest committed state and truncates
+// the log, bounding recovery time.
+func (s *Store) Checkpoint() error {
+	if s.wal == nil {
+		return nil
+	}
+	if err := s.Sync(); err != nil {
+		return err
+	}
+	tmp := filepath.Join(s.dir, snapshotName+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if err := s.writeSnapshot(bw); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, snapshotName)); err != nil {
+		return err
+	}
+	// Truncate the log: everything it held is in the snapshot now.
+	if err := s.wal.f.Truncate(0); err != nil {
+		return err
+	}
+	_, err = s.wal.f.Seek(0, io.SeekStart)
+	return err
+}
+
+// Snapshot format: uvarint table count, then per table: name, uvarint row
+// count, then per live row: rowID, encoded record. Only the latest visible
+// version is persisted.
+func (s *Store) writeSnapshot(w *bufio.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	now := s.Now()
+	buf := binary.AppendUvarint(nil, uint64(len(s.tables)))
+	if _, err := w.Write(buf); err != nil {
+		return err
+	}
+	for _, name := range s.tablesLocked() {
+		t := s.tables[name]
+		t.mu.RLock()
+		buf = buf[:0]
+		buf = binary.AppendUvarint(buf, uint64(len(name)))
+		buf = append(buf, name...)
+		live := make([]RowID, 0, len(t.rows))
+		for id, r := range t.rows {
+			if r.at(now) != nil {
+				live = append(live, id)
+			}
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(live)))
+		if _, err := w.Write(buf); err != nil {
+			t.mu.RUnlock()
+			return err
+		}
+		for _, id := range live {
+			buf = buf[:0]
+			buf = binary.AppendUvarint(buf, uint64(id))
+			buf = model.AppendRecord(buf, t.rows[id].at(now))
+			if _, err := w.Write(buf); err != nil {
+				t.mu.RUnlock()
+				return err
+			}
+		}
+		t.mu.RUnlock()
+	}
+	return nil
+}
+
+func (s *Store) tablesLocked() []string {
+	names := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (s *Store) loadSnapshot() error {
+	data, err := os.ReadFile(filepath.Join(s.dir, snapshotName))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil
+		}
+		return err
+	}
+	pos := 0
+	nTables, n := binary.Uvarint(data)
+	if n <= 0 {
+		return fmt.Errorf("storage: corrupt snapshot header")
+	}
+	pos += n
+	for i := uint64(0); i < nTables; i++ {
+		l, n := binary.Uvarint(data[pos:])
+		if n <= 0 || uint64(len(data)-pos-n) < l {
+			return fmt.Errorf("storage: corrupt snapshot table name")
+		}
+		pos += n
+		name := string(data[pos : pos+int(l)])
+		pos += int(l)
+		t := &Table{name: name, store: s, rows: make(map[RowID]*row)}
+		s.tables[name] = t
+		nRows, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			return fmt.Errorf("storage: corrupt snapshot row count")
+		}
+		pos += n
+		for j := uint64(0); j < nRows; j++ {
+			id, n := binary.Uvarint(data[pos:])
+			if n <= 0 {
+				return fmt.Errorf("storage: corrupt snapshot row id")
+			}
+			pos += n
+			rec, used, err := model.DecodeRecord(data[pos:])
+			if err != nil {
+				return fmt.Errorf("storage: corrupt snapshot record: %w", err)
+			}
+			pos += used
+			t.rows[RowID(id)] = &row{versions: []version{{rec: rec, from: s.next()}}}
+			if id > t.nextID {
+				t.nextID = id
+			}
+			t.live++
+		}
+	}
+	return nil
+}

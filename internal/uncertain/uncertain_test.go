@@ -1,0 +1,466 @@
+package uncertain
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"scdb/internal/model"
+)
+
+func TestCondEvalAndString(t *testing.T) {
+	a := Assignment{"x": 1, "y": 0}
+	cases := []struct {
+		c    *Cond
+		want bool
+	}{
+		{True(), true},
+		{Eq("x", 1), true},
+		{Eq("x", 0), false},
+		{And(Eq("x", 1), Eq("y", 0)), true},
+		{And(Eq("x", 1), Eq("y", 1)), false},
+		{Or(Eq("x", 0), Eq("y", 0)), true},
+		{Or(Eq("x", 0), Eq("y", 1)), false},
+		{Not(Eq("x", 1)), false},
+		{Not(Not(Eq("x", 1))), true},
+		{And(), true},
+		{Or(), true},
+	}
+	for _, c := range cases {
+		if got := c.c.Eval(a); got != c.want {
+			t.Errorf("%s under %v = %v, want %v", c.c, a, got, c.want)
+		}
+	}
+	if s := And(Eq("x", 1), Not(Eq("y", 2))).String(); s != "(x=1 ∧ ¬y=2)" {
+		t.Errorf("String = %q", s)
+	}
+	vars := Or(Eq("b", 1), And(Eq("a", 0), Eq("c", 2))).Vars()
+	if len(vars) != 3 || vars[0] != "a" || vars[1] != "b" || vars[2] != "c" {
+		t.Errorf("Vars = %v", vars)
+	}
+}
+
+func TestSpaceDeclarations(t *testing.T) {
+	s := NewSpace()
+	if err := s.AddBool("x", 0.3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddBool("x", 0.5); err == nil {
+		t.Error("duplicate variable must fail")
+	}
+	if err := s.AddChoice("bad", nil); err == nil {
+		t.Error("empty domain must fail")
+	}
+	if err := s.AddChoice("bad2", []float64{0.5, 0.4}); err == nil {
+		t.Error("probabilities must sum to 1")
+	}
+	if err := s.AddChoice("bad3", []float64{1.5, -0.5}); err == nil {
+		t.Error("negative probability must fail")
+	}
+	if err := s.AddChoice("y", []float64{0.2, 0.3, 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumWorlds() != 6 {
+		t.Errorf("NumWorlds = %d", s.NumWorlds())
+	}
+	if s.Domain("y") != 3 || s.Domain("x") != 2 {
+		t.Error("Domain broken")
+	}
+	if len(s.Vars()) != 2 {
+		t.Errorf("Vars = %v", s.Vars())
+	}
+}
+
+func TestEnumWorldsSumsToOne(t *testing.T) {
+	s := NewSpace()
+	s.AddBool("a", 0.25)
+	s.AddChoice("b", []float64{0.1, 0.9})
+	s.AddChoice("c", []float64{0.5, 0.25, 0.25})
+	total := 0.0
+	worlds := 0
+	s.EnumWorlds(func(a Assignment, p float64) bool {
+		total += p
+		worlds++
+		return true
+	})
+	if worlds != 12 {
+		t.Errorf("worlds = %d", worlds)
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Errorf("probabilities sum to %g", total)
+	}
+}
+
+func TestEnumWorldsSkipsZeroProb(t *testing.T) {
+	s := NewSpace()
+	s.AddChoice("a", []float64{0, 1})
+	n := 0
+	s.EnumWorlds(func(a Assignment, p float64) bool {
+		n++
+		if a["a"] != 1 {
+			t.Error("zero-probability alternative enumerated")
+		}
+		return true
+	})
+	if n != 1 {
+		t.Errorf("worlds = %d", n)
+	}
+}
+
+func TestCondProbExactAndSampled(t *testing.T) {
+	s := NewSpace()
+	s.AddBool("x", 0.3)
+	s.AddBool("y", 0.5)
+	// P(x ∧ y) = 0.15, P(x ∨ y) = 0.65
+	if p := s.CondProb(And(Eq("x", 1), Eq("y", 1))); math.Abs(p-0.15) > 1e-12 {
+		t.Errorf("P(x∧y) = %g", p)
+	}
+	if p := s.CondProb(Or(Eq("x", 1), Eq("y", 1))); math.Abs(p-0.65) > 1e-12 {
+		t.Errorf("P(x∨y) = %g", p)
+	}
+	if p := s.CondProbSampled(Or(Eq("x", 1), Eq("y", 1)), 20000, 1); math.Abs(p-0.65) > 0.02 {
+		t.Errorf("sampled P = %g, want ≈0.65", p)
+	}
+}
+
+func TestWorldProb(t *testing.T) {
+	s := NewSpace()
+	s.AddBool("x", 0.3)
+	s.AddChoice("y", []float64{0.2, 0.8})
+	if p := s.WorldProb(Assignment{"x": 1, "y": 0}); math.Abs(p-0.06) > 1e-12 {
+		t.Errorf("WorldProb = %g", p)
+	}
+	if p := s.WorldProb(Assignment{"x": 5, "y": 0}); p != 0 {
+		t.Errorf("out-of-domain assignment prob = %g", p)
+	}
+}
+
+func TestCTableCertainAndProbabilistic(t *testing.T) {
+	c := NewCTable("drugs")
+	c.AddCertain(model.Record{"name": model.String("Warfarin")})
+	if _, err := c.AddProbabilistic(model.Record{"name": model.String("Maybe")}, 0.4); err != nil {
+		t.Fatal(err)
+	}
+	if p := c.TupleProb(model.Record{"name": model.String("Warfarin")}); p != 1 {
+		t.Errorf("certain tuple prob = %g", p)
+	}
+	if p := c.TupleProb(model.Record{"name": model.String("Maybe")}); math.Abs(p-0.4) > 1e-12 {
+		t.Errorf("probabilistic tuple prob = %g", p)
+	}
+	if p := c.TupleProb(model.Record{"name": model.String("Absent")}); p != 0 {
+		t.Errorf("absent tuple prob = %g", p)
+	}
+}
+
+func TestCTableMarkedNulls(t *testing.T) {
+	// An incomplete record: dosage is unknown, 3 candidate completions.
+	c := NewCTable("trials")
+	_, err := c.AddWithNull(
+		model.Record{"drug": model.String("Warfarin")},
+		"dosage",
+		[]model.Value{model.Float(3.4), model.Float(5.1), model.Float(6.1)},
+		[]float64{0.25, 0.5, 0.25},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In every world exactly one completion exists.
+	if !c.Certain(func(recs []model.Record) bool { return len(recs) == 1 }) {
+		t.Error("exactly one tuple per world")
+	}
+	p := c.QueryProb(func(recs []model.Record) bool {
+		f, _ := recs[0]["dosage"].AsFloat()
+		return f > 5.0
+	})
+	if math.Abs(p-0.75) > 1e-12 {
+		t.Errorf("P(dosage > 5.0) = %g, want 0.75", p)
+	}
+	// The static record keeps the null.
+	if !c.Tuples[0].Rec["dosage"].IsNull() {
+		t.Error("static record must hold null")
+	}
+}
+
+func TestCertainPossible(t *testing.T) {
+	c := NewCTable("t")
+	c.AddCertain(model.Record{"v": model.Int(1)})
+	c.AddProbabilistic(model.Record{"v": model.Int(2)}, 0.5)
+
+	has := func(want int64) func([]model.Record) bool {
+		return func(recs []model.Record) bool {
+			for _, r := range recs {
+				if i, _ := r["v"].AsInt(); i == want {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	if !c.Certain(has(1)) {
+		t.Error("v=1 must be certain")
+	}
+	if c.Certain(has(2)) {
+		t.Error("v=2 must not be certain")
+	}
+	if !c.Possible(has(2)) {
+		t.Error("v=2 must be possible")
+	}
+	if c.Possible(has(3)) {
+		t.Error("v=3 must be impossible")
+	}
+}
+
+func TestSelectThreeValued(t *testing.T) {
+	c := NewCTable("t")
+	c.AddCertain(model.Record{"v": model.Int(10)})
+	c.AddCertain(model.Record{"v": model.Int(1)})
+	c.AddWithNull(model.Record{}, "v",
+		[]model.Value{model.Int(0), model.Int(20)}, []float64{0.5, 0.5})
+
+	sel := c.Select(func(r model.Record) model.Truth {
+		v := r.Get("v")
+		if v.IsNull() {
+			return model.Unknown
+		}
+		i, _ := v.AsInt()
+		return model.TruthOf(i > 5)
+	})
+	// v=1 is definitely out; v=10 stays; the null tuple stays as Unknown.
+	if len(sel.Tuples) != 2 {
+		t.Fatalf("selected %d tuples", len(sel.Tuples))
+	}
+	// The space is shared, so per-world evaluation resolves the Unknown:
+	// the null tuple satisfies v > 5 only in the world where it is 20.
+	p := sel.QueryProb(func(recs []model.Record) bool {
+		n := 0
+		for _, r := range recs {
+			if i, _ := r["v"].AsInt(); i > 5 {
+				n++
+			}
+		}
+		return n == 2
+	})
+	if math.Abs(p-0.5) > 1e-12 {
+		t.Errorf("P(both satisfy per world) = %g, want 0.5", p)
+	}
+}
+
+func TestProject(t *testing.T) {
+	c := NewCTable("t")
+	c.AddCertain(model.Record{"a": model.Int(1), "b": model.Int(2)})
+	c.AddWithNull(model.Record{"a": model.Int(3)}, "b",
+		[]model.Value{model.Int(4)}, []float64{1})
+	p := c.Project("a")
+	if len(p.Tuples) != 2 {
+		t.Fatal("projection must keep tuples")
+	}
+	for _, tp := range p.Tuples {
+		if _, ok := tp.Rec["b"]; ok {
+			t.Error("projected-away attribute present")
+		}
+		if len(tp.NullVars) != 0 {
+			t.Error("null var on dropped attribute must not survive")
+		}
+	}
+	p2 := c.Project("b")
+	if p2.Tuples[1].NullVars["b"] == "" {
+		t.Error("null var on kept attribute must survive")
+	}
+}
+
+func TestAnswersDistribution(t *testing.T) {
+	// The Warfarin dosage question as a c-table: one source per world view.
+	c := NewCTable("dosage")
+	c.AddWithNull(model.Record{"drug": model.String("Warfarin")}, "dose",
+		[]model.Value{model.Float(3.4), model.Float(5.1), model.Float(6.1)},
+		[]float64{0.3, 0.4, 0.3})
+	ans := c.Answers(func(recs []model.Record) []model.Value {
+		var out []model.Value
+		for _, r := range recs {
+			out = append(out, r["dose"])
+		}
+		return out
+	})
+	if len(ans) != 3 {
+		t.Fatalf("answers = %v", ans)
+	}
+	if f, _ := ans[0].Value.AsFloat(); f != 5.1 || math.Abs(ans[0].Prob-0.4) > 1e-12 {
+		t.Errorf("top answer = %v", ans[0])
+	}
+	if got := c.CertainAnswers(func(recs []model.Record) []model.Value {
+		return []model.Value{recs[0]["drug"]}
+	}); len(got) != 1 || !model.Equal(got[0], model.String("Warfarin")) {
+		t.Errorf("certain answers = %v", got)
+	}
+}
+
+func TestCTableJoin(t *testing.T) {
+	// Drugs and trials over one space: the joined pair exists only where
+	// both operands do.
+	drugs := NewCTable("drugs")
+	vd, _ := drugs.AddProbabilistic(model.Record{"drug": model.String("Warfarin"), "class": model.String("anticoagulant")}, 0.8)
+	trials := &CTable{Name: "trials", Space: drugs.Space}
+	trials.AddCertain(model.Record{"drug": model.String("Warfarin"), "dose": model.Float(5.1)})
+	trials.AddCertain(model.Record{"drug": model.String("Ibuprofen"), "dose": model.Float(200)})
+
+	on := func(a, b model.Record) model.Truth {
+		return model.TruthOf(model.Equal(a.Get("drug"), b.Get("drug")))
+	}
+	j, err := drugs.Join(trials, on, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(j.Tuples) != 1 {
+		t.Fatalf("joined tuples = %d", len(j.Tuples))
+	}
+	// The join pair carries both attributes and the conjoined condition.
+	rec := j.Tuples[0].Rec
+	if !model.Equal(rec.Get("class"), model.String("anticoagulant")) ||
+		!model.Equal(rec.Get("dose"), model.Float(5.1)) {
+		t.Errorf("joined record = %v", rec)
+	}
+	p := j.TupleProb(rec)
+	if math.Abs(p-0.8) > 1e-12 {
+		t.Errorf("P(pair) = %g, want 0.8", p)
+	}
+	_ = vd
+	// Mismatched spaces are rejected.
+	other := NewCTable("other")
+	if _, err := drugs.Join(other, on, nil); err == nil {
+		t.Error("join across spaces must fail")
+	}
+}
+
+func TestCTableJoinAttributeCollision(t *testing.T) {
+	a := NewCTable("a")
+	a.AddCertain(model.Record{"k": model.Int(1), "v": model.String("left")})
+	b := &CTable{Name: "b", Space: a.Space}
+	b.AddCertain(model.Record{"k": model.Int(1), "v": model.String("right")})
+	j, err := a.Join(b, func(x, y model.Record) model.Truth {
+		return model.TruthOf(model.Equal(x.Get("k"), y.Get("k")))
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := j.Tuples[0].Rec
+	if !model.Equal(rec.Get("v"), model.String("left")) || !model.Equal(rec.Get("right.v"), model.String("right")) {
+		t.Errorf("collision handling = %v", rec)
+	}
+}
+
+func TestConditionalProbability(t *testing.T) {
+	// Two independent probabilistic tuples; condition on one being present.
+	c := NewCTable("t")
+	vx, _ := c.AddProbabilistic(model.Record{"v": model.Int(1)}, 0.3)
+	c.AddProbabilistic(model.Record{"v": model.Int(2)}, 0.5)
+
+	both := func(recs []model.Record) bool { return len(recs) == 2 }
+	// P(both) = 0.15; P(both | x present) = 0.5.
+	p, err := c.QueryProbGiven(both, Eq(vx, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.5) > 1e-12 {
+		t.Errorf("P(both | x) = %g, want 0.5", p)
+	}
+	// Conditioning on a tautology equals the unconditional probability.
+	p, _ = c.QueryProbGiven(both, True())
+	if math.Abs(p-0.15) > 1e-12 {
+		t.Errorf("P(both | ⊤) = %g, want 0.15", p)
+	}
+	// Zero-probability evidence errors.
+	if _, err := c.QueryProbGiven(both, And(Eq(vx, 1), Eq(vx, 0))); err == nil {
+		t.Error("contradictory evidence must error")
+	}
+}
+
+func TestMarginalGiven(t *testing.T) {
+	// The Warfarin null sharpens when evidence rules out one completion.
+	c := NewCTable("trials")
+	v, _ := c.AddWithNull(model.Record{"drug": model.String("Warfarin")}, "dose",
+		[]model.Value{model.Float(3.4), model.Float(5.1), model.Float(6.1)},
+		[]float64{0.25, 0.5, 0.25})
+	// Evidence: the dose is not 3.4 (alternative 0 excluded).
+	p, err := c.Space.MarginalGiven(v, 1, Not(Eq(v, 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.5/0.75) > 1e-12 {
+		t.Errorf("P(dose=5.1 | dose≠3.4) = %g, want %g", p, 0.5/0.75)
+	}
+	if _, err := c.Space.MarginalGiven(v, 1, And(Eq(v, 0), Eq(v, 1))); err == nil {
+		t.Error("impossible evidence must error")
+	}
+}
+
+func TestSampledQueryProbConverges(t *testing.T) {
+	c := NewCTable("t")
+	for i := 0; i < 8; i++ {
+		c.AddProbabilistic(model.Record{"i": model.Int(int64(i))}, 0.5)
+	}
+	q := func(recs []model.Record) bool { return len(recs) >= 4 }
+	exact := c.QueryProb(q)
+	sampled := c.QueryProbSampled(q, 20000, 7)
+	if math.Abs(exact-sampled) > 0.02 {
+		t.Errorf("exact %g vs sampled %g", exact, sampled)
+	}
+}
+
+func TestPropertyCondProbDeMorgan(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := NewSpace()
+		var vars []Var
+		for i := 0; i < 3; i++ {
+			v := Var(string(rune('a' + i)))
+			s.AddBool(v, r.Float64())
+			vars = append(vars, v)
+		}
+		c1 := Eq(vars[0], 1)
+		c2 := Or(Eq(vars[1], 1), Eq(vars[2], 0))
+		// P(¬(c1∧c2)) == P(¬c1 ∨ ¬c2)
+		lhs := s.CondProb(Not(And(c1, c2)))
+		rhs := s.CondProb(Or(Not(c1), Not(c2)))
+		if math.Abs(lhs-rhs) > 1e-9 {
+			return false
+		}
+		// Complement law.
+		return math.Abs(s.CondProb(c1)+s.CondProb(Not(c1))-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyAnswersProbsBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := NewCTable("t")
+		for i := 0; i < 4; i++ {
+			c.AddProbabilistic(model.Record{"v": model.Int(int64(r.Intn(3)))}, r.Float64())
+		}
+		ans := c.Answers(func(recs []model.Record) []model.Value {
+			var out []model.Value
+			for _, rec := range recs {
+				out = append(out, rec["v"])
+			}
+			return out
+		})
+		for _, a := range ans {
+			if a.Prob < -1e-9 || a.Prob > 1+1e-9 {
+				return false
+			}
+		}
+		// Sorted by descending probability.
+		for i := 1; i < len(ans); i++ {
+			if ans[i].Prob > ans[i-1].Prob+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,147 @@
+package scdb
+
+import (
+	"fmt"
+
+	"scdb/internal/datagen"
+)
+
+// This file ships the paper's running examples as ready-made datasets so
+// the examples and quickstarts exercise the public API without hand-typing
+// the corpus.
+
+// LifeSciAxioms is the Figure-2 ontology in Options.Axioms format: the
+// chemical/disease taxonomies, their disjointness, the Drug ⊑
+// ∃hasTarget.Gene existential, and the targets role hierarchy.
+const LifeSciAxioms = `
+sub Approved_Drugs Drug
+sub Drug Chemical
+sub Carboxylic_Acids Chemical
+sub Heterocyclic Chemical
+sub Phenylpropionates Carboxylic_Acids
+sub Neoplasms Disease
+sub Immune_System Disease
+sub Joint_Diseases Disease
+sub Autoimmune Immune_System
+sub Arthritis Joint_Diseases
+sub Rheumatoid_Arthritis Arthritis
+sub Rheumatoid_Arthritis Autoimmune
+sub Sarcoma Neoplasms
+sub Osteosarcoma Sarcoma
+disjoint Chemical Disease
+disjoint Gene Chemical
+disjoint Gene Disease
+exists Drug hasTarget Gene
+subrole targets hasTarget
+subrole targets affects
+inverse targets targetedBy
+domain targets Drug
+range targets Gene
+range treats Disease
+concept Gene
+`
+
+// PopulationAxioms is the Warfarin example's disjoint population classes.
+const PopulationAxioms = `
+sub White Population
+sub Asian Population
+sub Black Population
+disjoint White Asian
+disjoint White Black
+disjoint Asian Black
+`
+
+// LifeSciLinkRules resolves the sample sources' literal references
+// (targets_symbol, treats_name) into entity edges.
+func LifeSciLinkRules() []LinkRule {
+	return []LinkRule{
+		{Predicate: "targets_symbol", EdgePredicate: "targets", TargetAttrs: []string{"symbol", "gene_symbol"}, TargetType: "Gene"},
+		{Predicate: "treats_name", EdgePredicate: "treats", TargetAttrs: []string{"disease_name"}},
+	}
+}
+
+// LifeSciPatterns extracts treats/targets relations from abstracts.
+func LifeSciPatterns() []Pattern {
+	return []Pattern{
+		{Trigger: "treats", Predicate: "treats"},
+		{Trigger: "targets", Predicate: "targets"},
+	}
+}
+
+// LifeSciSample generates the three Figure-2 sources (DrugBank-, CTD-, and
+// UniProt-like). The canonical paper entities are always present;
+// nDrugs/nGenes/nDiseases add deterministic synthetic bulk (0 for just the
+// canon). The seed controls the bulk.
+func LifeSciSample(seed int64, nDrugs, nGenes, nDiseases int) []Source {
+	var out []Source
+	for _, ds := range datagen.LifeSci(seed, nDrugs, nGenes, nDiseases) {
+		out = append(out, fromDataset(ds))
+	}
+	return out
+}
+
+// ClinicalClaims generates the Section-4.2 Warfarin scenario as claims:
+// three demographically biased sources reporting effective doses of 5.1,
+// 3.4, and 6.1 mg, each scoped to its population class. The entity name
+// is "Warfarin"; ingest a source that defines it first (LifeSciSample
+// does) and add PopulationAxioms.
+func ClinicalClaims() []Claim {
+	return []Claim{
+		{Source: "trials-us", Entity: "Warfarin", Attr: "effective_dose_mg", Value: 5.1, Context: []string{"White"}},
+		{Source: "trials-asia", Entity: "Warfarin", Attr: "effective_dose_mg", Value: 3.4, Context: []string{"Asian"}},
+		{Source: "trials-africa", Entity: "Warfarin", Attr: "effective_dose_mg", Value: 6.1, Context: []string{"Black"}},
+	}
+}
+
+// ClinicalTrialSources generates the per-country trial record tables
+// backing the claims (n records per source, dose-jittered).
+func ClinicalTrialSources(seed int64, n int) []Source {
+	var out []Source
+	for _, ts := range datagen.ClinicalTrials(seed, n) {
+		src := Source{Name: ts.Source}
+		for i, rec := range ts.Records {
+			e := Entity{Key: recKey(ts.Source, i), Types: []string{"Trial"}, Attrs: Record{}}
+			for k, v := range rec {
+				e.Attrs[k] = fromValue(v)
+			}
+			src.Entities = append(src.Entities, e)
+		}
+		out = append(out, src)
+	}
+	return out
+}
+
+func recKey(source string, i int) string {
+	return fmt.Sprintf("%s:%05d", source, i)
+}
+
+// StreamSample generates n single-entity deliveries mimicking devices and
+// posts arriving one at a time, with cross-platform duplicates so
+// incremental entity resolution has continuous work.
+func StreamSample(seed int64, n int) []Source {
+	var out []Source
+	for _, ds := range datagen.Stream(seed, n) {
+		out = append(out, fromDataset(ds))
+	}
+	return out
+}
+
+// fromDataset converts the internal dataset form to the public Source.
+func fromDataset(ds datagen.Dataset) Source {
+	src := Source{Name: ds.Source, Texts: ds.Texts}
+	for _, e := range ds.Entities {
+		attrs := Record{}
+		for k, v := range e.Attrs {
+			attrs[k] = fromValue(v)
+		}
+		src.Entities = append(src.Entities, Entity{Key: e.Key, Types: e.Types, Attrs: attrs})
+	}
+	for _, l := range ds.Links {
+		link := Link{FromKey: l.FromKey, Predicate: l.Predicate, ToKey: l.ToKey, Confidence: l.Confidence}
+		if l.ToKey == "" {
+			link.Value = fromValue(l.Literal)
+		}
+		src.Links = append(src.Links, link)
+	}
+	return src
+}

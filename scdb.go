@@ -1,0 +1,200 @@
+// Package scdb is a self-curating database: an embedded Go database engine
+// that reproduces the system envisioned in "Self-Curating Databases"
+// (Sadoghi et al., EDBT 2016).
+//
+// Data ingested from heterogeneous sources is curated automatically
+// through a layered pipeline — the paper's holistic data model:
+//
+//   - instance layer: records land in a multi-versioned store with an
+//     append-only log; schemas are observed, never declared (the catalog
+//     stores meta-data as data);
+//   - relation layer: every record becomes an entity in a property graph;
+//     literal foreign references are discovered and linked online;
+//     incremental entity resolution merges duplicates across sources;
+//     information extraction turns text into confidence-weighted edges;
+//   - semantic layer: an ontology (subsumption, disjointness, role
+//     hierarchies, existential restrictions) plus an incremental reasoner
+//     materialize inferred types, existential witnesses, and
+//     inconsistencies.
+//
+// Queries use SCQL — a SQL-like language extended with semantic predicates
+// (ISA), graph reachability (REACHES, LINKED), fuzzy closeness (CLOSE),
+// inference activation (WITH SEMANTICS), and parallel-world answer modes
+// (UNDER CERTAIN, UNDER FUZZY(t)). The optimizer exploits the ontology:
+// redundant semantic predicates collapse, unsatisfiable ones prove queries
+// empty, and concept statistics drive selectivity.
+//
+// See the examples directory for runnable walkthroughs, DESIGN.md for the
+// architecture, and EXPERIMENTS.md for the reproduced experiments.
+package scdb
+
+import (
+	"fmt"
+	"time"
+
+	"scdb/internal/model"
+)
+
+// Value kinds accepted in public records: nil, bool, int, int64, float64,
+// string, time.Time, []byte, []any (nested), and EntityRef.
+
+// EntityRef references an entity by its database-wide ID in query results.
+type EntityRef uint64
+
+// Record is a flexible attribute map; heterogeneous records are expected.
+type Record map[string]any
+
+// Entity is one data item a source contributes.
+type Entity struct {
+	// Key is the source-local identifier ("DB00682").
+	Key string
+	// Types lists asserted semantic concepts ("Drug").
+	Types []string
+	// Attrs carries the attributes.
+	Attrs Record
+}
+
+// Link is one relation a source asserts. Exactly one of ToKey and Value is
+// set: ToKey targets another entity of the same source; Value is a literal
+// (which curation may later resolve to an entity through a LinkRule).
+type Link struct {
+	FromKey   string
+	Predicate string
+	ToKey     string
+	Value     any
+	// Confidence defaults to 1.
+	Confidence float64
+}
+
+// Source is one delivery from a data source: entities, links, and
+// unstructured documents.
+type Source struct {
+	Name     string
+	Entities []Entity
+	Links    []Link
+	Texts    []string
+}
+
+// LinkRule tells curation how to resolve a source's literal references
+// into entity edges: a Predicate-labeled literal is matched against
+// entities carrying the same value in TargetAttrs (optionally restricted
+// to TargetType), producing an EdgePredicate edge.
+type LinkRule struct {
+	Predicate     string
+	EdgePredicate string
+	TargetAttrs   []string
+	TargetType    string
+}
+
+// Pattern drives information extraction: a trigger word between two
+// recognized mentions yields a Predicate edge. Subject/Object concepts
+// optionally restrict the mention types.
+type Pattern struct {
+	Trigger        string
+	Predicate      string
+	SubjectConcept string
+	ObjectConcept  string
+}
+
+// Claim is one source's context-scoped statement about an entity
+// attribute — the parallel-world input of Section 4.2.
+type Claim struct {
+	// Source names the claiming source; Entity names the subject (any
+	// indexed name or key).
+	Source string
+	Entity string
+	Attr   string
+	Value  any
+	// Context lists the semantic concepts the claim is scoped to
+	// (population class, locale, ...).
+	Context []string
+	// Confidence defaults to 1.
+	Confidence float64
+}
+
+// toValue converts a public value to the internal representation.
+func toValue(v any) (model.Value, error) {
+	switch v := v.(type) {
+	case nil:
+		return model.Null(), nil
+	case bool:
+		return model.Bool(v), nil
+	case int:
+		return model.Int(int64(v)), nil
+	case int64:
+		return model.Int(v), nil
+	case float64:
+		return model.Float(v), nil
+	case string:
+		return model.String(v), nil
+	case time.Time:
+		return model.Time(v), nil
+	case []byte:
+		return model.Bytes(v), nil
+	case EntityRef:
+		return model.Ref(model.EntityID(v)), nil
+	case []any:
+		elems := make([]model.Value, len(v))
+		for i, e := range v {
+			ev, err := toValue(e)
+			if err != nil {
+				return model.Value{}, err
+			}
+			elems[i] = ev
+		}
+		return model.List(elems...), nil
+	case model.Value:
+		return v, nil
+	}
+	return model.Value{}, fmt.Errorf("scdb: unsupported value type %T", v)
+}
+
+// fromValue converts an internal value to the public representation.
+func fromValue(v model.Value) any {
+	switch v.Kind() {
+	case model.KindNull:
+		return nil
+	case model.KindBool:
+		b, _ := v.AsBool()
+		return b
+	case model.KindInt:
+		i, _ := v.AsInt()
+		return i
+	case model.KindFloat:
+		f, _ := v.AsFloat()
+		return f
+	case model.KindString:
+		s, _ := v.AsString()
+		return s
+	case model.KindTime:
+		t, _ := v.AsTime()
+		return t
+	case model.KindBytes:
+		b, _ := v.AsBytes()
+		return b
+	case model.KindRef:
+		id, _ := v.AsRef()
+		return EntityRef(id)
+	case model.KindList:
+		l, _ := v.AsList()
+		out := make([]any, len(l))
+		for i, e := range l {
+			out[i] = fromValue(e)
+		}
+		return out
+	}
+	return nil
+}
+
+// toRecord converts a public record.
+func toRecord(r Record) (model.Record, error) {
+	out := make(model.Record, len(r))
+	for k, v := range r {
+		mv, err := toValue(v)
+		if err != nil {
+			return nil, fmt.Errorf("attribute %q: %w", k, err)
+		}
+		out[k] = mv
+	}
+	return out, nil
+}

@@ -1,0 +1,310 @@
+package scdb
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"scdb/internal/txn"
+)
+
+// openSample opens an in-memory engine loaded with the Figure-2 canon.
+func openSample(t *testing.T) *DB {
+	t.Helper()
+	db, err := Open(Options{
+		Axioms:    LifeSciAxioms + PopulationAxioms,
+		LinkRules: LifeSciLinkRules(),
+		Patterns:  LifeSciPatterns(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	for _, src := range LifeSciSample(1, 0, 0, 0) {
+		if err := db.Ingest(src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestOpenZeroOptions(t *testing.T) {
+	db, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Ingest(Source{Name: "s", Entities: []Entity{{Key: "k", Attrs: Record{"x": 1}}}}); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := db.Query("SELECT x FROM s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 1 || rows.Data[0][0].(int64) != 1 {
+		t.Errorf("rows = %v", rows.Data)
+	}
+}
+
+func TestValueConversionRoundTrip(t *testing.T) {
+	now := time.Date(2016, 3, 15, 0, 0, 0, 0, time.UTC)
+	rec := Record{
+		"nil":   nil,
+		"bool":  true,
+		"int":   42,
+		"int64": int64(43),
+		"float": 1.5,
+		"str":   "x",
+		"time":  now,
+		"bytes": []byte{1, 2},
+		"list":  []any{1, "a"},
+	}
+	mr, err := toRecord(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromValue(mr["int"]).(int64) != 42 {
+		t.Error("int conversion")
+	}
+	if fromValue(mr["time"]).(time.Time) != now {
+		t.Error("time conversion")
+	}
+	if got := fromValue(mr["list"]).([]any); len(got) != 2 || got[0].(int64) != 1 {
+		t.Errorf("list conversion = %v", got)
+	}
+	if fromValue(mr["nil"]) != nil {
+		t.Error("nil conversion")
+	}
+	if _, err := toValue(struct{}{}); err == nil {
+		t.Error("unsupported type must error")
+	}
+}
+
+func TestIngestValidation(t *testing.T) {
+	db, _ := Open(Options{})
+	defer db.Close()
+	if err := db.Ingest(Source{}); err == nil {
+		t.Error("nameless source must fail")
+	}
+	if err := db.Ingest(Source{Name: "s", Entities: []Entity{{Key: "k", Attrs: Record{"bad": struct{}{}}}}}); err == nil {
+		t.Error("unsupported attr type must fail")
+	}
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	db := openSample(t)
+	// Cross-layer SCQL: concept source + reachability + semantics.
+	rows, info, err := db.QueryInfo(`SELECT name FROM Drug AS d WHERE REACHES(d._id, 'Osteosarcoma', 3) ORDER BY name WITH SEMANTICS`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) < 2 {
+		t.Errorf("rows = %v", rows.Data)
+	}
+	if info.Plan == "" {
+		t.Error("plan missing")
+	}
+	// Witnesses: Aminopterin's inferred target.
+	found := false
+	for _, w := range db.Witnesses() {
+		if w.Entity == "Aminopterin" && w.Role == "hasTarget" && w.Filler == "Gene" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Aminopterin witness missing: %v", db.Witnesses())
+	}
+	st := db.Stats()
+	if st.Entities == 0 || st.Merges == 0 || st.Concepts == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestWarfarinScenarioPublicAPI(t *testing.T) {
+	db := openSample(t)
+	for _, c := range ClinicalClaims() {
+		if err := db.AddClaim(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ans, err := db.JustifiedAnswer("Warfarin", "effective_dose_mg", 5.0, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.NaiveCertain {
+		t.Error("naive certain answer must be false")
+	}
+	if ans.JustifiedDegree < 0.79 || ans.JustifiedDegree > 0.81 {
+		t.Errorf("justified degree = %v", ans.JustifiedDegree)
+	}
+	if !ans.Sensitive {
+		t.Error("sensitivity must be discovered")
+	}
+	if len(ans.Refinements) == 0 {
+		t.Error("refinements missing")
+	}
+	if !strings.Contains(ans.Explanation, "White") {
+		t.Errorf("explanation = %q", ans.Explanation)
+	}
+	// The claims table under the answer modes.
+	rows, err := db.Query("SELECT value FROM claims UNDER CERTAIN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 0 {
+		t.Errorf("certain rows = %v", rows.Data)
+	}
+	rows, err = db.Query("SELECT value, context FROM claims ORDER BY value UNDER FUZZY(0.9)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 3 {
+		t.Errorf("fuzzy rows = %v", rows.Data)
+	}
+	if err := db.AddClaim(Claim{Source: "s", Entity: "NoSuchThing", Attr: "a", Value: 1}); err == nil {
+		t.Error("claim about unknown entity must fail")
+	}
+}
+
+func TestExplainAndAxioms(t *testing.T) {
+	db := openSample(t)
+	info, err := db.Explain(`SELECT name FROM drugbank WHERE ISA(x, 'Drug') AND ISA(x, 'Osteosarcoma') WITH SEMANTICS`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(info.Plan, "Empty") {
+		t.Errorf("plan = %s", info.Plan)
+	}
+	if err := db.AddAxioms("sub Biologic Drug"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddAxioms("garbage axiom line here"); err == nil {
+		t.Error("bad axiom must fail")
+	}
+}
+
+func TestPublicTransactions(t *testing.T) {
+	db := openSample(t)
+	tx := db.Begin(Snapshot)
+	id, err := tx.Insert("notes", Record{"text": "hello"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec, ok, _ := tx.Get("notes", id); !ok || rec["text"].(string) != "hello" {
+		t.Error("read-your-writes failed")
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Enrichment phantom via the public API.
+	tx2 := db.Begin(Snapshot)
+	tx2.MarkSemanticRead()
+	db.Ingest(Source{Name: "later", Entities: []Entity{{Key: "x", Attrs: Record{"a": 1}}}})
+	if _, err := tx2.Commit(); !errors.Is(err, txn.ErrEnrichmentPhantom) {
+		t.Errorf("want enrichment phantom, got %v", err)
+	}
+	// Relaxed level reports staleness.
+	tx3 := db.Begin(EventualEnrichment)
+	tx3.MarkSemanticRead()
+	db.Ingest(Source{Name: "later", Entities: []Entity{{Key: "y", Attrs: Record{"a": 2}}}})
+	stale, err := tx3.Commit()
+	if err != nil || stale == 0 {
+		t.Errorf("staleness = %d err = %v", stale, err)
+	}
+	// Abort path.
+	tx4 := db.Begin(Snapshot)
+	tx4.Insert("notes", Record{"text": "discard"})
+	tx4.Abort()
+	rows, _ := db.Query("SELECT COUNT(*) AS n FROM notes")
+	if rows.Data[0][0].(int64) != 1 {
+		t.Errorf("aborted write leaked: %v", rows.Data)
+	}
+}
+
+func TestRefreshRichnessPublic(t *testing.T) {
+	db := openSample(t)
+	scores := db.RefreshRichness()
+	if len(scores) < 3 {
+		t.Errorf("scores = %v", scores)
+	}
+	for src, s := range scores {
+		if s < 0 || s > 1 {
+			t.Errorf("score[%s] = %v", src, s)
+		}
+	}
+}
+
+func TestStreamSampleIncrementalER(t *testing.T) {
+	db, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for _, src := range StreamSample(3, 60) {
+		if err := db.Ingest(src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := db.Stats()
+	if st.Merges == 0 {
+		t.Error("stream duplicates must merge incrementally")
+	}
+	if st.Entities == 0 {
+		t.Error("no entities")
+	}
+}
+
+func TestClinicalTrialSources(t *testing.T) {
+	srcs := ClinicalTrialSources(1, 5)
+	if len(srcs) != 3 {
+		t.Fatalf("sources = %d", len(srcs))
+	}
+	db, _ := Open(Options{})
+	defer db.Close()
+	for _, s := range srcs {
+		if err := db.Ingest(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rows, err := db.Query("SELECT COUNT(*) AS n FROM \"trials-us\"")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Data[0][0].(int64) != 5 {
+		t.Errorf("trial rows = %v", rows.Data)
+	}
+}
+
+func TestMetaDataIsQueryable(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(Options{Dir: dir, Axioms: LifeSciAxioms})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, src := range LifeSciSample(1, 0, 0, 0) {
+		db.Ingest(src)
+	}
+	db.Close()
+
+	db2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	// The observed schema and the ontology are ordinary tables.
+	rows, err := db2.Query("SELECT attribute FROM _catalog_tables WHERE \"table\" = 'drugbank' GROUP BY attribute ORDER BY attribute")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) == 0 {
+		t.Error("schema rows missing")
+	}
+	rows, err = db2.Query("SELECT COUNT(*) AS n FROM _catalog_ontology")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Data[0][0].(int64) == 0 {
+		t.Error("ontology rows missing")
+	}
+}
