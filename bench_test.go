@@ -520,6 +520,75 @@ func BenchmarkRecovery(b *testing.B) {
 	}
 }
 
+// --- OS.2/OS.4: morsel-driven parallel execution -------------------------------------
+
+// benchParallelDB loads a synthetic table of n rows straight through the
+// transaction layer (bypassing curation, which is not what these benchmarks
+// measure) into an engine with the given executor parallelism.
+func benchParallelDB(b *testing.B, parallelism, n int) *DB {
+	b.Helper()
+	db, err := Open(Options{DisableCache: true, Parallelism: parallelism})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { db.Close() })
+	tx := db.Begin(Snapshot)
+	for i := 0; i < n; i++ {
+		if _, err := tx.Insert("big", Record{"v": i % 1000, "w": i}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := tx.Commit(); err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+// BenchmarkParallelScanFilter sweeps the worker-pool size over a 100k-row
+// scan+filter+aggregate — the canonical morsel-parallel pipeline. On a
+// single-core host every setting degenerates to serial plus coordination
+// overhead; speedups need >= 4 hardware threads (see EXPERIMENTS.md).
+func BenchmarkParallelScanFilter(b *testing.B) {
+	const q = `SELECT COUNT(*) AS n, SUM(w) AS s FROM big WHERE v * 3 > 500 AND v < 900`
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
+			db := benchParallelDB(b, p, 100_000)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Query(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelJoin sweeps the worker-pool size over a hash join with a
+// parallel build side and per-morsel probes.
+func BenchmarkParallelJoin(b *testing.B) {
+	const q = `SELECT COUNT(*) AS n FROM big AS a JOIN dim AS d ON a.v = d.v WHERE d.tag < 500`
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
+			db := benchParallelDB(b, p, 100_000)
+			tx := db.Begin(Snapshot)
+			for i := 0; i < 1000; i++ {
+				if _, err := tx.Insert("dim", Record{"v": i, "tag": (i * 7) % 1000}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := tx.Commit(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Query(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- E-OS4: placement ---------------------------------------------------------------
 
 func BenchmarkPlacement(b *testing.B) {

@@ -9,11 +9,14 @@
 //	-load NAME      load a sample corpus: lifesci | clinical | stream
 //	-q QUERY        run one SCQL query and exit (repeatable via args)
 //	-explain QUERY  print the optimized plan and rewrites, then exit
+//	-analyze QUERY  execute the query and print per-operator statistics
+//	-parallelism N  executor worker-pool size (0 = one per CPU)
 //	-stats          print engine statistics after loading
 //
-// With no -q/-explain, scdb reads SCQL statements from stdin, one per
-// line (lines starting with \ are shell commands: \stats, \witnesses,
-// \sources, \quit).
+// With no -q/-explain/-analyze, scdb reads SCQL statements from stdin,
+// one per line (lines starting with \ are shell commands: \stats,
+// \witnesses, \sources, \analyze Q, \quit). EXPLAIN and EXPLAIN ANALYZE
+// also work as ordinary statement prefixes.
 package main
 
 import (
@@ -31,10 +34,12 @@ func main() {
 	load := flag.String("load", "", "sample corpus to load: lifesci | clinical | stream")
 	q := flag.String("q", "", "run one query and exit")
 	explain := flag.String("explain", "", "explain one query and exit")
+	analyze := flag.String("analyze", "", "execute one query, print per-operator stats, and exit")
+	parallelism := flag.Int("parallelism", 0, "executor worker-pool size (0 = one per CPU)")
 	stats := flag.Bool("stats", false, "print engine statistics after loading")
 	flag.Parse()
 
-	opts := scdb.Options{Dir: *dir}
+	opts := scdb.Options{Dir: *dir, Parallelism: *parallelism}
 	switch *load {
 	case "lifesci", "clinical":
 		opts.Axioms = scdb.LifeSciAxioms + scdb.PopulationAxioms
@@ -90,6 +95,12 @@ func main() {
 		fmt.Printf("estimated cost: %.0f\n", info.EstimatedCost)
 		return
 	}
+	if *analyze != "" {
+		if !runAnalyze(db, *analyze) {
+			os.Exit(1)
+		}
+		return
+	}
 	ran := false
 	if *q != "" {
 		runQuery(db, *q)
@@ -107,7 +118,7 @@ func main() {
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	if isTTY() {
-		fmt.Println(`scdb shell — SCQL statements, or \stats \witnesses \sources \conflicts \schema T \explain Q \tables \quit`)
+		fmt.Println(`scdb shell — SCQL statements, or \stats \witnesses \sources \conflicts \schema T \explain Q \analyze Q \tables \quit`)
 		fmt.Print("scdb> ")
 	}
 	for sc.Scan() {
@@ -162,6 +173,8 @@ func main() {
 				fmt.Println("rewrite:", r)
 			}
 			fmt.Printf("estimated cost: %.0f\n", info.EstimatedCost)
+		case strings.HasPrefix(line, `\analyze `):
+			runAnalyze(db, strings.TrimSpace(strings.TrimPrefix(line, `\analyze `)))
 		case strings.HasPrefix(line, `\`):
 			fmt.Fprintf(os.Stderr, "unknown command %s\n", line)
 		default:
@@ -225,6 +238,23 @@ func runQuery(db *scdb.DB, q string) {
 		cached = " (materialized)"
 	}
 	fmt.Printf("(%d rows)%s\n", len(rows.Data), cached)
+}
+
+// runAnalyze executes a query and prints its per-operator runtime profile
+// (the EXPLAIN ANALYZE tree) followed by the row count.
+func runAnalyze(db *scdb.DB, q string) bool {
+	rows, info, err := db.QueryInfo(q)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		return false
+	}
+	if info.OperatorStats != "" {
+		fmt.Print(info.OperatorStats)
+	} else if info.CacheHit {
+		fmt.Println("(materialized result — no operator stats)")
+	}
+	fmt.Printf("(%d rows)\n", len(rows.Data))
+	return true
 }
 
 func printStats(db *scdb.DB) {

@@ -47,6 +47,10 @@ type Options struct {
 	DisableSemanticOptimizer bool
 	// DisableCache turns result materialization off.
 	DisableCache bool
+	// Parallelism sizes the morsel-driven query executor's worker pool.
+	// <=0 uses one worker per CPU; 1 executes queries serially. Query
+	// results are identical for every setting.
+	Parallelism int
 }
 
 // DB is a self-curating database handle.
@@ -61,6 +65,7 @@ func Open(opts Options) (*DB, error) {
 		MatCacheSize:       opts.CacheSize,
 		DisableSemanticOpt: opts.DisableSemanticOptimizer,
 		DisableMatCache:    opts.DisableCache,
+		Parallelism:        opts.Parallelism,
 		ERConfig:           er.Config{Threshold: opts.ResolutionThreshold},
 	}
 	for _, r := range opts.LinkRules {
@@ -162,6 +167,10 @@ type QueryInfo struct {
 	CacheHit bool
 	// EstimatedCost is the optimizer's work estimate for the plan.
 	EstimatedCost float64
+	// OperatorStats is the per-operator runtime profile (rows in/out,
+	// morsels, wall time) of the executed plan, rendered as a tree — the
+	// same text EXPLAIN ANALYZE returns. Empty for cache hits.
+	OperatorStats string
 }
 
 // Query executes one SCQL statement.
@@ -184,12 +193,16 @@ func (db *DB) QueryInfo(q string) (*Rows, *QueryInfo, error) {
 		}
 		out.Data = append(out.Data, row)
 	}
-	return out, &QueryInfo{
+	pub := &QueryInfo{
 		Plan:          info.Plan,
 		Rules:         info.Rules,
 		CacheHit:      info.CacheHit,
 		EstimatedCost: info.EstimatedCost,
-	}, nil
+	}
+	if info.OperatorStats != nil {
+		pub.OperatorStats = info.OperatorStats.Render()
+	}
+	return out, pub, nil
 }
 
 // Explain returns the optimized plan without executing.

@@ -53,6 +53,13 @@ type Options struct {
 	DisableSemanticOpt bool
 	// DisableMatCache turns materialization off (ablation).
 	DisableMatCache bool
+	// Parallelism sizes the morsel-driven executor's worker pool. <=0 means
+	// one worker per CPU; 1 executes every operator inline. Results are
+	// identical for every setting.
+	Parallelism int
+	// MorselSize overrides the executor's rows-per-morsel granule (<=0 =
+	// the query package default of 1024). Mostly a testing knob.
+	MorselSize int
 }
 
 // DB is the self-curating database engine.

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"scdb/internal/model"
 	"scdb/internal/optimizer"
@@ -11,16 +13,34 @@ import (
 )
 
 // QueryInfo reports how a query was answered: the final plan, the
-// optimizer rewrites, cache behaviour, and the answer mode.
+// optimizer rewrites, cache behaviour, the answer mode, and — when the
+// statement executed — the per-operator runtime statistics tree.
 type QueryInfo struct {
-	Plan          string
-	Rules         []string
-	EstimatedCost float64
-	CacheHit      bool
-	Mode          query.AnswerMode
+	Plan             string
+	Rules            []string
+	EstimatedCost    float64
+	EstimatedMorsels int
+	CacheHit         bool
+	Mode             query.AnswerMode
+	OperatorStats    *query.OpStats
 }
 
-// Query parses, optimizes, and executes one SCQL statement.
+// execOptions maps the engine's knobs onto the executor's.
+func (db *DB) execOptions(stmt *query.SelectStmt) query.ExecOptions {
+	p := db.opts.Parallelism
+	if p <= 0 {
+		p = runtime.NumCPU()
+	}
+	return query.ExecOptions{
+		Semantic:    stmt.Semantics,
+		Parallelism: p,
+		MorselSize:  db.opts.MorselSize,
+	}
+}
+
+// Query parses, optimizes, and executes one SCQL statement. An EXPLAIN
+// prefix returns the optimized plan as rows instead of executing; EXPLAIN
+// ANALYZE executes and returns the per-operator stats tree as rows.
 func (db *DB) Query(src string) (*query.Result, *QueryInfo, error) {
 	stmt, err := query.Parse(src)
 	if err != nil {
@@ -30,7 +50,7 @@ func (db *DB) Query(src string) (*query.Result, *QueryInfo, error) {
 	defer db.mu.RUnlock()
 	info := &QueryInfo{Mode: stmt.Mode}
 	key := stmt.String()
-	if !db.opts.DisableMatCache {
+	if !stmt.Explain && !db.opts.DisableMatCache {
 		if v, ok := db.matCache.Get(key); ok {
 			info.CacheHit = true
 			return v.(*query.Result), info, nil
@@ -42,17 +62,35 @@ func (db *DB) Query(src string) (*query.Result, *QueryInfo, error) {
 		return nil, nil, err
 	}
 	plan, rep := optimizer.Optimize(plan, db.optimizerOptions(stmt))
-	res, err := query.Execute(plan, env, stmt.Semantics)
-	if err != nil {
-		return nil, nil, err
-	}
 	info.Plan = query.Explain(plan)
 	info.Rules = rep.Rules
 	info.EstimatedCost = rep.EstimatedCost
+	info.EstimatedMorsels = rep.EstimatedMorsels
+	if stmt.Explain && !stmt.Analyze {
+		return planResult(info.Plan), info, nil
+	}
+	res, st, err := query.ExecuteOpts(plan, env, db.execOptions(stmt))
+	if err != nil {
+		return nil, nil, err
+	}
+	info.OperatorStats = st
+	if stmt.Explain { // EXPLAIN ANALYZE: rows are the annotated plan
+		return planResult(st.Render()), info, nil
+	}
 	if !db.opts.DisableMatCache {
 		db.matCache.Put(key, res, rep.EstimatedCost)
 	}
 	return res, info, nil
+}
+
+// planResult renders plan or stats text as a one-column result, one row
+// per line, so EXPLAIN output flows through the ordinary result path.
+func planResult(text string) *query.Result {
+	res := &query.Result{Columns: []string{"plan"}}
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		res.Rows = append(res.Rows, []model.Value{model.String(line)})
+	}
+	return res
 }
 
 // Explain returns the optimized plan and rewrite log without executing.
@@ -70,10 +108,11 @@ func (db *DB) Explain(src string) (*QueryInfo, error) {
 	}
 	plan, rep := optimizer.Optimize(plan, db.optimizerOptions(stmt))
 	return &QueryInfo{
-		Plan:          query.Explain(plan),
-		Rules:         rep.Rules,
-		EstimatedCost: rep.EstimatedCost,
-		Mode:          stmt.Mode,
+		Plan:             query.Explain(plan),
+		Rules:            rep.Rules,
+		EstimatedCost:    rep.EstimatedCost,
+		EstimatedMorsels: rep.EstimatedMorsels,
+		Mode:             stmt.Mode,
 	}, nil
 }
 
@@ -103,26 +142,36 @@ func (s dbStats) TableCard(name string) int {
 
 func (s dbStats) TotalEntities() int { return s.db.graph.NumEntities() }
 
-// queryEnv implements query.Env and query.Resolver over the engine, scoped
-// to one statement's answer mode. Name-to-entity lookups are memoized per
-// statement: REACHES('Osteosarcoma', ...) resolves its target once, not
-// once per candidate row.
+// queryEnv implements query.Env, query.Resolver, and query.MorselEnv over
+// the engine, scoped to one statement's answer mode. Name-to-entity lookups
+// are memoized per statement: REACHES('Osteosarcoma', ...) resolves its
+// target once, not once per candidate row. The executor evaluates
+// predicates from a pool of workers, so the memo is mutex-guarded.
 type queryEnv struct {
 	db     *DB
 	mode   query.AnswerMode
 	fuzzyT float64
-	names  map[string]model.EntityID
+
+	namesMu sync.Mutex
+	names   map[string]model.EntityID
 }
 
 func (e *queryEnv) lookupName(text string) model.EntityID {
+	e.namesMu.Lock()
 	if id, ok := e.names[text]; ok {
+		e.namesMu.Unlock()
 		return id
 	}
+	e.namesMu.Unlock()
+	// Resolve outside the lock — the graph scan is the expensive part, and
+	// concurrent duplicate lookups are deterministic and idempotent.
 	id := e.db.lookupByText(text)
+	e.namesMu.Lock()
 	if e.names == nil {
 		e.names = map[string]model.EntityID{}
 	}
 	e.names[text] = id
+	e.namesMu.Unlock()
 	return id
 }
 
@@ -150,6 +199,42 @@ func (e *queryEnv) ScanTable(name string) ([]model.Record, bool) {
 		return true
 	})
 	return recs, true
+}
+
+// ScanTableMorsels implements query.MorselEnv: the scan streams fixed-size
+// chunks so binding and filtering pipeline with it on the executor's
+// workers, and a satisfied LIMIT stops it early (emit returning false).
+func (e *queryEnv) ScanTableMorsels(name string, size int, emit func([]model.Record) bool) bool {
+	if name == ClaimsTable {
+		// The virtual claims table is materialized by the fusion layer and
+		// then chunked — answer-semantics filtering dominates its cost.
+		emitChunks(e.claimRows(), size, emit)
+		return true
+	}
+	t, ok := e.db.store.Table(name)
+	if !ok {
+		return false
+	}
+	t.ScanMorsels(e.db.store.Now(), size, func(_ []storage.RowID, recs []model.Record) bool {
+		return emit(recs)
+	})
+	return true
+}
+
+// emitChunks feeds an already-materialized record set to emit in morsels.
+func emitChunks(recs []model.Record, size int, emit func([]model.Record) bool) {
+	if size <= 0 {
+		size = 1024
+	}
+	for lo := 0; lo < len(recs); lo += size {
+		hi := lo + size
+		if hi > len(recs) {
+			hi = len(recs)
+		}
+		if !emit(recs[lo:hi]) {
+			return
+		}
+	}
 }
 
 // claimRows materializes the claims virtual table under the statement's
@@ -213,19 +298,63 @@ func (e *queryEnv) ScanConcept(concept string, semantic bool) ([]model.Record, b
 	}
 	recs := make([]model.Record, 0, len(ids))
 	for _, id := range ids {
-		ent, ok := e.db.graph.Entity(id)
+		rec, ok := e.conceptRecord(id, semantic)
 		if !ok {
 			continue
 		}
-		rec := ent.Attrs.Clone()
-		rec["_id"] = model.Ref(ent.ID)
-		rec["_key"] = model.String(ent.Key)
-		rec["_source"] = model.String(ent.Source)
-		types := e.typesList(ent.ID, semantic)
-		rec["_types"] = types
 		recs = append(recs, rec)
 	}
 	return recs, true
+}
+
+// ScanConceptMorsels implements query.MorselEnv for concept scans: entity
+// records are built chunk by chunk so downstream operators overlap with
+// record construction, and LIMIT stops the build early.
+func (e *queryEnv) ScanConceptMorsels(concept string, semantic bool, size int, emit func([]model.Record) bool) bool {
+	if !e.db.onto.HasConcept(concept) {
+		return false
+	}
+	var ids []model.EntityID
+	if semantic {
+		ids = e.db.reasoner.Instances(concept)
+	} else {
+		ids = e.db.graph.EntitiesByType(concept)
+	}
+	if size <= 0 {
+		size = 1024
+	}
+	batch := make([]model.Record, 0, size)
+	for _, id := range ids {
+		rec, ok := e.conceptRecord(id, semantic)
+		if !ok {
+			continue
+		}
+		batch = append(batch, rec)
+		if len(batch) >= size {
+			if !emit(batch) {
+				return true
+			}
+			batch = make([]model.Record, 0, size)
+		}
+	}
+	if len(batch) > 0 {
+		emit(batch)
+	}
+	return true
+}
+
+// conceptRecord projects one entity into the concept-scan row shape.
+func (e *queryEnv) conceptRecord(id model.EntityID, semantic bool) (model.Record, bool) {
+	ent, ok := e.db.graph.Entity(id)
+	if !ok {
+		return nil, false
+	}
+	rec := ent.Attrs.Clone()
+	rec["_id"] = model.Ref(ent.ID)
+	rec["_key"] = model.String(ent.Key)
+	rec["_source"] = model.String(ent.Source)
+	rec["_types"] = e.typesList(ent.ID, semantic)
+	return rec, true
 }
 
 func (e *queryEnv) typesList(id model.EntityID, semantic bool) model.Value {

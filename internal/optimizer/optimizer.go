@@ -55,8 +55,12 @@ type Options struct {
 type Report struct {
 	Rules []string
 	// EstimatedCost is the cost estimate of the final plan (arbitrary
-	// units: rows touched).
+	// units: rows touched, plus a dispatch charge per morsel scheduled on
+	// the parallel executor).
 	EstimatedCost float64
+	// EstimatedMorsels is how many morsels the parallel executor is
+	// expected to schedule for this plan.
+	EstimatedMorsels int
 }
 
 func (r *Report) log(format string, args ...any) {
@@ -75,9 +79,38 @@ func Optimize(n query.Node, opts Options) (query.Node, *Report) {
 	if !opts.DisableClassic {
 		n = pushDownFilters(n, rep)
 		n = orderJoins(n, opts, rep)
+		n = pushTopK(n, rep)
 	}
 	rep.EstimatedCost = EstimateCost(n, opts)
+	rep.EstimatedMorsels = EstimateMorsels(n, opts)
 	return n, rep
+}
+
+// pushTopK fuses Limit-over-Sort into a TopK node: a bounded heap replaces
+// the full sort, so only K rows are ever kept resident.
+func pushTopK(n query.Node, rep *Report) query.Node {
+	switch n := n.(type) {
+	case *query.LimitNode:
+		input := pushTopK(n.Input, rep)
+		if s, ok := input.(*query.SortNode); ok {
+			rep.log("topk: fuse Limit %d over Sort into TopK", n.N)
+			return &query.TopKNode{Input: s.Input, Keys: s.Keys, N: n.N}
+		}
+		return &query.LimitNode{Input: input, N: n.N}
+	case *query.FilterNode:
+		return &query.FilterNode{Input: pushTopK(n.Input, rep), Pred: n.Pred}
+	case *query.JoinNode:
+		return &query.JoinNode{L: pushTopK(n.L, rep), R: pushTopK(n.R, rep), On: n.On}
+	case *query.ProjectNode:
+		return &query.ProjectNode{Input: pushTopK(n.Input, rep), Star: n.Star, Items: n.Items}
+	case *query.AggregateNode:
+		return &query.AggregateNode{Input: pushTopK(n.Input, rep), GroupBy: n.GroupBy, Items: n.Items, Having: n.Having}
+	case *query.DistinctNode:
+		return &query.DistinctNode{Input: pushTopK(n.Input, rep)}
+	case *query.SortNode:
+		return &query.SortNode{Input: pushTopK(n.Input, rep), Keys: n.Keys}
+	}
+	return n
 }
 
 // --- constant folding -------------------------------------------------
@@ -638,6 +671,12 @@ func EstimateCard(n query.Node, opts Options) int {
 			return n.N
 		}
 		return in
+	case *query.TopKNode:
+		in := EstimateCard(n.Input, opts)
+		if in > n.N {
+			return n.N
+		}
+		return in
 	}
 	return 1000
 }
@@ -687,10 +726,15 @@ func conjunctSelectivity(e query.Expr, opts Options) float64 {
 	return 0.5
 }
 
-// EstimateCost sums the rows produced by every node — a simple work
+// morselSize mirrors query.DefaultMorselSize for the cost model.
+const morselSize = 1024
+
+// EstimateCost sums the rows produced by every node plus a small dispatch
+// charge per morsel the parallel executor will schedule — a simple work
 // metric the experiments compare across optimized and unoptimized plans.
 func EstimateCost(n query.Node, opts Options) float64 {
-	cost := float64(EstimateCard(n, opts))
+	card := EstimateCard(n, opts)
+	cost := float64(card) + float64(nodeMorsels(card))
 	for _, c := range query.Children(n) {
 		cost += EstimateCost(c, opts)
 	}
@@ -701,4 +745,22 @@ func EstimateCost(n query.Node, opts Options) float64 {
 		}
 	}
 	return cost
+}
+
+// nodeMorsels is how many morsels a node emitting card rows schedules.
+func nodeMorsels(card int) int {
+	if card <= 0 {
+		return 0
+	}
+	return (card + morselSize - 1) / morselSize
+}
+
+// EstimateMorsels estimates the total number of morsels the parallel
+// executor schedules across every node of the plan.
+func EstimateMorsels(n query.Node, opts Options) int {
+	total := nodeMorsels(EstimateCard(n, opts))
+	for _, c := range query.Children(n) {
+		total += EstimateMorsels(c, opts)
+	}
+	return total
 }

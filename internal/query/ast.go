@@ -195,6 +195,12 @@ type SelectStmt struct {
 	OrderBy  []OrderKey
 	Limit    int // -1 when absent
 
+	// Explain is set by an EXPLAIN prefix: return the plan instead of
+	// rows. Analyze (EXPLAIN ANALYZE) additionally executes the statement
+	// and reports per-operator runtime statistics.
+	Explain bool
+	Analyze bool
+
 	// Semantics is set by WITH SEMANTICS: ISA consults inferred types and
 	// the optimizer may use semantic rewrites.
 	Semantics bool
@@ -207,6 +213,12 @@ type SelectStmt struct {
 // the refinement engine, which manipulates statements programmatically).
 func (s *SelectStmt) String() string {
 	var b strings.Builder
+	if s.Explain {
+		b.WriteString("EXPLAIN ")
+		if s.Analyze {
+			b.WriteString("ANALYZE ")
+		}
+	}
 	b.WriteString("SELECT ")
 	if s.Distinct {
 		b.WriteString("DISTINCT ")

@@ -1,9 +1,13 @@
 package query
 
 import (
+	"container/heap"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 
 	"scdb/internal/model"
 )
@@ -14,13 +18,66 @@ type Result struct {
 	Rows    [][]model.Value
 }
 
-// Execute runs the plan against the environment. semantic enables inferred
-// types in ISA/ConceptScan (the WITH SEMANTICS modifier).
+// MorselEnv is an optional extension of Env. Environments that can stream a
+// table or concept in chunks implement it, letting scans pipeline into the
+// parallel executor without materializing whole tables, and letting LIMIT
+// stop a scan early (emit returning false). Emitted slices must remain
+// valid after emit returns (they cross a goroutine boundary). Return
+// found=false for an unknown name.
+type MorselEnv interface {
+	ScanTableMorsels(name string, size int, emit func([]model.Record) bool) (found bool)
+	ScanConceptMorsels(concept string, semantic bool, size int, emit func([]model.Record) bool) (found bool)
+}
+
+// ExecOptions tunes ExecuteOpts.
+type ExecOptions struct {
+	// Semantic enables inferred types in ISA/ConceptScan (WITH SEMANTICS).
+	Semantic bool
+	// Parallelism is the worker-pool size; <=0 means GOMAXPROCS, 1 runs
+	// every operator inline. Results are identical for every value.
+	Parallelism int
+	// MorselSize overrides the rows-per-morsel granule (<=0 = default).
+	// It must be held constant for results involving multi-morsel float
+	// aggregation to be bit-identical across runs.
+	MorselSize int
+}
+
+// Execute runs the plan serially — the exact legacy behavior. semantic
+// enables inferred types in ISA/ConceptScan (the WITH SEMANTICS modifier).
 func Execute(n Node, env Env, semantic bool) (*Result, error) {
-	ctx := &evalCtx{env: env, semantic: semantic}
-	rows, cols, err := run(n, ctx)
+	res, _, err := ExecuteOpts(n, env, ExecOptions{Semantic: semantic, Parallelism: 1})
+	return res, err
+}
+
+// ExecuteOpts runs the plan with morsel-driven parallelism and returns the
+// per-operator stats tree alongside the result. Scans emit fixed-size
+// morsels; Filter/Project/probe stages run per-morsel on a worker pool;
+// pipeline breakers (Join build, Aggregate, Distinct merge, Sort, TopK)
+// merge per-morsel partial states in morsel order, so the output is
+// identical for every Parallelism value.
+func ExecuteOpts(n Node, env Env, opts ExecOptions) (*Result, *OpStats, error) {
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	size := opts.MorselSize
+	if size <= 0 {
+		size = DefaultMorselSize
+	}
+	x := &execCtx{ev: &evalCtx{env: env, semantic: opts.Semantic}, workers: workers, size: size}
+	s, cols, st, err := x.build(n)
 	if err != nil {
-		return nil, err
+		x.wg.Wait()
+		return nil, nil, err
+	}
+	rows, err := drainRows(s)
+	// Join every worker and producer goroutine before returning: they hold
+	// references into the environment, which may only be valid while the
+	// caller's locks are held.
+	s.stop()
+	x.wg.Wait()
+	if err != nil {
+		return nil, st, err
 	}
 	if cols == nil {
 		// The plan's top produced raw rows (no projection) — normalize.
@@ -34,7 +91,7 @@ func Execute(n Node, env Env, semantic bool) (*Result, error) {
 		}
 		res.Rows = append(res.Rows, out)
 	}
-	return res, nil
+	return res, st, nil
 }
 
 // outKey maps a display column back to the row key.
@@ -65,143 +122,943 @@ func displayToKey(col string, r Row) (string, bool) {
 	return "", false
 }
 
-// run evaluates a plan node to rows; cols is non-nil once a projection or
-// aggregation fixed the output schema (binding "" labels).
-func run(n Node, ctx *evalCtx) (rows []Row, cols []string, err error) {
+// execCtx carries the per-query execution configuration. ev is read-only
+// after construction and therefore safe to share across workers.
+type execCtx struct {
+	ev      *evalCtx
+	workers int
+	size    int
+	wg      sync.WaitGroup // joins stage workers and scan producers
+}
+
+// build lowers a plan node to a morsel stream; cols is non-nil once a
+// projection or aggregation fixed the output schema (binding "" labels).
+func (x *execCtx) build(n Node) (s *stream, cols []string, st *OpStats, err error) {
 	switch n := n.(type) {
 	case *ScanNode:
-		recs, ok := ctx.env.ScanTable(n.Table)
-		if !ok {
-			return nil, nil, fmt.Errorf("query: unknown table %q", n.Table)
-		}
-		return bindRecords(recs, n.Binding), nil, nil
+		return x.buildScan(n)
 	case *ConceptScanNode:
-		recs, ok := ctx.env.ScanConcept(n.Concept, n.Semantic || ctx.semantic)
-		if !ok {
-			return nil, nil, fmt.Errorf("query: unknown concept %q", n.Concept)
-		}
-		return bindRecords(recs, n.Binding), nil, nil
+		return x.buildConceptScan(n)
 	case *EmptyNode:
-		return nil, nil, nil
+		return emptyStream(), nil, newOpStats(n), nil
 	case *FilterNode:
-		in, cols, err := run(n.Input, ctx)
-		if err != nil {
-			return nil, nil, err
-		}
+		return x.buildFilter(n)
+	case *JoinNode:
+		return x.buildJoin(n)
+	case *ProjectNode:
+		return x.buildProject(n)
+	case *AggregateNode:
+		return x.buildAggregate(n)
+	case *DistinctNode:
+		return x.buildDistinct(n)
+	case *SortNode:
+		return x.buildSort(n)
+	case *TopKNode:
+		return x.buildTopK(n)
+	case *LimitNode:
+		return x.buildLimit(n)
+	}
+	return nil, nil, nil, fmt.Errorf("query: cannot execute %T", n)
+}
+
+// bindStage turns record morsels from a scan source into bound rows on the
+// worker pool.
+func (x *execCtx) bindStage(src *stream, binding string, st *OpStats) *stream {
+	return parStage(src, x.workers, &x.wg, func(m morsel) (morsel, error) {
+		t0 := time.Now()
+		rows := bindRecords(m.recs, binding)
+		st.tally(len(rows), len(rows), time.Since(t0))
+		return morsel{rows: rows}, nil
+	})
+}
+
+// recSliceStream chunks materialized records into morsels (the fallback
+// for environments without MorselEnv).
+func recSliceStream(recs []model.Record, size int) *stream {
+	i, idx := 0, 0
+	return &stream{
+		next: func() (morsel, bool, error) {
+			if i >= len(recs) {
+				return morsel{}, false, nil
+			}
+			end := i + size
+			if end > len(recs) {
+				end = len(recs)
+			}
+			m := morsel{idx: idx, recs: recs[i:end]}
+			i, idx = end, idx+1
+			return m, true, nil
+		},
+		stop: func() {},
+	}
+}
+
+func (x *execCtx) buildScan(n *ScanNode) (*stream, []string, *OpStats, error) {
+	st := newOpStats(n)
+	if me, ok := x.ev.env.(MorselEnv); ok {
+		table, size := n.Table, x.size
+		src := goSource(&x.wg, func(emit func([]model.Record) bool) error {
+			if !me.ScanTableMorsels(table, size, emit) {
+				return fmt.Errorf("query: unknown table %q", table)
+			}
+			return nil
+		})
+		return x.bindStage(src, n.Binding, st), nil, st, nil
+	}
+	recs, ok := x.ev.env.ScanTable(n.Table)
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("query: unknown table %q", n.Table)
+	}
+	return x.bindStage(recSliceStream(recs, x.size), n.Binding, st), nil, st, nil
+}
+
+func (x *execCtx) buildConceptScan(n *ConceptScanNode) (*stream, []string, *OpStats, error) {
+	st := newOpStats(n)
+	semantic := n.Semantic || x.ev.semantic
+	if me, ok := x.ev.env.(MorselEnv); ok {
+		concept, size := n.Concept, x.size
+		src := goSource(&x.wg, func(emit func([]model.Record) bool) error {
+			if !me.ScanConceptMorsels(concept, semantic, size, emit) {
+				return fmt.Errorf("query: unknown concept %q", concept)
+			}
+			return nil
+		})
+		return x.bindStage(src, n.Binding, st), nil, st, nil
+	}
+	recs, ok := x.ev.env.ScanConcept(n.Concept, semantic)
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("query: unknown concept %q", n.Concept)
+	}
+	return x.bindStage(recSliceStream(recs, x.size), n.Binding, st), nil, st, nil
+}
+
+func (x *execCtx) buildFilter(n *FilterNode) (*stream, []string, *OpStats, error) {
+	in, cols, cst, err := x.build(n.Input)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	st := newOpStats(n)
+	st.Children = []*OpStats{cst}
+	pred := n.Pred
+	s := parStage(in, x.workers, &x.wg, func(m morsel) (morsel, error) {
+		t0 := time.Now()
 		var out []Row
-		for _, r := range in {
-			v, err := ctx.Eval(n.Pred, r)
+		for _, r := range m.rows {
+			v, err := x.ev.Eval(pred, r)
 			if err != nil {
-				return nil, nil, err
+				return morsel{}, err
 			}
 			t, err := truth3(v)
 			if err != nil {
-				return nil, nil, err
+				return morsel{}, err
 			}
 			if t == model.True {
 				out = append(out, r)
 			}
 		}
-		return out, cols, nil
-	case *JoinNode:
-		return runJoin(n, ctx)
-	case *ProjectNode:
-		in, _, err := run(n.Input, ctx)
+		st.tally(len(m.rows), len(out), time.Since(t0))
+		return morsel{rows: out}, nil
+	})
+	return s, cols, st, nil
+}
+
+func (x *execCtx) buildProject(n *ProjectNode) (*stream, []string, *OpStats, error) {
+	in, _, cst, err := x.build(n.Input)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	st := newOpStats(n)
+	st.Children = []*OpStats{cst}
+	if n.Star {
+		// SELECT * derives its schema from the full input, so this is a
+		// pipeline breaker.
+		rows, err := drainRows(in)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
-		if n.Star {
-			return in, unionColumns(in), nil
-		}
-		cols := make([]string, len(n.Items))
-		for i, it := range n.Items {
-			cols[i] = it.Label()
-		}
-		var out []Row
-		for _, r := range in {
+		t0 := time.Now()
+		cols := unionColumns(rows)
+		st.tallyRows(len(rows), len(rows), time.Since(t0))
+		return sliceStream(rows, x.size), cols, st, nil
+	}
+	cols := make([]string, len(n.Items))
+	for i, it := range n.Items {
+		cols[i] = it.Label()
+	}
+	items := n.Items
+	s := parStage(in, x.workers, &x.wg, func(m morsel) (morsel, error) {
+		t0 := time.Now()
+		out := make([]Row, 0, len(m.rows))
+		for _, r := range m.rows {
 			nr := newRow()
-			for i, it := range n.Items {
-				v, err := ctx.Eval(it.Expr, r)
+			for i, it := range items {
+				v, err := x.ev.Eval(it.Expr, r)
 				if err != nil {
-					return nil, nil, err
+					return morsel{}, err
 				}
 				nr.Set("", cols[i], v)
 			}
 			out = append(out, nr)
 		}
-		return out, cols, nil
-	case *AggregateNode:
-		return runAggregate(n, ctx)
-	case *DistinctNode:
-		in, cols, err := run(n.Input, ctx)
-		if err != nil {
-			return nil, nil, err
-		}
-		seen := map[uint64]bool{}
+		st.tally(len(m.rows), len(out), time.Since(t0))
+		return morsel{rows: out}, nil
+	})
+	return s, cols, st, nil
+}
+
+// equiJoinCols recognizes "a.x = b.y" predicates joining the two sides.
+func equiJoinCols(on Expr) (l, r *ColRef, ok bool) {
+	b, isBin := on.(*Binary)
+	if !isBin || b.Op != "=" {
+		return nil, nil, false
+	}
+	lc, lok := b.L.(*ColRef)
+	rc, rok := b.R.(*ColRef)
+	if !lok || !rok || lc.Binding == "" || rc.Binding == "" {
+		return nil, nil, false
+	}
+	return lc, rc, true
+}
+
+func (x *execCtx) buildJoin(n *JoinNode) (*stream, []string, *OpStats, error) {
+	ls, _, lst, err := x.build(n.L)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	rs, _, rst, err := x.build(n.R)
+	if err != nil {
+		ls.stop()
+		return nil, nil, nil, err
+	}
+	st := newOpStats(n)
+	st.Children = []*OpStats{lst, rst}
+	lrows, err := drainRows(ls)
+	if err != nil {
+		rs.stop()
+		return nil, nil, nil, err
+	}
+	rrows, err := drainRows(rs)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if lc, rc, ok := equiJoinCols(n.On); ok {
+		return x.buildHashJoin(n, st, lrows, rrows, lc, rc)
+	}
+	// Nested-loop join with three-valued predicate: stream the left side,
+	// each morsel scanning the full right side.
+	st.tallyRows(len(lrows)+len(rrows), 0, 0)
+	on := n.On
+	s := parStage(sliceStream(lrows, x.size), x.workers, &x.wg, func(m morsel) (morsel, error) {
+		t0 := time.Now()
 		var out []Row
-		for _, r := range in {
-			h := rowHash(r)
-			if !seen[h] {
-				seen[h] = true
+		for _, lr := range m.rows {
+			for _, rr := range rrows {
+				merged := lr.merge(rr)
+				v, err := x.ev.Eval(on, merged)
+				if err != nil {
+					return morsel{}, err
+				}
+				t, err := truth3(v)
+				if err != nil {
+					return morsel{}, err
+				}
+				if t == model.True {
+					out = append(out, merged)
+				}
+			}
+		}
+		st.tally(0, len(out), time.Since(t0))
+		return morsel{rows: out}, nil
+	})
+	return s, nil, st, nil
+}
+
+// buildHashJoin builds the hash table over the smaller side in parallel
+// partitions, then probes per-morsel on the worker pool. Partition maps are
+// each populated by one worker scanning the build side in index order, so
+// bucket ordering — and therefore output ordering — matches the serial
+// build exactly.
+func (x *execCtx) buildHashJoin(n *JoinNode, st *OpStats, lrows, rrows []Row, lc, rc *ColRef) (*stream, []string, *OpStats, error) {
+	t0 := time.Now()
+	// Orient columns to sides.
+	probeCol, buildCol := lc, rc
+	if len(lrows) > 0 && !lrows[0].bindings[lc.Binding] {
+		probeCol, buildCol = rc, lc
+	}
+	// Build on the smaller side.
+	build, probe := rrows, lrows
+	bCol, pCol := buildCol, probeCol
+	if len(lrows) < len(rrows) {
+		build, probe = lrows, rrows
+		bCol, pCol = probeCol, buildCol
+	}
+	// Phase 1: hash the build keys in parallel.
+	type buildKey struct {
+		h  uint64
+		ok bool
+	}
+	bkeys := make([]buildKey, len(build))
+	x.parRange(len(build), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			v, err := build[i].Lookup(bCol.Binding, bCol.Name)
+			if err == nil && !v.IsNull() {
+				bkeys[i] = buildKey{v.Hash(), true}
+			}
+		}
+	})
+	// Phase 2: one partition map per worker, each scanning all keys and
+	// keeping its own residue class.
+	nparts := uint64(x.workers)
+	parts := make([]map[uint64][]int, nparts)
+	var wg sync.WaitGroup
+	for w := range parts {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			m := map[uint64][]int{}
+			for i, k := range bkeys {
+				if k.ok && k.h%nparts == uint64(w) {
+					m[k.h] = append(m[k.h], i)
+				}
+			}
+			parts[w] = m
+		}(w)
+	}
+	wg.Wait()
+	st.tallyRows(len(lrows)+len(rrows), 0, time.Since(t0))
+
+	s := parStage(sliceStream(probe, x.size), x.workers, &x.wg, func(m morsel) (morsel, error) {
+		t0 := time.Now()
+		var out []Row
+		for _, pr := range m.rows {
+			v, err := pr.Lookup(pCol.Binding, pCol.Name)
+			if err != nil || v.IsNull() {
+				continue
+			}
+			h := v.Hash()
+			for _, bi := range parts[h%nparts][h] {
+				br := build[bi]
+				bv, _ := br.Lookup(bCol.Binding, bCol.Name)
+				if model.Equal(v, bv) {
+					out = append(out, pr.merge(br))
+				}
+			}
+		}
+		st.tally(0, len(out), time.Since(t0))
+		return morsel{rows: out}, nil
+	})
+	return s, nil, st, nil
+}
+
+// parRange splits [0, n) into contiguous chunks across the worker pool.
+func (x *execCtx) parRange(n int, fn func(lo, hi int)) {
+	w := x.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	chunk := (n + w - 1) / w
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func (x *execCtx) buildDistinct(n *DistinctNode) (*stream, []string, *OpStats, error) {
+	in, cols, cst, err := x.build(n.Input)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	st := newOpStats(n)
+	st.Children = []*OpStats{cst}
+	// Hash rows in parallel; dedupe serially in morsel order (first
+	// occurrence wins, as in the serial executor).
+	hashed := parStage(in, x.workers, &x.wg, func(m morsel) (morsel, error) {
+		hs := make([]uint64, len(m.rows))
+		for i, r := range m.rows {
+			hs[i] = rowHash(r)
+		}
+		m.hashes = hs
+		return m, nil
+	})
+	d := &deduper{buckets: map[uint64][]Row{}}
+	s := parStage(hashed, 1, &x.wg, func(m morsel) (morsel, error) {
+		t0 := time.Now()
+		var out []Row
+		for i, r := range m.rows {
+			if d.keep(r, m.hashes[i]) {
 				out = append(out, r)
 			}
 		}
-		return out, cols, nil
-	case *SortNode:
-		in, cols, err := run(n.Input, ctx)
-		if err != nil {
-			return nil, nil, err
+		st.tally(len(m.rows), len(out), time.Since(t0))
+		return morsel{rows: out}, nil
+	})
+	return s, cols, st, nil
+}
+
+// deduper keeps first row occurrences, comparing full rows within each
+// hash bucket so that hash collisions never merge distinct rows.
+type deduper struct {
+	buckets map[uint64][]Row
+}
+
+func (d *deduper) keep(r Row, h uint64) bool {
+	for _, p := range d.buckets[h] {
+		if rowsEqual(p, r) {
+			return false
 		}
-		type keyed struct {
-			row  Row
-			keys []model.Value
+	}
+	d.buckets[h] = append(d.buckets[h], r)
+	return true
+}
+
+// rowsEqual reports whether two rows carry the same keys and values
+// (null equals null, as DISTINCT requires).
+func rowsEqual(a, b Row) bool {
+	if len(a.vals) != len(b.vals) {
+		return false
+	}
+	for k, va := range a.vals {
+		vb, ok := b.vals[k]
+		if !ok {
+			return false
 		}
-		ks := make([]keyed, len(in))
-		for i, r := range in {
-			kv := make([]model.Value, len(n.Keys))
-			for j, k := range n.Keys {
-				v, err := ctx.Eval(k.Expr, r)
+		if va.IsNull() || vb.IsNull() {
+			if va.IsNull() != vb.IsNull() {
+				return false
+			}
+			continue
+		}
+		if !model.Equal(va, vb) {
+			return false
+		}
+	}
+	return true
+}
+
+// attachKeys evaluates the sort keys for every row on the worker pool,
+// attaching them to the morsel for a downstream Sort or TopK consumer.
+func (x *execCtx) attachKeys(in *stream, keys []OrderKey, st *OpStats) *stream {
+	return parStage(in, x.workers, &x.wg, func(m morsel) (morsel, error) {
+		t0 := time.Now()
+		ks := make([][]model.Value, len(m.rows))
+		for i, r := range m.rows {
+			kv := make([]model.Value, len(keys))
+			for j, k := range keys {
+				v, err := x.ev.Eval(k.Expr, r)
 				if err != nil {
-					return nil, nil, err
+					return morsel{}, err
 				}
 				kv[j] = v
 			}
-			ks[i] = keyed{r, kv}
+			ks[i] = kv
 		}
-		sort.SliceStable(ks, func(a, b int) bool {
-			for j, k := range n.Keys {
-				va, vb := ks[a].keys[j], ks[b].keys[j]
-				if model.Equal(va, vb) {
-					continue
-				}
-				less := model.Less(va, vb)
-				if k.Desc {
-					return !less
-				}
-				return less
-			}
-			return false
-		})
-		out := make([]Row, len(ks))
-		for i := range ks {
-			out[i] = ks[i].row
-		}
-		return out, cols, nil
-	case *LimitNode:
-		in, cols, err := run(n.Input, ctx)
-		if err != nil {
-			return nil, nil, err
-		}
-		if len(in) > n.N {
-			in = in[:n.N]
-		}
-		return in, cols, nil
-	}
-	return nil, nil, fmt.Errorf("query: cannot execute %T", n)
+		m.keys = ks
+		st.tally(len(m.rows), 0, time.Since(t0))
+		return m, nil
+	})
 }
 
+type keyedRow struct {
+	row  Row
+	keys []model.Value
+	idx  int // original input position, the stable-sort tiebreaker
+}
+
+// keyedLess orders by the sort keys, breaking ties by input position — the
+// total order equivalent to a stable sort on the keys alone.
+func keyedLess(keys []OrderKey, a, b keyedRow) bool {
+	for j, k := range keys {
+		va, vb := a.keys[j], b.keys[j]
+		if model.Equal(va, vb) {
+			continue
+		}
+		less := model.Less(va, vb)
+		if k.Desc {
+			return !less
+		}
+		return less
+	}
+	return a.idx < b.idx
+}
+
+func (x *execCtx) buildSort(n *SortNode) (*stream, []string, *OpStats, error) {
+	in, cols, cst, err := x.build(n.Input)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	st := newOpStats(n)
+	st.Children = []*OpStats{cst}
+	keyed := x.attachKeys(in, n.Keys, st)
+	var flat []keyedRow
+	for {
+		m, ok, err := keyed.next()
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if !ok {
+			break
+		}
+		for i, r := range m.rows {
+			flat = append(flat, keyedRow{row: r, keys: m.keys[i], idx: len(flat)})
+		}
+	}
+	t0 := time.Now()
+	sort.SliceStable(flat, func(a, b int) bool {
+		for j, k := range n.Keys {
+			va, vb := flat[a].keys[j], flat[b].keys[j]
+			if model.Equal(va, vb) {
+				continue
+			}
+			less := model.Less(va, vb)
+			if k.Desc {
+				return !less
+			}
+			return less
+		}
+		return false
+	})
+	rows := make([]Row, len(flat))
+	for i := range flat {
+		rows[i] = flat[i].row
+	}
+	st.tallyRows(0, len(rows), time.Since(t0))
+	return sliceStream(rows, x.size), cols, st, nil
+}
+
+// topkHeap is a bounded max-heap over keyedRows: the root is the largest
+// element in sort order, evicted whenever the heap exceeds K.
+type topkHeap struct {
+	items []keyedRow
+	keys  []OrderKey
+}
+
+func (h *topkHeap) Len() int           { return len(h.items) }
+func (h *topkHeap) Less(i, j int) bool { return keyedLess(h.keys, h.items[j], h.items[i]) }
+func (h *topkHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *topkHeap) Push(v any)         { h.items = append(h.items, v.(keyedRow)) }
+func (h *topkHeap) Pop() any {
+	v := h.items[len(h.items)-1]
+	h.items = h.items[:len(h.items)-1]
+	return v
+}
+
+func (x *execCtx) buildTopK(n *TopKNode) (*stream, []string, *OpStats, error) {
+	in, cols, cst, err := x.build(n.Input)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	st := newOpStats(n)
+	st.Children = []*OpStats{cst}
+	keyed := x.attachKeys(in, n.Keys, st)
+	h := &topkHeap{keys: n.Keys}
+	idx := 0
+	for {
+		m, ok, err := keyed.next()
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if !ok {
+			break
+		}
+		t0 := time.Now()
+		for i, r := range m.rows {
+			if n.N > 0 {
+				heap.Push(h, keyedRow{row: r, keys: m.keys[i], idx: idx})
+				if h.Len() > n.N {
+					heap.Pop(h)
+				}
+			}
+			idx++
+		}
+		st.tallyRows(0, 0, time.Since(t0))
+	}
+	t0 := time.Now()
+	items := h.items
+	sort.Slice(items, func(a, b int) bool { return keyedLess(n.Keys, items[a], items[b]) })
+	rows := make([]Row, len(items))
+	for i := range items {
+		rows[i] = items[i].row
+	}
+	st.tallyRows(0, len(rows), time.Since(t0))
+	return sliceStream(rows, x.size), cols, st, nil
+}
+
+func (x *execCtx) buildLimit(n *LimitNode) (*stream, []string, *OpStats, error) {
+	in, cols, cst, err := x.build(n.Input)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	st := newOpStats(n)
+	st.Children = []*OpStats{cst}
+	taken, stopped := 0, false
+	s := &stream{
+		next: func() (morsel, bool, error) {
+			if taken >= n.N {
+				if !stopped {
+					stopped = true
+					in.stop()
+				}
+				return morsel{}, false, nil
+			}
+			m, ok, err := in.next()
+			if err != nil || !ok {
+				return morsel{}, false, err
+			}
+			inRows := len(m.rows)
+			if taken+len(m.rows) > n.N {
+				m.rows = m.rows[:n.N-taken]
+			}
+			taken += len(m.rows)
+			if taken >= n.N && !stopped {
+				// Enough rows: cancel the upstream producers right away.
+				stopped = true
+				in.stop()
+			}
+			st.tally(inRows, len(m.rows), 0)
+			return m, true, nil
+		},
+		stop: in.stop,
+	}
+	return s, cols, st, nil
+}
+
+// --- aggregation -------------------------------------------------------
+
+// aggState is the mergeable partial state of one aggregate call over one
+// group. Errors are deferred, mirroring the serial executor's laziness: an
+// argument-eval error always outranks a non-numeric error (the serial code
+// evaluated all arguments before type-checking any), and neither surfaces
+// unless the group survives HAVING and the call is actually finalized.
+type aggState struct {
+	count   int64 // non-null values (numeric ones for SUM/AVG)
+	fsum    float64
+	isum    int64
+	allInt  bool
+	best    model.Value
+	hasBest bool
+	evalErr error
+	numErr  error
+}
+
+func newAggStates(n int) []aggState {
+	states := make([]aggState, n)
+	for i := range states {
+		states[i].allInt = true
+	}
+	return states
+}
+
+func (a *aggState) add(ev *evalCtx, call *Call, r Row) {
+	if a.evalErr != nil {
+		return
+	}
+	if call.Star || len(call.Args) != 1 {
+		return // finalizeAgg raises the proper error per call shape
+	}
+	v, err := ev.Eval(call.Args[0], r)
+	if err != nil {
+		a.evalErr = err
+		return
+	}
+	if v.IsNull() {
+		return
+	}
+	switch call.Name {
+	case "COUNT":
+		a.count++
+	case "SUM", "AVG":
+		f, ok := v.AsFloat()
+		if !ok {
+			if a.numErr == nil {
+				a.numErr = fmt.Errorf("query: %s over non-numeric value %s", call.Name, v)
+			}
+			return
+		}
+		a.count++
+		a.fsum += f
+		if i, ok := v.AsInt(); ok {
+			a.isum += i
+		} else {
+			a.allInt = false
+		}
+	case "MIN", "MAX":
+		if !a.hasBest {
+			a.best, a.hasBest = v, true
+			return
+		}
+		if (call.Name == "MIN" && model.Less(v, a.best)) ||
+			(call.Name == "MAX" && model.Less(a.best, v)) {
+			a.best = v
+		}
+	}
+}
+
+// mergeFrom folds a later morsel's partial state into this one. Earlier
+// errors win, matching row order.
+func (a *aggState) mergeFrom(b *aggState, call *Call) {
+	if a.evalErr == nil {
+		a.evalErr = b.evalErr
+	}
+	if a.numErr == nil {
+		a.numErr = b.numErr
+	}
+	a.count += b.count
+	a.fsum += b.fsum
+	a.isum += b.isum
+	a.allInt = a.allInt && b.allInt
+	if b.hasBest {
+		if !a.hasBest {
+			a.best, a.hasBest = b.best, true
+		} else if (call.Name == "MIN" && model.Less(b.best, a.best)) ||
+			(call.Name == "MAX" && model.Less(a.best, b.best)) {
+			a.best = b.best
+		}
+	}
+}
+
+// groupAgg is one group's accumulated state: row count, the representative
+// row (first in row order, used for non-aggregate expressions), and one
+// aggState per collected aggregate call.
+type groupAgg struct {
+	n      int64
+	rep    Row
+	hasRep bool
+	states []aggState
+}
+
+// groupPartial is one morsel's grouping result; order lists group hashes by
+// first encounter.
+type groupPartial struct {
+	order  []uint64
+	groups map[uint64]*groupAgg
+}
+
+// collectAggCalls gathers the distinct aggregate calls that finalization
+// will need states for. The walk descends exactly where grouped evaluation
+// descends (top-level calls and Binary operands); aggregates nested
+// anywhere else error at eval time and need no state.
+func collectAggCalls(n *AggregateNode) []*Call {
+	var calls []*Call
+	seen := map[string]bool{}
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch e := e.(type) {
+		case *Call:
+			if aggFuncs[e.Name] && !seen[e.String()] {
+				seen[e.String()] = true
+				calls = append(calls, e)
+			}
+		case *Binary:
+			walk(e.L)
+			walk(e.R)
+		}
+	}
+	for _, it := range n.Items {
+		walk(it.Expr)
+	}
+	if n.Having != nil {
+		walk(n.Having)
+	}
+	return calls
+}
+
+func finalizeAgg(call *Call, g *groupAgg, idx int) (model.Value, error) {
+	if call.Star {
+		if call.Name != "COUNT" {
+			return model.Value{}, fmt.Errorf("query: %s(*) is not valid", call.Name)
+		}
+		return model.Int(g.n), nil
+	}
+	if len(call.Args) != 1 {
+		return model.Value{}, fmt.Errorf("query: %s takes exactly 1 argument", call.Name)
+	}
+	a := &g.states[idx]
+	if a.evalErr != nil {
+		return model.Value{}, a.evalErr
+	}
+	switch call.Name {
+	case "COUNT":
+		return model.Int(a.count), nil
+	case "SUM":
+		if a.numErr != nil {
+			return model.Value{}, a.numErr
+		}
+		if a.count == 0 {
+			return model.Null(), nil
+		}
+		if a.allInt {
+			return model.Int(a.isum), nil
+		}
+		return model.Float(a.fsum), nil
+	case "AVG":
+		if a.numErr != nil {
+			return model.Value{}, a.numErr
+		}
+		if a.count == 0 {
+			return model.Null(), nil
+		}
+		return model.Float(a.fsum / float64(a.count)), nil
+	case "MIN", "MAX":
+		if !a.hasBest {
+			return model.Null(), nil
+		}
+		return a.best, nil
+	}
+	return model.Value{}, fmt.Errorf("query: unknown aggregate %s", call.Name)
+}
+
+// evalFromStates evaluates a grouped expression from merged partial states:
+// aggregate calls finalize their state; everything else evaluates on the
+// group's representative row.
+func (x *execCtx) evalFromStates(e Expr, g *groupAgg, callIdx map[string]int) (model.Value, error) {
+	switch e := e.(type) {
+	case *Call:
+		if aggFuncs[e.Name] {
+			return finalizeAgg(e, g, callIdx[e.String()])
+		}
+	case *Binary:
+		if containsAggregate(e.L) || containsAggregate(e.R) {
+			l, err := x.evalFromStates(e.L, g, callIdx)
+			if err != nil {
+				return model.Value{}, err
+			}
+			r, err := x.evalFromStates(e.R, g, callIdx)
+			if err != nil {
+				return model.Value{}, err
+			}
+			return x.ev.Eval(&Binary{Op: e.Op, L: &Literal{Val: l}, R: &Literal{Val: r}}, newRow())
+		}
+	}
+	if !g.hasRep {
+		return model.Null(), nil
+	}
+	return x.ev.Eval(e, g.rep)
+}
+
+func (x *execCtx) buildAggregate(n *AggregateNode) (*stream, []string, *OpStats, error) {
+	in, _, cst, err := x.build(n.Input)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	st := newOpStats(n)
+	st.Children = []*OpStats{cst}
+	cols := make([]string, len(n.Items))
+	for i, it := range n.Items {
+		cols[i] = it.Label()
+	}
+	calls := collectAggCalls(n)
+	callIdx := make(map[string]int, len(calls))
+	for i, c := range calls {
+		callIdx[c.String()] = i
+	}
+
+	// Phase 1: per-morsel partial grouping on the worker pool.
+	partials, err := parMap(in, x.workers, func(m morsel) (*groupPartial, error) {
+		t0 := time.Now()
+		gp := &groupPartial{groups: map[uint64]*groupAgg{}}
+		for _, r := range m.rows {
+			keysHash := uint64(1469598103934665603)
+			for _, g := range n.GroupBy {
+				v, err := x.ev.Eval(g, r)
+				if err != nil {
+					return nil, err
+				}
+				keysHash = keysHash*1099511628211 ^ v.Hash()
+			}
+			ga, ok := gp.groups[keysHash]
+			if !ok {
+				ga = &groupAgg{rep: r, hasRep: true, states: newAggStates(len(calls))}
+				gp.groups[keysHash] = ga
+				gp.order = append(gp.order, keysHash)
+			}
+			ga.n++
+			for i, c := range calls {
+				ga.states[i].add(x.ev, c, r)
+			}
+		}
+		st.tally(len(m.rows), 0, time.Since(t0))
+		return gp, nil
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	// Phase 2: merge partials in morsel order — group order and float
+	// accumulation order depend only on morsel boundaries, never on the
+	// worker count.
+	t0 := time.Now()
+	total := &groupPartial{groups: map[uint64]*groupAgg{}}
+	for _, gp := range partials {
+		for _, h := range gp.order {
+			g := gp.groups[h]
+			t, ok := total.groups[h]
+			if !ok {
+				total.groups[h] = g
+				total.order = append(total.order, h)
+				continue
+			}
+			t.n += g.n
+			for i := range t.states {
+				t.states[i].mergeFrom(&g.states[i], calls[i])
+			}
+		}
+	}
+	// A global aggregate over zero rows still yields one group.
+	if len(total.order) == 0 && len(n.GroupBy) == 0 {
+		total.groups[0] = &groupAgg{states: newAggStates(len(calls))}
+		total.order = append(total.order, 0)
+	}
+
+	// Phase 3: HAVING and finalization, serial in group order.
+	var out []Row
+	for _, h := range total.order {
+		g := total.groups[h]
+		if n.Having != nil {
+			hv, err := x.evalFromStates(n.Having, g, callIdx)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			ht, err := truth3(hv)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			if ht != model.True {
+				continue
+			}
+		}
+		nr := newRow()
+		for i, it := range n.Items {
+			v, err := x.evalFromStates(it.Expr, g, callIdx)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			nr.Set("", cols[i], v)
+		}
+		out = append(out, nr)
+	}
+	st.tallyRows(0, len(out), time.Since(t0))
+	return sliceStream(out, x.size), cols, st, nil
+}
+
+// --- shared helpers ----------------------------------------------------
+
 // rowHash hashes every column of a row, order-independently but
-// key-sensitively, for DISTINCT.
+// key-sensitively, for DISTINCT bucketing.
 func rowHash(r Row) uint64 {
 	var h uint64
 	for k, v := range r.vals {
@@ -221,251 +1078,6 @@ func bindRecords(recs []model.Record, binding string) []Row {
 		rows[i] = r
 	}
 	return rows
-}
-
-// equiJoinCols recognizes "a.x = b.y" predicates joining the two sides.
-func equiJoinCols(on Expr) (l, r *ColRef, ok bool) {
-	b, isBin := on.(*Binary)
-	if !isBin || b.Op != "=" {
-		return nil, nil, false
-	}
-	lc, lok := b.L.(*ColRef)
-	rc, rok := b.R.(*ColRef)
-	if !lok || !rok || lc.Binding == "" || rc.Binding == "" {
-		return nil, nil, false
-	}
-	return lc, rc, true
-}
-
-func runJoin(n *JoinNode, ctx *evalCtx) ([]Row, []string, error) {
-	lrows, _, err := run(n.L, ctx)
-	if err != nil {
-		return nil, nil, err
-	}
-	rrows, _, err := run(n.R, ctx)
-	if err != nil {
-		return nil, nil, err
-	}
-	if lc, rc, ok := equiJoinCols(n.On); ok {
-		// Orient columns to sides.
-		probeCol, buildCol := lc, rc
-		if len(lrows) > 0 && !lrows[0].bindings[lc.Binding] {
-			probeCol, buildCol = rc, lc
-		}
-		// Hash join: build on the smaller side.
-		build, probe := rrows, lrows
-		bCol, pCol := buildCol, probeCol
-		if len(lrows) < len(rrows) {
-			build, probe = lrows, rrows
-			bCol, pCol = probeCol, buildCol
-		}
-		ht := make(map[uint64][]Row, len(build))
-		for _, r := range build {
-			v, err := r.Lookup(bCol.Binding, bCol.Name)
-			if err != nil || v.IsNull() {
-				continue
-			}
-			h := v.Hash()
-			ht[h] = append(ht[h], r)
-		}
-		var out []Row
-		for _, pr := range probe {
-			v, err := pr.Lookup(pCol.Binding, pCol.Name)
-			if err != nil || v.IsNull() {
-				continue
-			}
-			for _, br := range ht[v.Hash()] {
-				bv, _ := br.Lookup(bCol.Binding, bCol.Name)
-				if model.Equal(v, bv) {
-					out = append(out, pr.merge(br))
-				}
-			}
-		}
-		return out, nil, nil
-	}
-	// Nested-loop join with three-valued predicate.
-	var out []Row
-	for _, lr := range lrows {
-		for _, rr := range rrows {
-			merged := lr.merge(rr)
-			v, err := ctx.Eval(n.On, merged)
-			if err != nil {
-				return nil, nil, err
-			}
-			t, err := truth3(v)
-			if err != nil {
-				return nil, nil, err
-			}
-			if t == model.True {
-				out = append(out, merged)
-			}
-		}
-	}
-	return out, nil, nil
-}
-
-func runAggregate(n *AggregateNode, ctx *evalCtx) ([]Row, []string, error) {
-	in, _, err := run(n.Input, ctx)
-	if err != nil {
-		return nil, nil, err
-	}
-	cols := make([]string, len(n.Items))
-	for i, it := range n.Items {
-		cols[i] = it.Label()
-	}
-
-	type group struct {
-		keys []model.Value
-		rows []Row
-	}
-	groups := map[uint64]*group{}
-	var order []uint64
-	for _, r := range in {
-		keys := make([]model.Value, len(n.GroupBy))
-		h := uint64(1469598103934665603)
-		for i, g := range n.GroupBy {
-			v, err := ctx.Eval(g, r)
-			if err != nil {
-				return nil, nil, err
-			}
-			keys[i] = v
-			h = h*1099511628211 ^ v.Hash()
-		}
-		gr, ok := groups[h]
-		if !ok {
-			gr = &group{keys: keys}
-			groups[h] = gr
-			order = append(order, h)
-		}
-		gr.rows = append(gr.rows, r)
-	}
-	// A global aggregate over zero rows still yields one group.
-	if len(groups) == 0 && len(n.GroupBy) == 0 {
-		h := uint64(0)
-		groups[h] = &group{}
-		order = append(order, h)
-	}
-
-	var out []Row
-	for _, h := range order {
-		gr := groups[h]
-		if n.Having != nil {
-			hv, err := evalWithAggregates(ctx, n.Having, gr.rows)
-			if err != nil {
-				return nil, nil, err
-			}
-			ht, err := truth3(hv)
-			if err != nil {
-				return nil, nil, err
-			}
-			if ht != model.True {
-				continue
-			}
-		}
-		nr := newRow()
-		for i, it := range n.Items {
-			v, err := evalWithAggregates(ctx, it.Expr, gr.rows)
-			if err != nil {
-				return nil, nil, err
-			}
-			nr.Set("", cols[i], v)
-		}
-		out = append(out, nr)
-	}
-	return out, cols, nil
-}
-
-// evalWithAggregates evaluates an expression in grouped context: aggregate
-// calls collapse the group's rows; everything else evaluates on the first
-// row (the per-group representative, valid for GROUP BY expressions).
-func evalWithAggregates(ctx *evalCtx, e Expr, rows []Row) (model.Value, error) {
-	switch e := e.(type) {
-	case *Call:
-		if aggFuncs[e.Name] {
-			return evalAggregate(ctx, e, rows)
-		}
-	case *Binary:
-		if containsAggregate(e.L) || containsAggregate(e.R) {
-			l, err := evalWithAggregates(ctx, e.L, rows)
-			if err != nil {
-				return model.Value{}, err
-			}
-			r, err := evalWithAggregates(ctx, e.R, rows)
-			if err != nil {
-				return model.Value{}, err
-			}
-			return ctx.Eval(&Binary{Op: e.Op, L: &Literal{Val: l}, R: &Literal{Val: r}}, newRow())
-		}
-	}
-	if len(rows) == 0 {
-		return model.Null(), nil
-	}
-	return ctx.Eval(e, rows[0])
-}
-
-func evalAggregate(ctx *evalCtx, call *Call, rows []Row) (model.Value, error) {
-	if call.Star {
-		if call.Name != "COUNT" {
-			return model.Value{}, fmt.Errorf("query: %s(*) is not valid", call.Name)
-		}
-		return model.Int(int64(len(rows))), nil
-	}
-	if len(call.Args) != 1 {
-		return model.Value{}, fmt.Errorf("query: %s takes exactly 1 argument", call.Name)
-	}
-	var vals []model.Value
-	for _, r := range rows {
-		v, err := ctx.Eval(call.Args[0], r)
-		if err != nil {
-			return model.Value{}, err
-		}
-		if !v.IsNull() {
-			vals = append(vals, v)
-		}
-	}
-	switch call.Name {
-	case "COUNT":
-		return model.Int(int64(len(vals))), nil
-	case "SUM", "AVG":
-		if len(vals) == 0 {
-			return model.Null(), nil
-		}
-		sum := 0.0
-		allInt := true
-		var isum int64
-		for _, v := range vals {
-			f, ok := v.AsFloat()
-			if !ok {
-				return model.Value{}, fmt.Errorf("query: %s over non-numeric value %s", call.Name, v)
-			}
-			sum += f
-			if i, ok := v.AsInt(); ok {
-				isum += i
-			} else {
-				allInt = false
-			}
-		}
-		if call.Name == "SUM" {
-			if allInt {
-				return model.Int(isum), nil
-			}
-			return model.Float(sum), nil
-		}
-		return model.Float(sum / float64(len(vals))), nil
-	case "MIN", "MAX":
-		if len(vals) == 0 {
-			return model.Null(), nil
-		}
-		best := vals[0]
-		for _, v := range vals[1:] {
-			if (call.Name == "MIN" && model.Less(v, best)) ||
-				(call.Name == "MAX" && model.Less(best, v)) {
-				best = v
-			}
-		}
-		return best, nil
-	}
-	return model.Value{}, fmt.Errorf("query: unknown aggregate %s", call.Name)
 }
 
 // unionColumns derives display columns from raw rows: "binding.name" when

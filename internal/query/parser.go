@@ -15,10 +15,17 @@ func Parse(src string) (*SelectStmt, error) {
 		return nil, err
 	}
 	p := &parser{toks: toks, src: src}
+	explain, analyze := false, false
+	if p.accept(tokKeyword, "EXPLAIN") {
+		explain = true
+		analyze = p.accept(tokKeyword, "ANALYZE")
+	}
 	stmt, err := p.parseSelect()
 	if err != nil {
 		return nil, err
 	}
+	stmt.Explain = explain
+	stmt.Analyze = analyze
 	if !p.at(tokEOF, "") {
 		return nil, p.errf("trailing input starting at %q", p.cur().text)
 	}

@@ -141,6 +141,26 @@ type LimitNode struct {
 
 func (n *LimitNode) Label() string { return fmt.Sprintf("Limit %d", n.N) }
 
+// TopKNode is the fused Sort+Limit operator the optimizer plants: a bounded
+// heap keeps the K first rows of the sort order, so the input is never
+// fully sorted (and never fully materialized beyond K rows plus a morsel).
+type TopKNode struct {
+	Input Node
+	Keys  []OrderKey
+	N     int
+}
+
+func (n *TopKNode) Label() string {
+	parts := make([]string, len(n.Keys))
+	for i, k := range n.Keys {
+		parts[i] = k.Expr.String()
+		if k.Desc {
+			parts[i] += " DESC"
+		}
+	}
+	return fmt.Sprintf("TopK %d BY %s", n.N, strings.Join(parts, ", "))
+}
+
 // Resolver tells the planner how FROM names resolve. Tables win over
 // concepts on collision.
 type Resolver interface {
@@ -290,6 +310,8 @@ func Children(n Node) []Node {
 	case *SortNode:
 		return []Node{n.Input}
 	case *LimitNode:
+		return []Node{n.Input}
+	case *TopKNode:
 		return []Node{n.Input}
 	}
 	return nil

@@ -1,0 +1,61 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// OpStats is one node of the per-operator runtime statistics tree built by
+// ExecuteOpts, mirroring the plan tree. Counters are updated with atomics
+// because several workers tally into the same node concurrently. Elapsed is
+// the operator's busy time summed over all workers (so it can exceed wall
+// clock on a parallel run, exactly like MonetDB's per-operator profile).
+type OpStats struct {
+	Label   string
+	RowsIn  int64
+	RowsOut int64
+	Morsels int64
+	Elapsed time.Duration
+	Children []*OpStats
+}
+
+func newOpStats(n Node) *OpStats { return &OpStats{Label: n.Label()} }
+
+// tally records one morsel's worth of work.
+func (s *OpStats) tally(in, out int, d time.Duration) {
+	atomic.AddInt64(&s.RowsIn, int64(in))
+	atomic.AddInt64(&s.RowsOut, int64(out))
+	atomic.AddInt64(&s.Morsels, 1)
+	atomic.AddInt64((*int64)(&s.Elapsed), int64(d))
+}
+
+// tallyRows records row counts and time without counting a morsel (used for
+// pipeline-breaker phases that work on the whole input at once).
+func (s *OpStats) tallyRows(in, out int, d time.Duration) {
+	atomic.AddInt64(&s.RowsIn, int64(in))
+	atomic.AddInt64(&s.RowsOut, int64(out))
+	atomic.AddInt64((*int64)(&s.Elapsed), int64(d))
+}
+
+// Render formats the stats tree like Explain, one node per line with the
+// runtime counters appended — the body of EXPLAIN ANALYZE.
+func (s *OpStats) Render() string {
+	var b strings.Builder
+	s.render(&b, 0)
+	return b.String()
+}
+
+func (s *OpStats) render(b *strings.Builder, depth int) {
+	b.WriteString(strings.Repeat("  ", depth))
+	b.WriteString(s.Label)
+	fmt.Fprintf(b, "  (in=%d out=%d morsels=%d time=%s)",
+		atomic.LoadInt64(&s.RowsIn), atomic.LoadInt64(&s.RowsOut),
+		atomic.LoadInt64(&s.Morsels),
+		time.Duration(atomic.LoadInt64((*int64)(&s.Elapsed))).Round(time.Microsecond))
+	b.WriteByte('\n')
+	for _, c := range s.Children {
+		c.render(b, depth+1)
+	}
+}

@@ -315,6 +315,62 @@ func (t *Table) ScanAt(csn CSN, fn func(RowID, model.Record) bool) {
 	}
 }
 
+// ScanMorsels visits every row visible at csn in RowID order, delivered in
+// chunks of at most size rows. Unlike ScanAt, the version-chain walk locks
+// the table once per chunk rather than once per row, and the emitted
+// slices are freshly allocated so callers may retain them (the parallel
+// query executor hands them to worker goroutines). Returning false from fn
+// stops the scan.
+func (t *Table) ScanMorsels(csn CSN, size int, fn func(ids []RowID, recs []model.Record) bool) {
+	if size <= 0 {
+		size = 1024
+	}
+	t.mu.RLock()
+	all := make([]RowID, 0, len(t.rows))
+	for id := range t.rows {
+		all = append(all, id)
+	}
+	t.mu.RUnlock()
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	ids := make([]RowID, 0, size)
+	recs := make([]model.Record, 0, size)
+	flush := func() bool {
+		if len(ids) == 0 {
+			return true
+		}
+		ok := fn(ids, recs)
+		ids = make([]RowID, 0, size)
+		recs = make([]model.Record, 0, size)
+		return ok
+	}
+	for lo := 0; lo < len(all); lo += size {
+		hi := lo + size
+		if hi > len(all) {
+			hi = len(all)
+		}
+		t.mu.RLock()
+		for _, id := range all[lo:hi] {
+			r, ok := t.rows[id]
+			if !ok {
+				continue
+			}
+			rec := r.at(csn)
+			if rec == nil {
+				continue
+			}
+			ids = append(ids, id)
+			recs = append(recs, rec)
+		}
+		t.mu.RUnlock()
+		if len(ids) >= size {
+			if !flush() {
+				return
+			}
+		}
+	}
+	flush()
+}
+
 // LastModified returns the commit stamp of the row's newest version
 // (including tombstones). It is how the transaction layer validates
 // first-committer-wins: a row modified after a transaction's read snapshot
