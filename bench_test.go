@@ -616,3 +616,66 @@ func BenchmarkPlacement(b *testing.B) {
 		placement.Evaluate(p, parts, w, cm, false)
 	}
 }
+
+// --- E-IDX: secondary-index lookup vs full scan -------------------------
+
+// benchLookupTable builds a 100k-row table where attribute k takes 1000
+// distinct values round-robin, so one equality literal selects 0.001 of the
+// rows and every zone segment contains every value (no pruning help — the
+// benchmark isolates the index itself).
+func benchLookupTable(b *testing.B, indexed bool) (*storage.Store, *storage.Table) {
+	b.Helper()
+	s, err := storage.Open("")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tb, err := s.CreateTable("t")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if indexed {
+		if err := tb.CreateIndex("k", storage.IndexHash); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < 100_000; i++ {
+		if _, err := tb.Insert(model.Record{
+			"k": model.Int(int64(i % 1000)),
+			"v": model.Int(int64(i)),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return s, tb
+}
+
+func benchLookup(b *testing.B, tb *storage.Table, now storage.CSN, opt storage.ScanOptions) {
+	pred := storage.ZonePred{Attr: "k", Op: "=", Val: model.Int(123)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		matched := 0
+		tb.ScanWhere(now, []storage.ZonePred{pred}, opt, func(ids []storage.RowID, recs []model.Record) bool {
+			for _, rec := range recs {
+				if model.Equal(rec.Get("k"), pred.Val) {
+					matched++
+				}
+			}
+			return true
+		})
+		if matched != 100 {
+			b.Fatalf("matched %d rows, want 100", matched)
+		}
+	}
+}
+
+func BenchmarkScanLookup(b *testing.B) {
+	s, tb := benchLookupTable(b, false)
+	defer s.Close()
+	benchLookup(b, tb, s.Now(), storage.ScanOptions{NoIndex: true, NoAuto: true, NoPrune: true})
+}
+
+func BenchmarkIndexedLookup(b *testing.B) {
+	s, tb := benchLookupTable(b, true)
+	defer s.Close()
+	benchLookup(b, tb, s.Now(), storage.ScanOptions{})
+}

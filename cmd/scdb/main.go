@@ -15,8 +15,8 @@
 //
 // With no -q/-explain/-analyze, scdb reads SCQL statements from stdin,
 // one per line (lines starting with \ are shell commands: \stats,
-// \witnesses, \sources, \analyze Q, \quit). EXPLAIN and EXPLAIN ANALYZE
-// also work as ordinary statement prefixes.
+// \witnesses, \sources, \indexes, \analyze Q, \quit). EXPLAIN and
+// EXPLAIN ANALYZE also work as ordinary statement prefixes.
 package main
 
 import (
@@ -118,7 +118,7 @@ func main() {
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	if isTTY() {
-		fmt.Println(`scdb shell — SCQL statements, or \stats \witnesses \sources \conflicts \schema T \explain Q \analyze Q \tables \quit`)
+		fmt.Println(`scdb shell — SCQL statements, or \stats \witnesses \sources \conflicts \indexes \schema T \explain Q \analyze Q \tables \quit`)
 		fmt.Print("scdb> ")
 	}
 	for sc.Scan() {
@@ -148,6 +148,22 @@ func main() {
 					fmt.Printf("  %-14s from %s\n", v, strings.Join(srcs, ", "))
 				}
 			}
+		case line == `\indexes`:
+			idx := db.IndexStats()
+			if len(idx) == 0 {
+				fmt.Println("(no indexes — they are created automatically from observed access patterns)")
+				break
+			}
+			fmt.Printf("%-20s %-16s %-7s %8s %6s %s\n", "table", "attribute", "kind", "entries", "hits", "origin")
+			for _, s := range idx {
+				origin := "pinned"
+				if s.Auto {
+					origin = "auto"
+				}
+				fmt.Printf("%-20s %-16s %-7s %8d %6d %s\n", s.Table, s.Attr, s.Kind, s.Entries, s.Hits, origin)
+			}
+			pc := db.PlanCacheStats()
+			fmt.Printf("plan cache: %d plans, %d hits, %d misses\n", pc.Size, pc.Hits, pc.Misses)
 		case line == `\tables`:
 			for _, name := range db.Tables() {
 				fmt.Println(name)

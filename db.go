@@ -165,6 +165,10 @@ type QueryInfo struct {
 	Rules []string
 	// CacheHit reports whether a materialized result was reused.
 	CacheHit bool
+	// PlanCached reports whether the optimized plan was reused from the
+	// plan cache (parsing and optimization skipped; the statement still
+	// executed, unlike CacheHit).
+	PlanCached bool
 	// EstimatedCost is the optimizer's work estimate for the plan.
 	EstimatedCost float64
 	// OperatorStats is the per-operator runtime profile (rows in/out,
@@ -197,6 +201,7 @@ func (db *DB) QueryInfo(q string) (*Rows, *QueryInfo, error) {
 		Plan:          info.Plan,
 		Rules:         info.Rules,
 		CacheHit:      info.CacheHit,
+		PlanCached:    info.PlanCached,
 		EstimatedCost: info.EstimatedCost,
 	}
 	if info.OperatorStats != nil {

@@ -229,6 +229,52 @@ func (db *DB) Schema(table string) []AttrInfo {
 // Tables returns every table in the store, system tables included.
 func (db *DB) Tables() []string { return db.inner.Store().Tables() }
 
+// IndexStat describes one secondary index: where it lives, its kind
+// ("hash" or "sorted"), how many postings it holds, and how many scans it
+// has served. Auto reports whether the curator created it from observed
+// access patterns (auto indexes are dropped again when they go cold).
+type IndexStat struct {
+	Table   string
+	Attr    string
+	Kind    string
+	Entries int
+	Hits    uint64
+	Auto    bool
+}
+
+// IndexStats lists every secondary index in the store, sorted by table
+// then attribute. Indexes are self-curated — created from observed query
+// predicates and dropped when cold — so this is an observation of the
+// database's current adaptation, not a DDL catalog.
+func (db *DB) IndexStats() []IndexStat {
+	var out []IndexStat
+	for _, s := range db.inner.IndexStats() {
+		out = append(out, IndexStat{
+			Table:   s.Table,
+			Attr:    s.Attr,
+			Kind:    s.Kind,
+			Entries: s.Entries,
+			Hits:    s.Hits,
+			Auto:    s.Auto,
+		})
+	}
+	return out
+}
+
+// PlanCacheStats reports plan-cache effectiveness: hits, misses, and the
+// number of cached plans currently held.
+type PlanCacheStats struct {
+	Hits   uint64
+	Misses uint64
+	Size   int
+}
+
+// PlanCacheStats returns the plan cache's hit/miss counters.
+func (db *DB) PlanCacheStats() PlanCacheStats {
+	s := db.inner.PlanCacheStats()
+	return PlanCacheStats{Hits: s.Hits, Misses: s.Misses, Size: s.Size}
+}
+
 // Checkpoint writes a snapshot of the durable store and truncates its log,
 // bounding recovery time. It is a no-op for in-memory databases.
 func (db *DB) Checkpoint() error {

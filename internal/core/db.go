@@ -60,6 +60,19 @@ type Options struct {
 	// MorselSize overrides the executor's rows-per-morsel granule (<=0 =
 	// the query package default of 1024). Mostly a testing knob.
 	MorselSize int
+	// DisableAccessPaths keeps the planner from fusing Filter-over-Scan
+	// into IndexScan (no index use, no zone pruning — ablation baseline).
+	DisableAccessPaths bool
+	// DisableZonePruning executes IndexScans without skipping refuted zone
+	// segments (differential baseline; plans are unchanged).
+	DisableZonePruning bool
+	// DisableIndexScan executes IndexScans as plain zone scans and stops
+	// index self-creation (differential baseline; plans are unchanged).
+	DisableIndexScan bool
+	// DisablePlanCache re-plans every statement (ablation).
+	DisablePlanCache bool
+	// PlanCacheSize bounds the plan cache (0 = default 256).
+	PlanCacheSize int
 }
 
 // DB is the self-curating database engine.
@@ -76,6 +89,7 @@ type DB struct {
 	refiner  *refine.Refiner
 	txns     *txn.Manager
 	matCache *curate.MatCache
+	plans    *planCache
 	tracker  *cluster.Tracker
 	opts     Options
 
@@ -143,6 +157,7 @@ func Open(opts Options) (*DB, error) {
 		worlds:   worlds,
 		refiner:  refine.New(onto, g, worlds),
 		matCache: curate.NewMatCache(opts.MatCacheSize, opts.MatPolicy),
+		plans:    newPlanCache(opts.PlanCacheSize),
 		tracker:  cluster.NewTracker(),
 		opts:     opts,
 	}
@@ -368,6 +383,17 @@ func (db *DB) Vacuum() int {
 	}
 	return removed
 }
+
+// IndexStats lists the self-curated (and pinned) secondary indexes across
+// every table, sorted by (table, attribute).
+func (db *DB) IndexStats() []storage.IndexStat {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.store.IndexStats()
+}
+
+// PlanCacheStats reports plan-cache hits, misses, and resident entries.
+func (db *DB) PlanCacheStats() PlanCacheStats { return db.plans.stats() }
 
 // TableRecords materializes every live record of a table (for QBE and
 // export paths; queries should use SCQL).

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"sync"
+
+	"scdb/internal/query"
+)
+
+// planCache memoizes the lex/parse/optimize pipeline for the SCQL hot
+// path: point lookups issued by the curation pipeline, ER, and interactive
+// demos repeat the same statement text against an unchanged catalog, and
+// re-planning them dominated execution for indexed lookups. Entries are
+// keyed by (statement text, schema version, ontology version), so any
+// catalog or TBox change — new tables, new axioms — invalidates every
+// stale plan without an invalidation protocol: the key simply never
+// matches again, and stale entries age out of the bounded map.
+//
+// Cached plans and statements are immutable after optimization (the
+// executor never mutates plan nodes), so one entry may serve concurrent
+// queries. The cache is a plain mutex around a small map: get/put are a
+// map probe plus a counter bump, cheap enough for the per-query path.
+type planKey struct {
+	src    string
+	schema uint64 // storage.Store.SchemaVersion()
+	onto   uint64 // ontology.Ontology.Version()
+}
+
+type planEntry struct {
+	stmt     *query.SelectStmt
+	plan     query.Node
+	planText string
+	rules    []string
+	cost     float64
+	morsels  int
+	lastUsed uint64
+}
+
+type planCache struct {
+	mu      sync.Mutex
+	cap     int
+	tick    uint64
+	entries map[planKey]*planEntry
+	hits    uint64
+	misses  uint64
+}
+
+const defaultPlanCacheSize = 256
+
+func newPlanCache(capacity int) *planCache {
+	if capacity <= 0 {
+		capacity = defaultPlanCacheSize
+	}
+	return &planCache{cap: capacity, entries: make(map[planKey]*planEntry)}
+}
+
+func (c *planCache) get(k planKey) (*planEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[k]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.tick++
+	e.lastUsed = c.tick
+	c.hits++
+	return e, true
+}
+
+func (c *planCache) put(k planKey, e *planEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.entries[k]; !exists && len(c.entries) >= c.cap {
+		// Evict the least-recently-used entry; an O(cap) sweep is fine at
+		// this size and keeps the structure a single flat map.
+		var victim planKey
+		var oldest uint64 = ^uint64(0)
+		for key, ent := range c.entries {
+			if ent.lastUsed < oldest {
+				oldest, victim = ent.lastUsed, key
+			}
+		}
+		delete(c.entries, victim)
+	}
+	c.tick++
+	e.lastUsed = c.tick
+	c.entries[k] = e
+}
+
+// PlanCacheStats reports plan-cache effectiveness.
+type PlanCacheStats struct {
+	Hits   uint64
+	Misses uint64
+	Size   int
+}
+
+func (c *planCache) stats() PlanCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return PlanCacheStats{Hits: c.hits, Misses: c.misses, Size: len(c.entries)}
+}

@@ -21,8 +21,12 @@ type QueryInfo struct {
 	EstimatedCost    float64
 	EstimatedMorsels int
 	CacheHit         bool
-	Mode             query.AnswerMode
-	OperatorStats    *query.OpStats
+	// PlanCached reports that lex/parse/optimize was skipped because the
+	// plan cache held this statement at the current schema and ontology
+	// versions (the statement still executed, unlike CacheHit).
+	PlanCached    bool
+	Mode          query.AnswerMode
+	OperatorStats *query.OpStats
 }
 
 // execOptions maps the engine's knobs onto the executor's.
@@ -42,13 +46,35 @@ func (db *DB) execOptions(stmt *query.SelectStmt) query.ExecOptions {
 // prefix returns the optimized plan as rows instead of executing; EXPLAIN
 // ANALYZE executes and returns the per-operator stats tree as rows.
 func (db *DB) Query(src string) (*query.Result, *QueryInfo, error) {
-	stmt, err := query.Parse(src)
-	if err != nil {
-		return nil, nil, err
-	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	info := &QueryInfo{Mode: stmt.Mode}
+	info := &QueryInfo{}
+
+	// Plan-cache probe before any lexing: the key is the raw statement
+	// text plus the schema and ontology versions, so a hit means the
+	// cached statement and optimized plan are still valid verbatim.
+	// EXPLAIN statements are never cached, so they can't hit either.
+	var stmt *query.SelectStmt
+	var plan query.Node
+	pk := planKey{src: src, schema: db.store.SchemaVersion(), onto: db.onto.Version()}
+	if !db.opts.DisablePlanCache {
+		if ent, ok := db.plans.get(pk); ok {
+			stmt, plan = ent.stmt, ent.plan
+			info.Plan = ent.planText
+			info.Rules = ent.rules
+			info.EstimatedCost = ent.cost
+			info.EstimatedMorsels = ent.morsels
+			info.PlanCached = true
+		}
+	}
+	if stmt == nil {
+		var err error
+		stmt, err = query.Parse(src)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	info.Mode = stmt.Mode
 	key := stmt.String()
 	if !stmt.Explain && !db.opts.DisableMatCache {
 		if v, ok := db.matCache.Get(key); ok {
@@ -57,15 +83,27 @@ func (db *DB) Query(src string) (*query.Result, *QueryInfo, error) {
 		}
 	}
 	env := &queryEnv{db: db, mode: stmt.Mode, fuzzyT: stmt.FuzzyThreshold}
-	plan, err := query.BuildPlan(stmt, env)
-	if err != nil {
-		return nil, nil, err
+	if plan == nil {
+		var err error
+		plan, err = query.BuildPlan(stmt, env)
+		if err != nil {
+			return nil, nil, err
+		}
+		var rep *optimizer.Report
+		plan, rep = optimizer.Optimize(plan, db.optimizerOptions(stmt))
+		info.Plan = query.Explain(plan)
+		info.Rules = rep.Rules
+		info.EstimatedCost = rep.EstimatedCost
+		info.EstimatedMorsels = rep.EstimatedMorsels
+		if !stmt.Explain && !db.opts.DisablePlanCache {
+			// Plans and statements are immutable after optimization, so the
+			// cached entry can serve concurrent executions.
+			db.plans.put(pk, &planEntry{
+				stmt: stmt, plan: plan, planText: info.Plan, rules: info.Rules,
+				cost: info.EstimatedCost, morsels: info.EstimatedMorsels,
+			})
+		}
 	}
-	plan, rep := optimizer.Optimize(plan, db.optimizerOptions(stmt))
-	info.Plan = query.Explain(plan)
-	info.Rules = rep.Rules
-	info.EstimatedCost = rep.EstimatedCost
-	info.EstimatedMorsels = rep.EstimatedMorsels
 	if stmt.Explain && !stmt.Analyze {
 		return planResult(info.Plan), info, nil
 	}
@@ -78,7 +116,7 @@ func (db *DB) Query(src string) (*query.Result, *QueryInfo, error) {
 		return planResult(st.Render()), info, nil
 	}
 	if !db.opts.DisableMatCache {
-		db.matCache.Put(key, res, rep.EstimatedCost)
+		db.matCache.Put(key, res, info.EstimatedCost)
 	}
 	return res, info, nil
 }
@@ -121,9 +159,10 @@ func (db *DB) Explain(src string) (*QueryInfo, error) {
 // they follow the statement's flag.
 func (db *DB) optimizerOptions(stmt *query.SelectStmt) optimizer.Options {
 	return optimizer.Options{
-		DisableSemantic: !stmt.Semantics || db.opts.DisableSemanticOpt,
-		Semantics:       db.onto,
-		Stats:           dbStats{db},
+		DisableSemantic:    !stmt.Semantics || db.opts.DisableSemanticOpt,
+		DisableAccessPaths: db.opts.DisableAccessPaths,
+		Semantics:          db.onto,
+		Stats:              dbStats{db},
 	}
 }
 
@@ -219,6 +258,34 @@ func (e *queryEnv) ScanTableMorsels(name string, size int, emit func([]model.Rec
 		return emit(recs)
 	})
 	return true
+}
+
+// ScanTablePushed implements query.IndexEnv: the storage layer answers
+// with a candidate superset via secondary-index lookup and zone-map
+// pruning (self-creating indexes from the access traffic this very call
+// records). The virtual claims table has no storage access paths — it is
+// materialized and chunked, and the executor's re-filter does the rest.
+func (e *queryEnv) ScanTablePushed(name string, zone []query.ZoneConjunct, emit func([]model.Record) bool) (query.PushedScanInfo, bool) {
+	if name == ClaimsTable {
+		emitChunks(e.claimRows(), query.DefaultMorselSize, emit)
+		return query.PushedScanInfo{}, true
+	}
+	t, ok := e.db.store.Table(name)
+	if !ok {
+		return query.PushedScanInfo{}, false
+	}
+	preds := make([]storage.ZonePred, len(zone))
+	for i, z := range zone {
+		preds[i] = storage.ZonePred{Attr: z.Attr, Op: z.Op, Val: z.Val, Vals: z.Vals}
+	}
+	si := t.ScanWhere(e.db.store.Now(), preds, storage.ScanOptions{
+		NoPrune: e.db.opts.DisableZonePruning,
+		NoIndex: e.db.opts.DisableIndexScan,
+		NoAuto:  e.db.opts.DisableIndexScan,
+	}, func(_ []storage.RowID, recs []model.Record) bool {
+		return emit(recs)
+	})
+	return query.PushedScanInfo{Index: si.Index, Segments: si.Segments, Pruned: si.Pruned}, true
 }
 
 // emitChunks feeds an already-materialized record set to emit in morsels.

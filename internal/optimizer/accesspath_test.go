@@ -1,0 +1,83 @@
+package optimizer
+
+import (
+	"strings"
+	"testing"
+
+	"scdb/internal/query"
+)
+
+// TestPushScanPredicates: sargable conjuncts fuse Filter-over-Scan into an
+// IndexScan carrying both the full predicate and the pushable conjuncts.
+func TestPushScanPredicates(t *testing.T) {
+	p := plan(t, `SELECT name FROM drugs WHERE dose > 5 AND name LIKE 'W%'`)
+	opt, rep := Optimize(p, defaultOpts())
+	ex := query.Explain(opt)
+	if !strings.Contains(ex, "IndexScan drugs") {
+		t.Fatalf("no IndexScan:\n%s", ex)
+	}
+	if strings.Contains(ex, "\nFilter") || strings.HasPrefix(ex, "Filter") {
+		// The filter is fused into the IndexScan, not left above it.
+		if strings.Index(ex, "Filter") < strings.Index(ex, "IndexScan") {
+			t.Errorf("Filter left above IndexScan:\n%s", ex)
+		}
+	}
+	if !hasRule(rep, "accesspath") {
+		t.Errorf("rules = %v", rep.Rules)
+	}
+	// The fused node keeps the FULL predicate (LIKE included), so the
+	// executor re-checks everything the zone conjuncts cannot.
+	if !strings.Contains(ex, "LIKE") {
+		t.Errorf("full predicate lost in fusion:\n%s", ex)
+	}
+}
+
+// TestPushScanPredicatesJoin: pushdown below a join fuses both sides
+// independently when their conjuncts are sargable.
+func TestPushScanPredicatesJoin(t *testing.T) {
+	p := plan(t, `SELECT d.name FROM drugs AS d JOIN targets AS t ON d.name = t.drug WHERE d.dose > 5 AND t.gene = 'DHFR'`)
+	opt, _ := Optimize(p, defaultOpts())
+	ex := query.Explain(opt)
+	if strings.Count(ex, "IndexScan") != 2 {
+		t.Errorf("want both join inputs fused to IndexScan:\n%s", ex)
+	}
+}
+
+// TestDisableAccessPaths: the knob keeps the classical Filter-over-Scan
+// shape (the ablation baseline for differential tests).
+func TestDisableAccessPaths(t *testing.T) {
+	p := plan(t, `SELECT name FROM drugs WHERE dose > 5`)
+	opts := defaultOpts()
+	opts.DisableAccessPaths = true
+	opt, rep := Optimize(p, opts)
+	ex := query.Explain(opt)
+	if strings.Contains(ex, "IndexScan") {
+		t.Errorf("DisableAccessPaths produced an IndexScan:\n%s", ex)
+	}
+	if hasRule(rep, "accesspath") {
+		t.Errorf("rules = %v", rep.Rules)
+	}
+}
+
+// TestNonSargablePredicateNotPushed: LIKE-only filters stay Filter+Scan —
+// there is no conjunct the storage layer can evaluate.
+func TestNonSargablePredicateNotPushed(t *testing.T) {
+	p := plan(t, `SELECT name FROM drugs WHERE name LIKE 'W%'`)
+	opt, _ := Optimize(p, defaultOpts())
+	ex := query.Explain(opt)
+	if strings.Contains(ex, "IndexScan") {
+		t.Errorf("non-sargable predicate pushed:\n%s", ex)
+	}
+}
+
+// TestIndexScanCardinality: the estimator treats the fused node like the
+// Filter-over-Scan it replaced — selectivity applies, so join ordering and
+// morsel estimates are unchanged by the fusion.
+func TestIndexScanCardinality(t *testing.T) {
+	p := plan(t, `SELECT name FROM drugs WHERE dose = 5`)
+	opt, _ := Optimize(p, defaultOpts())
+	card := EstimateCard(opt, defaultOpts())
+	if card <= 0 || card >= 500 {
+		t.Errorf("EstimateCard = %d, want selective estimate in (0, 500)", card)
+	}
+}

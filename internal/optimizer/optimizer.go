@@ -46,8 +46,12 @@ type Options struct {
 	DisableSemantic bool
 	// DisableClassic turns folding/pushdown/ordering off.
 	DisableClassic bool
-	Semantics      Semantics
-	Stats          Stats
+	// DisableAccessPaths keeps Filter-over-Scan as-is instead of fusing
+	// into IndexScan (differential baseline: no index use, no zone-map
+	// pruning, since only IndexScan reaches storage.ScanWhere).
+	DisableAccessPaths bool
+	Semantics          Semantics
+	Stats              Stats
 }
 
 // Report records the rewrites applied, for EXPLAIN output and the
@@ -78,6 +82,9 @@ func Optimize(n query.Node, opts Options) (query.Node, *Report) {
 	}
 	if !opts.DisableClassic {
 		n = pushDownFilters(n, rep)
+		if !opts.DisableAccessPaths {
+			n = pushScanPredicates(n, rep)
+		}
 		n = orderJoins(n, opts, rep)
 		n = pushTopK(n, rep)
 	}
@@ -462,6 +469,8 @@ func bindingsOf(n query.Node) map[string]bool {
 	switch n := n.(type) {
 	case *query.ScanNode:
 		return map[string]bool{n.Binding: true}
+	case *query.IndexScanNode:
+		return map[string]bool{n.Binding: true}
 	case *query.ConceptScanNode:
 		return map[string]bool{n.Binding: true}
 	}
@@ -571,6 +580,90 @@ func pushDownFilters(n query.Node, rep *Report) query.Node {
 	return n
 }
 
+// --- access-path selection ----------------------------------------------
+
+// zoneConjunct recognizes a sargable conjunct over the scan's binding:
+// col OP literal (either orientation) or col IN (literals). Null literals
+// are excluded for comparisons — they never evaluate True — but tolerated
+// inside IN lists (they can only widen the answer to Unknown, never add a
+// row, so storage may refute them freely).
+func zoneConjunct(e query.Expr, binding string) (query.ZoneConjunct, bool) {
+	colOf := func(x query.Expr) (string, bool) {
+		c, ok := x.(*query.ColRef)
+		if !ok || (c.Binding != "" && c.Binding != binding) {
+			return "", false
+		}
+		return c.Name, true
+	}
+	litOf := func(x query.Expr) (model.Value, bool) {
+		l, ok := x.(*query.Literal)
+		if !ok || l.Val.IsNull() {
+			return model.Value{}, false
+		}
+		return l.Val, true
+	}
+	switch e := e.(type) {
+	case *query.Binary:
+		flip := map[string]string{"=": "=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+		if _, sargable := flip[e.Op]; !sargable {
+			return query.ZoneConjunct{}, false
+		}
+		if col, ok := colOf(e.L); ok {
+			if v, ok := litOf(e.R); ok {
+				return query.ZoneConjunct{Attr: col, Op: e.Op, Val: v}, true
+			}
+		}
+		if col, ok := colOf(e.R); ok {
+			if v, ok := litOf(e.L); ok {
+				return query.ZoneConjunct{Attr: col, Op: flip[e.Op], Val: v}, true
+			}
+		}
+	case *query.InList:
+		if col, ok := colOf(e.X); ok && len(e.Vals) > 0 {
+			return query.ZoneConjunct{Attr: col, Op: "in", Vals: e.Vals}, true
+		}
+	}
+	return query.ZoneConjunct{}, false
+}
+
+// pushScanPredicates fuses Filter-over-Scan into an IndexScanNode whenever
+// at least one conjunct is sargable. The scan hands the sargable conjuncts
+// to storage (index selection + zone-map pruning) and re-applies the full
+// predicate to the candidate rows, so the fusion is always answer-
+// preserving — storage only ever narrows the rows it must look at.
+func pushScanPredicates(n query.Node, rep *Report) query.Node {
+	switch n := n.(type) {
+	case *query.FilterNode:
+		input := pushScanPredicates(n.Input, rep)
+		if scan, ok := input.(*query.ScanNode); ok {
+			var zone []query.ZoneConjunct
+			for _, c := range conjuncts(n.Pred) {
+				if zc, ok := zoneConjunct(c, scan.Binding); ok {
+					zone = append(zone, zc)
+					rep.log("accesspath: push %s into scan of %s", c, scan.Table)
+				}
+			}
+			if len(zone) > 0 {
+				return &query.IndexScanNode{Table: scan.Table, Binding: scan.Binding, Pred: n.Pred, Zone: zone}
+			}
+		}
+		return &query.FilterNode{Input: input, Pred: n.Pred}
+	case *query.JoinNode:
+		return &query.JoinNode{L: pushScanPredicates(n.L, rep), R: pushScanPredicates(n.R, rep), On: n.On}
+	case *query.ProjectNode:
+		return &query.ProjectNode{Input: pushScanPredicates(n.Input, rep), Star: n.Star, Items: n.Items}
+	case *query.AggregateNode:
+		return &query.AggregateNode{Input: pushScanPredicates(n.Input, rep), GroupBy: n.GroupBy, Items: n.Items, Having: n.Having}
+	case *query.DistinctNode:
+		return &query.DistinctNode{Input: pushScanPredicates(n.Input, rep)}
+	case *query.SortNode:
+		return &query.SortNode{Input: pushScanPredicates(n.Input, rep), Keys: n.Keys}
+	case *query.LimitNode:
+		return &query.LimitNode{Input: pushScanPredicates(n.Input, rep), N: n.N}
+	}
+	return n
+}
+
 // orderJoins puts the estimated-smaller input on the left (the probe side
 // builds on the smaller at runtime; plan-level ordering also makes nested
 // loops cheaper).
@@ -612,6 +705,20 @@ func EstimateCard(n query.Node, opts Options) int {
 			return opts.Stats.TableCard(n.Table)
 		}
 		return 1000
+	case *query.IndexScanNode:
+		in := 1000
+		if opts.Stats != nil {
+			in = opts.Stats.TableCard(n.Table)
+		}
+		sel := 1.0
+		for _, c := range conjuncts(n.Pred) {
+			sel *= conjunctSelectivity(c, opts)
+		}
+		est := int(float64(in) * sel)
+		if est < 1 && in > 0 {
+			est = 1
+		}
+		return est
 	case *query.ConceptScanNode:
 		if opts.Semantics != nil {
 			if c, ok := opts.Semantics.InstanceCount(n.Concept); ok {

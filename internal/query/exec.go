@@ -29,6 +29,33 @@ type MorselEnv interface {
 	ScanConceptMorsels(concept string, semantic bool, size int, emit func([]model.Record) bool) (found bool)
 }
 
+// ZoneConjunct is one sargable conjunct pushed below a scan: attr OP
+// literal, or attr IN (literals). It mirrors storage.ZonePred without the
+// import (query cannot depend on storage).
+type ZoneConjunct struct {
+	Attr string
+	Op   string // "=", "<", "<=", ">", ">=", "in"
+	Val  model.Value
+	Vals []model.Value // for "in"
+}
+
+// PushedScanInfo reports what a pushed-down scan did: the index it chose
+// (empty for a plain zone scan) and how many zone segments it pruned.
+type PushedScanInfo struct {
+	Index    string
+	Segments int
+	Pruned   int
+}
+
+// IndexEnv is an optional extension of MorselEnv for environments whose
+// storage supports pushed-down scans (secondary indexes and zone-map
+// pruning). The emitted rows may be a superset of those matching the
+// conjuncts; the executor re-filters. Environments without it fall back to
+// a full scan plus the same filter — identical answers, more work.
+type IndexEnv interface {
+	ScanTablePushed(name string, zone []ZoneConjunct, emit func([]model.Record) bool) (info PushedScanInfo, found bool)
+}
+
 // ExecOptions tunes ExecuteOpts.
 type ExecOptions struct {
 	// Semantic enables inferred types in ISA/ConceptScan (WITH SEMANTICS).
@@ -137,6 +164,8 @@ func (x *execCtx) build(n Node) (s *stream, cols []string, st *OpStats, err erro
 	switch n := n.(type) {
 	case *ScanNode:
 		return x.buildScan(n)
+	case *IndexScanNode:
+		return x.buildIndexScan(n)
 	case *ConceptScanNode:
 		return x.buildConceptScan(n)
 	case *EmptyNode:
@@ -210,6 +239,69 @@ func (x *execCtx) buildScan(n *ScanNode) (*stream, []string, *OpStats, error) {
 		return nil, nil, nil, fmt.Errorf("query: unknown table %q", n.Table)
 	}
 	return x.bindStage(recSliceStream(recs, x.size), n.Binding, st), nil, st, nil
+}
+
+// buildIndexScan is a fused scan+filter: storage streams candidate rows
+// (via index lookup and zone-map pruning when the env supports it), and
+// the worker stage binds them and re-applies the full predicate. The
+// fallbacks — MorselEnv streaming or a materialized ScanTable — run the
+// same filter over the whole table, so answers are identical whichever
+// capability the environment has.
+func (x *execCtx) buildIndexScan(n *IndexScanNode) (*stream, []string, *OpStats, error) {
+	st := newOpStats(n)
+	st.ShowPruned = true
+	var src *stream
+	switch env := x.ev.env.(type) {
+	case IndexEnv:
+		table, zone := n.Table, n.Zone
+		src = goSource(&x.wg, func(emit func([]model.Record) bool) error {
+			info, found := env.ScanTablePushed(table, zone, emit)
+			if !found {
+				return fmt.Errorf("query: unknown table %q", table)
+			}
+			// Plain writes are safe: ExecuteOpts joins this producer
+			// (x.wg) before anyone reads the stats tree.
+			st.Pruned = int64(info.Pruned)
+			st.IndexName = info.Index
+			return nil
+		})
+	case MorselEnv:
+		table, size := n.Table, x.size
+		src = goSource(&x.wg, func(emit func([]model.Record) bool) error {
+			if !env.ScanTableMorsels(table, size, emit) {
+				return fmt.Errorf("query: unknown table %q", table)
+			}
+			return nil
+		})
+	default:
+		recs, ok := x.ev.env.ScanTable(n.Table)
+		if !ok {
+			return nil, nil, nil, fmt.Errorf("query: unknown table %q", n.Table)
+		}
+		src = recSliceStream(recs, x.size)
+	}
+	binding, pred := n.Binding, n.Pred
+	s := parStage(src, x.workers, &x.wg, func(m morsel) (morsel, error) {
+		t0 := time.Now()
+		rows := bindRecords(m.recs, binding)
+		var out []Row
+		for _, r := range rows {
+			v, err := x.ev.Eval(pred, r)
+			if err != nil {
+				return morsel{}, err
+			}
+			t, err := truth3(v)
+			if err != nil {
+				return morsel{}, err
+			}
+			if t == model.True {
+				out = append(out, r)
+			}
+		}
+		st.tally(len(rows), len(out), time.Since(t0))
+		return morsel{rows: out}, nil
+	})
+	return s, nil, st, nil
 }
 
 func (x *execCtx) buildConceptScan(n *ConceptScanNode) (*stream, []string, *OpStats, error) {

@@ -20,6 +20,23 @@ type ScanNode struct {
 
 func (n *ScanNode) Label() string { return fmt.Sprintf("Scan %s AS %s", n.Table, n.Binding) }
 
+// IndexScanNode reads a storage table through a pushed-down predicate: the
+// storage layer picks a secondary index for one sargable conjunct (if one
+// exists or access traffic has self-created one) and prunes zone-map
+// segments the conjuncts refute. The emitted rows are a superset of the
+// matching rows, so the executor re-applies Pred in full — correctness
+// never depends on which access path storage chose.
+type IndexScanNode struct {
+	Table   string
+	Binding string
+	Pred    Expr           // the full predicate the scan absorbed
+	Zone    []ZoneConjunct // sargable conjuncts handed to storage
+}
+
+func (n *IndexScanNode) Label() string {
+	return fmt.Sprintf("IndexScan %s AS %s ON %s", n.Table, n.Binding, n.Pred.String())
+}
+
 // ConceptScanNode reads the entities holding an ontology concept — the
 // semantic-layer FROM source.
 type ConceptScanNode struct {

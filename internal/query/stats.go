@@ -19,6 +19,14 @@ type OpStats struct {
 	Morsels int64
 	Elapsed time.Duration
 	Children []*OpStats
+
+	// Access-path counters, populated by IndexScan operators. ShowPruned
+	// distinguishes "prunable operator, zero pruned" from operators where
+	// pruning does not apply. Written by the scan producer before the
+	// executor joins it, so plain fields are safe.
+	ShowPruned bool
+	Pruned     int64  // zone-map segments (morsels) skipped before workers
+	IndexName  string // secondary index used, "" for a plain zone scan
 }
 
 func newOpStats(n Node) *OpStats { return &OpStats{Label: n.Label()} }
@@ -50,10 +58,17 @@ func (s *OpStats) Render() string {
 func (s *OpStats) render(b *strings.Builder, depth int) {
 	b.WriteString(strings.Repeat("  ", depth))
 	b.WriteString(s.Label)
-	fmt.Fprintf(b, "  (in=%d out=%d morsels=%d time=%s)",
+	fmt.Fprintf(b, "  (in=%d out=%d morsels=%d",
 		atomic.LoadInt64(&s.RowsIn), atomic.LoadInt64(&s.RowsOut),
-		atomic.LoadInt64(&s.Morsels),
+		atomic.LoadInt64(&s.Morsels))
+	if s.ShowPruned {
+		fmt.Fprintf(b, " pruned=%d", s.Pruned)
+	}
+	fmt.Fprintf(b, " time=%s)",
 		time.Duration(atomic.LoadInt64((*int64)(&s.Elapsed))).Round(time.Microsecond))
+	if s.IndexName != "" {
+		fmt.Fprintf(b, "  index: %s", s.IndexName)
+	}
 	b.WriteByte('\n')
 	for _, c := range s.Children {
 		c.render(b, depth+1)

@@ -26,14 +26,21 @@ func (c *ColumnSet) ColumnNames() []string { return c.names }
 // Len returns the number of rows in the projection.
 func (c *ColumnSet) Len() int { return len(c.RowIDs) }
 
-// Columnize materializes a columnar projection of the table at the latest
-// CSN. If attrs is empty, all attributes observed across the table are
+// Columnize materializes a columnar projection of the table as of the
+// commit stamp current when the call starts. Concurrent writers cannot
+// skew the projection mid-scan — use ColumnizeAt to pin an explicit CSN.
+func Columnize(t *Table, attrs ...string) *ColumnSet {
+	return ColumnizeAt(t, t.store.Now(), attrs...)
+}
+
+// ColumnizeAt materializes a columnar projection of the table at csn. If
+// attrs is empty, all attributes observed across the projection are
 // included (the union schema — heterogeneous rows simply hold nulls in the
 // columns they lack).
-func Columnize(t *Table, attrs ...string) *ColumnSet {
+func ColumnizeAt(t *Table, csn CSN, attrs ...string) *ColumnSet {
 	var recs []model.Record
 	var ids []RowID
-	t.Scan(func(id RowID, rec model.Record) bool {
+	t.ScanAt(csn, func(id RowID, rec model.Record) bool {
 		ids = append(ids, id)
 		recs = append(recs, rec)
 		return true

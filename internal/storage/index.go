@@ -1,0 +1,661 @@
+package storage
+
+// Secondary indexes over the multi-version table store. An index maps
+// attribute values to RowIDs and is deliberately a *superset* structure:
+// it holds one entry per non-null value ever written in any version, and
+// lookups return candidate RowIDs whose visible-at-CSN records the caller
+// re-filters with the full predicate. That keeps maintenance O(1) per
+// write, makes every index correct as-of any CSN for free, and lets Vacuum
+// rebuild compactly from the retained version chains.
+//
+// Indexes are self-curated (the paper's OS.1/OS.3: the database curates
+// its own physical design): per-attribute access counters trip auto-
+// creation, range traffic upgrades a hash index to a sorted one, and
+// indexes that go cold are dropped at Vacuum. There is no DDL surface;
+// CreateIndex exists for tests and pins the index against cold-drop.
+//
+// Comparison semantics force care at the edges. The query evaluator's
+// =/</<=/>/>= go through model.Compare, under which NaN compares equal to
+// every numeric, while IN goes through model.Equal (NaN equals only NaN).
+// Values that would break bucket equality or sorted-order search — NaN
+// floats and list values (whose Compare can be 0 without Equal, or error
+// mid-class) — live in a small "odd" side list appended to every candidate
+// set, so the superset property holds without special-casing lookups.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"scdb/internal/model"
+)
+
+// IndexKind selects the index structure: hash buckets for equality/IN, or
+// a sorted run (with an unsorted pending buffer) for ranges too.
+type IndexKind int
+
+const (
+	IndexHash IndexKind = iota
+	IndexSorted
+)
+
+func (k IndexKind) String() string {
+	if k == IndexSorted {
+		return "sorted"
+	}
+	return "hash"
+}
+
+// Self-curation thresholds.
+const (
+	autoIndexAccesses = 4   // predicate touches on an attr before auto-create
+	autoIndexMinRows  = 64  // don't bother indexing tiny tables
+	indexColdStrikes  = 2   // vacuums with zero new hits before auto-drop
+	pendingMergeLimit = 256 // unsorted inserts buffered before a re-sort
+)
+
+// idxEntry is one (value, row) posting.
+type idxEntry struct {
+	val model.Value
+	id  RowID
+}
+
+// Index is one secondary index. All fields are guarded by the owning
+// Table's mutex: writes under t.mu.Lock, lookups under t.mu.RLock (lookups
+// never mutate — the pending buffer is scanned linearly, not merged).
+type Index struct {
+	attr   string
+	kind   IndexKind
+	pinned bool // explicitly created; never cold-dropped
+
+	hits     uint64 // scans that chose this index
+	lastHits uint64 // hits as of the previous vacuum
+	strikes  int    // consecutive vacuums without new hits
+
+	buckets map[uint64][]idxEntry // hash kind
+	sorted  []idxEntry            // sorted kind: ordered by (model.Less, id)
+	pending []idxEntry            // sorted kind: recent inserts, unordered
+	odd     []idxEntry            // NaN floats and list values (either kind)
+}
+
+// oddValue reports values excluded from the main structures: NaN floats
+// (Compare-equal to every numeric) and lists (Compare can be 0 without
+// Equal, or error against a same-rank neighbor, breaking binary search).
+func oddValue(v model.Value) bool {
+	if v.Kind() == model.KindList {
+		return true
+	}
+	f, ok := v.AsFloat()
+	return ok && math.IsNaN(f)
+}
+
+// hashKey buckets a value by its Equal-class. model.Value.Hash hashes
+// numerics by float64 bit pattern, so -0.0 and +0.0 (Equal, Compare 0)
+// would land in different buckets; canonicalize zero first.
+func hashKey(v model.Value) uint64 {
+	if f, ok := v.AsFloat(); ok && f == 0 {
+		return model.Float(0).Hash()
+	}
+	return v.Hash()
+}
+
+// valRank mirrors the kind ranking of model.Less (null, bool, numeric,
+// string, time, bytes, list, ref) so window searches can locate the
+// literal's comparison class inside the sorted run.
+func valRank(v model.Value) int {
+	switch v.Kind() {
+	case model.KindNull:
+		return 0
+	case model.KindBool:
+		return 1
+	case model.KindInt, model.KindFloat:
+		return 2
+	case model.KindString:
+		return 3
+	case model.KindTime:
+		return 4
+	case model.KindBytes:
+		return 5
+	case model.KindList:
+		return 6
+	case model.KindRef:
+		return 7
+	}
+	return 8
+}
+
+func entryLess(a, b idxEntry) bool {
+	if model.Less(a.val, b.val) {
+		return true
+	}
+	if model.Less(b.val, a.val) {
+		return false
+	}
+	return a.id < b.id
+}
+
+// addLocked inserts one posting. Caller holds the table write lock.
+func (ix *Index) addLocked(v model.Value, id RowID) {
+	e := idxEntry{val: v, id: id}
+	if oddValue(v) {
+		ix.odd = append(ix.odd, e)
+		return
+	}
+	switch ix.kind {
+	case IndexHash:
+		k := hashKey(v)
+		ix.buckets[k] = append(ix.buckets[k], e)
+	case IndexSorted:
+		ix.pending = append(ix.pending, e)
+		if len(ix.pending) >= pendingMergeLimit {
+			ix.mergeLocked()
+		}
+	}
+}
+
+// mergeLocked folds the pending buffer into the sorted run.
+func (ix *Index) mergeLocked() {
+	if len(ix.pending) == 0 {
+		return
+	}
+	ix.sorted = append(ix.sorted, ix.pending...)
+	ix.pending = ix.pending[:0]
+	sort.Slice(ix.sorted, func(i, j int) bool { return entryLess(ix.sorted[i], ix.sorted[j]) })
+}
+
+func (ix *Index) resetLocked() {
+	if ix.kind == IndexHash {
+		ix.buckets = make(map[uint64][]idxEntry)
+	}
+	ix.sorted, ix.pending, ix.odd = nil, nil, nil
+}
+
+func (ix *Index) entries() int {
+	n := len(ix.sorted) + len(ix.pending) + len(ix.odd)
+	for _, es := range ix.buckets {
+		n += len(es)
+	}
+	return n
+}
+
+// window returns the slice of the sorted run that can satisfy op against
+// lit under model.Compare. Searches stay inside the literal's comparison
+// class (same valRank), where Compare is total and consistent with the
+// sort order; NaN literals degenerate to the whole numeric class for "="
+// and empty windows for orderings — exactly the evaluator's semantics.
+func (ix *Index) window(op string, lit model.Value) []idxEntry {
+	n := len(ix.sorted)
+	rl := valRank(lit)
+	classLo := sort.Search(n, func(i int) bool { return valRank(ix.sorted[i].val) >= rl })
+	classHi := sort.Search(n, func(i int) bool { return valRank(ix.sorted[i].val) > rl })
+	cmp := func(i int) int {
+		c, err := model.Compare(ix.sorted[i].val, lit)
+		if err != nil {
+			return 0 // unreachable: same class, odd values excluded
+		}
+		return c
+	}
+	span := classHi - classLo
+	geq := func() int {
+		return classLo + sort.Search(span, func(k int) bool { return cmp(classLo+k) >= 0 })
+	}
+	gt := func() int {
+		return classLo + sort.Search(span, func(k int) bool { return cmp(classLo+k) > 0 })
+	}
+	var lo, hi int
+	switch op {
+	case "=":
+		lo, hi = geq(), gt()
+	case "<":
+		lo, hi = classLo, geq()
+	case "<=":
+		lo, hi = classLo, gt()
+	case ">":
+		lo, hi = gt(), classHi
+	case ">=":
+		lo, hi = geq(), classHi
+	default:
+		return nil
+	}
+	if lo >= hi {
+		return nil
+	}
+	return ix.sorted[lo:hi]
+}
+
+// pendingMatches mirrors the evaluator on one buffered posting: Compare
+// for orderings and "=", Equal for IN membership. pending never holds odd
+// values, so Compare against a same-class literal cannot error; a
+// cross-class error means "no match", as in the evaluator.
+func pendingMatches(p ZonePred, v model.Value) bool {
+	if p.Op == "in" {
+		for _, w := range p.Vals {
+			if model.Equal(v, w) {
+				return true
+			}
+		}
+		return false
+	}
+	c, err := model.Compare(v, p.Val)
+	if err != nil {
+		return false
+	}
+	switch p.Op {
+	case "=":
+		return c == 0
+	case "<":
+		return c < 0
+	case "<=":
+		return c <= 0
+	case ">":
+		return c > 0
+	case ">=":
+		return c >= 0
+	}
+	return true // unknown op: stay a superset
+}
+
+// candidates returns a sorted, deduplicated superset of the RowIDs whose
+// visible record can satisfy p. Caller holds the table read lock.
+func (ix *Index) candidates(p ZonePred) []RowID {
+	ids := make([]RowID, 0, 64)
+	add := func(es []idxEntry) {
+		for _, e := range es {
+			ids = append(ids, e.id)
+		}
+	}
+	switch ix.kind {
+	case IndexHash:
+		switch p.Op {
+		case "=":
+			add(ix.buckets[hashKey(p.Val)])
+		case "in":
+			for _, v := range p.Vals {
+				add(ix.buckets[hashKey(v)])
+			}
+		default:
+			for _, es := range ix.buckets { // range on a hash index: no help
+				add(es)
+			}
+		}
+	case IndexSorted:
+		if p.Op == "in" {
+			for _, v := range p.Vals {
+				add(ix.window("=", v))
+			}
+		} else {
+			add(ix.window(p.Op, p.Val))
+		}
+		for _, e := range ix.pending {
+			if pendingMatches(p, e.val) {
+				ids = append(ids, e.id)
+			}
+		}
+	}
+	add(ix.odd)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := ids[:0]
+	for i, id := range ids {
+		if i == 0 || id != ids[i-1] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// accessStat counts predicate touches per attribute — the self-curation
+// signal that trips auto-creation.
+type accessStat struct {
+	eq  uint64 // equality and IN predicates
+	rng uint64 // ordering predicates
+}
+
+// IndexStat is the introspection row surfaced through the facade and the
+// CLI's \indexes command.
+type IndexStat struct {
+	Table   string
+	Attr    string
+	Kind    string
+	Entries int
+	Hits    uint64
+	Auto    bool
+}
+
+// ScanOptions disables individual access-path features, for differential
+// testing and engine configuration.
+type ScanOptions struct {
+	NoPrune bool // keep every segment even when its zone map refutes a pred
+	NoIndex bool // never use a secondary index
+	NoAuto  bool // don't record accesses or auto-create indexes
+}
+
+// ScanInfo reports what a pushed-down scan actually did.
+type ScanInfo struct {
+	Index    string // "table.attr(kind)", or "" for a plain zone scan
+	Segments int    // zone segments considered
+	Pruned   int    // segments skipped by zone-map refutation
+}
+
+func (t *Table) initCurationLocked() {
+	if t.zones == nil {
+		t.zones = make(map[uint64]*zoneSeg)
+	}
+	if t.indexes == nil {
+		t.indexes = make(map[string]*Index)
+	}
+	if t.access == nil {
+		t.access = make(map[string]*accessStat)
+	}
+}
+
+// noteWriteLocked maintains zone maps and indexes for one written version.
+// Caller holds the table write lock (or is the single-threaded recovery).
+func (t *Table) noteWriteLocked(id RowID, rec model.Record, newRow bool) {
+	if rec == nil {
+		return
+	}
+	t.initCurationLocked()
+	seg := zoneSegFor(id)
+	z := t.zones[seg]
+	if z == nil {
+		z = &zoneSeg{attrs: make(map[string]*zoneAttr)}
+		t.zones[seg] = z
+	}
+	z.note(rec, newRow)
+	for _, ix := range t.indexes {
+		v := rec.Get(ix.attr)
+		if v.IsNull() {
+			continue
+		}
+		ix.addLocked(v, id)
+	}
+}
+
+// buildIndexLocked (re)builds ix from every retained version, so the index
+// answers correctly as-of any still-readable CSN.
+func (t *Table) buildIndexLocked(ix *Index) {
+	for id, r := range t.rows {
+		for _, ver := range r.versions {
+			if ver.rec == nil {
+				continue
+			}
+			v := ver.rec.Get(ix.attr)
+			if v.IsNull() {
+				continue
+			}
+			ix.addLocked(v, id)
+		}
+	}
+	ix.mergeLocked()
+}
+
+// rebuildZonesLocked recomputes zone maps exactly from the retained
+// versions — the only point where deletes and vacuumed history narrow the
+// statistics back down.
+func (t *Table) rebuildZonesLocked() {
+	t.zones = make(map[uint64]*zoneSeg)
+	for id, r := range t.rows {
+		seg := zoneSegFor(id)
+		newRow := true
+		for _, ver := range r.versions {
+			if ver.rec == nil {
+				continue
+			}
+			z := t.zones[seg]
+			if z == nil {
+				z = &zoneSeg{attrs: make(map[string]*zoneAttr)}
+				t.zones[seg] = z
+			}
+			z.note(ver.rec, newRow)
+			newRow = false
+		}
+	}
+}
+
+// vacuumIndexesLocked rebuilds surviving indexes from the just-vacuumed
+// version chains and drops auto-created indexes that went cold (no new
+// hits across indexColdStrikes consecutive vacuums). The access counter is
+// dropped with the index, so an unused attribute must re-earn its index.
+func (t *Table) vacuumIndexesLocked() {
+	for attr, ix := range t.indexes {
+		if !ix.pinned {
+			if ix.hits == ix.lastHits {
+				ix.strikes++
+			} else {
+				ix.strikes = 0
+			}
+			ix.lastHits = ix.hits
+			if ix.strikes >= indexColdStrikes {
+				delete(t.indexes, attr)
+				delete(t.access, attr)
+				continue
+			}
+		}
+		ix.resetLocked()
+		t.buildIndexLocked(ix)
+	}
+}
+
+// maybeAutoIndexLocked creates (or upgrades) indexes whose access counters
+// tripped the threshold. Range traffic on a hash index upgrades it to
+// sorted; pinned indexes are left alone.
+func (t *Table) maybeAutoIndexLocked(preds []ZonePred) {
+	for _, p := range preds {
+		st := t.access[p.Attr]
+		if st == nil || st.eq+st.rng < autoIndexAccesses || t.live < autoIndexMinRows {
+			continue
+		}
+		kind := IndexHash
+		if st.rng > 0 {
+			kind = IndexSorted
+		}
+		if ix, ok := t.indexes[p.Attr]; ok {
+			if !ix.pinned && ix.kind == IndexHash && kind == IndexSorted {
+				ix.kind = IndexSorted
+				ix.resetLocked()
+				t.buildIndexLocked(ix)
+			}
+			continue
+		}
+		ix := &Index{attr: p.Attr, kind: kind}
+		if kind == IndexHash {
+			ix.buckets = make(map[uint64][]idxEntry)
+		}
+		t.indexes[p.Attr] = ix
+		t.buildIndexLocked(ix)
+	}
+}
+
+// chooseIndexLocked picks the best (index, predicate) pair: equality beats
+// IN beats range; a hash index is never used for ranges, nor for an
+// equality against a NaN literal (which Compare-matches every numeric and
+// so has no single bucket).
+func (t *Table) chooseIndexLocked(preds []ZonePred) (*Index, ZonePred) {
+	var best *Index
+	var bestPred ZonePred
+	bestScore := -1
+	for _, p := range preds {
+		ix := t.indexes[p.Attr]
+		if ix == nil {
+			continue
+		}
+		score := -1
+		switch p.Op {
+		case "=":
+			f, isNum := p.Val.AsFloat()
+			if ix.kind == IndexSorted || !(isNum && math.IsNaN(f)) {
+				score = 2
+			}
+		case "in":
+			score = 1
+		default:
+			if ix.kind == IndexSorted {
+				score = 0
+			}
+		}
+		if score > bestScore {
+			bestScore, best, bestPred = score, ix, p
+		}
+	}
+	return best, bestPred
+}
+
+// CreateIndex builds a pinned index on attr. Auto-curation normally makes
+// this unnecessary; it exists for tests and deliberate pinning.
+func (t *Table) CreateIndex(attr string, kind IndexKind) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.initCurationLocked()
+	if _, ok := t.indexes[attr]; ok {
+		return fmt.Errorf("storage: %s: index on %q already exists", t.name, attr)
+	}
+	ix := &Index{attr: attr, kind: kind, pinned: true}
+	if kind == IndexHash {
+		ix.buckets = make(map[uint64][]idxEntry)
+	}
+	t.indexes[attr] = ix
+	t.buildIndexLocked(ix)
+	return nil
+}
+
+// IndexStats lists the table's indexes, sorted by attribute.
+func (t *Table) IndexStats() []IndexStat {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]IndexStat, 0, len(t.indexes))
+	for attr, ix := range t.indexes {
+		out = append(out, IndexStat{
+			Table:   t.name,
+			Attr:    attr,
+			Kind:    ix.kind.String(),
+			Entries: ix.entries(),
+			Hits:    ix.hits,
+			Auto:    !ix.pinned,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Attr < out[j].Attr })
+	return out
+}
+
+// IndexStats lists every index in the store, sorted by (table, attr).
+func (s *Store) IndexStats() []IndexStat {
+	var out []IndexStat
+	for _, name := range s.Tables() {
+		if t, ok := s.Table(name); ok {
+			out = append(out, t.IndexStats()...)
+		}
+	}
+	return out
+}
+
+// ScanWhere is the pushed-down scan: it visits rows visible at csn that
+// can satisfy the conjunction of preds, in RowID order, chunked on zone-
+// segment boundaries. The emitted set is a superset of the matching rows
+// (candidates come from a superset index and conservative zone maps), so
+// callers re-apply the full predicate; emitted slices are freshly
+// allocated. It also drives self-curation: accesses are counted and
+// indexes auto-created here. Returning false from fn stops the scan.
+func (t *Table) ScanWhere(csn CSN, preds []ZonePred, opt ScanOptions, fn func(ids []RowID, recs []model.Record) bool) ScanInfo {
+	var info ScanInfo
+	var idx *Index
+	var idxPred ZonePred
+	t.mu.Lock()
+	t.initCurationLocked()
+	if !opt.NoAuto {
+		for _, p := range preds {
+			st := t.access[p.Attr]
+			if st == nil {
+				st = &accessStat{}
+				t.access[p.Attr] = st
+			}
+			if p.Op == "=" || p.Op == "in" {
+				st.eq++
+			} else {
+				st.rng++
+			}
+		}
+		t.maybeAutoIndexLocked(preds)
+	}
+	if !opt.NoIndex {
+		idx, idxPred = t.chooseIndexLocked(preds)
+		if idx != nil {
+			idx.hits++
+		}
+	}
+	t.mu.Unlock()
+
+	var ids []RowID
+	if idx != nil {
+		info.Index = fmt.Sprintf("%s.%s(%s)", t.name, idx.attr, idx.kind)
+		t.mu.RLock()
+		ids = idx.candidates(idxPred)
+		t.mu.RUnlock()
+	} else {
+		t.mu.RLock()
+		ids = make([]RowID, 0, len(t.rows))
+		for id := range t.rows {
+			ids = append(ids, id)
+		}
+		t.mu.RUnlock()
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	}
+	t.emitSegments(csn, ids, preds, opt, fn, &info)
+	return info
+}
+
+// emitSegments walks sorted candidate RowIDs one zone segment at a time,
+// pruning refuted segments and emitting the visible records of the rest.
+func (t *Table) emitSegments(csn CSN, ids []RowID, preds []ZonePred, opt ScanOptions, fn func([]RowID, []model.Record) bool, info *ScanInfo) {
+	for i := 0; i < len(ids); {
+		seg := zoneSegFor(ids[i])
+		j := i
+		for j < len(ids) && zoneSegFor(ids[j]) == seg {
+			j++
+		}
+		info.Segments++
+		t.mu.RLock()
+		if !opt.NoPrune && t.segRefutedLocked(seg, preds) {
+			t.mu.RUnlock()
+			info.Pruned++
+			i = j
+			continue
+		}
+		outIDs := make([]RowID, 0, j-i)
+		outRecs := make([]model.Record, 0, j-i)
+		for _, id := range ids[i:j] {
+			r, ok := t.rows[id]
+			if !ok {
+				continue
+			}
+			rec := r.at(csn)
+			if rec == nil {
+				continue
+			}
+			outIDs = append(outIDs, id)
+			outRecs = append(outRecs, rec)
+		}
+		t.mu.RUnlock()
+		i = j
+		if len(outIDs) == 0 {
+			continue
+		}
+		if !fn(outIDs, outRecs) {
+			return
+		}
+	}
+}
+
+// segRefutedLocked reports whether any conjunct is refuted by the
+// segment's zone map. A missing zone map never prunes.
+func (t *Table) segRefutedLocked(seg uint64, preds []ZonePred) bool {
+	z := t.zones[seg]
+	if z == nil {
+		return false
+	}
+	for _, p := range preds {
+		if z.refutes(p) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,467 @@
+package storage
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"scdb/internal/model"
+)
+
+// predMatches re-implements the query evaluator's predicate semantics for
+// use as the differential-test filter: =/</<=/>/>= via model.Compare
+// (incomparable or null → no match), IN via model.Equal.
+func predMatches(p ZonePred, r model.Record) bool {
+	v := r.Get(p.Attr)
+	if v.IsNull() {
+		return false
+	}
+	if p.Op == "in" {
+		for _, w := range p.Vals {
+			if model.Equal(v, w) {
+				return true
+			}
+		}
+		return false
+	}
+	c, err := model.Compare(v, p.Val)
+	if err != nil {
+		return false
+	}
+	switch p.Op {
+	case "=":
+		return c == 0
+	case "<":
+		return c < 0
+	case "<=":
+		return c <= 0
+	case ">":
+		return c > 0
+	case ">=":
+		return c >= 0
+	}
+	return false
+}
+
+// answerVia runs ScanWhere under opt and filters the emitted superset down
+// to the rows that actually match, keyed by RowID.
+func answerVia(tb *Table, csn CSN, p ZonePred, opt ScanOptions) map[RowID]model.Record {
+	got := map[RowID]model.Record{}
+	tb.ScanWhere(csn, []ZonePred{p}, opt, func(ids []RowID, recs []model.Record) bool {
+		for i, id := range ids {
+			if predMatches(p, recs[i]) {
+				got[id] = recs[i]
+			}
+		}
+		return true
+	})
+	return got
+}
+
+// oracle computes the same answer with a plain full snapshot scan.
+func oracle(tb *Table, csn CSN, p ZonePred) map[RowID]model.Record {
+	got := map[RowID]model.Record{}
+	tb.ScanAt(csn, func(id RowID, rec model.Record) bool {
+		if predMatches(p, rec) {
+			got[id] = rec
+		}
+		return true
+	})
+	return got
+}
+
+func sameAnswer(t *testing.T, label string, got, want map[RowID]model.Record) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d rows, want %d", label, len(got), len(want))
+	}
+	for id := range want {
+		if _, ok := got[id]; !ok {
+			t.Fatalf("%s: missing row %d", label, id)
+		}
+	}
+}
+
+func TestIndexEqualityAndRange(t *testing.T) {
+	s, _ := Open("")
+	defer s.Close()
+	tb, _ := s.CreateTable("t")
+	if err := tb.CreateIndex("h", IndexHash); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.CreateIndex("r", IndexSorted); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.CreateIndex("h", IndexHash); err == nil {
+		t.Fatal("duplicate CreateIndex must fail")
+	}
+	for i := 0; i < 500; i++ {
+		tb.Insert(rec("h", i%10, "r", float64(i), "s", fmt.Sprintf("v%03d", i%50)))
+	}
+	now := s.Now()
+	preds := []ZonePred{
+		{Attr: "h", Op: "=", Val: model.Int(3)},
+		{Attr: "h", Op: "in", Vals: []model.Value{model.Int(1), model.Int(7)}},
+		{Attr: "r", Op: "<", Val: model.Float(33)},
+		{Attr: "r", Op: "<=", Val: model.Float(33)},
+		{Attr: "r", Op: ">", Val: model.Int(490)},
+		{Attr: "r", Op: ">=", Val: model.Int(490)},
+		{Attr: "r", Op: "=", Val: model.Float(123)},
+		{Attr: "s", Op: "=", Val: model.String("v007")}, // no index on s
+		{Attr: "h", Op: "=", Val: model.String("nope")}, // cross-kind: empty
+	}
+	for _, p := range preds {
+		want := oracle(tb, now, p)
+		got := answerVia(tb, now, p, ScanOptions{})
+		sameAnswer(t, fmt.Sprintf("%s %s", p.Attr, p.Op), got, want)
+	}
+	// The equality on h must actually have used the hash index.
+	info := tb.ScanWhere(now, []ZonePred{preds[0]}, ScanOptions{}, func([]RowID, []model.Record) bool { return true })
+	if info.Index != "t.h(hash)" {
+		t.Fatalf("Index = %q, want t.h(hash)", info.Index)
+	}
+}
+
+// TestIndexOddValues covers the comparison-semantics edge cases: NaN floats
+// (Compare-equal to every numeric), -0.0/+0.0 (Equal but with different
+// hash bit patterns), and list values (excluded from sorted order).
+func TestIndexOddValues(t *testing.T) {
+	s, _ := Open("")
+	defer s.Close()
+	tb, _ := s.CreateTable("t")
+	tb.CreateIndex("a", IndexHash)
+	tb.CreateIndex("b", IndexSorted)
+	nan := model.Float(math.NaN())
+	vals := []model.Value{
+		model.Int(1), model.Float(2.5), nan, model.Float(math.Copysign(0, -1)),
+		model.Float(0), model.Int(0), model.String("x"),
+		model.List(model.Int(1), model.Int(2)), model.List(),
+	}
+	for _, v := range vals {
+		tb.Insert(model.Record{"a": v, "b": v})
+	}
+	now := s.Now()
+	preds := []ZonePred{
+		{Attr: "a", Op: "=", Val: model.Int(0)},   // must find -0.0, +0.0, 0, and NaN
+		{Attr: "a", Op: "=", Val: nan},            // NaN literal matches every numeric
+		{Attr: "b", Op: "=", Val: nan},            // sorted path, same semantics
+		{Attr: "b", Op: "<", Val: model.Float(2)}, // NaN compares equal, not less
+		{Attr: "b", Op: ">=", Val: model.Int(0)},
+		{Attr: "a", Op: "in", Vals: []model.Value{nan, model.Int(1)}}, // IN is Equal: NaN only matches NaN
+		{Attr: "b", Op: "=", Val: model.List(model.Int(1), model.Int(2))},
+	}
+	for _, p := range preds {
+		want := oracle(tb, now, p)
+		got := answerVia(tb, now, p, ScanOptions{})
+		sameAnswer(t, fmt.Sprintf("%s %s %s", p.Attr, p.Op, p.Val), got, want)
+	}
+}
+
+// TestIndexMVCCDifferential interleaves inserts, updates, deletes, and
+// vacuums under randomized mixed-kind values, then checks at several
+// snapshot CSNs that indexed scans, pruned scans, and plain scans all agree
+// with a full-scan oracle.
+func TestIndexMVCCDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s, _ := Open("")
+	defer s.Close()
+	tb, _ := s.CreateTable("t")
+	tb.CreateIndex("k", IndexHash)
+	tb.CreateIndex("v", IndexSorted)
+
+	randVal := func() model.Value {
+		switch rng.Intn(12) {
+		case 0:
+			return model.Float(math.NaN())
+		case 1:
+			return model.String(fmt.Sprintf("s%02d", rng.Intn(20)))
+		case 2:
+			return model.List(model.Int(int64(rng.Intn(3))))
+		case 3:
+			return model.Null()
+		case 4:
+			return model.Float(float64(rng.Intn(40)) / 4)
+		default:
+			return model.Int(int64(rng.Intn(40)))
+		}
+	}
+	var live []RowID
+	var snaps []CSN
+	for step := 0; step < 3000; step++ {
+		switch op := rng.Intn(100); {
+		case op < 50:
+			id, err := tb.Insert(model.Record{"k": randVal(), "v": randVal()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, id)
+		case op < 75 && len(live) > 0:
+			if err := tb.Update(live[rng.Intn(len(live))], model.Record{"k": randVal(), "v": randVal()}); err != nil {
+				t.Fatal(err)
+			}
+		case op < 95 && len(live) > 0:
+			i := rng.Intn(len(live))
+			if err := tb.Delete(live[i]); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live[:i], live[i+1:]...)
+		default:
+			// Vacuum to a recent horizon: both paths keep reading the same
+			// retained version chains, so the differential stays valid.
+			tb.Vacuum(s.Now())
+			snaps = nil // older snapshots are no longer guaranteed readable
+		}
+		if step%250 == 0 {
+			snaps = append(snaps, s.Now())
+		}
+	}
+	snaps = append(snaps, s.Now())
+
+	preds := []ZonePred{
+		{Attr: "k", Op: "=", Val: model.Int(7)},
+		{Attr: "k", Op: "=", Val: model.Float(math.NaN())},
+		{Attr: "k", Op: "in", Vals: []model.Value{model.Int(3), model.String("s05"), model.Float(math.NaN())}},
+		{Attr: "v", Op: "<", Val: model.Float(5)},
+		{Attr: "v", Op: ">=", Val: model.Int(30)},
+		{Attr: "v", Op: "=", Val: model.String("s11")},
+		{Attr: "v", Op: "=", Val: model.List(model.Int(1))},
+	}
+	for _, csn := range snaps {
+		for _, p := range preds {
+			want := oracle(tb, csn, p)
+			label := fmt.Sprintf("csn=%d %s %s %s", csn, p.Attr, p.Op, p.Val)
+			sameAnswer(t, label+" indexed", answerVia(tb, csn, p, ScanOptions{}), want)
+			sameAnswer(t, label+" no-index", answerVia(tb, csn, p, ScanOptions{NoIndex: true}), want)
+			sameAnswer(t, label+" no-prune", answerVia(tb, csn, p, ScanOptions{NoPrune: true, NoIndex: true}), want)
+		}
+	}
+}
+
+func TestZonePruning(t *testing.T) {
+	s, _ := Open("")
+	defer s.Close()
+	tb, _ := s.CreateTable("t")
+	const n = 8 * ZoneSegmentRows
+	for i := 0; i < n; i++ {
+		tb.Insert(rec("n", i, "s", fmt.Sprintf("k%05d", i)))
+	}
+	now := s.Now()
+	p := ZonePred{Attr: "n", Op: "<", Val: model.Int(100)}
+	// Values are clustered by insertion order, so all but the first segment
+	// refute n < 100.
+	var info ScanInfo
+	got := map[RowID]model.Record{}
+	info = tb.ScanWhere(now, []ZonePred{p}, ScanOptions{NoIndex: true, NoAuto: true}, func(ids []RowID, recs []model.Record) bool {
+		for i, id := range ids {
+			if predMatches(p, recs[i]) {
+				got[id] = recs[i]
+			}
+		}
+		return true
+	})
+	if info.Segments != 8 {
+		t.Fatalf("Segments = %d, want 8", info.Segments)
+	}
+	if info.Pruned != 7 {
+		t.Fatalf("Pruned = %d, want 7", info.Pruned)
+	}
+	sameAnswer(t, "pruned scan", got, oracle(tb, now, p))
+
+	// An attribute absent from a segment prunes it outright.
+	tb.Insert(rec("extra", 1))
+	now = s.Now()
+	pe := ZonePred{Attr: "extra", Op: "=", Val: model.Int(1)}
+	info = tb.ScanWhere(now, []ZonePred{pe}, ScanOptions{NoIndex: true, NoAuto: true}, func([]RowID, []model.Record) bool { return true })
+	if info.Pruned != 8 {
+		t.Fatalf("Pruned = %d, want 8 (attr absent from first 8 segments)", info.Pruned)
+	}
+
+	// Deletes widen nothing; vacuum narrows the maps back down.
+	for id := RowID(1); id <= ZoneSegmentRows; id++ {
+		tb.Delete(id)
+	}
+	tb.Vacuum(s.Now())
+	info = tb.ScanWhere(s.Now(), []ZonePred{p}, ScanOptions{NoIndex: true, NoAuto: true}, func([]RowID, []model.Record) bool { return true })
+	if info.Pruned != info.Segments {
+		t.Fatalf("after vacuum of matching segment: Pruned = %d of %d", info.Pruned, info.Segments)
+	}
+}
+
+// TestAutoIndexLifecycle exercises self-curation end to end: repeated
+// predicates on a big-enough table create an index, range traffic upgrades
+// hash to sorted, and vacuums after the traffic stops drop it again.
+func TestAutoIndexLifecycle(t *testing.T) {
+	s, _ := Open("")
+	defer s.Close()
+	tb, _ := s.CreateTable("t")
+	for i := 0; i < 2*autoIndexMinRows; i++ {
+		tb.Insert(rec("a", i%16, "b", i))
+	}
+	now := s.Now()
+	scan := func(p ZonePred) ScanInfo {
+		return tb.ScanWhere(now, []ZonePred{p}, ScanOptions{}, func([]RowID, []model.Record) bool { return true })
+	}
+	eq := ZonePred{Attr: "a", Op: "=", Val: model.Int(3)}
+	for i := 0; i < autoIndexAccesses-1; i++ {
+		if info := scan(eq); info.Index != "" {
+			t.Fatalf("access %d: index %q created too early", i, info.Index)
+		}
+	}
+	if info := scan(eq); info.Index != "t.a(hash)" {
+		t.Fatalf("after %d accesses: Index = %q, want t.a(hash)", autoIndexAccesses, info.Index)
+	}
+	stats := tb.IndexStats()
+	if len(stats) != 1 || !stats[0].Auto || stats[0].Kind != "hash" {
+		t.Fatalf("IndexStats = %+v", stats)
+	}
+
+	// Range traffic upgrades the auto hash index to sorted.
+	rg := ZonePred{Attr: "a", Op: "<", Val: model.Int(4)}
+	if info := scan(rg); info.Index != "t.a(sorted)" {
+		t.Fatalf("after range access: Index = %q, want t.a(sorted)", info.Index)
+	}
+
+	// No further hits: the first vacuum still sees fresh hits, then two
+	// hit-free vacuums strike it out.
+	tb.Vacuum(s.Now())
+	tb.Vacuum(s.Now())
+	if n := len(tb.IndexStats()); n != 1 {
+		t.Fatalf("index dropped one vacuum too early (stats %d)", n)
+	}
+	tb.Vacuum(s.Now())
+	if n := len(tb.IndexStats()); n != 0 {
+		t.Fatalf("cold auto index not dropped, stats %v", tb.IndexStats())
+	}
+
+	// Pinned indexes are never cold-dropped.
+	tb.CreateIndex("b", IndexSorted)
+	for i := 0; i < indexColdStrikes+2; i++ {
+		tb.Vacuum(s.Now())
+	}
+	if n := len(tb.IndexStats()); n != 1 {
+		t.Fatalf("pinned index dropped, stats %d", n)
+	}
+	// Tiny tables never earn indexes.
+	small, _ := s.CreateTable("small")
+	for i := 0; i < autoIndexMinRows/2; i++ {
+		small.Insert(rec("a", i))
+	}
+	for i := 0; i < 3*autoIndexAccesses; i++ {
+		small.ScanWhere(s.Now(), []ZonePred{eq}, ScanOptions{}, func([]RowID, []model.Record) bool { return true })
+	}
+	if n := len(small.IndexStats()); n != 0 {
+		t.Fatalf("tiny table earned an index, stats %d", n)
+	}
+}
+
+// TestIndexConcurrent runs writers, vacuums, and indexed readers in
+// parallel; meaningful mainly under -race, with a final differential check.
+func TestIndexConcurrent(t *testing.T) {
+	s, _ := Open("")
+	defer s.Close()
+	tb, _ := s.CreateTable("t")
+	tb.CreateIndex("k", IndexHash)
+	tb.CreateIndex("v", IndexSorted)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			var mine []RowID
+			for i := 0; i < 400; i++ {
+				switch {
+				case len(mine) == 0 || rng.Intn(3) > 0:
+					id, _ := tb.Insert(rec("k", rng.Intn(20), "v", float64(rng.Intn(100))))
+					mine = append(mine, id)
+				case rng.Intn(2) == 0:
+					tb.Update(mine[rng.Intn(len(mine))], rec("k", rng.Intn(20), "v", float64(rng.Intn(100))))
+				default:
+					j := rng.Intn(len(mine))
+					tb.Delete(mine[j])
+					mine = append(mine[:j], mine[j+1:]...)
+				}
+			}
+		}(int64(w + 1))
+	}
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			p := ZonePred{Attr: "k", Op: "=", Val: model.Int(int64(i % 20))}
+			answerVia(tb, s.Now(), p, ScanOptions{})
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			tb.Vacuum(s.Now())
+		}
+	}()
+	wg.Wait()
+	now := s.Now()
+	for _, p := range []ZonePred{
+		{Attr: "k", Op: "=", Val: model.Int(5)},
+		{Attr: "v", Op: ">", Val: model.Float(50)},
+	} {
+		sameAnswer(t, fmt.Sprintf("%s %s", p.Attr, p.Op), answerVia(tb, now, p, ScanOptions{}), oracle(tb, now, p))
+	}
+}
+
+// TestColumnizeAt pins the projection to an explicit snapshot.
+func TestColumnizeAt(t *testing.T) {
+	s, _ := Open("")
+	defer s.Close()
+	tb, _ := s.CreateTable("t")
+	id, _ := tb.Insert(rec("a", 1))
+	before := s.Now()
+	tb.Update(id, rec("a", 2))
+	cs := ColumnizeAt(tb, before, "a")
+	if cs.Len() != 1 {
+		t.Fatalf("Len = %d", cs.Len())
+	}
+	if v, _ := cs.Columns["a"][0].AsInt(); v != 1 {
+		t.Fatalf("at old csn: a = %v, want 1", cs.Columns["a"][0])
+	}
+	cs = Columnize(tb, "a")
+	if v, _ := cs.Columns["a"][0].AsInt(); v != 2 {
+		t.Fatalf("at now: a = %v, want 2", cs.Columns["a"][0])
+	}
+}
+
+// TestWALRecoveryRebuildsZones checks that zone maps exist (and prune) after
+// reopening a durable store, where recovery installs rows without going
+// through the write path.
+func TestWALRecoveryRebuildsZones(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, _ := s.CreateTable("t")
+	const n = 2 * ZoneSegmentRows
+	for i := 0; i < n; i++ {
+		tb.Insert(rec("n", i))
+	}
+	schemaVer := s.SchemaVersion()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.SchemaVersion() != schemaVer {
+		t.Fatalf("SchemaVersion = %d, want %d", s2.SchemaVersion(), schemaVer)
+	}
+	tb2, _ := s2.Table("t")
+	p := ZonePred{Attr: "n", Op: ">=", Val: model.Int(n - 10)}
+	info := tb2.ScanWhere(s2.Now(), []ZonePred{p}, ScanOptions{NoIndex: true, NoAuto: true}, func([]RowID, []model.Record) bool { return true })
+	if info.Pruned != 1 {
+		t.Fatalf("after recovery: Pruned = %d, want 1", info.Pruned)
+	}
+	sameAnswer(t, "recovered", answerVia(tb2, s2.Now(), p, ScanOptions{}), oracle(tb2, s2.Now(), p))
+}

@@ -59,6 +59,11 @@ type Table struct {
 	rows   map[RowID]*row
 	nextID uint64
 	live   int // rows visible at latest CSN
+
+	// Self-curated access paths (index.go, zonemap.go), lazily initialized.
+	zones   map[uint64]*zoneSeg   // per-segment statistics for pruning
+	indexes map[string]*Index     // secondary indexes by attribute
+	access  map[string]*accessStat // predicate traffic per attribute
 }
 
 // Name returns the table's name.
@@ -68,11 +73,12 @@ func (t *Table) Name() string { return t.name }
 // clock and one log. A Store opened with an empty directory is purely
 // in-memory.
 type Store struct {
-	mu     sync.RWMutex
-	tables map[string]*Table
-	csn    atomic.Uint64
-	wal    *wal // nil when in-memory
-	dir    string
+	mu        sync.RWMutex
+	tables    map[string]*Table
+	csn       atomic.Uint64
+	schemaVer atomic.Uint64 // bumped on catalog changes; plan-cache key part
+	wal       *wal          // nil when in-memory
+	dir       string
 }
 
 // Open opens (or creates) a store. If dir is empty the store is in-memory
@@ -114,6 +120,11 @@ func (s *Store) next() CSN { return CSN(s.csn.Add(1)) }
 // layer, which installs a whole write set under the returned stamp.
 func (s *Store) AllocateCSN() CSN { return s.next() }
 
+// SchemaVersion returns a counter that changes whenever the catalog does
+// (table creation, including during recovery). Query-plan caches key on it
+// so a schema change invalidates every cached plan.
+func (s *Store) SchemaVersion() uint64 { return s.schemaVer.Load() }
+
 // CreateTable creates a new empty table. It is an error if the name is
 // already taken.
 func (s *Store) CreateTable(name string) (*Table, error) {
@@ -124,6 +135,7 @@ func (s *Store) CreateTable(name string) (*Table, error) {
 	}
 	t := &Table{name: name, store: s, rows: make(map[RowID]*row)}
 	s.tables[name] = t
+	s.schemaVer.Add(1)
 	if s.wal != nil {
 		if err := s.wal.append(opCreateTable, name, 0, nil); err != nil {
 			delete(s.tables, name)
@@ -183,6 +195,7 @@ func (t *Table) InsertAt(rec model.Record, csn CSN) (RowID, error) {
 	id := RowID(t.nextID)
 	t.rows[id] = &row{versions: []version{{rec: rec, from: csn}}}
 	t.live++
+	t.noteWriteLocked(id, rec, true)
 	t.mu.Unlock()
 	if w := t.store.wal; w != nil {
 		return id, w.append(opInsert, t.name, uint64(id), model.AppendRecord(nil, rec))
@@ -210,6 +223,7 @@ func (t *Table) InsertReservedAt(id RowID, rec model.Record, csn CSN) error {
 	}
 	t.rows[id] = &row{versions: []version{{rec: rec, from: csn}}}
 	t.live++
+	t.noteWriteLocked(id, rec, true)
 	t.mu.Unlock()
 	if w := t.store.wal; w != nil {
 		return w.append(opInsert, t.name, uint64(id), model.AppendRecord(nil, rec))
@@ -235,6 +249,7 @@ func (t *Table) UpdateAt(id RowID, rec model.Record, csn CSN) error {
 		return fmt.Errorf("storage: %s: update of deleted row %d", t.name, id)
 	}
 	r.versions = append(r.versions, version{rec: rec, from: csn})
+	t.noteWriteLocked(id, rec, false)
 	t.mu.Unlock()
 	if w := t.store.wal; w != nil {
 		return w.append(opUpdate, t.name, uint64(id), model.AppendRecord(nil, rec))
@@ -423,5 +438,11 @@ func (t *Table) Vacuum(horizon CSN) int {
 			removed++
 		}
 	}
+	// Vacuum is the curation point for the access paths: zone maps are
+	// recomputed exactly from what survived (the only time they narrow),
+	// surviving indexes are rebuilt compactly, and cold auto-created
+	// indexes are dropped.
+	t.rebuildZonesLocked()
+	t.vacuumIndexesLocked()
 	return removed
 }

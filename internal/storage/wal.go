@@ -194,6 +194,13 @@ func (s *Store) recover() error {
 			return err
 		}
 	}
+	// Snapshot loading and replay install rows directly, bypassing the
+	// mutators that maintain zone maps; rebuild them so pruning stays sound
+	// on a recovered store. (No indexes exist yet — they are self-created
+	// from access traffic later.)
+	for _, t := range s.tables {
+		t.rebuildZonesLocked()
+	}
 	return nil
 }
 
@@ -204,6 +211,7 @@ func (s *Store) applyEntry(e logEntry) error {
 	case opCreateTable:
 		if _, ok := s.tables[e.table]; !ok {
 			s.tables[e.table] = &Table{name: e.table, store: s, rows: make(map[RowID]*row)}
+			s.schemaVer.Add(1)
 		}
 		return nil
 	}

@@ -1,0 +1,214 @@
+package storage
+
+// Zone maps: per-segment small-footprint statistics (min/max per class plus
+// null counts) over fixed RowID ranges, maintained incrementally on every
+// write and rebuilt exactly at Vacuum. The query layer pushes conjuncts of
+// a WHERE clause down as ZonePreds; segments whose statistics refute a
+// conjunct are skipped before any worker touches their rows — the paper's
+// OS.1 "self-organizing storage" in its cheapest form.
+//
+// Soundness: statistics only ever widen between vacuums (deletes do not
+// shrink them), so a refutation proves no visible row in the segment can
+// satisfy the conjunct at any readable CSN. The refutation rules mirror the
+// query evaluator's comparison semantics exactly: `=`/ordering comparisons
+// go through model.Compare (numerics compare as float64 across int/float;
+// other kinds compare only with themselves; NaN compares equal to every
+// numeric), and IN goes through model.Equal. Any case the rules cannot
+// decide conservatively keeps the segment.
+
+import (
+	"math"
+
+	"scdb/internal/model"
+)
+
+// ZoneSegmentRows is the fixed RowID span of one zone-map segment. It also
+// fixes the chunk boundaries of every pushed-down scan (indexed, pruned, or
+// plain), so morsel boundaries — and therefore the merge order of
+// per-morsel aggregation partials — are identical across access paths.
+const ZoneSegmentRows = 1024
+
+// zoneSegFor maps a RowID to its segment number (RowIDs start at 1).
+func zoneSegFor(id RowID) uint64 { return uint64(id-1) / ZoneSegmentRows }
+
+// ZonePred is one conjunct pushed below a scan: attr OP literal, or
+// attr IN (literals). Val is non-null for every op but "in".
+type ZonePred struct {
+	Attr string
+	Op   string // "=", "<", "<=", ">", ">=", "in"
+	Val  model.Value
+	Vals []model.Value // for "in"
+}
+
+// zoneAttr accumulates per-segment statistics for one attribute. Numeric
+// values (int and float share a comparison class) and strings carry
+// min/max bounds; every other non-null kind is only counted — enough to
+// refute same-kind comparisons when the class is absent entirely.
+type zoneAttr struct {
+	nonNull int // non-null values ever written (versions, not rows)
+	hasNum  bool
+	bounded bool // numeric min/max initialized (false while only NaNs seen)
+	nan     int  // NaN float values (compare equal to every numeric)
+	numMin  float64
+	numMax  float64
+	hasStr  bool
+	strMin  string
+	strMax  string
+	other   int // non-null values of bool/time/bytes/list/ref kinds
+}
+
+func (za *zoneAttr) note(v model.Value) {
+	za.nonNull++
+	if f, ok := v.AsFloat(); ok {
+		za.hasNum = true
+		if math.IsNaN(f) {
+			za.nan++
+			return
+		}
+		if !za.bounded {
+			za.numMin, za.numMax, za.bounded = f, f, true
+			return
+		}
+		if f < za.numMin {
+			za.numMin = f
+		}
+		if f > za.numMax {
+			za.numMax = f
+		}
+		return
+	}
+	if s, ok := v.AsString(); ok {
+		if !za.hasStr {
+			za.strMin, za.strMax, za.hasStr = s, s, true
+			return
+		}
+		if s < za.strMin {
+			za.strMin = s
+		}
+		if s > za.strMax {
+			za.strMax = s
+		}
+		return
+	}
+	za.other++
+}
+
+// zoneSeg is the zone map of one RowID segment.
+type zoneSeg struct {
+	rows  int // row IDs resident in the segment
+	attrs map[string]*zoneAttr
+}
+
+func (z *zoneSeg) note(rec model.Record, newRow bool) {
+	if newRow {
+		z.rows++
+	}
+	for k, v := range rec {
+		if v.IsNull() {
+			continue
+		}
+		za := z.attrs[k]
+		if za == nil {
+			za = &zoneAttr{}
+			z.attrs[k] = za
+		}
+		za.note(v)
+	}
+}
+
+// NullCount reports how many of the segment's rows lack a non-null value
+// for attr — approximate between vacuums (updates inflate nonNull), exact
+// right after one.
+func (z *zoneSeg) NullCount(attr string) int {
+	za := z.attrs[attr]
+	if za == nil {
+		return z.rows
+	}
+	n := z.rows - za.nonNull
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// refutes reports whether the segment provably contains no row satisfying
+// the conjunct. false means "might match" — never the other way around.
+func (z *zoneSeg) refutes(p ZonePred) bool {
+	if z == nil {
+		return false // no statistics: cannot prune
+	}
+	za := z.attrs[p.Attr]
+	if za == nil || za.nonNull == 0 {
+		// The attribute was never written non-null in this segment, and
+		// =/</<=/>/>=/IN never accept a null.
+		return true
+	}
+	if p.Op == "in" {
+		for _, v := range p.Vals {
+			if !za.refutesOp("=", v) {
+				return false
+			}
+		}
+		return true
+	}
+	return za.refutesOp(p.Op, p.Val)
+}
+
+func (za *zoneAttr) refutesOp(op string, v model.Value) bool {
+	if f, ok := v.AsFloat(); ok {
+		if !za.hasNum {
+			return true // only numerics can compare with a numeric literal
+		}
+		if za.nan > 0 || math.IsNaN(f) {
+			// NaN compares equal to every numeric under model.Compare;
+			// stay conservative whenever one is involved.
+			return false
+		}
+		return refuteRange(op, za.numMin, za.numMax,
+			func(bound float64) int {
+				switch {
+				case bound < f:
+					return -1
+				case bound > f:
+					return 1
+				}
+				return 0
+			})
+	}
+	if s, ok := v.AsString(); ok {
+		if !za.hasStr {
+			return true
+		}
+		return refuteRange(op, za.strMin, za.strMax,
+			func(bound string) int {
+				switch {
+				case bound < s:
+					return -1
+				case bound > s:
+					return 1
+				}
+				return 0
+			})
+	}
+	// bool/time/bytes/list/ref literal: only same-kind values compare; the
+	// coarse class count says whether any such value exists at all.
+	return za.other == 0
+}
+
+// refuteRange decides op against [min, max] given cmp(bound) = sign of
+// bound - literal.
+func refuteRange[T any](op string, min, max T, cmp func(T) int) bool {
+	switch op {
+	case "=":
+		return cmp(min) > 0 || cmp(max) < 0
+	case "<":
+		return cmp(min) >= 0
+	case "<=":
+		return cmp(min) > 0
+	case ">":
+		return cmp(max) <= 0
+	case ">=":
+		return cmp(max) < 0
+	}
+	return false
+}
