@@ -1,0 +1,221 @@
+// Package client is the Go client for scdb-server. It speaks the
+// length-prefixed JSON frame protocol over one TCP connection, strictly
+// request-response. A Client is safe for concurrent use: calls are
+// serialized on the connection (open several clients for parallel load).
+//
+// Results come back through the same lossless value encoding the server
+// uses, so rows read over the network are identical — value for value —
+// to rows read from an embedded scdb.DB.
+package client
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"scdb"
+	"scdb/internal/server"
+)
+
+// ErrBusy mirrors the server's typed load-shedding error: the request was
+// rejected by admission control. Retry with backoff.
+var ErrBusy = server.ErrBusy
+
+// ServerError is a non-OK response from the server. errors.Is(err,
+// ErrBusy) matches responses with the "busy" code.
+type ServerError struct {
+	Code string
+	Msg  string
+}
+
+func (e *ServerError) Error() string { return fmt.Sprintf("scdb-server: %s (%s)", e.Msg, e.Code) }
+
+// Is maps wire codes back to the typed errors a caller checks for.
+func (e *ServerError) Is(target error) bool {
+	switch target {
+	case ErrBusy:
+		return e.Code == server.CodeBusy
+	case context.DeadlineExceeded:
+		return e.Code == server.CodeDeadline
+	case context.Canceled:
+		return e.Code == server.CodeCanceled
+	}
+	return false
+}
+
+// Client is one connection to an scdb-server.
+type Client struct {
+	mu     sync.Mutex // serializes request/response exchanges
+	nc     net.Conn
+	br     *bufio.Reader
+	broken atomic.Bool
+}
+
+// Dial connects to an scdb-server at addr ("host:port").
+func Dial(addr string) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{nc: nc, br: bufio.NewReader(nc)}, nil
+}
+
+// Close closes the connection immediately, failing any in-flight call —
+// it deliberately does not wait for one to finish.
+func (c *Client) Close() error {
+	c.broken.Store(true)
+	return c.nc.Close()
+}
+
+// deadlineGrace is how long past a context deadline the client keeps
+// listening: the server enforces the same deadline in-band, and its typed
+// response keeps the connection reusable. Only when the server overshoots
+// the grace does the client abort and poison the connection (the protocol
+// has no way to resynchronize past an abandoned response).
+const deadlineGrace = 2 * time.Second
+
+// roundTrip sends one request and reads its response. A context deadline
+// travels to the server as the request timeout; explicit cancellation
+// aborts the wait at once.
+func (c *Client) roundTrip(ctx context.Context, req server.Request) (*server.Response, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if d, ok := ctx.Deadline(); ok && req.TimeoutMS == 0 {
+		ms := time.Until(d).Milliseconds()
+		if ms < 1 {
+			ms = 1
+		}
+		req.TimeoutMS = ms
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.broken.Load() {
+		return nil, errors.New("scdb client: connection is closed")
+	}
+	done := make(chan struct{})
+	watchDone := make(chan struct{})
+	defer func() {
+		close(done)
+		<-watchDone
+	}()
+	go func() {
+		defer close(watchDone)
+		select {
+		case <-done:
+			return
+		case <-ctx.Done():
+		}
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			select {
+			case <-done:
+				return // the server's in-band answer made it in time
+			case <-time.After(deadlineGrace):
+			}
+		}
+		c.broken.Store(true)
+		c.nc.SetDeadline(time.Unix(1, 0))
+	}()
+	if err := server.WriteFrame(c.nc, req); err != nil {
+		c.broken.Store(true)
+		return nil, err
+	}
+	var resp server.Response
+	if err := server.ReadFrame(c.br, server.DefaultMaxFrame, &resp); err != nil {
+		c.broken.Store(true)
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, &ServerError{Code: resp.Code, Msg: resp.Err}
+	}
+	return &resp, nil
+}
+
+// Ping round-trips an empty request.
+func (c *Client) Ping() error {
+	_, err := c.roundTrip(nil, server.Request{Op: server.OpPing})
+	return err
+}
+
+// Query executes one SCQL statement under the server's default deadline.
+func (c *Client) Query(q string) (*scdb.Rows, error) {
+	return c.QueryCtx(nil, q)
+}
+
+// QueryCtx executes one SCQL statement; a context deadline becomes the
+// request's end-to-end deadline on the server.
+func (c *Client) QueryCtx(ctx context.Context, q string) (*scdb.Rows, error) {
+	rows, _, err := c.QueryInfoCtx(ctx, q)
+	return rows, err
+}
+
+// QueryInfo executes one SCQL statement and reports how it was answered.
+func (c *Client) QueryInfo(q string) (*scdb.Rows, *scdb.QueryInfo, error) {
+	return c.QueryInfoCtx(nil, q)
+}
+
+// QueryInfoCtx is QueryInfo with a deadline.
+func (c *Client) QueryInfoCtx(ctx context.Context, q string) (*scdb.Rows, *scdb.QueryInfo, error) {
+	resp, err := c.roundTrip(ctx, server.Request{Op: server.OpQuery, Query: q})
+	if err != nil {
+		return nil, nil, err
+	}
+	rows, err := server.DecodeRows(resp.Columns, resp.Rows)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rows, queryInfo(resp.Info), nil
+}
+
+// Explain returns the optimized plan without executing.
+func (c *Client) Explain(q string) (*scdb.QueryInfo, error) {
+	resp, err := c.roundTrip(nil, server.Request{Op: server.OpExplain, Query: q})
+	if err != nil {
+		return nil, err
+	}
+	return queryInfo(resp.Info), nil
+}
+
+// Ingest ships one source delivery through the server's curation pipeline.
+func (c *Client) Ingest(src scdb.Source) error {
+	ws, err := server.EncodeSource(src)
+	if err != nil {
+		return err
+	}
+	_, err = c.roundTrip(nil, server.Request{Op: server.OpIngest, Source: ws})
+	return err
+}
+
+// Stats fetches the engine snapshot plus the server's live metrics.
+func (c *Client) Stats() (server.StatsReply, error) {
+	resp, err := c.roundTrip(nil, server.Request{Op: server.OpStats})
+	if err != nil {
+		return server.StatsReply{}, err
+	}
+	if resp.Stats == nil {
+		return server.StatsReply{}, errors.New("scdb client: stats response without body")
+	}
+	return *resp.Stats, nil
+}
+
+func queryInfo(w *server.WireInfo) *scdb.QueryInfo {
+	if w == nil {
+		return &scdb.QueryInfo{}
+	}
+	return &scdb.QueryInfo{
+		Plan:          w.Plan,
+		Rules:         w.Rules,
+		CacheHit:      w.CacheHit,
+		PlanCached:    w.PlanCached,
+		EstimatedCost: w.EstimatedCost,
+		OperatorStats: w.OperatorStats,
+	}
+}

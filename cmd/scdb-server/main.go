@@ -1,0 +1,125 @@
+// Command scdb-server serves a self-curating database over TCP.
+//
+// Usage:
+//
+//	scdb-server [flags]
+//
+//	-addr HOST:PORT   listen address (default 127.0.0.1:7483)
+//	-dir DIR          open a durable database at DIR (default: in-memory)
+//	-load NAME        preload a sample corpus: lifesci | clinical | stream
+//	-parallelism N    executor worker-pool size (0 = one per CPU)
+//	-max-inflight N   concurrent statement limit (-1 = no admission control)
+//	-max-queue N      admission wait-queue length
+//	-queue-timeout D  max admission wait (e.g. 500ms)
+//	-timeout D        default per-request deadline
+//	-max-timeout D    cap on client-requested deadlines
+//	-grace D          drain window on SIGINT/SIGTERM before forcing
+//
+// The server speaks the length-prefixed JSON frame protocol; use the
+// scdb/client package or `scdb -connect HOST:PORT`. On SIGINT/SIGTERM it
+// drains: in-flight requests finish (up to -grace), then remaining
+// statements are canceled mid-morsel and connections closed.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"scdb"
+	"scdb/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7483", "listen address")
+	dir := flag.String("dir", "", "storage directory (empty = in-memory)")
+	load := flag.String("load", "", "sample corpus to preload: lifesci | clinical | stream")
+	parallelism := flag.Int("parallelism", 0, "executor worker-pool size (0 = one per CPU)")
+	maxInflight := flag.Int("max-inflight", 0, "concurrent statement limit (0 = default 16, -1 = unlimited)")
+	maxQueue := flag.Int("max-queue", 0, "admission wait-queue length (0 = default 64)")
+	queueTimeout := flag.Duration("queue-timeout", 0, "max admission wait (0 = default 1s)")
+	timeout := flag.Duration("timeout", 0, "default per-request deadline (0 = default 30s)")
+	maxTimeout := flag.Duration("max-timeout", 0, "cap on client deadlines (0 = default 5m)")
+	grace := flag.Duration("grace", 10*time.Second, "drain window on shutdown before forcing")
+	flag.Parse()
+
+	opts := scdb.Options{Dir: *dir, Parallelism: *parallelism}
+	switch *load {
+	case "lifesci", "clinical":
+		opts.Axioms = scdb.LifeSciAxioms + scdb.PopulationAxioms
+		opts.LinkRules = scdb.LifeSciLinkRules()
+		opts.Patterns = scdb.LifeSciPatterns()
+	case "stream":
+		opts.Axioms = "concept Device"
+	case "":
+	default:
+		fatalf("unknown sample %q (want lifesci, clinical, or stream)", *load)
+	}
+	db, err := scdb.Open(opts)
+	if err != nil {
+		fatalf("open: %v", err)
+	}
+	defer db.Close()
+	switch *load {
+	case "lifesci":
+		for _, src := range scdb.LifeSciSample(1, 100, 60, 40) {
+			must(db.Ingest(src))
+		}
+	case "clinical":
+		for _, src := range scdb.LifeSciSample(1, 0, 0, 0) {
+			must(db.Ingest(src))
+		}
+		for _, src := range scdb.ClinicalTrialSources(1, 20) {
+			must(db.Ingest(src))
+		}
+		for _, c := range scdb.ClinicalClaims() {
+			must(db.AddClaim(c))
+		}
+		db.RefreshRichness()
+	case "stream":
+		for _, src := range scdb.StreamSample(1, 100) {
+			must(db.Ingest(src))
+		}
+	}
+
+	srv := server.New(server.Config{
+		Addr:           *addr,
+		DB:             db,
+		MaxInFlight:    *maxInflight,
+		MaxQueue:       *maxQueue,
+		QueueTimeout:   *queueTimeout,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+	})
+	if err := srv.Start(); err != nil {
+		fatalf("listen: %v", err)
+	}
+	log.Printf("scdb-server listening on %s", srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	log.Printf("draining (grace %s)...", *grace)
+	ctx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("forced shutdown: %v", err)
+	}
+	log.Printf("bye")
+}
+
+func must(err error) {
+	if err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "scdb-server: "+format+"\n", args...)
+	os.Exit(1)
+}

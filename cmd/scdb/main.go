@@ -5,6 +5,7 @@
 //
 //	scdb [flags] [query...]
 //
+//	-connect ADDR   talk to a running scdb-server instead of embedding
 //	-dir DIR        open a durable database at DIR (default: in-memory)
 //	-load NAME      load a sample corpus: lifesci | clinical | stream
 //	-q QUERY        run one SCQL query and exit (repeatable via args)
@@ -27,9 +28,18 @@ import (
 	"strings"
 
 	"scdb"
+	"scdb/client"
 )
 
+// engine is the query surface shared by the embedded DB and the network
+// client, so the shell renders both the same way.
+type engine interface {
+	QueryInfo(q string) (*scdb.Rows, *scdb.QueryInfo, error)
+	Explain(q string) (*scdb.QueryInfo, error)
+}
+
 func main() {
+	connect := flag.String("connect", "", "scdb-server address (host:port); skips embedding a database")
 	dir := flag.String("dir", "", "storage directory (empty = in-memory)")
 	load := flag.String("load", "", "sample corpus to load: lifesci | clinical | stream")
 	q := flag.String("q", "", "run one query and exit")
@@ -38,6 +48,11 @@ func main() {
 	parallelism := flag.Int("parallelism", 0, "executor worker-pool size (0 = one per CPU)")
 	stats := flag.Bool("stats", false, "print engine statistics after loading")
 	flag.Parse()
+
+	if *connect != "" {
+		runRemote(*connect, *q, *explain, *analyze, flag.Args())
+		return
+	}
 
 	opts := scdb.Options{Dir: *dir, Parallelism: *parallelism}
 	switch *load {
@@ -202,7 +217,104 @@ func main() {
 	}
 }
 
-func runQuery(db *scdb.DB, q string) {
+// runRemote is the shell against a running scdb-server: the same query
+// rendering, with server-side statistics behind \stats. Curation
+// introspection commands need the embedded engine and are not offered.
+func runRemote(addr, q, explain, analyze string, args []string) {
+	c, err := client.Dial(addr)
+	if err != nil {
+		fatalf("connect %s: %v", addr, err)
+	}
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		fatalf("ping %s: %v", addr, err)
+	}
+	if explain != "" {
+		printExplain(c, explain)
+		return
+	}
+	if analyze != "" {
+		if !runAnalyze(c, analyze) {
+			os.Exit(1)
+		}
+		return
+	}
+	ran := false
+	if q != "" {
+		runQuery(c, q)
+		ran = true
+	}
+	for _, arg := range args {
+		runQuery(c, arg)
+		ran = true
+	}
+	if ran {
+		return
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if isTTY() {
+		fmt.Printf(`scdb shell (remote %s) — SCQL statements, or \stats \explain Q \analyze Q \quit`+"\n", addr)
+		fmt.Print("scdb> ")
+	}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case line == `\quit` || line == `\q`:
+			return
+		case line == `\stats`:
+			printServerStats(c)
+		case strings.HasPrefix(line, `\explain `):
+			printExplain(c, strings.TrimSpace(strings.TrimPrefix(line, `\explain `)))
+		case strings.HasPrefix(line, `\analyze `):
+			runAnalyze(c, strings.TrimSpace(strings.TrimPrefix(line, `\analyze `)))
+		case strings.HasPrefix(line, `\`):
+			fmt.Fprintf(os.Stderr, "unknown or embedded-only command %s\n", line)
+		default:
+			runQuery(c, line)
+		}
+		if isTTY() {
+			fmt.Print("scdb> ")
+		}
+	}
+}
+
+func printServerStats(c *client.Client) {
+	st, err := c.Stats()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		return
+	}
+	e := st.Engine
+	fmt.Printf("tables=%d entities=%d edges=%d concepts=%d inferred=%d witnesses=%d inconsistencies=%d merges=%d cache-hit=%.0f%%\n",
+		e.Tables, e.Entities, e.Edges, e.Concepts, e.InferredTypes,
+		e.Witnesses, e.Inconsistencies, e.Merges, 100*e.CacheHitRate)
+	s := st.Server
+	fmt.Printf("server: conns=%d in-flight=%d (peak %d) queued=%d rejected=%d canceled=%d\n",
+		s.Conns, s.InFlight, s.InFlightPeak, s.Queued, s.Rejected, s.Canceled)
+	for op, m := range s.Ops {
+		fmt.Printf("  %-8s n=%-6d err=%-4d mean=%.0fµs p50≤%dµs p95≤%dµs p99≤%dµs max=%dµs\n",
+			op, m.Count, m.Errors, m.MeanUS, m.P50US, m.P95US, m.P99US, m.MaxUS)
+	}
+	pc := st.PlanCache
+	fmt.Printf("plan cache: %d plans, %d hits, %d misses\n", pc.Size, pc.Hits, pc.Misses)
+}
+
+func printExplain(db engine, q string) {
+	info, err := db.Explain(q)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		return
+	}
+	fmt.Print(info.Plan)
+	for _, r := range info.Rules {
+		fmt.Println("rewrite:", r)
+	}
+	fmt.Printf("estimated cost: %.0f\n", info.EstimatedCost)
+}
+
+func runQuery(db engine, q string) {
 	rows, info, err := db.QueryInfo(q)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
@@ -258,7 +370,7 @@ func runQuery(db *scdb.DB, q string) {
 
 // runAnalyze executes a query and prints its per-operator runtime profile
 // (the EXPLAIN ANALYZE tree) followed by the row count.
-func runAnalyze(db *scdb.DB, q string) bool {
+func runAnalyze(db engine, q string) bool {
 	rows, info, err := db.QueryInfo(q)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)

@@ -1,6 +1,7 @@
 package scdb
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -51,6 +52,10 @@ type Options struct {
 	// <=0 uses one worker per CPU; 1 executes queries serially. Query
 	// results are identical for every setting.
 	Parallelism int
+	// MorselSize overrides the executor's rows-per-morsel granule (<=0 =
+	// default 1024). Smaller morsels mean finer-grained cancellation at
+	// some dispatch overhead; results are identical for every setting.
+	MorselSize int
 }
 
 // DB is a self-curating database handle.
@@ -66,6 +71,7 @@ func Open(opts Options) (*DB, error) {
 		DisableSemanticOpt: opts.DisableSemanticOptimizer,
 		DisableMatCache:    opts.DisableCache,
 		Parallelism:        opts.Parallelism,
+		MorselSize:         opts.MorselSize,
 		ERConfig:           er.Config{Threshold: opts.ResolutionThreshold},
 	}
 	for _, r := range opts.LinkRules {
@@ -183,9 +189,24 @@ func (db *DB) Query(q string) (*Rows, error) {
 	return rows, err
 }
 
+// QueryCtx executes one SCQL statement under the context: when ctx is
+// canceled or its deadline expires, the executor's workers stop within one
+// morsel boundary, storage scans stop producing, and the context's error
+// is returned. This is the entry point for servers and other callers that
+// need per-request deadlines.
+func (db *DB) QueryCtx(ctx context.Context, q string) (*Rows, error) {
+	rows, _, err := db.QueryInfoCtx(ctx, q)
+	return rows, err
+}
+
 // QueryInfo executes one SCQL statement and reports how it was answered.
 func (db *DB) QueryInfo(q string) (*Rows, *QueryInfo, error) {
-	res, info, err := db.inner.Query(q)
+	return db.QueryInfoCtx(context.Background(), q)
+}
+
+// QueryInfoCtx is QueryInfo with cancellation (see QueryCtx).
+func (db *DB) QueryInfoCtx(ctx context.Context, q string) (*Rows, *QueryInfo, error) {
+	res, info, err := db.inner.QueryCtx(ctx, q)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"strings"
@@ -30,7 +31,7 @@ type QueryInfo struct {
 }
 
 // execOptions maps the engine's knobs onto the executor's.
-func (db *DB) execOptions(stmt *query.SelectStmt) query.ExecOptions {
+func (db *DB) execOptions(ctx context.Context, stmt *query.SelectStmt) query.ExecOptions {
 	p := db.opts.Parallelism
 	if p <= 0 {
 		p = runtime.NumCPU()
@@ -39,6 +40,7 @@ func (db *DB) execOptions(stmt *query.SelectStmt) query.ExecOptions {
 		Semantic:    stmt.Semantics,
 		Parallelism: p,
 		MorselSize:  db.opts.MorselSize,
+		Ctx:         ctx,
 	}
 }
 
@@ -46,6 +48,18 @@ func (db *DB) execOptions(stmt *query.SelectStmt) query.ExecOptions {
 // prefix returns the optimized plan as rows instead of executing; EXPLAIN
 // ANALYZE executes and returns the per-operator stats tree as rows.
 func (db *DB) Query(src string) (*query.Result, *QueryInfo, error) {
+	return db.QueryCtx(context.Background(), src)
+}
+
+// QueryCtx is Query with end-to-end cancellation: the context is observed
+// by the executor's workers between morsels and by the storage scans
+// between chunks, so a canceled or deadline-expired statement stops
+// consuming CPU within one morsel boundary and returns the context's
+// error. This is the entry point the network service layer drives.
+func (db *DB) QueryCtx(ctx context.Context, src string) (*query.Result, *QueryInfo, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	info := &QueryInfo{}
@@ -82,7 +96,7 @@ func (db *DB) Query(src string) (*query.Result, *QueryInfo, error) {
 			return v.(*query.Result), info, nil
 		}
 	}
-	env := &queryEnv{db: db, mode: stmt.Mode, fuzzyT: stmt.FuzzyThreshold}
+	env := &queryEnv{db: db, ctx: ctx, mode: stmt.Mode, fuzzyT: stmt.FuzzyThreshold}
 	if plan == nil {
 		var err error
 		plan, err = query.BuildPlan(stmt, env)
@@ -107,7 +121,7 @@ func (db *DB) Query(src string) (*query.Result, *QueryInfo, error) {
 	if stmt.Explain && !stmt.Analyze {
 		return planResult(info.Plan), info, nil
 	}
-	res, st, err := query.ExecuteOpts(plan, env, db.execOptions(stmt))
+	res, st, err := query.ExecuteOpts(plan, env, db.execOptions(ctx, stmt))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -139,7 +153,7 @@ func (db *DB) Explain(src string) (*QueryInfo, error) {
 	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	env := &queryEnv{db: db, mode: stmt.Mode, fuzzyT: stmt.FuzzyThreshold}
+	env := &queryEnv{db: db, ctx: context.Background(), mode: stmt.Mode, fuzzyT: stmt.FuzzyThreshold}
 	plan, err := query.BuildPlan(stmt, env)
 	if err != nil {
 		return nil, err
@@ -187,7 +201,10 @@ func (s dbStats) TotalEntities() int { return s.db.graph.NumEntities() }
 // target once, not once per candidate row. The executor evaluates
 // predicates from a pool of workers, so the memo is mutex-guarded.
 type queryEnv struct {
-	db     *DB
+	db *DB
+	// ctx is the statement's cancellation scope, threaded into every
+	// storage scan so canceled queries stop producing rows at the source.
+	ctx    context.Context
 	mode   query.AnswerMode
 	fuzzyT float64
 
@@ -254,7 +271,7 @@ func (e *queryEnv) ScanTableMorsels(name string, size int, emit func([]model.Rec
 	if !ok {
 		return false
 	}
-	t.ScanMorsels(e.db.store.Now(), size, func(_ []storage.RowID, recs []model.Record) bool {
+	t.ScanMorselsCtx(e.ctx, e.db.store.Now(), size, func(_ []storage.RowID, recs []model.Record) bool {
 		return emit(recs)
 	})
 	return true
@@ -282,6 +299,7 @@ func (e *queryEnv) ScanTablePushed(name string, zone []query.ZoneConjunct, emit 
 		NoPrune: e.db.opts.DisableZonePruning,
 		NoIndex: e.db.opts.DisableIndexScan,
 		NoAuto:  e.db.opts.DisableIndexScan,
+		Ctx:     e.ctx,
 	}, func(_ []storage.RowID, recs []model.Record) bool {
 		return emit(recs)
 	})
@@ -398,6 +416,9 @@ func (e *queryEnv) ScanConceptMorsels(concept string, semantic bool, size int, e
 		}
 		batch = append(batch, rec)
 		if len(batch) >= size {
+			if e.ctx != nil && e.ctx.Err() != nil {
+				return true
+			}
 			if !emit(batch) {
 				return true
 			}

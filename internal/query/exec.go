@@ -2,6 +2,7 @@ package query
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -67,6 +68,10 @@ type ExecOptions struct {
 	// It must be held constant for results involving multi-morsel float
 	// aggregation to be bit-identical across runs.
 	MorselSize int
+	// Ctx cancels the query: every worker observes it between morsels and
+	// scan producers stop emitting, so a canceled or deadline-expired query
+	// frees its workers within one morsel boundary. Nil means Background.
+	Ctx context.Context
 }
 
 // Execute runs the plan serially — the exact legacy behavior. semantic
@@ -91,13 +96,17 @@ func ExecuteOpts(n Node, env Env, opts ExecOptions) (*Result, *OpStats, error) {
 	if size <= 0 {
 		size = DefaultMorselSize
 	}
-	x := &execCtx{ev: &evalCtx{env: env, semantic: opts.Semantic}, workers: workers, size: size}
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	x := &execCtx{ev: &evalCtx{env: env, semantic: opts.Semantic}, workers: workers, size: size, ctx: ctx}
 	s, cols, st, err := x.build(n)
 	if err != nil {
 		x.wg.Wait()
 		return nil, nil, err
 	}
-	rows, err := drainRows(s)
+	rows, err := drainRows(ctx, s)
 	// Join every worker and producer goroutine before returning: they hold
 	// references into the environment, which may only be valid while the
 	// caller's locks are held.
@@ -155,7 +164,20 @@ type execCtx struct {
 	ev      *evalCtx
 	workers int
 	size    int
+	ctx     context.Context
 	wg      sync.WaitGroup // joins stage workers and scan producers
+}
+
+// stage wraps parStage with a per-morsel cancellation check: a canceled
+// context surfaces as the stage's error before the next morsel is
+// processed, so workers exit within one morsel boundary.
+func (x *execCtx) stage(in *stream, workers int, fn func(morsel) (morsel, error)) *stream {
+	return parStage(in, workers, &x.wg, func(m morsel) (morsel, error) {
+		if err := x.ctx.Err(); err != nil {
+			return morsel{}, err
+		}
+		return fn(m)
+	})
 }
 
 // build lowers a plan node to a morsel stream; cols is non-nil once a
@@ -193,7 +215,7 @@ func (x *execCtx) build(n Node) (s *stream, cols []string, st *OpStats, err erro
 // bindStage turns record morsels from a scan source into bound rows on the
 // worker pool.
 func (x *execCtx) bindStage(src *stream, binding string, st *OpStats) *stream {
-	return parStage(src, x.workers, &x.wg, func(m morsel) (morsel, error) {
+	return x.stage(src, x.workers, func(m morsel) (morsel, error) {
 		t0 := time.Now()
 		rows := bindRecords(m.recs, binding)
 		st.tally(len(rows), len(rows), time.Since(t0))
@@ -226,7 +248,7 @@ func (x *execCtx) buildScan(n *ScanNode) (*stream, []string, *OpStats, error) {
 	st := newOpStats(n)
 	if me, ok := x.ev.env.(MorselEnv); ok {
 		table, size := n.Table, x.size
-		src := goSource(&x.wg, func(emit func([]model.Record) bool) error {
+		src := goSource(x.ctx, &x.wg, func(emit func([]model.Record) bool) error {
 			if !me.ScanTableMorsels(table, size, emit) {
 				return fmt.Errorf("query: unknown table %q", table)
 			}
@@ -254,7 +276,7 @@ func (x *execCtx) buildIndexScan(n *IndexScanNode) (*stream, []string, *OpStats,
 	switch env := x.ev.env.(type) {
 	case IndexEnv:
 		table, zone := n.Table, n.Zone
-		src = goSource(&x.wg, func(emit func([]model.Record) bool) error {
+		src = goSource(x.ctx, &x.wg, func(emit func([]model.Record) bool) error {
 			info, found := env.ScanTablePushed(table, zone, emit)
 			if !found {
 				return fmt.Errorf("query: unknown table %q", table)
@@ -267,7 +289,7 @@ func (x *execCtx) buildIndexScan(n *IndexScanNode) (*stream, []string, *OpStats,
 		})
 	case MorselEnv:
 		table, size := n.Table, x.size
-		src = goSource(&x.wg, func(emit func([]model.Record) bool) error {
+		src = goSource(x.ctx, &x.wg, func(emit func([]model.Record) bool) error {
 			if !env.ScanTableMorsels(table, size, emit) {
 				return fmt.Errorf("query: unknown table %q", table)
 			}
@@ -281,7 +303,7 @@ func (x *execCtx) buildIndexScan(n *IndexScanNode) (*stream, []string, *OpStats,
 		src = recSliceStream(recs, x.size)
 	}
 	binding, pred := n.Binding, n.Pred
-	s := parStage(src, x.workers, &x.wg, func(m morsel) (morsel, error) {
+	s := x.stage(src, x.workers, func(m morsel) (morsel, error) {
 		t0 := time.Now()
 		rows := bindRecords(m.recs, binding)
 		var out []Row
@@ -309,7 +331,7 @@ func (x *execCtx) buildConceptScan(n *ConceptScanNode) (*stream, []string, *OpSt
 	semantic := n.Semantic || x.ev.semantic
 	if me, ok := x.ev.env.(MorselEnv); ok {
 		concept, size := n.Concept, x.size
-		src := goSource(&x.wg, func(emit func([]model.Record) bool) error {
+		src := goSource(x.ctx, &x.wg, func(emit func([]model.Record) bool) error {
 			if !me.ScanConceptMorsels(concept, semantic, size, emit) {
 				return fmt.Errorf("query: unknown concept %q", concept)
 			}
@@ -332,7 +354,7 @@ func (x *execCtx) buildFilter(n *FilterNode) (*stream, []string, *OpStats, error
 	st := newOpStats(n)
 	st.Children = []*OpStats{cst}
 	pred := n.Pred
-	s := parStage(in, x.workers, &x.wg, func(m morsel) (morsel, error) {
+	s := x.stage(in, x.workers, func(m morsel) (morsel, error) {
 		t0 := time.Now()
 		var out []Row
 		for _, r := range m.rows {
@@ -364,7 +386,7 @@ func (x *execCtx) buildProject(n *ProjectNode) (*stream, []string, *OpStats, err
 	if n.Star {
 		// SELECT * derives its schema from the full input, so this is a
 		// pipeline breaker.
-		rows, err := drainRows(in)
+		rows, err := drainRows(x.ctx, in)
 		if err != nil {
 			return nil, nil, nil, err
 		}
@@ -378,7 +400,7 @@ func (x *execCtx) buildProject(n *ProjectNode) (*stream, []string, *OpStats, err
 		cols[i] = it.Label()
 	}
 	items := n.Items
-	s := parStage(in, x.workers, &x.wg, func(m morsel) (morsel, error) {
+	s := x.stage(in, x.workers, func(m morsel) (morsel, error) {
 		t0 := time.Now()
 		out := make([]Row, 0, len(m.rows))
 		for _, r := range m.rows {
@@ -424,12 +446,12 @@ func (x *execCtx) buildJoin(n *JoinNode) (*stream, []string, *OpStats, error) {
 	}
 	st := newOpStats(n)
 	st.Children = []*OpStats{lst, rst}
-	lrows, err := drainRows(ls)
+	lrows, err := drainRows(x.ctx, ls)
 	if err != nil {
 		rs.stop()
 		return nil, nil, nil, err
 	}
-	rrows, err := drainRows(rs)
+	rrows, err := drainRows(x.ctx, rs)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -440,7 +462,7 @@ func (x *execCtx) buildJoin(n *JoinNode) (*stream, []string, *OpStats, error) {
 	// each morsel scanning the full right side.
 	st.tallyRows(len(lrows)+len(rrows), 0, 0)
 	on := n.On
-	s := parStage(sliceStream(lrows, x.size), x.workers, &x.wg, func(m morsel) (morsel, error) {
+	s := x.stage(sliceStream(lrows, x.size), x.workers, func(m morsel) (morsel, error) {
 		t0 := time.Now()
 		var out []Row
 		for _, lr := range m.rows {
@@ -519,7 +541,7 @@ func (x *execCtx) buildHashJoin(n *JoinNode, st *OpStats, lrows, rrows []Row, lc
 	wg.Wait()
 	st.tallyRows(len(lrows)+len(rrows), 0, time.Since(t0))
 
-	s := parStage(sliceStream(probe, x.size), x.workers, &x.wg, func(m morsel) (morsel, error) {
+	s := x.stage(sliceStream(probe, x.size), x.workers, func(m morsel) (morsel, error) {
 		t0 := time.Now()
 		var out []Row
 		for _, pr := range m.rows {
@@ -579,7 +601,7 @@ func (x *execCtx) buildDistinct(n *DistinctNode) (*stream, []string, *OpStats, e
 	st.Children = []*OpStats{cst}
 	// Hash rows in parallel; dedupe serially in morsel order (first
 	// occurrence wins, as in the serial executor).
-	hashed := parStage(in, x.workers, &x.wg, func(m morsel) (morsel, error) {
+	hashed := x.stage(in, x.workers, func(m morsel) (morsel, error) {
 		hs := make([]uint64, len(m.rows))
 		for i, r := range m.rows {
 			hs[i] = rowHash(r)
@@ -588,7 +610,7 @@ func (x *execCtx) buildDistinct(n *DistinctNode) (*stream, []string, *OpStats, e
 		return m, nil
 	})
 	d := &deduper{buckets: map[uint64][]Row{}}
-	s := parStage(hashed, 1, &x.wg, func(m morsel) (morsel, error) {
+	s := x.stage(hashed, 1, func(m morsel) (morsel, error) {
 		t0 := time.Now()
 		var out []Row
 		for i, r := range m.rows {
@@ -645,7 +667,7 @@ func rowsEqual(a, b Row) bool {
 // attachKeys evaluates the sort keys for every row on the worker pool,
 // attaching them to the morsel for a downstream Sort or TopK consumer.
 func (x *execCtx) attachKeys(in *stream, keys []OrderKey, st *OpStats) *stream {
-	return parStage(in, x.workers, &x.wg, func(m morsel) (morsel, error) {
+	return x.stage(in, x.workers, func(m morsel) (morsel, error) {
 		t0 := time.Now()
 		ks := make([][]model.Value, len(m.rows))
 		for i, r := range m.rows {
@@ -1061,6 +1083,9 @@ func (x *execCtx) buildAggregate(n *AggregateNode) (*stream, []string, *OpStats,
 
 	// Phase 1: per-morsel partial grouping on the worker pool.
 	partials, err := parMap(in, x.workers, func(m morsel) (*groupPartial, error) {
+		if err := x.ctx.Err(); err != nil {
+			return nil, err
+		}
 		t0 := time.Now()
 		gp := &groupPartial{groups: map[uint64]*groupAgg{}}
 		for _, r := range m.rows {

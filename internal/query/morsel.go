@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"sync"
 
 	"scdb/internal/model"
@@ -65,9 +66,10 @@ func sliceStream(rows []Row, size int) *stream {
 // goSource runs produce in a goroutine and exposes the emitted record
 // chunks as a stream. Emitted slices must stay valid after emit returns
 // (they cross a channel). produce's emit returns false once the consumer
-// stopped; produce's error is surfaced at end of stream. The producer
-// goroutine registers in wg so the executor can join it before returning.
-func goSource(wg *sync.WaitGroup, produce func(emit func([]model.Record) bool) error) *stream {
+// stopped or ctx was canceled — either way the producer unwinds its scan;
+// produce's error is surfaced at end of stream. The producer goroutine
+// registers in wg so the executor can join it before returning.
+func goSource(ctx context.Context, wg *sync.WaitGroup, produce func(emit func([]model.Record) bool) error) *stream {
 	ch := make(chan []model.Record, 4)
 	done := make(chan struct{})
 	var once sync.Once
@@ -81,6 +83,8 @@ func goSource(wg *sync.WaitGroup, produce func(emit func([]model.Record) bool) e
 			case ch <- recs:
 				return true
 			case <-done:
+				return false
+			case <-ctx.Done():
 				return false
 			}
 		})
@@ -102,10 +106,15 @@ func goSource(wg *sync.WaitGroup, produce func(emit func([]model.Record) bool) e
 	}
 }
 
-// drainRows materializes a stream.
-func drainRows(s *stream) ([]Row, error) {
+// drainRows materializes a stream, observing ctx between morsels so a
+// canceled query stops pulling (and stops the producers) promptly.
+func drainRows(ctx context.Context, s *stream) ([]Row, error) {
 	var rows []Row
 	for {
+		if err := ctx.Err(); err != nil {
+			s.stop()
+			return nil, err
+		}
 		m, ok, err := s.next()
 		if err != nil {
 			return nil, err

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -419,7 +420,7 @@ func TestParStageOrdering(t *testing.T) {
 	s := parStage(sliceStream(rows, 7), 8, &wg, func(m morsel) (morsel, error) {
 		return m, nil
 	})
-	out, err := drainRows(s)
+	out, err := drainRows(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}

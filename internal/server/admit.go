@@ -1,0 +1,99 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrBusy is the typed load-shedding error: admission control rejected the
+// request because the server is at its in-flight limit and either the wait
+// queue is full or the request's deadline expired while queued. Clients
+// should treat it as retryable with backoff.
+var ErrBusy = errors.New("server busy")
+
+// admitter bounds in-flight statements. Requests beyond the limit wait in
+// a fair FIFO queue; a release hands its slot directly to the head waiter
+// (grant transfer — the in-flight count never dips, so a burst cannot
+// sneak past the queue). Waiters whose context expires are rejected with
+// ErrBusy, as are arrivals when the queue itself is full.
+type admitter struct {
+	mu       sync.Mutex
+	limit    int // <=0 means unlimited
+	maxQueue int
+	inflight int
+	peak     int
+	queue    []chan struct{}
+}
+
+func newAdmitter(limit, maxQueue int) *admitter {
+	return &admitter{limit: limit, maxQueue: maxQueue}
+}
+
+// acquire blocks until a slot is granted or the context ends. A nil error
+// means the caller holds a slot and must release it.
+func (a *admitter) acquire(ctx context.Context) error {
+	a.mu.Lock()
+	if a.limit <= 0 || a.inflight < a.limit {
+		a.inflight++
+		if a.inflight > a.peak {
+			a.peak = a.inflight
+		}
+		a.mu.Unlock()
+		return nil
+	}
+	if len(a.queue) >= a.maxQueue {
+		a.mu.Unlock()
+		return fmt.Errorf("%w: %d in flight, queue full (%d waiting)", ErrBusy, a.limit, a.maxQueue)
+	}
+	grant := make(chan struct{})
+	a.queue = append(a.queue, grant)
+	a.mu.Unlock()
+
+	select {
+	case <-grant:
+		return nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		for i, ch := range a.queue {
+			if ch == grant {
+				a.queue = append(a.queue[:i], a.queue[i+1:]...)
+				a.mu.Unlock()
+				return fmt.Errorf("%w: deadline expired after queueing behind %d requests", ErrBusy, i)
+			}
+		}
+		a.mu.Unlock()
+		// The grant raced the cancellation: a releaser already removed us
+		// from the queue and is closing the channel. Take the slot and
+		// give it straight back so the count stays exact.
+		<-grant
+		a.release()
+		return fmt.Errorf("%w: deadline expired while queued", ErrBusy)
+	}
+}
+
+// release returns a slot: the head waiter inherits it if one is queued,
+// otherwise the in-flight count drops.
+func (a *admitter) release() {
+	a.mu.Lock()
+	if len(a.queue) > 0 {
+		grant := a.queue[0]
+		a.queue = a.queue[1:]
+		a.mu.Unlock()
+		close(grant)
+		return
+	}
+	if a.inflight > 0 {
+		a.inflight--
+	}
+	a.mu.Unlock()
+}
+
+// depth reports current in-flight statements, queued waiters, and the
+// in-flight high-water mark.
+func (a *admitter) depth() (inflight, queued, peak int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inflight, len(a.queue), a.peak
+}

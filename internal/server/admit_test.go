@@ -1,0 +1,142 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestAdmitLimit: the in-flight count never exceeds the limit; releases
+// admit waiters.
+func TestAdmitLimit(t *testing.T) {
+	a := newAdmitter(2, 8)
+	ctx := context.Background()
+	if err := a.acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	short, cancel := context.WithTimeout(ctx, 30*time.Millisecond)
+	defer cancel()
+	if err := a.acquire(short); !errors.Is(err, ErrBusy) {
+		t.Fatalf("queued acquire past deadline: got %v, want ErrBusy", err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		c, cancel := context.WithTimeout(ctx, 5*time.Second)
+		defer cancel()
+		done <- a.acquire(c)
+	}()
+	// Wait until the waiter is queued, then release: the slot must
+	// transfer to it.
+	for {
+		if _, q, _ := a.depth(); q == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	a.release()
+	if err := <-done; err != nil {
+		t.Fatalf("waiter after release: %v", err)
+	}
+	if inflight, _, peak := a.depth(); inflight != 2 || peak != 2 {
+		t.Fatalf("inflight=%d peak=%d, want 2/2", inflight, peak)
+	}
+	a.release()
+	a.release()
+	if inflight, _, _ := a.depth(); inflight != 0 {
+		t.Fatalf("inflight=%d after full release", inflight)
+	}
+}
+
+// TestAdmitQueueFull: arrivals beyond limit+queue are shed immediately.
+func TestAdmitQueueFull(t *testing.T) {
+	a := newAdmitter(1, 1)
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	queued := make(chan error, 1)
+	go func() {
+		c, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		queued <- a.acquire(c)
+	}()
+	for {
+		if _, q, _ := a.depth(); q == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	start := time.Now()
+	if err := a.acquire(context.Background()); !errors.Is(err, ErrBusy) {
+		t.Fatalf("full queue: got %v, want ErrBusy", err)
+	}
+	if time.Since(start) > 100*time.Millisecond {
+		t.Error("full-queue rejection should not block")
+	}
+	a.release()
+	if err := <-queued; err != nil {
+		t.Fatalf("queued waiter: %v", err)
+	}
+	a.release()
+}
+
+// TestAdmitFIFO: waiters are granted in arrival order.
+func TestAdmitFIFO(t *testing.T) {
+	a := newAdmitter(1, 8)
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	const waiters = 4
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		// Queue one at a time so arrival order is deterministic.
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := a.acquire(context.Background()); err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			a.release()
+		}(i)
+		for {
+			if _, q, _ := a.depth(); q == i+1 {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	a.release()
+	wg.Wait()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("grant order %v, want FIFO", order)
+		}
+	}
+}
+
+// TestAdmitUnlimited: a negative limit disables admission entirely.
+func TestAdmitUnlimited(t *testing.T) {
+	a := newAdmitter(-1, 0)
+	for i := 0; i < 100; i++ {
+		if err := a.acquire(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if inflight, _, _ := a.depth(); inflight != 100 {
+		t.Fatalf("inflight=%d, want 100", inflight)
+	}
+	for i := 0; i < 100; i++ {
+		a.release()
+	}
+}

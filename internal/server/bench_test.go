@@ -1,0 +1,121 @@
+package server_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"scdb"
+	"scdb/client"
+	"scdb/internal/server"
+)
+
+func benchCtx(b *testing.B) context.Context {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	b.Cleanup(cancel)
+	return ctx
+}
+
+func nowMS() float64 { return float64(time.Now().UnixNano()) / 1e6 }
+
+// benchQuery is a mid-weight statement (join + sort) that really executes
+// every time: the benchmark DBs disable result materialization.
+const benchQuery = "SELECT d.name, c.disease_name FROM drugbank AS d JOIN ctd AS c ON d.name = c.chemical_name ORDER BY d.name, c.disease_name"
+
+// BenchmarkServer is the E-SRV closed-loop sweep: N clients each issue
+// benchQuery back-to-back until b.N requests complete, with admission
+// control on (8 slots) and off. Reported per configuration: ns/op
+// (end-to-end per request), client-observed p50/p95 latency, and how many
+// requests were shed.
+func BenchmarkServer(b *testing.B) {
+	for _, admitted := range []bool{true, false} {
+		for _, clients := range []int{1, 4, 16, 64} {
+			mode := "admitted"
+			if !admitted {
+				mode = "unlimited"
+			}
+			b.Run(fmt.Sprintf("%s/c%d", mode, clients), func(b *testing.B) {
+				opts := lifesciOptions()
+				opts.DisableCache = true
+				db, err := scdb.Open(opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer db.Close()
+				for _, src := range scdb.LifeSciSample(1, 100, 60, 40) {
+					if err := db.Ingest(src); err != nil {
+						b.Fatal(err)
+					}
+				}
+				cfg := server.Config{Addr: "127.0.0.1:0", DB: db, MaxInFlight: -1}
+				if admitted {
+					cfg.MaxInFlight = 8
+					cfg.MaxQueue = 256
+				}
+				srv := server.New(cfg)
+				if err := srv.Start(); err != nil {
+					b.Fatal(err)
+				}
+				defer srv.Shutdown(benchCtx(b))
+				addr := srv.Addr().String()
+
+				conns := make([]*client.Client, clients)
+				for i := range conns {
+					c, err := client.Dial(addr)
+					if err != nil {
+						b.Fatal(err)
+					}
+					defer c.Close()
+					conns[i] = c
+					if _, err := c.Query(benchQuery); err != nil { // warm plan cache
+						b.Fatal(err)
+					}
+				}
+
+				var remaining atomic.Int64
+				remaining.Store(int64(b.N))
+				var shed atomic.Int64
+				lats := make([][]float64, clients)
+				var wg sync.WaitGroup
+				b.ResetTimer()
+				for i, c := range conns {
+					wg.Add(1)
+					go func(i int, c *client.Client) {
+						defer wg.Done()
+						for remaining.Add(-1) >= 0 {
+							t0 := nowMS()
+							_, err := c.Query(benchQuery)
+							if err != nil {
+								if errors.Is(err, client.ErrBusy) {
+									shed.Add(1)
+									continue
+								}
+								b.Error(err)
+								return
+							}
+							lats[i] = append(lats[i], nowMS()-t0)
+						}
+					}(i, c)
+				}
+				wg.Wait()
+				b.StopTimer()
+
+				var all []float64
+				for _, l := range lats {
+					all = append(all, l...)
+				}
+				sort.Float64s(all)
+				if len(all) > 0 {
+					b.ReportMetric(all[len(all)/2], "p50-ms")
+					b.ReportMetric(all[len(all)*95/100], "p95-ms")
+				}
+				b.ReportMetric(float64(shed.Load()), "shed")
+			})
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package server_test
+
+import (
+	"testing"
+
+	"scdb"
+)
+
+// scqlCorpus is the engine corpus (internal/core keeps the master copy):
+// storage tables, joins, aggregates, the claims virtual table under each
+// answer mode, concept scans, and the graph/semantic predicates.
+var scqlCorpus = []string{
+	"SELECT * FROM drugbank ORDER BY name",
+	"SELECT name FROM drugbank WHERE name LIKE 'W%' ORDER BY name",
+	"SELECT d.name, c.disease_name FROM drugbank AS d JOIN ctd AS c ON d.name = c.chemical_name ORDER BY d.name, c.disease_name",
+	"SELECT COUNT(*) AS n FROM uniprot",
+	"SELECT symbol, COUNT(*) AS n FROM uniprot GROUP BY symbol ORDER BY n DESC, symbol LIMIT 5",
+	"SELECT DISTINCT disease_name FROM ctd WHERE disease_name IS NOT NULL ORDER BY disease_name",
+	"SELECT _key FROM Chemical ORDER BY _key WITH SEMANTICS",
+	"SELECT _key FROM Drug ORDER BY _key LIMIT 4",
+	"SELECT name FROM drugbank WHERE ISA(_id, 'Chemical') ORDER BY name WITH SEMANTICS",
+	"SELECT name FROM drugbank WHERE REACHES(_id, 'Osteosarcoma', 3) ORDER BY name",
+	"SELECT attr, COUNT(*) AS n FROM claims GROUP BY attr ORDER BY attr",
+	"SELECT attr FROM claims ORDER BY attr LIMIT 5 UNDER CERTAIN",
+	"SELECT attr, justification FROM claims ORDER BY attr LIMIT 5 UNDER FUZZY(0.5)",
+	"SELECT name FROM drugbank ORDER BY name LIMIT 2",
+	"SELECT COUNT(*) AS n FROM drugbank WHERE name IS NOT NULL",
+}
+
+// TestNetworkDifferential: the full SCQL corpus must come back
+// byte-identical whether the engine is embedded or reached over the wire
+// — and the server-side database is populated entirely through network
+// Ingest, so both directions of the value encoding are exercised.
+func TestNetworkDifferential(t *testing.T) {
+	embedded := openDB(t, lifesciOptions())
+	remote := openDB(t, lifesciOptions())
+	_, addr := startServer(t, remote, nil)
+	c := dial(t, addr)
+
+	for _, src := range scdb.LifeSciSample(1, 100, 60, 40) {
+		if err := embedded.Ingest(src); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Ingest(src); err != nil {
+			t.Fatalf("network ingest %s: %v", src.Name, err)
+		}
+	}
+
+	for _, q := range scqlCorpus {
+		want, err := embedded.Query(q)
+		if err != nil {
+			t.Fatalf("embedded %q: %v", q, err)
+		}
+		got, err := c.Query(q)
+		if err != nil {
+			t.Fatalf("network %q: %v", q, err)
+		}
+		if render(got) != render(want) {
+			t.Errorf("%q diverged over the wire:\nembedded:\n%s\nnetwork:\n%s",
+				q, render(want), render(got))
+		}
+	}
+
+	// The info surface travels too.
+	_, info, err := c.QueryInfo(scqlCorpus[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Plan == "" {
+		t.Error("network QueryInfo returned no plan")
+	}
+	einfo, err := c.Explain(scqlCorpus[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if einfo.Plan == "" || einfo.EstimatedCost <= 0 {
+		t.Errorf("network Explain: plan=%q cost=%v", einfo.Plan, einfo.EstimatedCost)
+	}
+}
+
+// TestStatsOverWire: the Stats op carries the engine snapshot, index and
+// plan-cache pass-through, and the server's own counters.
+func TestStatsOverWire(t *testing.T) {
+	db := openDB(t, lifesciOptions())
+	for _, src := range scdb.LifeSciSample(1, 20, 10, 5) {
+		if err := db.Ingest(src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, addr := startServer(t, db, nil)
+	c := dial(t, addr)
+	if _, err := c.Query("SELECT COUNT(*) AS n FROM drugbank"); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Engine.Tables == 0 || st.Engine.Entities == 0 {
+		t.Errorf("engine stats empty: %+v", st.Engine)
+	}
+	if got := st.Server.Ops["query"].Count; got != 1 {
+		t.Errorf("query op count = %d, want 1", got)
+	}
+	if st.Server.Conns != 1 || st.Server.ConnsTotal != 1 {
+		t.Errorf("conns=%d total=%d, want 1/1", st.Server.Conns, st.Server.ConnsTotal)
+	}
+	if st.PlanCache.Hits+st.PlanCache.Misses == 0 {
+		t.Error("plan-cache counters did not travel")
+	}
+}

@@ -1,0 +1,177 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// histBuckets are power-of-two microsecond latency buckets: bucket i
+// counts observations in [2^i, 2^(i+1)) µs, up to ~34 s in the last.
+const histBuckets = 25
+
+// histogram is a fixed-size log2 latency histogram. Percentiles are read
+// back as the upper edge of the bucket holding the quantile — a ≤2×
+// overestimate, which is enough to see admission control and saturation.
+type histogram struct {
+	counts [histBuckets]uint64
+	count  uint64
+	sumUS  uint64
+	maxUS  uint64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	us := uint64(d.Microseconds())
+	b := 0
+	for v := us; v > 1 && b < histBuckets-1; v >>= 1 {
+		b++
+	}
+	h.counts[b]++
+	h.count++
+	h.sumUS += us
+	if us > h.maxUS {
+		h.maxUS = us
+	}
+}
+
+// quantile returns the upper bucket edge at q (0 < q <= 1) in µs.
+func (h *histogram) quantile(q float64) uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(h.count))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			return uint64(1) << (i + 1)
+		}
+	}
+	return h.maxUS
+}
+
+// OpMetrics is one operation's counters in a stats snapshot.
+type OpMetrics struct {
+	Count  uint64  `json:"count"`
+	Errors uint64  `json:"errors"`
+	MeanUS float64 `json:"mean_us"`
+	P50US  uint64  `json:"p50_us"`
+	P95US  uint64  `json:"p95_us"`
+	P99US  uint64  `json:"p99_us"`
+	MaxUS  uint64  `json:"max_us"`
+}
+
+// ServerStats is the service layer's live metrics surface.
+type ServerStats struct {
+	// Ops maps op name to its counters, latency measured request-entry to
+	// response-ready (admission wait included).
+	Ops map[string]OpMetrics `json:"ops"`
+	// InFlight / Queued / InFlightPeak come from the admission controller.
+	InFlight     int `json:"in_flight"`
+	Queued       int `json:"queued"`
+	InFlightPeak int `json:"in_flight_peak"`
+	// Rejected counts requests shed with ErrBusy; Canceled counts
+	// statements stopped by deadline, disconnect, or shutdown.
+	Rejected uint64 `json:"rejected"`
+	Canceled uint64 `json:"canceled"`
+	// Conns is open connections; ConnsTotal is lifetime accepts.
+	Conns      int    `json:"conns"`
+	ConnsTotal uint64 `json:"conns_total"`
+}
+
+// metrics aggregates the service layer's counters. One mutex is plenty:
+// updates are two additions per request, far off any hot path.
+type metrics struct {
+	mu         sync.Mutex
+	ops        map[string]*opCell
+	rejected   uint64
+	canceled   uint64
+	conns      int
+	connsTotal uint64
+}
+
+type opCell struct {
+	errors uint64
+	hist   histogram
+}
+
+func newMetrics() *metrics {
+	return &metrics{ops: map[string]*opCell{}}
+}
+
+func (m *metrics) observe(op string, d time.Duration, failed bool) {
+	m.mu.Lock()
+	c := m.ops[op]
+	if c == nil {
+		c = &opCell{}
+		m.ops[op] = c
+	}
+	c.hist.observe(d)
+	if failed {
+		c.errors++
+	}
+	m.mu.Unlock()
+}
+
+func (m *metrics) reject() {
+	m.mu.Lock()
+	m.rejected++
+	m.mu.Unlock()
+}
+
+func (m *metrics) cancel() {
+	m.mu.Lock()
+	m.canceled++
+	m.mu.Unlock()
+}
+
+func (m *metrics) connOpen() {
+	m.mu.Lock()
+	m.conns++
+	m.connsTotal++
+	m.mu.Unlock()
+}
+
+func (m *metrics) connClose() {
+	m.mu.Lock()
+	m.conns--
+	m.mu.Unlock()
+}
+
+// snapshot renders the counters; admission depths are merged in by the
+// caller, which owns the admitter.
+func (m *metrics) snapshot() ServerStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := ServerStats{
+		Ops:        make(map[string]OpMetrics, len(m.ops)),
+		Rejected:   m.rejected,
+		Canceled:   m.canceled,
+		Conns:      m.conns,
+		ConnsTotal: m.connsTotal,
+	}
+	names := make([]string, 0, len(m.ops))
+	for name := range m.ops {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		c := m.ops[name]
+		s := OpMetrics{
+			Count:  c.hist.count,
+			Errors: c.errors,
+			P50US:  c.hist.quantile(0.50),
+			P95US:  c.hist.quantile(0.95),
+			P99US:  c.hist.quantile(0.99),
+			MaxUS:  c.hist.maxUS,
+		}
+		if c.hist.count > 0 {
+			s.MeanUS = float64(c.hist.sumUS) / float64(c.hist.count)
+		}
+		out.Ops[name] = s
+	}
+	return out
+}

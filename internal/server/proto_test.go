@@ -1,0 +1,132 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"scdb"
+)
+
+// TestValueRoundTrip: every public value kind survives the wire encoding
+// exactly, including the values plain JSON would corrupt (large int64,
+// NaN, infinities, shortest-round-trip floats).
+func TestValueRoundTrip(t *testing.T) {
+	vals := []any{
+		nil,
+		true,
+		false,
+		int64(0),
+		int64(math.MaxInt64),
+		int64(math.MinInt64),
+		int64(1) << 53, // beyond float64's exact-integer range
+		0.1,
+		math.MaxFloat64,
+		math.SmallestNonzeroFloat64,
+		math.Inf(1),
+		math.Inf(-1),
+		"",
+		"héllo\nworld",
+		time.Date(2026, 8, 6, 1, 2, 3, 456789012, time.UTC),
+		[]byte{0, 1, 255},
+		scdb.EntityRef(42),
+		[]any{int64(1), "two", []any{3.5, nil}},
+	}
+	for _, v := range vals {
+		w, err := EncodeValue(v)
+		if err != nil {
+			t.Fatalf("encode %v: %v", v, err)
+		}
+		got, err := DecodeValue(w)
+		if err != nil {
+			t.Fatalf("decode %v: %v", v, err)
+		}
+		if !reflect.DeepEqual(got, v) {
+			t.Errorf("round trip %#v -> %#v", v, got)
+		}
+	}
+	// NaN != NaN, so check it separately.
+	w, _ := EncodeValue(math.NaN())
+	got, err := DecodeValue(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f, ok := got.(float64); !ok || !math.IsNaN(f) {
+		t.Errorf("NaN round trip -> %#v", got)
+	}
+	if _, err := EncodeValue(struct{}{}); err == nil {
+		t.Error("encoding an unsupported type should fail")
+	}
+}
+
+// TestFrameRoundTrip: frames survive write+read; a declared length beyond
+// the limit is rejected without consuming the payload.
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	req := Request{Op: OpQuery, Query: "SELECT 1", TimeoutMS: 250}
+	if err := WriteFrame(&buf, req); err != nil {
+		t.Fatal(err)
+	}
+	var got Request
+	if err := ReadFrame(&buf, DefaultMaxFrame, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, req) {
+		t.Errorf("frame round trip %+v -> %+v", req, got)
+	}
+
+	var huge bytes.Buffer
+	hdr := make([]byte, 4)
+	binary.BigEndian.PutUint32(hdr, 1<<30)
+	huge.Write(hdr)
+	if err := ReadFrame(&huge, 1<<20, &got); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("oversized frame: got %v, want ErrFrameTooLarge", err)
+	}
+
+	var empty bytes.Buffer
+	empty.Write(make([]byte, 4))
+	if err := ReadFrame(&empty, 1<<20, &got); err == nil {
+		t.Error("zero-length frame should be rejected")
+	}
+}
+
+// TestSourceRoundTrip: a source delivery with every link flavor survives
+// the wire.
+func TestSourceRoundTrip(t *testing.T) {
+	src := scdb.Source{
+		Name: "s1",
+		Entities: []scdb.Entity{
+			{Key: "a", Types: []string{"Drug"}, Attrs: scdb.Record{"name": "A", "mass": 1.5, "n": int64(7)}},
+			{Key: "b"},
+		},
+		Links: []scdb.Link{
+			{FromKey: "a", Predicate: "treats", ToKey: "b", Confidence: 0.9},
+			{FromKey: "a", Predicate: "code", Value: "X99"},
+		},
+		Texts: []string{"A inhibits B"},
+	}
+	ws, err := EncodeSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Through JSON, as on the wire.
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, ws); err != nil {
+		t.Fatal(err)
+	}
+	var wire WireSource
+	if err := ReadFrame(&buf, DefaultMaxFrame, &wire); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSource(&wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, src) {
+		t.Errorf("source round trip:\nwant %#v\ngot  %#v", src, got)
+	}
+}

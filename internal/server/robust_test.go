@@ -1,0 +1,262 @@
+package server_test
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"scdb/client"
+	"scdb/internal/server"
+)
+
+// TestSlowLoris: a client that trickles a frame and stalls is cut off by
+// the frame timeout, and the server keeps serving others.
+func TestSlowLoris(t *testing.T) {
+	db := openBig(t, 10)
+	_, addr := startServer(t, db, func(c *server.Config) {
+		c.FrameTimeout = 150 * time.Millisecond
+	})
+
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	// Two header bytes, then silence.
+	if _, err := nc.Write([]byte{0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	nc.SetReadDeadline(time.Now().Add(3 * time.Second))
+	start := time.Now()
+	if _, err := nc.Read(make([]byte, 1)); err != io.EOF {
+		t.Fatalf("stalled frame: read returned %v, want EOF from server close", err)
+	}
+	if d := time.Since(start); d > 4*time.Second {
+		t.Errorf("server took %s to drop the stalled connection", d)
+	}
+
+	// Healthy clients are unaffected.
+	if err := dial(t, addr).Ping(); err != nil {
+		t.Fatalf("ping after slow-loris: %v", err)
+	}
+}
+
+// TestOversizedFrame: a frame above the limit is rejected by its declared
+// length — the server answers with bad_request and drops the connection
+// without reading the payload.
+func TestOversizedFrame(t *testing.T) {
+	db := openBig(t, 10)
+	_, addr := startServer(t, db, func(c *server.Config) {
+		c.MaxFrame = 1024
+	})
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	hdr := make([]byte, 4)
+	binary.BigEndian.PutUint32(hdr, 1<<28)
+	if _, err := nc.Write(hdr); err != nil {
+		t.Fatal(err)
+	}
+	nc.SetReadDeadline(time.Now().Add(3 * time.Second))
+	var resp server.Response
+	if err := server.ReadFrame(nc, server.DefaultMaxFrame, &resp); err != nil {
+		t.Fatalf("reading rejection: %v", err)
+	}
+	if resp.OK || resp.Code != server.CodeBadRequest {
+		t.Errorf("oversized frame: got %+v, want bad_request", resp)
+	}
+	if _, err := nc.Read(make([]byte, 1)); err != io.EOF {
+		t.Errorf("connection should close after oversized frame, read: %v", err)
+	}
+}
+
+// TestDisconnectCancelsQuery is the tentpole's acceptance test: a client
+// that vanishes mid-query stops consuming executor workers within one
+// morsel boundary. The join below runs ~7s to completion; after the
+// disconnect the server's in-flight gauge must hit zero and the canceled
+// counter must tick in a small fraction of that.
+func TestDisconnectCancelsQuery(t *testing.T) {
+	db := openBig(t, 2000)
+	_, addr := startServer(t, db, nil)
+
+	victim, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		_, err := victim.Query(slowJoin)
+		errc <- err
+	}()
+
+	probe := dial(t, addr)
+	waitUntil(t, 4*time.Second, func() bool {
+		st, err := probe.Stats()
+		return err == nil && st.Server.InFlight == 1
+	}, "query to start")
+
+	start := time.Now()
+	victim.Close()
+	if err := <-errc; err == nil {
+		t.Fatal("query on a closed connection should error")
+	}
+	waitUntil(t, 4*time.Second, func() bool {
+		st, err := probe.Stats()
+		return err == nil && st.Server.InFlight == 0 && st.Server.Canceled >= 1
+	}, "executor to unwind after disconnect")
+	if d := time.Since(start); d > 4*time.Second {
+		t.Errorf("cancellation took %s", d)
+	}
+}
+
+// TestRequestDeadline: a per-request timeout stops the statement and maps
+// to context.DeadlineExceeded on the client.
+func TestRequestDeadline(t *testing.T) {
+	db := openBig(t, 2000)
+	_, addr := startServer(t, db, nil)
+	c := dial(t, addr)
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.QueryCtx(ctx, slowJoin)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want DeadlineExceeded", err)
+	}
+	if d := time.Since(start); d > 4*time.Second {
+		t.Errorf("deadline enforcement took %s", d)
+	}
+	// The connection survives a deadline (the server answered in-band).
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping after deadline: %v", err)
+	}
+}
+
+// TestAdmissionShedsLoad: with one execution slot and one queue slot,
+// concurrent slow queries are shed with the typed busy error, the
+// in-flight peak never exceeds the limit, and rejections are counted.
+func TestAdmissionShedsLoad(t *testing.T) {
+	db := openBig(t, 500)
+	_, addr := startServer(t, db, func(c *server.Config) {
+		c.MaxInFlight = 1
+		c.MaxQueue = 1
+		c.QueueTimeout = 100 * time.Millisecond
+	})
+
+	const clients = 4
+	var busy, ok int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		c := dial(t, addr)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := c.Query(slowJoin)
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				ok++
+			case errors.Is(err, client.ErrBusy):
+				busy++
+			default:
+				t.Errorf("unexpected error: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if ok == 0 {
+		t.Error("no query succeeded under admission control")
+	}
+	if busy == 0 {
+		t.Error("no query was shed as busy")
+	}
+	st, err := dial(t, addr).Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Server.InFlightPeak > 1 {
+		t.Errorf("in-flight peak %d exceeds limit 1", st.Server.InFlightPeak)
+	}
+	if st.Server.Rejected != uint64(busy) {
+		t.Errorf("rejected counter %d, want %d", st.Server.Rejected, busy)
+	}
+}
+
+// TestGracefulShutdownDrains: shutdown under load lets every in-flight
+// query finish and deliver its response, then refuses new connections.
+func TestGracefulShutdownDrains(t *testing.T) {
+	db := openBig(t, 500)
+	srv, addr := startServer(t, db, nil)
+
+	const clients = 3
+	results := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		c := dial(t, addr)
+		go func() {
+			rows, err := c.Query(slowJoin)
+			if err == nil && len(rows.Data) != 1 {
+				err = errors.New("wrong row count")
+			}
+			results <- err
+		}()
+	}
+	probe := dial(t, addr)
+	waitUntil(t, 4*time.Second, func() bool {
+		st, err := probe.Stats()
+		return err == nil && st.Server.InFlight == clients
+	}, "all queries in flight")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+	for i := 0; i < clients; i++ {
+		if err := <-results; err != nil {
+			t.Errorf("drained query %d: %v", i, err)
+		}
+	}
+	if _, err := client.Dial(addr); err == nil {
+		t.Error("dial after shutdown should fail")
+	}
+}
+
+// TestForcedShutdownCancels: when the drain window is shorter than the
+// in-flight work, shutdown cancels the executor instead of waiting the
+// query out.
+func TestForcedShutdownCancels(t *testing.T) {
+	db := openBig(t, 2000)
+	srv, addr := startServer(t, db, nil)
+	c := dial(t, addr)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := c.Query(slowJoin)
+		errc <- err
+	}()
+	probe := dial(t, addr)
+	waitUntil(t, 4*time.Second, func() bool {
+		st, err := probe.Stats()
+		return err == nil && st.Server.InFlight == 1
+	}, "query to start")
+
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err == nil {
+		t.Error("forced shutdown should report the expired drain window")
+	}
+	if err := <-errc; err == nil {
+		t.Error("in-flight query should fail on forced shutdown")
+	}
+	if d := time.Since(start); d > 4*time.Second {
+		t.Errorf("forced shutdown took %s", d)
+	}
+}

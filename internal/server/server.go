@@ -1,0 +1,441 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"scdb"
+)
+
+// Config configures a Server. The zero value of every field picks a
+// sensible default; DB is required.
+type Config struct {
+	// Addr is the TCP listen address ("127.0.0.1:0" for tests).
+	Addr string
+	// DB is the embedded engine the server fronts.
+	DB *scdb.DB
+
+	// MaxInFlight bounds concurrently executing statements (query,
+	// explain, ingest). 0 means 2×GOMAXPROCS-ish default of 16; negative
+	// disables admission control entirely.
+	MaxInFlight int
+	// MaxQueue bounds waiters beyond MaxInFlight before arrivals are shed
+	// with ErrBusy (default 64).
+	MaxQueue int
+	// QueueTimeout caps time spent waiting for admission when the request
+	// carries no deadline of its own (default 1s).
+	QueueTimeout time.Duration
+
+	// DefaultTimeout applies when a request carries no timeout (default
+	// 30s); MaxTimeout clamps client-supplied timeouts (default 5m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+
+	// FrameTimeout bounds reading one complete frame once its first byte
+	// arrives — the slow-loris guard (default 10s). MaxFrame bounds a
+	// frame payload (default DefaultMaxFrame).
+	FrameTimeout time.Duration
+	MaxFrame     int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = 16
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 64
+	}
+	if c.QueueTimeout == 0 {
+		c.QueueTimeout = time.Second
+	}
+	if c.DefaultTimeout == 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout == 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.FrameTimeout == 0 {
+		c.FrameTimeout = 10 * time.Second
+	}
+	if c.MaxFrame == 0 {
+		c.MaxFrame = DefaultMaxFrame
+	}
+	return c
+}
+
+// Server serves the frame protocol over TCP. Every connection gets its own
+// goroutine; every statement executes under a per-request context whose
+// cancellation reaches the morsel executor's workers and the storage
+// scans, so deadlines, client disconnects, and forced shutdown all stop
+// real work, not just the response path.
+type Server struct {
+	cfg     Config
+	ln      net.Listener
+	admit   *admitter
+	metrics *metrics
+
+	baseCtx   context.Context
+	cancelAll context.CancelFunc
+
+	mu       sync.Mutex
+	conns    map[*conn]struct{}
+	draining bool
+
+	connWG   sync.WaitGroup
+	serveErr chan error
+}
+
+type conn struct {
+	nc   net.Conn
+	mu   sync.Mutex
+	busy bool
+}
+
+// interruptIfIdle kicks a connection out of its idle read so a draining
+// server doesn't wait on silent clients; a busy connection is left to
+// finish its in-flight request.
+func (c *conn) interruptIfIdle() {
+	c.mu.Lock()
+	if !c.busy {
+		c.nc.SetReadDeadline(time.Unix(1, 0))
+	}
+	c.mu.Unlock()
+}
+
+func (c *conn) setBusy(b bool) {
+	c.mu.Lock()
+	c.busy = b
+	c.mu.Unlock()
+}
+
+// New builds a Server; call Start (or Listen+Serve) to run it.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		cfg:       cfg,
+		admit:     newAdmitter(cfg.MaxInFlight, cfg.MaxQueue),
+		metrics:   newMetrics(),
+		baseCtx:   ctx,
+		cancelAll: cancel,
+		conns:     map[*conn]struct{}{},
+		serveErr:  make(chan error, 1),
+	}
+}
+
+// Listen binds the listener; Addr is final after it returns.
+func (s *Server) Listen() error {
+	if s.cfg.DB == nil {
+		return errors.New("server: Config.DB is required")
+	}
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	return nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Start binds and serves in the background. Serve's exit error is
+// delivered to Shutdown.
+func (s *Server) Start() error {
+	if err := s.Listen(); err != nil {
+		return err
+	}
+	go func() { s.serveErr <- s.Serve() }()
+	return nil
+}
+
+// Serve accepts connections until the listener closes.
+func (s *Server) Serve() error {
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			if s.isDraining() {
+				return nil
+			}
+			return err
+		}
+		c := &conn{nc: nc}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			nc.Close()
+			continue
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.metrics.connOpen()
+		s.connWG.Add(1)
+		go func() {
+			defer s.connWG.Done()
+			s.handleConn(c)
+		}()
+	}
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Shutdown drains gracefully: stop accepting, let in-flight requests
+// finish and their responses flush, interrupt idle connections. If ctx
+// expires first, in-flight statements are canceled (the executor unwinds
+// within a morsel) and connections are force-closed.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return errors.New("server: already shut down")
+	}
+	s.draining = true
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for _, c := range conns {
+		c.interruptIfIdle()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.connWG.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.cancelAll()
+		s.mu.Lock()
+		for c := range s.conns {
+			c.nc.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+	s.cancelAll()
+	return err
+}
+
+// Stats snapshots the service layer and the engine beneath it.
+func (s *Server) Stats() StatsReply {
+	srv := s.metrics.snapshot()
+	srv.InFlight, srv.Queued, srv.InFlightPeak = s.admit.depth()
+	return StatsReply{
+		Engine:    s.cfg.DB.Stats(),
+		Indexes:   s.cfg.DB.IndexStats(),
+		PlanCache: s.cfg.DB.PlanCacheStats(),
+		Server:    srv,
+	}
+}
+
+func (s *Server) handleConn(c *conn) {
+	defer func() {
+		c.nc.Close()
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		s.metrics.connClose()
+	}()
+	br := bufio.NewReader(c.nc)
+	for !s.isDraining() {
+		// Idle wait: block until the next request's first byte. Shutdown
+		// interrupts this read via interruptIfIdle.
+		if _, err := br.Peek(1); err != nil {
+			return
+		}
+		// Slow-loris guard: the whole frame must arrive promptly now that
+		// it has started.
+		c.nc.SetReadDeadline(time.Now().Add(s.cfg.FrameTimeout))
+		var req Request
+		err := ReadFrame(br, s.cfg.MaxFrame, &req)
+		c.nc.SetReadDeadline(time.Time{})
+		if err != nil {
+			if errors.Is(err, ErrFrameTooLarge) {
+				// The declared length was rejected before reading the
+				// payload; tell the client why, then drop the connection
+				// (the unread payload makes the stream unframeable).
+				WriteFrame(c.nc, Response{Code: CodeBadRequest, Err: err.Error()})
+			}
+			return
+		}
+		c.setBusy(true)
+		resp := s.handleRequest(br, c, req)
+		wErr := WriteFrame(c.nc, resp)
+		c.setBusy(false)
+		if wErr != nil {
+			return
+		}
+	}
+}
+
+// handleRequest executes one request under its deadline and maps errors
+// to wire codes.
+func (s *Server) handleRequest(br *bufio.Reader, c *conn, req Request) Response {
+	start := time.Now()
+	resp := s.dispatch(br, c, req)
+	d := time.Since(start)
+	s.metrics.observe(req.Op, d, !resp.OK)
+	switch resp.Code {
+	case CodeBusy:
+		s.metrics.reject()
+	case CodeCanceled, CodeDeadline, CodeShutdown:
+		s.metrics.cancel()
+	}
+	return resp
+}
+
+func (s *Server) dispatch(br *bufio.Reader, c *conn, req Request) Response {
+	switch req.Op {
+	case OpPing:
+		return Response{OK: true}
+	case OpStats:
+		st := s.Stats()
+		return Response{OK: true, Stats: &st}
+	case OpQuery, OpExplain, OpIngest:
+		// Fall through to the admitted path below.
+	case "":
+		return Response{Code: CodeBadRequest, Err: "missing op"}
+	default:
+		return Response{Code: CodeBadRequest, Err: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+
+	ctx, cancel := s.requestCtx(req)
+	defer cancel()
+
+	// Admission: bounded in-flight with FIFO queueing. The request's own
+	// deadline bounds the wait so a queued request cannot outlive itself.
+	admitCtx := ctx
+	if _, ok := ctx.Deadline(); !ok || s.cfg.QueueTimeout > 0 {
+		var acancel context.CancelFunc
+		admitCtx, acancel = context.WithTimeout(ctx, s.cfg.QueueTimeout)
+		defer acancel()
+	}
+	if err := s.admit.acquire(admitCtx); err != nil {
+		return errorResponse(err)
+	}
+	defer s.admit.release()
+	if err := ctx.Err(); err != nil {
+		return errorResponse(err)
+	}
+
+	switch req.Op {
+	case OpQuery:
+		// Watch the connection while executing: a client that disconnects
+		// mid-query cancels the statement instead of leaving it burning
+		// worker time.
+		stop := watchConn(br, c, cancel)
+		rows, info, err := s.cfg.DB.QueryInfoCtx(ctx, req.Query)
+		stop()
+		if err != nil {
+			return errorResponse(err)
+		}
+		wr, err := EncodeRows(rows)
+		if err != nil {
+			return Response{Code: CodeQuery, Err: err.Error()}
+		}
+		return Response{OK: true, Columns: rows.Columns, Rows: wr, Info: wireInfo(info)}
+	case OpExplain:
+		info, err := s.cfg.DB.Explain(req.Query)
+		if err != nil {
+			return errorResponse(err)
+		}
+		return Response{OK: true, Info: wireInfo(info)}
+	case OpIngest:
+		if req.Source == nil {
+			return Response{Code: CodeBadRequest, Err: "ingest without source"}
+		}
+		src, err := DecodeSource(req.Source)
+		if err != nil {
+			return Response{Code: CodeBadRequest, Err: err.Error()}
+		}
+		if err := s.cfg.DB.Ingest(src); err != nil {
+			return errorResponse(err)
+		}
+		return Response{OK: true}
+	}
+	return Response{Code: CodeBadRequest, Err: "unreachable"}
+}
+
+// requestCtx derives the per-request context: the client's timeout
+// (clamped to MaxTimeout) or the server default, on top of the base
+// context so a forced shutdown cancels everything at once.
+func (s *Server) requestCtx(req Request) (context.Context, context.CancelFunc) {
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+	}
+	return context.WithTimeout(s.baseCtx, timeout)
+}
+
+// watchConn cancels the request if the connection dies while a statement
+// runs. The protocol is strictly request-response, so any read outcome
+// other than a timeout means the client is gone (EOF, reset) or talking
+// out of turn; either way the statement's work is wasted. The returned
+// stop function unblocks the watcher and must be called before the
+// response is written.
+func watchConn(br *bufio.Reader, c *conn, cancel context.CancelFunc) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := br.Peek(1); err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				return // stop() unblocked us; the client is fine
+			}
+			cancel()
+		}
+	}()
+	return func() {
+		c.nc.SetReadDeadline(time.Unix(1, 0))
+		<-done
+		c.nc.SetReadDeadline(time.Time{})
+	}
+}
+
+func wireInfo(info *scdb.QueryInfo) *WireInfo {
+	if info == nil {
+		return nil
+	}
+	return &WireInfo{
+		Plan:          info.Plan,
+		Rules:         info.Rules,
+		CacheHit:      info.CacheHit,
+		PlanCached:    info.PlanCached,
+		EstimatedCost: info.EstimatedCost,
+		OperatorStats: info.OperatorStats,
+	}
+}
+
+func errorResponse(err error) Response {
+	code := CodeQuery
+	switch {
+	case errors.Is(err, ErrBusy):
+		code = CodeBusy
+	case errors.Is(err, context.DeadlineExceeded):
+		code = CodeDeadline
+	case errors.Is(err, context.Canceled):
+		code = CodeCanceled
+	}
+	return Response{Code: code, Err: err.Error()}
+}

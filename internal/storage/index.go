@@ -23,6 +23,7 @@ package storage
 // set, so the superset property holds without special-casing lookups.
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -327,6 +328,9 @@ type ScanOptions struct {
 	NoPrune bool // keep every segment even when its zone map refutes a pred
 	NoIndex bool // never use a secondary index
 	NoAuto  bool // don't record accesses or auto-create indexes
+	// Ctx cancels the scan cooperatively: emitSegments checks it between
+	// zone segments and stops producing once it is done. Nil never cancels.
+	Ctx context.Context
 }
 
 // ScanInfo reports what a pushed-down scan actually did.
@@ -607,6 +611,9 @@ func (t *Table) ScanWhere(csn CSN, preds []ZonePred, opt ScanOptions, fn func(id
 // pruning refuted segments and emitting the visible records of the rest.
 func (t *Table) emitSegments(csn CSN, ids []RowID, preds []ZonePred, opt ScanOptions, fn func([]RowID, []model.Record) bool, info *ScanInfo) {
 	for i := 0; i < len(ids); {
+		if opt.Ctx != nil && opt.Ctx.Err() != nil {
+			return
+		}
 		seg := zoneSegFor(ids[i])
 		j := i
 		for j < len(ids) && zoneSegFor(ids[j]) == seg {

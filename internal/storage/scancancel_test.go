@@ -1,0 +1,78 @@
+package storage
+
+import (
+	"context"
+	"testing"
+
+	"scdb/internal/model"
+)
+
+// TestScanMorselsCtxCancel: a context canceled mid-scan stops the chunk
+// walk — no further morsels are emitted.
+func TestScanMorselsCtxCancel(t *testing.T) {
+	_, tb := morselTable(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	chunks := 0
+	tb.ScanMorselsCtx(ctx, tb.store.Now(), 10, func(ids []RowID, recs []model.Record) bool {
+		chunks++
+		if chunks == 2 {
+			cancel()
+		}
+		return true
+	})
+	if chunks != 2 {
+		t.Errorf("emitted %d chunks after cancel at 2", chunks)
+	}
+	// A nil ctx scans everything.
+	total := 0
+	tb.ScanMorselsCtx(nil, tb.store.Now(), 10, func(ids []RowID, recs []model.Record) bool {
+		total += len(ids)
+		return true
+	})
+	if total != tb.Len() {
+		t.Errorf("nil-ctx scan saw %d rows, table has %d", total, tb.Len())
+	}
+}
+
+// TestScanWhereCtxCancel: the pushed-down scan observes ScanOptions.Ctx
+// between zone segments.
+func TestScanWhereCtxCancel(t *testing.T) {
+	s, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	tb, err := s.CreateTable("w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enough rows to span several zone segments.
+	for i := 0; i < 5000; i++ {
+		if _, err := tb.Insert(model.Record{"v": model.Int(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	emitted := 0
+	tb.ScanWhere(s.Now(), []ZonePred{{Attr: "v", Op: ">=", Val: model.Int(0)}},
+		ScanOptions{Ctx: ctx, NoAuto: true},
+		func(ids []RowID, recs []model.Record) bool {
+			emitted += len(ids)
+			return true
+		})
+	if emitted != 0 {
+		t.Errorf("pre-canceled ScanWhere emitted %d rows", emitted)
+	}
+	// Sanity: without cancellation the same scan sees every row.
+	emitted = 0
+	tb.ScanWhere(s.Now(), []ZonePred{{Attr: "v", Op: ">=", Val: model.Int(0)}},
+		ScanOptions{NoAuto: true},
+		func(ids []RowID, recs []model.Record) bool {
+			emitted += len(ids)
+			return true
+		})
+	if emitted != 5000 {
+		t.Errorf("uncanceled ScanWhere emitted %d rows, want 5000", emitted)
+	}
+}

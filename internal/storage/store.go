@@ -13,6 +13,7 @@
 package storage
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -337,6 +338,13 @@ func (t *Table) ScanAt(csn CSN, fn func(RowID, model.Record) bool) {
 // query executor hands them to worker goroutines). Returning false from fn
 // stops the scan.
 func (t *Table) ScanMorsels(csn CSN, size int, fn func(ids []RowID, recs []model.Record) bool) {
+	t.ScanMorselsCtx(nil, csn, size, fn)
+}
+
+// ScanMorselsCtx is ScanMorsels with cooperative cancellation: the scan
+// checks ctx between chunks and stops producing once it is done, so a
+// canceled query releases the table promptly. A nil ctx never cancels.
+func (t *Table) ScanMorselsCtx(ctx context.Context, csn CSN, size int, fn func(ids []RowID, recs []model.Record) bool) {
 	if size <= 0 {
 		size = 1024
 	}
@@ -359,6 +367,9 @@ func (t *Table) ScanMorsels(csn CSN, size int, fn func(ids []RowID, recs []model
 		return ok
 	}
 	for lo := 0; lo < len(all); lo += size {
+		if ctx != nil && ctx.Err() != nil {
+			return
+		}
 		hi := lo + size
 		if hi > len(all) {
 			hi = len(all)
