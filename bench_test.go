@@ -7,7 +7,11 @@ package scdb
 
 import (
 	"fmt"
+	"os"
+	"strconv"
+	"sync"
 	"testing"
+	"time"
 
 	"scdb/internal/cluster"
 	"scdb/internal/crowd"
@@ -666,6 +670,155 @@ func benchLookup(b *testing.B, tb *storage.Table, now storage.CSN, opt storage.S
 			b.Fatalf("matched %d rows, want 100", matched)
 		}
 	}
+}
+
+// --- E-ING: parallel batched ingest --------------------------------------
+
+// ingestRows sizes the ingest benchmarks: SCDB_INGEST_ROWS overrides the
+// 100k default (CI smoke runs set it small).
+func ingestRows() int {
+	if s := os.Getenv("SCDB_INGEST_ROWS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 100_000
+}
+
+func ingestRec(i int) model.Record {
+	return model.Record{
+		"k":    model.Int(int64(i % 1000)),
+		"name": model.String(fmt.Sprintf("row %07d", i)),
+	}
+}
+
+// benchIngestStore opens a durable group-commit store: every commit waits
+// for an fsync, so the batch paths are measured against real durability,
+// not a buffered no-op.
+func benchIngestStore(b *testing.B) *storage.Table {
+	b.Helper()
+	s, err := storage.OpenOptions(b.TempDir(), storage.Options{Sync: storage.SyncGroup})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { s.Close() })
+	tb, err := s.CreateTable("t")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tb
+}
+
+// BenchmarkIngest compares the instance-layer write paths on a durable
+// group-commit store and the curation pipeline's serial vs batched ingest.
+// Run with -benchtime=1x; each iteration writes ingestRows() rows and the
+// rows/s metric is what E-ING records. Per-record commits pay ~1 fsync per
+// row; the batch path pays ~1 per 1024 rows; concurrent writers coalesce
+// into shared fsyncs.
+func BenchmarkIngest(b *testing.B) {
+	rows := ingestRows()
+	b.Run("per-record", func(b *testing.B) {
+		var total time.Duration
+		for i := 0; i < b.N; i++ {
+			tb := benchIngestStore(b)
+			start := time.Now()
+			for r := 0; r < rows; r++ {
+				if _, err := tb.Insert(ingestRec(r)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			total += time.Since(start)
+		}
+		b.ReportMetric(float64(rows)*float64(b.N)/total.Seconds(), "rows/s")
+	})
+	b.Run("batch-1024", func(b *testing.B) {
+		var total time.Duration
+		for i := 0; i < b.N; i++ {
+			tb := benchIngestStore(b)
+			recs := make([]model.Record, rows)
+			for r := range recs {
+				recs[r] = ingestRec(r)
+			}
+			start := time.Now()
+			for lo := 0; lo < rows; lo += 1024 {
+				hi := min(lo+1024, rows)
+				if _, err := tb.InsertBatch(recs[lo:hi]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			total += time.Since(start)
+		}
+		b.ReportMetric(float64(rows)*float64(b.N)/total.Seconds(), "rows/s")
+	})
+	b.Run("group-4writers", func(b *testing.B) {
+		// Per-record commits from 4 goroutines: group commit coalesces
+		// their waits into shared fsyncs, so throughput sits well above
+		// the single-writer per-record floor even on one core.
+		var total time.Duration
+		for i := 0; i < b.N; i++ {
+			tb := benchIngestStore(b)
+			start := time.Now()
+			var wg sync.WaitGroup
+			per := rows / 4
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for r := 0; r < per; r++ {
+						if _, err := tb.Insert(ingestRec(w*per + r)); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			total += time.Since(start)
+		}
+		b.ReportMetric(float64(rows/4*4)*float64(b.N)/total.Seconds(), "rows/s")
+	})
+
+	// End-to-end curation: one delivery of rows/20 entities through the
+	// full pipeline (storage + catalog + graph + ER + inference) on a
+	// durable group-commit engine, serial per-record vs batched.
+	curation := func(batchSize, parallelism int) func(*testing.B) {
+		n := rows / 20
+		if n < 100 {
+			n = 100
+		}
+		return func(b *testing.B) {
+			src := Source{Name: "feed"}
+			for i := 0; i < n; i++ {
+				src.Entities = append(src.Entities, Entity{
+					Key:   fmt.Sprintf("e-%06d", i),
+					Types: []string{"Device"},
+					Attrs: Record{"name": fmt.Sprintf("dev-%06d", i), "slot": int64(i)},
+				})
+			}
+			var total time.Duration
+			for i := 0; i < b.N; i++ {
+				db, err := Open(Options{
+					Dir:               b.TempDir(),
+					Axioms:            "concept Device",
+					Sync:              SyncGroup,
+					IngestBatchSize:   batchSize,
+					IngestParallelism: parallelism,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				start := time.Now()
+				if err := db.Ingest(src); err != nil {
+					b.Fatal(err)
+				}
+				total += time.Since(start)
+				db.Close()
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/total.Seconds(), "rows/s")
+		}
+	}
+	b.Run("curation-serial", curation(1, 1))
+	b.Run("curation-batched", curation(0, 0))
 }
 
 func BenchmarkScanLookup(b *testing.B) {

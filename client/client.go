@@ -194,6 +194,103 @@ func (c *Client) Ingest(src scdb.Source) error {
 	return err
 }
 
+// IngestSummary reports what a streamed IngestBatch installed.
+type IngestSummary = server.IngestSummary
+
+// DefaultIngestBatch is the chunk size IngestBatch uses when the caller
+// passes batchSize <= 0.
+const DefaultIngestBatch = 1024
+
+// IngestBatch ships one source delivery as a chunked ingest_batch stream:
+// entities go out in batchSize chunks that the server installs through its
+// batch write path, and the links and texts ride in the final chunk so
+// every cross-reference already has its entity installed. The whole stream
+// holds one admission slot on the server and one request slot on this
+// client. A context deadline bounds the stream end to end.
+func (c *Client) IngestBatch(ctx context.Context, src scdb.Source, batchSize int) (*IngestSummary, error) {
+	if batchSize <= 0 {
+		batchSize = DefaultIngestBatch
+	}
+	ws, err := server.EncodeSource(src)
+	if err != nil {
+		return nil, err
+	}
+	req := server.Request{Op: server.OpIngestBatch, Source: &server.WireSource{Name: ws.Name}}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if d, ok := ctx.Deadline(); ok {
+		ms := time.Until(d).Milliseconds()
+		if ms < 1 {
+			ms = 1
+		}
+		req.TimeoutMS = ms
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.broken.Load() {
+		return nil, errors.New("scdb client: connection is closed")
+	}
+	done := make(chan struct{})
+	watchDone := make(chan struct{})
+	defer func() {
+		close(done)
+		<-watchDone
+	}()
+	go func() {
+		defer close(watchDone)
+		select {
+		case <-done:
+			return
+		case <-ctx.Done():
+		}
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			select {
+			case <-done:
+				return
+			case <-time.After(deadlineGrace):
+			}
+		}
+		c.broken.Store(true)
+		c.nc.SetDeadline(time.Unix(1, 0))
+	}()
+	fail := func(err error) (*IngestSummary, error) {
+		c.broken.Store(true)
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
+		return nil, err
+	}
+	bw := bufio.NewWriter(c.nc)
+	if err := server.WriteFrame(bw, req); err != nil {
+		return fail(err)
+	}
+	for lo := 0; lo < len(ws.Entities); lo += batchSize {
+		hi := min(lo+batchSize, len(ws.Entities))
+		if err := server.WriteFrame(bw, server.IngestChunk{Entities: ws.Entities[lo:hi]}); err != nil {
+			return fail(err)
+		}
+	}
+	last := server.IngestChunk{Links: ws.Links, Texts: ws.Texts, Done: true}
+	if err := server.WriteFrame(bw, last); err != nil {
+		return fail(err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fail(err)
+	}
+	var resp server.Response
+	if err := server.ReadFrame(c.br, server.DefaultMaxFrame, &resp); err != nil {
+		return fail(err)
+	}
+	if !resp.OK {
+		return nil, &ServerError{Code: resp.Code, Msg: resp.Err}
+	}
+	if resp.Ingest == nil {
+		return nil, errors.New("scdb client: ingest_batch response without summary")
+	}
+	return resp.Ingest, nil
+}
+
 // Stats fetches the engine snapshot plus the server's live metrics.
 func (c *Client) Stats() (server.StatsReply, error) {
 	resp, err := c.roundTrip(nil, server.Request{Op: server.OpStats})

@@ -46,9 +46,22 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "default per-request deadline (0 = default 30s)")
 	maxTimeout := flag.Duration("max-timeout", 0, "cap on client deadlines (0 = default 5m)")
 	grace := flag.Duration("grace", 10*time.Second, "drain window on shutdown before forcing")
+	syncFlag := flag.String("sync", "none", "WAL durability with -dir: none | group | always")
+	ingestBatch := flag.Int("ingest-batch", 0, "ingest write-batch size (0 = default 1024, 1 = per-record)")
+	ingestPar := flag.Int("ingest-parallelism", 0, "ingest decode worker-pool size (0 = one per CPU)")
 	flag.Parse()
 
-	opts := scdb.Options{Dir: *dir, Parallelism: *parallelism}
+	sync, err := scdb.ParseSyncPolicy(*syncFlag)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	opts := scdb.Options{
+		Dir:               *dir,
+		Parallelism:       *parallelism,
+		Sync:              sync,
+		IngestBatchSize:   *ingestBatch,
+		IngestParallelism: *ingestPar,
+	}
 	switch *load {
 	case "lifesci", "clinical":
 		opts.Axioms = scdb.LifeSciAxioms + scdb.PopulationAxioms

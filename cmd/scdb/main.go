@@ -297,6 +297,11 @@ func printServerStats(c *client.Client) {
 		fmt.Printf("  %-8s n=%-6d err=%-4d mean=%.0fµs p50≤%dµs p95≤%dµs p99≤%dµs max=%dµs\n",
 			op, m.Count, m.Errors, m.MeanUS, m.P50US, m.P95US, m.P99US, m.MaxUS)
 	}
+	if ing := s.Ingest; ing.Batches > 0 {
+		fmt.Printf("ingest: batches=%d rows=%d batch-size mean=%.0f p50≤%d p95≤%d max=%d rows/s mean=%.0f p50≤%d p95≤%d max=%d\n",
+			ing.Batches, ing.Rows, ing.MeanBatch, ing.P50Batch, ing.P95Batch, ing.MaxBatch,
+			ing.MeanRowsPS, ing.P50RowsPS, ing.P95RowsPS, ing.MaxRowsPS)
+	}
 	pc := st.PlanCache
 	fmt.Printf("plan cache: %d plans, %d hits, %d misses\n", pc.Size, pc.Hits, pc.Misses)
 }

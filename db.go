@@ -56,7 +56,44 @@ type Options struct {
 	// default 1024). Smaller morsels mean finer-grained cancellation at
 	// some dispatch overhead; results are identical for every setting.
 	MorselSize int
+	// Sync selects the WAL durability policy for durable databases (Dir
+	// set); in-memory databases ignore it. State is identical for every
+	// setting — only the crash window differs.
+	Sync SyncPolicy
+	// IngestBatchSize chunks Ingest's instance-layer writes: each chunk
+	// pays one table latch, one index pass, and one log frame. <=0 uses
+	// the default (1024); 1 writes per record. Results are identical for
+	// every setting.
+	IngestBatchSize int
+	// IngestParallelism sizes Ingest's record-decode worker pool (<=0 =
+	// one per CPU; 1 = serial). Results are identical for every setting.
+	IngestParallelism int
 }
+
+// SyncPolicy selects when a durable database's committed log frames reach
+// stable storage.
+type SyncPolicy int
+
+const (
+	// SyncNone buffers log frames in user space; they reach disk on
+	// checkpoint and close. Fastest; a crash loses the buffered tail.
+	SyncNone SyncPolicy = iota
+	// SyncGroup makes every commit wait for a shared flush+fsync:
+	// concurrent commits coalesce into one disk round-trip (group commit).
+	SyncGroup
+	// SyncAlways flushes and fsyncs inline on every commit.
+	SyncAlways
+)
+
+// ParseSyncPolicy maps the flag spelling ("none", "group", "always") to a
+// policy; "" means SyncNone.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	p, err := storage.ParseSyncPolicy(s)
+	return SyncPolicy(p), err
+}
+
+// String names the policy as ParseSyncPolicy spells it.
+func (p SyncPolicy) String() string { return storage.SyncPolicy(p).String() }
 
 // DB is a self-curating database handle.
 type DB struct {
@@ -72,6 +109,9 @@ func Open(opts Options) (*DB, error) {
 		DisableMatCache:    opts.DisableCache,
 		Parallelism:        opts.Parallelism,
 		MorselSize:         opts.MorselSize,
+		Sync:               storage.SyncPolicy(opts.Sync),
+		IngestBatchSize:    opts.IngestBatchSize,
+		IngestParallelism:  opts.IngestParallelism,
 		ERConfig:           er.Config{Threshold: opts.ResolutionThreshold},
 	}
 	for _, r := range opts.LinkRules {

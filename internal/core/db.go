@@ -73,11 +73,32 @@ type Options struct {
 	DisablePlanCache bool
 	// PlanCacheSize bounds the plan cache (0 = default 256).
 	PlanCacheSize int
+	// Sync selects the storage commit durability policy (default
+	// storage.SyncNone: buffered log writes, flushed on checkpoint/close).
+	Sync storage.SyncPolicy
+	// IngestBatchSize is records per storage write batch during ingest
+	// (0 = curate.DefaultIngestBatch; 1 = per-record writes, the serial
+	// baseline). Final state is identical for every setting.
+	IngestBatchSize int
+	// IngestParallelism sizes the ingest decode worker pool (0 = one per
+	// CPU; 1 decodes inline). Final state is identical for every setting.
+	IngestParallelism int
 }
 
 // DB is the self-curating database engine.
+//
+// Lock order: ingestMu → pipeline.mu → db.mu. Nothing acquires pipeline.mu
+// while holding db.mu (Stats reads the pipeline counters before taking
+// db.mu), so curation can run outside the engine lock without deadlocking
+// against readers.
 type DB struct {
 	mu sync.RWMutex
+
+	// ingestMu serializes Ingest against itself and Close, without
+	// blocking queries: the curation pipeline's heavy phases run under it
+	// (and the pipeline's own mutex), not under db.mu.
+	ingestMu sync.Mutex
+	closed   bool // under ingestMu+mu; Close is idempotent
 
 	store    *storage.Store
 	cat      *catalog.Catalog
@@ -108,7 +129,7 @@ type DB struct {
 
 // Open assembles the engine.
 func Open(opts Options) (*DB, error) {
-	store, err := storage.Open(opts.Dir)
+	store, err := storage.OpenOptions(opts.Dir, storage.Options{Sync: opts.Sync})
 	if err != nil {
 		return nil, err
 	}
@@ -235,10 +256,18 @@ func (db *DB) persistClaim(c fusion.Claim) error {
 	return err
 }
 
-// Close persists the catalog and ontology, then closes the store.
+// Close persists the catalog and ontology, then closes the store. It
+// waits out an in-flight Ingest (ingestMu) so curation never writes to a
+// closed log.
 func (db *DB) Close() error {
+	db.ingestMu.Lock()
+	defer db.ingestMu.Unlock()
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	db.closed = true
 	if err := db.cat.Flush(); err != nil {
 		db.store.Close()
 		return err
@@ -304,16 +333,27 @@ func (db *DB) enrichmentVersion() uint64 {
 	return db.graph.Version() + db.onto.Version()
 }
 
-// Ingest runs a source delivery through the curation pipeline. The
-// materialization cache is invalidated: enrichment may change any derived
-// result.
+// Ingest runs a source delivery through the curation pipeline. The heavy
+// phases — decode, batched instance writes, ER, link discovery,
+// extraction, re-inference — run OUTSIDE db.mu: the pipeline serializes
+// itself, and every structure it feeds (store, catalog, graph, ontology,
+// reasoner) carries its own latch, so queries keep executing against
+// consistent, progressively enriched state while a delivery lands (FS.11's
+// continuous curation). db.mu is taken only for the final install step:
+// invalidating the materialization cache, which also waits out in-flight
+// readers so no stale result survives the enrichment.
 func (db *DB) Ingest(ds datagen.Dataset) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if err := db.pipeline.IngestDataset(ds); err != nil {
+	db.ingestMu.Lock()
+	defer db.ingestMu.Unlock()
+	if err := db.pipeline.IngestDatasetOpts(ds, curate.IngestOptions{
+		BatchSize:   db.opts.IngestBatchSize,
+		Parallelism: db.opts.IngestParallelism,
+	}); err != nil {
 		return err
 	}
+	db.mu.Lock()
 	db.matCache.InvalidateAll()
+	db.mu.Unlock()
 	return nil
 }
 
@@ -373,6 +413,15 @@ func (db *DB) TxnStats() txn.Stats { return db.txns.Stats() }
 
 // Vacuum reclaims record versions below the oldest live transaction's
 // snapshot and returns how many were removed.
+//
+// Vacuum deliberately takes no db.mu. It is safe without it: the horizon
+// is the oldest snapshot any live transaction can read at, so every
+// version Table.Vacuum drops is invisible to all current and future
+// readers by CSN arithmetic, and the per-table latch covers the chain
+// compaction plus the zone-map/index rebuild against concurrent scans and
+// writes. Holding db.mu here would stall queries and ingest for the whole
+// sweep; instead vacuum interleaves with both (pinned by
+// TestConcurrentIngestQueryVacuum under -race).
 func (db *DB) Vacuum() int {
 	horizon := db.txns.OldestSnapshot()
 	removed := 0
@@ -477,12 +526,13 @@ type Stats struct {
 	CacheHitRate    float64
 }
 
-// Stats returns a snapshot.
+// Stats returns a snapshot. The pipeline counters are read before db.mu
+// (never under it — see the lock order on DB).
 func (db *DB) Stats() Stats {
+	ps := db.pipeline.Stats()
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	rs := db.reasoner.Stats()
-	ps := db.pipeline.Stats()
 	claims := 0
 	for _, c := range db.worlds.Conflicts() {
 		claims += len(c.Claims)

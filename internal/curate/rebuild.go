@@ -32,8 +32,10 @@ const (
 // record.
 const typesAttr = "_types"
 
-// recordIngestMeta persists what IngestDataset needs for replay.
-func (p *Pipeline) recordIngestMeta(ds datagen.Dataset) error {
+// recordIngestMeta persists what IngestDataset needs for replay. Rows go
+// through the batch write path in batchSize chunks (1 = per-record, the
+// serial baseline). Caller holds p.mu.
+func (p *Pipeline) recordIngestMeta(ds datagen.Dataset, batchSize int) error {
 	ot, err := p.store.EnsureTable(OrderTable)
 	if err != nil {
 		return err
@@ -53,7 +55,8 @@ func (p *Pipeline) recordIngestMeta(ds datagen.Dataset) error {
 		if err != nil {
 			return err
 		}
-		for _, l := range ds.Links {
+		recs := make([]model.Record, len(ds.Links))
+		for i, l := range ds.Links {
 			p.seq++
 			rec := model.Record{
 				"seq":       model.Int(int64(p.seq)),
@@ -67,9 +70,10 @@ func (p *Pipeline) recordIngestMeta(ds datagen.Dataset) error {
 			} else {
 				rec["literal"] = l.Literal
 			}
-			if _, err := lt.Insert(rec); err != nil {
-				return err
-			}
+			recs[i] = rec
+		}
+		if err := insertChunked(lt, recs, batchSize); err != nil {
+			return err
 		}
 	}
 	if len(ds.Texts) > 0 {
@@ -77,15 +81,37 @@ func (p *Pipeline) recordIngestMeta(ds datagen.Dataset) error {
 		if err != nil {
 			return err
 		}
-		for _, text := range ds.Texts {
+		recs := make([]model.Record, len(ds.Texts))
+		for i, text := range ds.Texts {
 			p.seq++
-			if _, err := tt.Insert(model.Record{
+			recs[i] = model.Record{
 				"seq":    model.Int(int64(p.seq)),
 				"source": model.String(ds.Source),
 				"text":   model.String(text),
-			}); err != nil {
+			}
+		}
+		if err := insertChunked(tt, recs, batchSize); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// insertChunked writes recs through InsertBatch in batchSize chunks, or
+// one by one when batchSize is 1.
+func insertChunked(t *storage.Table, recs []model.Record, batchSize int) error {
+	if batchSize == 1 {
+		for _, rec := range recs {
+			if _, err := t.Insert(rec); err != nil {
 				return err
 			}
+		}
+		return nil
+	}
+	for lo := 0; lo < len(recs); lo += batchSize {
+		hi := min(lo+batchSize, len(recs))
+		if _, err := t.InsertBatch(recs[lo:hi]); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -95,6 +121,8 @@ func (p *Pipeline) recordIngestMeta(ds datagen.Dataset) error {
 // instance layer: sources are replayed in first-ingest order with their
 // recorded links and texts. Call once on open, before any new ingest.
 func (p *Pipeline) RebuildFromStore() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	order, maxSeq, err := p.loadOrder()
 	if err != nil {
 		return err

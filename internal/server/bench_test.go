@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -22,6 +24,92 @@ func benchCtx(b *testing.B) context.Context {
 }
 
 func nowMS() float64 { return float64(time.Now().UnixNano()) / 1e6 }
+
+// benchIngestTotal sizes BenchmarkIngestNet: total rows per iteration,
+// split across the client fleet. SCDB_INGEST_ROWS overrides the default.
+func benchIngestTotal() int {
+	if s := os.Getenv("SCDB_INGEST_ROWS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 20_000
+}
+
+// BenchmarkIngestNet is the E-ING networked sweep: N clients each stream
+// their share of the rows through client.IngestBatch against a durable
+// group-commit server. Engine-side, concurrent deliveries serialize on the
+// ingest path (one curation pipeline); what the sweep measures is how much
+// network decode and wire framing overlap with installs, and what the
+// admission-controlled service sustains end to end.
+func BenchmarkIngestNet(b *testing.B) {
+	total := benchIngestTotal()
+	for _, clients := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("c%d", clients), func(b *testing.B) {
+			db, err := scdb.Open(scdb.Options{
+				Dir:    b.TempDir(),
+				Axioms: "concept Device",
+				Sync:   scdb.SyncGroup,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			srv := server.New(server.Config{Addr: "127.0.0.1:0", DB: db, MaxInFlight: -1})
+			if err := srv.Start(); err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Shutdown(benchCtx(b))
+			addr := srv.Addr().String()
+			conns := make([]*client.Client, clients)
+			for i := range conns {
+				c, err := client.Dial(addr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer c.Close()
+				conns[i] = c
+			}
+
+			per := total / clients
+			var elapsed time.Duration
+			for iter := 0; iter < b.N; iter++ {
+				srcs := make([]scdb.Source, clients)
+				for c := range srcs {
+					src := scdb.Source{Name: fmt.Sprintf("feed-%d", c)}
+					for r := 0; r < per; r++ {
+						key := fmt.Sprintf("e-%d-%d-%06d", iter, c, r)
+						src.Entities = append(src.Entities, scdb.Entity{
+							Key:   key,
+							Types: []string{"Device"},
+							Attrs: scdb.Record{"name": "dev-" + key, "slot": int64(r)},
+						})
+					}
+					srcs[c] = src
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+				start := time.Now()
+				var wg sync.WaitGroup
+				for c := range conns {
+					wg.Add(1)
+					go func(c int) {
+						defer wg.Done()
+						if _, err := conns[c].IngestBatch(ctx, srcs[c], 1024); err != nil {
+							b.Error(err)
+						}
+					}(c)
+				}
+				wg.Wait()
+				elapsed += time.Since(start)
+				cancel()
+			}
+			if b.Failed() {
+				return
+			}
+			b.ReportMetric(float64(per*clients)*float64(b.N)/elapsed.Seconds(), "rows/s")
+		})
+	}
+}
 
 // benchQuery is a mid-weight statement (join + sort) that really executes
 // every time: the benchmark DBs disable result materialization.

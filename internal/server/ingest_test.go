@@ -1,0 +1,118 @@
+package server_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"scdb"
+	"scdb/internal/server"
+)
+
+// streamSource builds one delivery with n entities plus links that cross
+// chunk boundaries (every entity links back to the first).
+func streamSource(n int) scdb.Source {
+	src := scdb.Source{Name: "feed"}
+	for i := 0; i < n; i++ {
+		src.Entities = append(src.Entities, scdb.Entity{
+			Key:   fmt.Sprintf("e-%04d", i),
+			Types: []string{"Device"},
+			Attrs: scdb.Record{"name": fmt.Sprintf("device %d", i), "slot": int64(i)},
+		})
+	}
+	for i := 1; i < n; i++ {
+		src.Links = append(src.Links, scdb.Link{
+			FromKey:   fmt.Sprintf("e-%04d", i),
+			Predicate: "peer_of",
+			ToKey:     "e-0000",
+		})
+	}
+	return src
+}
+
+// TestIngestBatchStream pushes one delivery through the chunked wire path
+// and checks it lands identically to a single embedded Ingest.
+func TestIngestBatchStream(t *testing.T) {
+	const n = 137
+	db := openDB(t, scdb.Options{Axioms: "concept Device"})
+	_, addr := startServer(t, db, nil)
+	c := dial(t, addr)
+
+	sum, err := c.IngestBatch(context.Background(), streamSource(n), 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Rows != n {
+		t.Fatalf("summary rows = %d, want %d", sum.Rows, n)
+	}
+	// ceil(137/25) entity chunks + the final links chunk.
+	if want := 6 + 1; sum.Batches != want {
+		t.Fatalf("summary batches = %d, want %d", sum.Batches, want)
+	}
+	if sum.RowsPerSec <= 0 || sum.ElapsedUS <= 0 {
+		t.Fatalf("summary throughput not populated: %+v", sum)
+	}
+
+	ref := openDB(t, scdb.Options{Axioms: "concept Device"})
+	if err := ref.Ingest(streamSource(n)); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{
+		"SELECT COUNT(*) AS n FROM feed",
+		"SELECT name FROM feed WHERE slot < 30 ORDER BY name",
+		"SELECT COUNT(*) AS n FROM Device",
+	} {
+		got, err := c.Query(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		want, err := ref.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if render(got) != render(want) {
+			t.Fatalf("%s diverged:\n--- streamed ---\n%s--- embedded ---\n%s", q, render(got), render(want))
+		}
+	}
+
+	// The connection must stay framed and reusable after a stream.
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping after stream: %v", err)
+	}
+
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ing := st.Server.Ingest
+	if ing.Rows != n || ing.Batches == 0 || ing.MaxBatch == 0 || ing.MaxRowsPS == 0 {
+		t.Fatalf("ingest metrics not populated: %+v", ing)
+	}
+	if _, ok := st.Server.Ops[server.OpIngestBatch]; !ok {
+		t.Fatalf("no op metrics for %s: %+v", server.OpIngestBatch, st.Server.Ops)
+	}
+}
+
+// TestIngestBatchErrors exercises the failure paths: a nameless stream is
+// rejected but fully drained, so the connection survives.
+func TestIngestBatchErrors(t *testing.T) {
+	db := openDB(t, scdb.Options{})
+	_, addr := startServer(t, db, nil)
+	c := dial(t, addr)
+
+	nameless := streamSource(5)
+	nameless.Name = ""
+	_, err := c.IngestBatch(context.Background(), nameless, 2)
+	if err == nil {
+		t.Fatal("nameless source accepted")
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatalf("connection poisoned by rejected stream: %v", err)
+	}
+	// The stream still works afterwards.
+	src := streamSource(5)
+	src.Name = "feed"
+	if _, err := c.IngestBatch(context.Background(), src, 2); err != nil {
+		t.Fatalf("stream after rejection: %v", err)
+	}
+}

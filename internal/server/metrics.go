@@ -6,13 +6,14 @@ import (
 	"time"
 )
 
-// histBuckets are power-of-two microsecond latency buckets: bucket i
-// counts observations in [2^i, 2^(i+1)) µs, up to ~34 s in the last.
+// histBuckets are power-of-two buckets: bucket i counts observations in
+// [2^i, 2^(i+1)). For latencies the unit is the microsecond, making the
+// last bucket ~34 s; the same shape serves batch sizes and rows/sec.
 const histBuckets = 25
 
-// histogram is a fixed-size log2 latency histogram. Percentiles are read
-// back as the upper edge of the bucket holding the quantile — a ≤2×
-// overestimate, which is enough to see admission control and saturation.
+// histogram is a fixed-size log2 histogram. Percentiles are read back as
+// the upper edge of the bucket holding the quantile — a ≤2× overestimate,
+// which is enough to see admission control and saturation.
 type histogram struct {
 	counts [histBuckets]uint64
 	count  uint64
@@ -21,7 +22,10 @@ type histogram struct {
 }
 
 func (h *histogram) observe(d time.Duration) {
-	us := uint64(d.Microseconds())
+	h.observeValue(uint64(d.Microseconds()))
+}
+
+func (h *histogram) observeValue(us uint64) {
 	b := 0
 	for v := us; v > 1 && b < histBuckets-1; v >>= 1 {
 		b++
@@ -32,6 +36,13 @@ func (h *histogram) observe(d time.Duration) {
 	if us > h.maxUS {
 		h.maxUS = us
 	}
+}
+
+func (h *histogram) mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sumUS) / float64(h.count)
 }
 
 // quantile returns the upper bucket edge at q (0 < q <= 1) in µs.
@@ -80,6 +91,24 @@ type ServerStats struct {
 	// Conns is open connections; ConnsTotal is lifetime accepts.
 	Conns      int    `json:"conns"`
 	ConnsTotal uint64 `json:"conns_total"`
+	// Ingest covers the batch write path (ingest and ingest_batch).
+	Ingest IngestMetrics `json:"ingest"`
+}
+
+// IngestMetrics summarizes the server's ingest traffic: batch sizes in
+// rows and per-batch throughput in rows/sec, each as a log2 histogram
+// readout.
+type IngestMetrics struct {
+	Batches    uint64  `json:"batches"`
+	Rows       uint64  `json:"rows"`
+	MeanBatch  float64 `json:"mean_batch"`
+	P50Batch   uint64  `json:"p50_batch"`
+	P95Batch   uint64  `json:"p95_batch"`
+	MaxBatch   uint64  `json:"max_batch"`
+	MeanRowsPS float64 `json:"mean_rows_ps"`
+	P50RowsPS  uint64  `json:"p50_rows_ps"`
+	P95RowsPS  uint64  `json:"p95_rows_ps"`
+	MaxRowsPS  uint64  `json:"max_rows_ps"`
 }
 
 // metrics aggregates the service layer's counters. One mutex is plenty:
@@ -91,6 +120,10 @@ type metrics struct {
 	canceled   uint64
 	conns      int
 	connsTotal uint64
+
+	ingestBatch histogram // rows per installed batch
+	ingestRate  histogram // rows/sec per installed batch
+	ingestRows  uint64
 }
 
 type opCell struct {
@@ -113,6 +146,23 @@ func (m *metrics) observe(op string, d time.Duration, failed bool) {
 	if failed {
 		c.errors++
 	}
+	m.mu.Unlock()
+}
+
+// observeIngest records one installed batch: its size in rows and the
+// throughput it achieved.
+func (m *metrics) observeIngest(rows int, d time.Duration) {
+	if rows <= 0 {
+		return
+	}
+	rate := uint64(0)
+	if s := d.Seconds(); s > 0 {
+		rate = uint64(float64(rows) / s)
+	}
+	m.mu.Lock()
+	m.ingestBatch.observeValue(uint64(rows))
+	m.ingestRate.observeValue(rate)
+	m.ingestRows += uint64(rows)
 	m.mu.Unlock()
 }
 
@@ -152,6 +202,18 @@ func (m *metrics) snapshot() ServerStats {
 		Canceled:   m.canceled,
 		Conns:      m.conns,
 		ConnsTotal: m.connsTotal,
+		Ingest: IngestMetrics{
+			Batches:    m.ingestBatch.count,
+			Rows:       m.ingestRows,
+			MeanBatch:  m.ingestBatch.mean(),
+			P50Batch:   m.ingestBatch.quantile(0.50),
+			P95Batch:   m.ingestBatch.quantile(0.95),
+			MaxBatch:   m.ingestBatch.maxUS,
+			MeanRowsPS: m.ingestRate.mean(),
+			P50RowsPS:  m.ingestRate.quantile(0.50),
+			P95RowsPS:  m.ingestRate.quantile(0.95),
+			MaxRowsPS:  m.ingestRate.maxUS,
+		},
 	}
 	names := make([]string, 0, len(m.ops))
 	for name := range m.ops {

@@ -80,6 +80,14 @@ const (
 	OpExplain = "explain"
 	OpIngest  = "ingest"
 	OpStats   = "stats"
+	// OpIngestBatch streams one source delivery as a sequence of
+	// IngestChunk frames following the request header. The header's Source
+	// carries only the source name; each chunk installs as one batched
+	// delivery to that source, and the whole stream holds a single
+	// admission slot. The final chunk sets Done and conventionally carries
+	// the links and texts, after every entity chunk, so cross-chunk
+	// references resolve without retries.
+	OpIngestBatch = "ingest_batch"
 )
 
 // Error codes carried in Response.Code.
@@ -107,10 +115,33 @@ type Response struct {
 	OK      bool          `json:"ok"`
 	Code    string        `json:"code,omitempty"`
 	Err     string        `json:"err,omitempty"`
-	Columns []string      `json:"columns,omitempty"`
-	Rows    [][]WireValue `json:"rows,omitempty"`
-	Info    *WireInfo     `json:"info,omitempty"`
-	Stats   *StatsReply   `json:"stats,omitempty"`
+	Columns []string       `json:"columns,omitempty"`
+	Rows    [][]WireValue  `json:"rows,omitempty"`
+	Info    *WireInfo      `json:"info,omitempty"`
+	Stats   *StatsReply    `json:"stats,omitempty"`
+	Ingest  *IngestSummary `json:"ingest,omitempty"`
+}
+
+// IngestChunk is one streamed frame of an ingest_batch request. Chunks
+// arrive after the request header; the server installs each as one batched
+// delivery. Done marks the last chunk (it may itself carry payload).
+type IngestChunk struct {
+	Entities []WireEntity `json:"entities,omitempty"`
+	Links    []WireLink   `json:"links,omitempty"`
+	Texts    []string     `json:"texts,omitempty"`
+	Done     bool         `json:"done,omitempty"`
+}
+
+// IngestSummary reports a completed ingest_batch stream.
+type IngestSummary struct {
+	// Batches is the number of non-empty chunks installed.
+	Batches int `json:"batches"`
+	// Rows is the number of entity records installed.
+	Rows int `json:"rows"`
+	// ElapsedUS spans the first chunk read to the last install.
+	ElapsedUS int64 `json:"elapsed_us"`
+	// RowsPerSec is Rows over the elapsed wall clock.
+	RowsPerSec float64 `json:"rows_per_sec"`
 }
 
 // WireInfo mirrors scdb.QueryInfo.

@@ -309,7 +309,7 @@ func (s *Server) dispatch(br *bufio.Reader, c *conn, req Request) Response {
 	case OpStats:
 		st := s.Stats()
 		return Response{OK: true, Stats: &st}
-	case OpQuery, OpExplain, OpIngest:
+	case OpQuery, OpExplain, OpIngest, OpIngestBatch:
 		// Fall through to the admitted path below.
 	case "":
 		return Response{Code: CodeBadRequest, Err: "missing op"}
@@ -329,10 +329,16 @@ func (s *Server) dispatch(br *bufio.Reader, c *conn, req Request) Response {
 		defer acancel()
 	}
 	if err := s.admit.acquire(admitCtx); err != nil {
+		if req.Op == OpIngestBatch {
+			s.drainIngest(br, c)
+		}
 		return errorResponse(err)
 	}
 	defer s.admit.release()
 	if err := ctx.Err(); err != nil {
+		if req.Op == OpIngestBatch {
+			s.drainIngest(br, c)
+		}
 		return errorResponse(err)
 	}
 
@@ -366,12 +372,115 @@ func (s *Server) dispatch(br *bufio.Reader, c *conn, req Request) Response {
 		if err != nil {
 			return Response{Code: CodeBadRequest, Err: err.Error()}
 		}
+		start := time.Now()
 		if err := s.cfg.DB.Ingest(src); err != nil {
 			return errorResponse(err)
 		}
+		s.metrics.observeIngest(len(src.Entities), time.Since(start))
 		return Response{OK: true}
+	case OpIngestBatch:
+		return s.ingestStream(ctx, br, c, req)
 	}
 	return Response{Code: CodeBadRequest, Err: "unreachable"}
+}
+
+// drainIngest discards an ingest_batch chunk stream whose request failed
+// before the install loop (shed by admission, expired in queue): the
+// client has already pipelined its chunks, so they must be consumed for
+// the connection to stay framed. A read error closes the connection.
+func (s *Server) drainIngest(br *bufio.Reader, c *conn) {
+	for {
+		c.nc.SetReadDeadline(time.Now().Add(s.cfg.FrameTimeout))
+		var chunk IngestChunk
+		err := ReadFrame(br, s.cfg.MaxFrame, &chunk)
+		c.nc.SetReadDeadline(time.Time{})
+		if err != nil {
+			c.nc.Close()
+			return
+		}
+		if chunk.Done {
+			return
+		}
+	}
+}
+
+// ingestStream consumes an ingest_batch chunk stream under one admission
+// slot, installing each chunk as a batched delivery to the named source.
+// After the first failure it keeps draining frames until Done — the client
+// writes the whole stream before reading the response, so the stream must
+// be consumed to stay framed — and answers with the failure. A read error
+// mid-stream leaves the connection unframeable, so it is closed.
+func (s *Server) ingestStream(ctx context.Context, br *bufio.Reader, c *conn, req Request) Response {
+	var (
+		sum     IngestSummary
+		opErr   error
+		badCode string
+	)
+	name := ""
+	if req.Source != nil {
+		name = req.Source.Name
+	}
+	if name == "" {
+		opErr = errors.New("ingest_batch without source name")
+		badCode = CodeBadRequest
+	}
+	start := time.Now()
+	for {
+		c.nc.SetReadDeadline(time.Now().Add(s.cfg.FrameTimeout))
+		var chunk IngestChunk
+		err := ReadFrame(br, s.cfg.MaxFrame, &chunk)
+		c.nc.SetReadDeadline(time.Time{})
+		if err != nil {
+			// The payload may be half-read; nothing after it can be framed.
+			c.nc.Close()
+			if opErr == nil {
+				opErr = fmt.Errorf("ingest_batch stream: %w", err)
+				badCode = CodeBadRequest
+			}
+			break
+		}
+		if opErr == nil {
+			if cErr := ctx.Err(); cErr != nil {
+				opErr = cErr
+			}
+		}
+		if opErr == nil && (len(chunk.Entities) > 0 || len(chunk.Links) > 0 || len(chunk.Texts) > 0) {
+			src, err := DecodeSource(&WireSource{
+				Name:     name,
+				Entities: chunk.Entities,
+				Links:    chunk.Links,
+				Texts:    chunk.Texts,
+			})
+			if err != nil {
+				opErr = err
+				badCode = CodeBadRequest
+			} else {
+				bStart := time.Now()
+				if err := s.cfg.DB.Ingest(src); err != nil {
+					opErr = err
+				} else {
+					s.metrics.observeIngest(len(src.Entities), time.Since(bStart))
+					sum.Batches++
+					sum.Rows += len(src.Entities)
+				}
+			}
+		}
+		if chunk.Done {
+			break
+		}
+	}
+	if opErr != nil {
+		if badCode != "" {
+			return Response{Code: badCode, Err: opErr.Error()}
+		}
+		return errorResponse(opErr)
+	}
+	elapsed := time.Since(start)
+	sum.ElapsedUS = elapsed.Microseconds()
+	if s := elapsed.Seconds(); s > 0 {
+		sum.RowsPerSec = float64(sum.Rows) / s
+	}
+	return Response{OK: true, Ingest: &sum}
 }
 
 // requestCtx derives the per-request context: the client's timeout

@@ -10,6 +10,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"scdb/internal/model"
 )
@@ -20,6 +22,12 @@ const (
 	opInsert      byte = 2
 	opUpdate      byte = 3
 	opDelete      byte = 4
+	// opBatch frames several mutations against one table as a single
+	// checksummed unit: the frame's rowID slot carries the entry count and
+	// the payload concatenates [op][uvarint rowID][uvarint len][record].
+	// Because one checksum covers the whole frame, a batch is atomic under
+	// crash recovery — it is either fully replayed or truncated away.
+	opBatch byte = 5
 )
 
 const (
@@ -27,17 +35,77 @@ const (
 	snapshotName = "scdb.snapshot"
 )
 
+// SyncPolicy selects when committed log frames reach stable storage.
+type SyncPolicy int
+
+const (
+	// SyncNone buffers frames in user space; they reach the OS on
+	// Sync/Checkpoint/Close. Fastest; a crash loses the buffered tail.
+	SyncNone SyncPolicy = iota
+	// SyncGroup makes every commit wait until a single flusher goroutine
+	// has flushed and fsynced its frame. Commits that arrive while a flush
+	// is in flight coalesce into the next one (group commit), so N
+	// concurrent writers pay ~1 fsync, not N.
+	SyncGroup
+	// SyncAlways flushes and fsyncs inline on every commit.
+	SyncAlways
+)
+
+// String names the policy.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncNone:
+		return "none"
+	case SyncGroup:
+		return "group"
+	case SyncAlways:
+		return "always"
+	}
+	return fmt.Sprintf("syncpolicy(%d)", int(p))
+}
+
+// ParseSyncPolicy maps the flag spelling to a policy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "", "none":
+		return SyncNone, nil
+	case "group":
+		return SyncGroup, nil
+	case "always":
+		return SyncAlways, nil
+	}
+	return SyncNone, fmt.Errorf("storage: unknown sync policy %q (want none, group, or always)", s)
+}
+
 // wal is the append-only durability log. Each frame is
 // [u32 length][u64 FNV-1a checksum][payload]; a torn tail (short or
 // checksum-mismatched frame) is truncated on recovery rather than failing
 // the open, as a crash mid-append is expected behaviour.
+//
+// All frame writes go through log/logBatch, which serialize on mu — the
+// bufio.Writer is shared, so an unserialized append from two goroutines
+// would interleave frame bytes and corrupt the log.
 type wal struct {
-	f   *os.File
-	w   *bufio.Writer
-	dir string
+	mu     sync.Mutex // serializes frame writes, seq, and buffer flushes
+	f      *os.File
+	w      *bufio.Writer
+	dir    string
+	pol    SyncPolicy
+	seq    uint64 // frames appended (under mu)
+	closed atomic.Bool
+
+	// Group-commit state: commits under SyncGroup wait on cond until
+	// flushed covers their frame or a flush failed (sticky flushErr).
+	flushMu  sync.Mutex
+	cond     *sync.Cond
+	flushed  uint64
+	flushErr error
+	kick     chan struct{} // buffered(1); wakes the flusher
+	quit     chan struct{}
+	done     chan struct{}
 }
 
-func openWAL(dir string) (*wal, error) {
+func openWAL(dir string, pol SyncPolicy) (*wal, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
@@ -45,20 +113,56 @@ func openWAL(dir string) (*wal, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &wal{f: f, w: bufio.NewWriter(f), dir: dir}, nil
+	w := &wal{f: f, w: bufio.NewWriter(f), dir: dir, pol: pol}
+	w.cond = sync.NewCond(&w.flushMu)
+	if pol == SyncGroup {
+		w.kick = make(chan struct{}, 1)
+		w.quit = make(chan struct{})
+		w.done = make(chan struct{})
+		go w.flusher()
+	}
+	return w, nil
 }
 
+// errWALClosed fails appends and commits that arrive after close instead
+// of buffering frames that can never reach disk (or, under SyncGroup,
+// parking a waiter for a flusher that no longer runs).
+var errWALClosed = errors.New("storage: wal is closed")
+
 func (w *wal) close() error {
-	if err := w.w.Flush(); err != nil {
+	if w.closed.Swap(true) {
+		return nil
+	}
+	if w.quit != nil {
+		close(w.quit)
+		<-w.done
+	}
+	w.mu.Lock()
+	seq := w.seq
+	err := w.w.Flush()
+	w.mu.Unlock()
+	if err == nil && w.pol != SyncNone {
+		err = w.f.Sync()
+	}
+	// Release any commit still parked in waitDurable.
+	w.flushMu.Lock()
+	if err == nil {
+		w.flushed = seq
+	} else if w.flushErr == nil {
+		w.flushErr = err
+	}
+	w.cond.Broadcast()
+	w.flushMu.Unlock()
+	if err != nil {
 		w.f.Close()
 		return err
 	}
 	return w.f.Close()
 }
 
-// append writes one framed operation. data is the op-specific payload
-// (an encoded record for insert/update, nil otherwise).
-func (w *wal) append(op byte, table string, rowID uint64, data []byte) error {
+// frame writes one framed payload under mu and returns its sequence
+// number. The caller then commits it per the sync policy.
+func (w *wal) frame(op byte, table string, rowID uint64, data []byte) (uint64, error) {
 	payload := make([]byte, 0, 1+10+len(table)+10+len(data))
 	payload = append(payload, op)
 	payload = binary.AppendUvarint(payload, uint64(len(table)))
@@ -73,13 +177,127 @@ func (w *wal) append(op byte, table string, rowID uint64, data []byte) error {
 	var hdr [12]byte
 	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
 	binary.BigEndian.PutUint64(hdr[4:12], h.Sum64())
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed.Load() {
+		return 0, errWALClosed
+	}
 	if _, err := w.w.Write(hdr[:]); err != nil {
-		return fmt.Errorf("storage: wal append: %w", err)
+		return 0, fmt.Errorf("storage: wal append: %w", err)
 	}
 	if _, err := w.w.Write(payload); err != nil {
-		return fmt.Errorf("storage: wal append: %w", err)
+		return 0, fmt.Errorf("storage: wal append: %w", err)
 	}
-	return nil
+	w.seq++
+	return w.seq, nil
+}
+
+// log appends one framed operation and commits it per the sync policy.
+// data is the op-specific payload (an encoded record for insert/update,
+// concatenated sub-entries for a batch, nil otherwise).
+func (w *wal) log(op byte, table string, rowID uint64, data []byte) error {
+	seq, err := w.frame(op, table, rowID, data)
+	if err != nil {
+		return err
+	}
+	return w.commit(seq)
+}
+
+// batchEntry is one mutation inside a multi-record frame.
+type batchEntry struct {
+	op    byte
+	rowID uint64
+	data  []byte
+}
+
+// logBatch appends one multi-record frame covering every entry and commits
+// it once: one checksum, one buffer write, and (under SyncGroup/SyncAlways)
+// one fsync for the whole batch.
+func (w *wal) logBatch(table string, entries []batchEntry) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	size := 0
+	for _, e := range entries {
+		size += 1 + 10 + 10 + len(e.data)
+	}
+	data := make([]byte, 0, size)
+	for _, e := range entries {
+		data = append(data, e.op)
+		data = binary.AppendUvarint(data, e.rowID)
+		data = binary.AppendUvarint(data, uint64(len(e.data)))
+		data = append(data, e.data...)
+	}
+	return w.log(opBatch, table, uint64(len(entries)), data)
+}
+
+// commit makes frame seq durable per the policy before returning.
+func (w *wal) commit(seq uint64) error {
+	switch w.pol {
+	case SyncNone:
+		return nil
+	case SyncAlways:
+		w.mu.Lock()
+		err := w.w.Flush()
+		w.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		return w.f.Sync()
+	}
+	return w.waitDurable(seq)
+}
+
+// flusher is the single group-commit goroutine: every kick flushes and
+// fsyncs whatever the buffer holds, then wakes every waiter it covered.
+func (w *wal) flusher() {
+	defer close(w.done)
+	for {
+		select {
+		case <-w.quit:
+			return
+		case <-w.kick:
+		}
+		w.flushOnce()
+	}
+}
+
+func (w *wal) flushOnce() {
+	w.mu.Lock()
+	target := w.seq
+	err := w.w.Flush()
+	w.mu.Unlock()
+	if err == nil {
+		err = w.f.Sync()
+	}
+	w.flushMu.Lock()
+	if err != nil {
+		w.flushErr = err // sticky: a lost frame can't be un-lost
+	} else if target > w.flushed {
+		w.flushed = target
+	}
+	w.cond.Broadcast()
+	w.flushMu.Unlock()
+}
+
+// waitDurable blocks until frame seq is on stable storage or a flush
+// failed. Waiters arriving while a flush is in flight are picked up by the
+// next one — the kick channel holds at most one pending wakeup.
+func (w *wal) waitDurable(seq uint64) error {
+	w.flushMu.Lock()
+	defer w.flushMu.Unlock()
+	for w.flushed < seq && w.flushErr == nil {
+		if w.closed.Load() {
+			return errWALClosed // the flusher is gone; nobody will wake us
+		}
+		select {
+		case w.kick <- struct{}{}:
+		default:
+		}
+		w.cond.Wait()
+	}
+	return w.flushErr
 }
 
 // Sync flushes buffered log frames and fsyncs the file.
@@ -87,7 +305,10 @@ func (s *Store) Sync() error {
 	if s.wal == nil {
 		return nil
 	}
-	if err := s.wal.w.Flush(); err != nil {
+	s.wal.mu.Lock()
+	err := s.wal.w.Flush()
+	s.wal.mu.Unlock()
+	if err != nil {
 		return err
 	}
 	return s.wal.f.Sync()
@@ -219,37 +440,70 @@ func (s *Store) applyEntry(e logEntry) error {
 	if !ok {
 		return fmt.Errorf("storage: log references unknown table %q", e.table)
 	}
-	switch e.op {
+	if e.op == opBatch {
+		// One commit stamp for the whole batch, as the live path used.
+		csn := s.next()
+		rest := e.data
+		for i := uint64(0); i < e.rowID; i++ {
+			if len(rest) < 1 {
+				return fmt.Errorf("storage: malformed batch frame for %q", e.table)
+			}
+			op := rest[0]
+			pos := 1
+			id, n := binary.Uvarint(rest[pos:])
+			if n <= 0 {
+				return fmt.Errorf("storage: malformed batch row id")
+			}
+			pos += n
+			dl, n := binary.Uvarint(rest[pos:])
+			if n <= 0 || uint64(len(rest)-pos-n) < dl {
+				return fmt.Errorf("storage: malformed batch data length")
+			}
+			pos += n
+			data := rest[pos : pos+int(dl)]
+			rest = rest[pos+int(dl):]
+			if err := s.applyOp(t, op, id, data, csn); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return s.applyOp(t, e.op, e.rowID, e.data, s.next())
+}
+
+// applyOp replays one mutation against a table at the given stamp.
+func (s *Store) applyOp(t *Table, op byte, rowID uint64, data []byte, csn CSN) error {
+	switch op {
 	case opInsert:
-		rec, _, err := model.DecodeRecord(e.data)
+		rec, _, err := model.DecodeRecord(data)
 		if err != nil {
 			return err
 		}
-		id := RowID(e.rowID)
-		t.rows[id] = &row{versions: []version{{rec: rec, from: s.next()}}}
+		id := RowID(rowID)
+		t.rows[id] = &row{versions: []version{{rec: rec, from: csn}}}
 		if uint64(id) > t.nextID {
 			t.nextID = uint64(id)
 		}
 		t.live++
 	case opUpdate:
-		rec, _, err := model.DecodeRecord(e.data)
+		rec, _, err := model.DecodeRecord(data)
 		if err != nil {
 			return err
 		}
-		r, ok := t.rows[RowID(e.rowID)]
+		r, ok := t.rows[RowID(rowID)]
 		if !ok {
-			return fmt.Errorf("storage: log update of unknown row %d in %q", e.rowID, e.table)
+			return fmt.Errorf("storage: log update of unknown row %d in %q", rowID, t.name)
 		}
-		r.versions = append(r.versions, version{rec: rec, from: s.next()})
+		r.versions = append(r.versions, version{rec: rec, from: csn})
 	case opDelete:
-		r, ok := t.rows[RowID(e.rowID)]
+		r, ok := t.rows[RowID(rowID)]
 		if !ok {
-			return fmt.Errorf("storage: log delete of unknown row %d in %q", e.rowID, e.table)
+			return fmt.Errorf("storage: log delete of unknown row %d in %q", rowID, t.name)
 		}
-		r.versions = append(r.versions, version{rec: nil, from: s.next()})
+		r.versions = append(r.versions, version{rec: nil, from: csn})
 		t.live--
 	default:
-		return fmt.Errorf("storage: unknown log op %d", e.op)
+		return fmt.Errorf("storage: unknown log op %d", op)
 	}
 	return nil
 }
@@ -290,7 +544,10 @@ func (s *Store) Checkpoint() error {
 	if err := os.Rename(tmp, filepath.Join(s.dir, snapshotName)); err != nil {
 		return err
 	}
-	// Truncate the log: everything it held is in the snapshot now.
+	// Truncate the log under the append lock: everything it held is in the
+	// snapshot now, and no new frame may interleave with the truncation.
+	s.wal.mu.Lock()
+	defer s.wal.mu.Unlock()
 	if err := s.wal.f.Truncate(0); err != nil {
 		return err
 	}
