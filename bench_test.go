@@ -347,8 +347,8 @@ func benchTxn(b *testing.B, level txn.Level) {
 	}
 }
 
-func BenchmarkTxnSnapshot(b *testing.B)  { benchTxn(b, txn.Snapshot) }
-func BenchmarkTxnRelaxed(b *testing.B)   { benchTxn(b, txn.EventualEnrichment) }
+func BenchmarkTxnSnapshot(b *testing.B) { benchTxn(b, txn.Snapshot) }
+func BenchmarkTxnRelaxed(b *testing.B)  { benchTxn(b, txn.EventualEnrichment) }
 
 // --- E-OS1: clustering ---------------------------------------------------------
 

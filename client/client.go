@@ -194,6 +194,21 @@ func (c *Client) Ingest(src scdb.Source) error {
 	return err
 }
 
+// IngestTraced is Ingest with tracing on: the response carries the
+// curation pipeline's span tree (decode fan-out, batch install with WAL
+// fsync wait, relation, integration, inference) as indented JSON.
+func (c *Client) IngestTraced(src scdb.Source) (string, error) {
+	ws, err := server.EncodeSource(src)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.roundTrip(nil, server.Request{Op: server.OpIngest, Source: ws, Trace: true})
+	if err != nil {
+		return "", err
+	}
+	return resp.Trace, nil
+}
+
 // IngestSummary reports what a streamed IngestBatch installed.
 type IngestSummary = server.IngestSummary
 
@@ -301,6 +316,29 @@ func (c *Client) Stats() (server.StatsReply, error) {
 		return server.StatsReply{}, errors.New("scdb client: stats response without body")
 	}
 	return *resp.Stats, nil
+}
+
+// Metrics fetches the server's metrics registry as sorted "name value"
+// text — the same body the debug listener serves at /metrics.
+func (c *Client) Metrics() (string, error) {
+	resp, err := c.roundTrip(nil, server.Request{Op: server.OpMetrics})
+	if err != nil {
+		return "", err
+	}
+	return resp.Metrics, nil
+}
+
+// SlowLog fetches the server's slow-op ring, oldest first, along with the
+// configured threshold and the lifetime count of slow operations.
+func (c *Client) SlowLog() (server.SlowLogReply, error) {
+	resp, err := c.roundTrip(nil, server.Request{Op: server.OpSlowLog})
+	if err != nil {
+		return server.SlowLogReply{}, err
+	}
+	if resp.Slow == nil {
+		return server.SlowLogReply{}, errors.New("scdb client: slowlog response without body")
+	}
+	return *resp.Slow, nil
 }
 
 func queryInfo(w *server.WireInfo) *scdb.QueryInfo {

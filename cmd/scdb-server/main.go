@@ -14,11 +14,17 @@
 //	-timeout D        default per-request deadline
 //	-max-timeout D    cap on client-requested deadlines
 //	-grace D          drain window on SIGINT/SIGTERM before forcing
+//	-slow-threshold D slow-op log threshold (0 = default 100ms, -1ns disables)
+//	-slow-log N       slow-op ring capacity (0 = default 128)
+//	-debug-addr ADDR  optional HTTP listener: /metrics /slowlog /debug/pprof
 //
 // The server speaks the length-prefixed JSON frame protocol; use the
 // scdb/client package or `scdb -connect HOST:PORT`. On SIGINT/SIGTERM it
 // drains: in-flight requests finish (up to -grace), then remaining
 // statements are canceled mid-morsel and connections closed.
+//
+// The -debug-addr listener has no authentication and the slow-op log
+// exposes statement text; bind it to localhost or a management network.
 package main
 
 import (
@@ -26,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -49,6 +56,9 @@ func main() {
 	syncFlag := flag.String("sync", "none", "WAL durability with -dir: none | group | always")
 	ingestBatch := flag.Int("ingest-batch", 0, "ingest write-batch size (0 = default 1024, 1 = per-record)")
 	ingestPar := flag.Int("ingest-parallelism", 0, "ingest decode worker-pool size (0 = one per CPU)")
+	slowThreshold := flag.Duration("slow-threshold", 0, "slow-op log threshold (0 = default 100ms, negative disables)")
+	slowLog := flag.Int("slow-log", 0, "slow-op ring capacity (0 = default 128)")
+	debugAddr := flag.String("debug-addr", "", "HTTP listener for /metrics, /slowlog, /debug/pprof (empty = off)")
 	flag.Parse()
 
 	sync, err := scdb.ParseSyncPolicy(*syncFlag)
@@ -101,18 +111,31 @@ func main() {
 	}
 
 	srv := server.New(server.Config{
-		Addr:           *addr,
-		DB:             db,
-		MaxInFlight:    *maxInflight,
-		MaxQueue:       *maxQueue,
-		QueueTimeout:   *queueTimeout,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
+		Addr:            *addr,
+		DB:              db,
+		MaxInFlight:     *maxInflight,
+		MaxQueue:        *maxQueue,
+		QueueTimeout:    *queueTimeout,
+		DefaultTimeout:  *timeout,
+		MaxTimeout:      *maxTimeout,
+		SlowOpThreshold: *slowThreshold,
+		SlowLogSize:     *slowLog,
 	})
 	if err := srv.Start(); err != nil {
 		fatalf("listen: %v", err)
 	}
 	log.Printf("scdb-server listening on %s", srv.Addr())
+
+	if *debugAddr != "" {
+		dbg := &http.Server{Addr: *debugAddr, Handler: srv.DebugHandler()}
+		go func() {
+			if err := dbg.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
+		defer dbg.Close()
+		log.Printf("debug listener on http://%s/debug/pprof/ (plus /metrics, /slowlog)", *debugAddr)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

@@ -16,8 +16,10 @@
 //
 // With no -q/-explain/-analyze, scdb reads SCQL statements from stdin,
 // one per line (lines starting with \ are shell commands: \stats,
-// \witnesses, \sources, \indexes, \analyze Q, \quit). EXPLAIN and
-// EXPLAIN ANALYZE also work as ordinary statement prefixes.
+// \witnesses, \sources, \indexes, \analyze Q, \trace Q, \quit). EXPLAIN,
+// EXPLAIN ANALYZE, and TRACE also work as ordinary statement prefixes.
+// Against a server (-connect), \metrics dumps the metrics registry and
+// \slow prints the slow-op log.
 package main
 
 import (
@@ -25,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"scdb"
@@ -133,7 +136,7 @@ func main() {
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	if isTTY() {
-		fmt.Println(`scdb shell — SCQL statements, or \stats \witnesses \sources \conflicts \indexes \schema T \explain Q \analyze Q \tables \quit`)
+		fmt.Println(`scdb shell — SCQL statements, or \stats \witnesses \sources \conflicts \indexes \schema T \explain Q \analyze Q \trace Q \tables \quit`)
 		fmt.Print("scdb> ")
 	}
 	for sc.Scan() {
@@ -149,8 +152,9 @@ func main() {
 				fmt.Printf("%s must have %s to some %s (via %s)\n", w.Entity, w.Role, w.Filler, w.Because)
 			}
 		case line == `\sources`:
-			for src, score := range db.RefreshRichness() {
-				fmt.Printf("%-16s richness %.3f\n", src, score)
+			rich := db.RefreshRichness()
+			for _, src := range sortedKeys(rich) {
+				fmt.Printf("%-16s richness %.3f\n", src, rich[src])
 			}
 		case line == `\conflicts`:
 			for _, c := range db.Conflicts() {
@@ -159,8 +163,8 @@ func main() {
 					kind = "parallel worlds"
 				}
 				fmt.Printf("%s.%s (%s):\n", c.Entity, c.Attr, kind)
-				for v, srcs := range c.Values {
-					fmt.Printf("  %-14s from %s\n", v, strings.Join(srcs, ", "))
+				for _, v := range sortedKeys(c.Values) {
+					fmt.Printf("  %-14s from %s\n", v, strings.Join(c.Values[v], ", "))
 				}
 			}
 		case line == `\indexes`:
@@ -187,8 +191,8 @@ func main() {
 			table := strings.TrimSpace(strings.TrimPrefix(line, `\schema `))
 			for _, a := range db.Schema(table) {
 				kinds := make([]string, 0, len(a.Kinds))
-				for k, n := range a.Kinds {
-					kinds = append(kinds, fmt.Sprintf("%s×%d", k, n))
+				for _, k := range sortedKeys(a.Kinds) {
+					kinds = append(kinds, fmt.Sprintf("%s×%d", k, a.Kinds[k]))
 				}
 				fmt.Printf("%-16s filled %-5d %s\n", a.Name, a.Filled, strings.Join(kinds, " "))
 			}
@@ -206,6 +210,8 @@ func main() {
 			fmt.Printf("estimated cost: %.0f\n", info.EstimatedCost)
 		case strings.HasPrefix(line, `\analyze `):
 			runAnalyze(db, strings.TrimSpace(strings.TrimPrefix(line, `\analyze `)))
+		case strings.HasPrefix(line, `\trace `):
+			runTrace(db, strings.TrimSpace(strings.TrimPrefix(line, `\trace `)))
 		case strings.HasPrefix(line, `\`):
 			fmt.Fprintf(os.Stderr, "unknown command %s\n", line)
 		default:
@@ -254,7 +260,7 @@ func runRemote(addr, q, explain, analyze string, args []string) {
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	if isTTY() {
-		fmt.Printf(`scdb shell (remote %s) — SCQL statements, or \stats \explain Q \analyze Q \quit`+"\n", addr)
+		fmt.Printf(`scdb shell (remote %s) — SCQL statements, or \stats \metrics \slow \explain Q \analyze Q \trace Q \quit`+"\n", addr)
 		fmt.Print("scdb> ")
 	}
 	for sc.Scan() {
@@ -265,10 +271,21 @@ func runRemote(addr, q, explain, analyze string, args []string) {
 			return
 		case line == `\stats`:
 			printServerStats(c)
+		case line == `\metrics`:
+			dump, err := c.Metrics()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				break
+			}
+			fmt.Print(dump)
+		case line == `\slow`:
+			printSlowLog(c)
 		case strings.HasPrefix(line, `\explain `):
 			printExplain(c, strings.TrimSpace(strings.TrimPrefix(line, `\explain `)))
 		case strings.HasPrefix(line, `\analyze `):
 			runAnalyze(c, strings.TrimSpace(strings.TrimPrefix(line, `\analyze `)))
+		case strings.HasPrefix(line, `\trace `):
+			runTrace(c, strings.TrimSpace(strings.TrimPrefix(line, `\trace `)))
 		case strings.HasPrefix(line, `\`):
 			fmt.Fprintf(os.Stderr, "unknown or embedded-only command %s\n", line)
 		default:
@@ -293,7 +310,11 @@ func printServerStats(c *client.Client) {
 	s := st.Server
 	fmt.Printf("server: conns=%d in-flight=%d (peak %d) queued=%d rejected=%d canceled=%d\n",
 		s.Conns, s.InFlight, s.InFlightPeak, s.Queued, s.Rejected, s.Canceled)
-	for op, m := range s.Ops {
+	if s.SlowOps > 0 {
+		fmt.Printf("slow ops: %d (see \\slow)\n", s.SlowOps)
+	}
+	for _, op := range sortedKeys(s.Ops) {
+		m := s.Ops[op]
 		fmt.Printf("  %-8s n=%-6d err=%-4d mean=%.0fµs p50≤%dµs p95≤%dµs p99≤%dµs max=%dµs\n",
 			op, m.Count, m.Errors, m.MeanUS, m.P50US, m.P95US, m.P99US, m.MaxUS)
 	}
@@ -304,6 +325,51 @@ func printServerStats(c *client.Client) {
 	}
 	pc := st.PlanCache
 	fmt.Printf("plan cache: %d plans, %d hits, %d misses\n", pc.Size, pc.Hits, pc.Misses)
+}
+
+func printSlowLog(c *client.Client) {
+	reply, err := c.SlowLog()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		return
+	}
+	fmt.Printf("threshold=%dµs total=%d retained=%d\n",
+		reply.ThresholdUS, reply.Total, len(reply.Entries))
+	for _, e := range reply.Entries {
+		line := fmt.Sprintf("%s %dµs %s", e.Start, e.DurUS, e.Op)
+		if e.Detail != "" {
+			line += " " + e.Detail
+		}
+		if e.Err != "" {
+			line += " err=" + e.Err
+		}
+		fmt.Println(line)
+	}
+}
+
+// runTrace executes q with tracing on and prints the span tree the way the
+// server rendered it (one JSON object per row).
+func runTrace(db engine, q string) {
+	rows, _, err := db.QueryInfo("TRACE " + q)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		return
+	}
+	for _, r := range rows.Data {
+		for _, v := range r {
+			fmt.Println(v)
+		}
+	}
+}
+
+// sortedKeys keeps map-backed shell output deterministic.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 func printExplain(db engine, q string) {

@@ -68,6 +68,11 @@ type Options struct {
 	// IngestParallelism sizes Ingest's record-decode worker pool (<=0 =
 	// one per CPU; 1 = serial). Results are identical for every setting.
 	IngestParallelism int
+	// PlanCacheSize bounds the optimized-plan cache, keyed by statement
+	// text at a given schema and ontology version (<=0 = default 256).
+	// Results are identical for every setting; only re-planning cost
+	// differs.
+	PlanCacheSize int
 }
 
 // SyncPolicy selects when a durable database's committed log frames reach
@@ -112,6 +117,7 @@ func Open(opts Options) (*DB, error) {
 		Sync:               storage.SyncPolicy(opts.Sync),
 		IngestBatchSize:    opts.IngestBatchSize,
 		IngestParallelism:  opts.IngestParallelism,
+		PlanCacheSize:      opts.PlanCacheSize,
 		ERConfig:           er.Config{Threshold: opts.ResolutionThreshold},
 	}
 	for _, r := range opts.LinkRules {
@@ -158,11 +164,21 @@ func (db *DB) AddAxioms(axioms string) error {
 // discovery, incremental entity resolution, information extraction, and
 // incremental semantic inference.
 func (db *DB) Ingest(src Source) error {
+	return db.IngestCtx(context.Background(), src)
+}
+
+// IngestCtx is Ingest with an observability scope: a context carrying a
+// trace (as created by the service layer for traced ingest requests)
+// receives per-stage spans for the curation pass — decode fan-out, batch
+// install with WAL fsync wait, relation/ER, integration, and incremental
+// inference. Cancellation is not observed mid-pass; a delivery lands
+// atomically with respect to curation state.
+func (db *DB) IngestCtx(ctx context.Context, src Source) error {
 	ds, err := toDataset(src)
 	if err != nil {
 		return err
 	}
-	return db.inner.Ingest(ds)
+	return db.inner.IngestCtx(ctx, ds)
 }
 
 func toDataset(src Source) (datagen.Dataset, error) {

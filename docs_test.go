@@ -1,0 +1,116 @@
+package scdb
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// docFiles are the documents whose links must stay alive. ISSUE.md and
+// the reference dumps (PAPER/PAPERS/SNIPPETS) are working notes, not
+// part of the documented surface.
+var docFiles = []string{"README.md", "DESIGN.md", "OPERATIONS.md", "EXPERIMENTS.md", "ROADMAP.md"}
+
+// mdLink matches inline markdown links; images and autolinks are out of
+// scope. Reference-style links are not used in this repo.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// githubAnchor reduces a heading to the fragment GitHub generates for
+// it: lowercase, punctuation dropped, spaces and hyphens kept as
+// hyphens.
+func githubAnchor(heading string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(strings.TrimSpace(heading)) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r == ' ', r == '-':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
+// anchorsOf collects the generated fragment for every ATX heading.
+func anchorsOf(body string) map[string]bool {
+	anchors := map[string]bool{}
+	inFence := false
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence || !strings.HasPrefix(line, "#") {
+			continue
+		}
+		text := strings.TrimLeft(line, "#")
+		// Strip inline markup that GitHub drops from fragments.
+		text = strings.NewReplacer("`", "", "*", "", `"`, "", "'", "", ".", "",
+			",", "", ":", "", "(", "", ")", "", "/", "", "§", "", "—", "").Replace(text)
+		anchors[githubAnchor(text)] = true
+	}
+	return anchors
+}
+
+// TestDocsLinks fails on dead relative links in the top-level docs:
+// links to files that do not exist, and fragment links to headings that
+// do not exist. External links are not fetched.
+func TestDocsLinks(t *testing.T) {
+	bodies := map[string]string{}
+	for _, name := range docFiles {
+		b, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatalf("doc listed but unreadable: %v", err)
+		}
+		bodies[name] = string(b)
+	}
+	for _, name := range docFiles {
+		for _, m := range mdLink.FindAllStringSubmatch(bodies[name], -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			file, frag, _ := strings.Cut(target, "#")
+			if file != "" {
+				if strings.Contains(file, "%20") {
+					t.Errorf("%s: link %q has an escaped space; rename the target", name, target)
+					continue
+				}
+				if _, err := os.Stat(filepath.FromSlash(file)); err != nil {
+					t.Errorf("%s: dead link %q: %v", name, target, err)
+					continue
+				}
+			}
+			if frag == "" {
+				continue
+			}
+			// A fragment must name a heading in the linked file (or in
+			// this file for bare #fragments). Only .md targets carry
+			// checkable headings.
+			host := name
+			if file != "" {
+				host = file
+			}
+			if !strings.HasSuffix(host, ".md") {
+				continue
+			}
+			body, ok := bodies[host]
+			if !ok {
+				b, err := os.ReadFile(filepath.FromSlash(host))
+				if err != nil {
+					t.Errorf("%s: link %q: %v", name, target, err)
+					continue
+				}
+				body = string(b)
+				bodies[host] = body
+			}
+			if !anchorsOf(body)[frag] {
+				t.Errorf("%s: link %q points at a missing heading (#%s in %s)",
+					name, target, frag, host)
+			}
+		}
+	}
+}

@@ -2,6 +2,7 @@ package scdb
 
 import (
 	"fmt"
+	"time"
 
 	"scdb/internal/fusion"
 	"scdb/internal/model"
@@ -273,6 +274,32 @@ type PlanCacheStats struct {
 func (db *DB) PlanCacheStats() PlanCacheStats {
 	s := db.inner.PlanCacheStats()
 	return PlanCacheStats{Hits: s.Hits, Misses: s.Misses, Size: s.Size}
+}
+
+// WALStats is a readout of the durability log's counters: frames and
+// bytes appended, fsync calls and time spent inside them, and — under the
+// group sync policy — how long committers waited for durability. All
+// zeros for an in-memory database.
+type WALStats struct {
+	Frames     uint64
+	Bytes      uint64
+	Fsyncs     uint64
+	FsyncTime  time.Duration
+	Commits    uint64
+	CommitWait time.Duration
+}
+
+// WALStats reports the write-ahead log's durability counters.
+func (db *DB) WALStats() WALStats {
+	s := db.inner.WALStats()
+	return WALStats{
+		Frames:     s.Frames,
+		Bytes:      s.Bytes,
+		Fsyncs:     s.Fsyncs,
+		FsyncTime:  s.FsyncTime,
+		Commits:    s.Commits,
+		CommitWait: s.CommitWait,
+	}
 }
 
 // Checkpoint writes a snapshot of the durable store and truncates its log,

@@ -62,8 +62,8 @@ func TestAllExperimentsRunAndHold(t *testing.T) {
 func TestTableRender(t *testing.T) {
 	tbl := &Table{
 		ID: "X", Title: "demo", Claim: "c",
-		Header: []string{"a", "long-header"},
-		Rows:   [][]string{{"1", "2"}, {"333333", "4"}},
+		Header:  []string{"a", "long-header"},
+		Rows:    [][]string{{"1", "2"}, {"333333", "4"}},
 		Verdict: "ok",
 	}
 	out := tbl.Render()

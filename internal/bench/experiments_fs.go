@@ -32,9 +32,9 @@ func init() {
 // exists.
 func RunFig2() *Table {
 	t := &Table{
-		ID:    "E-F2",
-		Title: "Figure 2 fusion: DrugBank+CTD+UniProt into one enriched model",
-		Claim: "heterogeneous sources fuse into an enriched model supporting the paper's example inferences",
+		ID:     "E-F2",
+		Title:  "Figure 2 fusion: DrugBank+CTD+UniProt into one enriched model",
+		Claim:  "heterogeneous sources fuse into an enriched model supporting the paper's example inferences",
 		Header: []string{"check", "result"},
 	}
 	db, err := lifesciDB(1, 0, 0, 0)
@@ -101,9 +101,9 @@ func RunFig2() *Table {
 // re-resolution as sources arrive one at a time (FS.1).
 func RunERIncremental() *Table {
 	t := &Table{
-		ID:    "E-FS1",
-		Title: "Incremental ER vs all-to-all batch re-resolution",
-		Claim: "it is not wise to re-run all-to-all resolution as each source is added; incremental ER does strictly less work with the same quality",
+		ID:     "E-FS1",
+		Title:  "Incremental ER vs all-to-all batch re-resolution",
+		Claim:  "it is not wise to re-run all-to-all resolution as each source is added; incremental ER does strictly less work with the same quality",
 		Header: []string{"sources", "records", "inc comparisons", "batch comparisons (cumulative)", "speedup", "inc F1", "batch F1"},
 	}
 	for _, nSources := range []int{2, 4, 6} {
@@ -156,9 +156,9 @@ func RunERIncremental() *Table {
 // actual information quality.
 func RunRichness() *Table {
 	t := &Table{
-		ID:    "E-FS2",
-		Title: "Richness score vs ground-truth source quality",
-		Claim: "richness (information content + connectivity + density) ranks sources by their real utility",
+		ID:     "E-FS2",
+		Title:  "Richness score vs ground-truth source quality",
+		Claim:  "richness (information content + connectivity + density) ranks sources by their real utility",
 		Header: []string{"source", "fill rate", "entropy", "connectivity", "score", "ground-truth quality"},
 	}
 	g := graph.New()
@@ -210,9 +210,9 @@ func RunRichness() *Table {
 // variables while sampling holds the error small at fixed cost.
 func RunCTables() *Table {
 	t := &Table{
-		ID:    "E-FS3",
-		Title: "C-table query evaluation: exact vs sampled worlds",
-		Claim: "a single c-table formalism aggregates isolated forms of uncertainty; sampling tames the exponential world count",
+		ID:     "E-FS3",
+		Title:  "C-table query evaluation: exact vs sampled worlds",
+		Claim:  "a single c-table formalism aggregates isolated forms of uncertainty; sampling tames the exponential world count",
 		Header: []string{"variables", "worlds", "exact P", "sampled P", "abs error", "exact time", "sampled time"},
 	}
 	for _, nVars := range []int{8, 12, 16} {
@@ -253,9 +253,9 @@ func RunCTables() *Table {
 // beyond TBox-only inference.
 func RunStatEnrich() *Table {
 	t := &Table{
-		ID:    "E-FS4",
-		Title: "Statistical models augmenting the TBox",
-		Claim: "statistical models (type & link prediction) improve linkage coverage over logic-only inference",
+		ID:     "E-FS4",
+		Title:  "Statistical models augmenting the TBox",
+		Claim:  "statistical models (type & link prediction) improve linkage coverage over logic-only inference",
 		Header: []string{"measure", "value"},
 	}
 	db, err := lifesciDB(5, 120, 80, 40)
@@ -333,9 +333,9 @@ func RunStatEnrich() *Table {
 // dosage scenarios.
 func RunRefinement() *Table {
 	t := &Table{
-		ID:    "E-FS6",
-		Title: "Context-aware refinement vs naive certain answers",
-		Claim: "exploration driven by query context turns naively-false answers into justified ones",
+		ID:     "E-FS6",
+		Title:  "Context-aware refinement vs naive certain answers",
+		Claim:  "exploration driven by query context turns naively-false answers into justified ones",
 		Header: []string{"scenarios", "naive true", "justified ≥0.7", "refinements raised/scenario"},
 	}
 	const scenarios = 40
@@ -379,9 +379,9 @@ func RunRefinement() *Table {
 // mode and random baselines on held-out cells.
 func RunQBE() *Table {
 	t := &Table{
-		ID:    "E-FS7",
-		Title: "Query-by-example completion accuracy",
-		Claim: "partial answers become examples whose missing values the engine fills",
+		ID:     "E-FS7",
+		Title:  "Query-by-example completion accuracy",
+		Claim:  "partial answers become examples whose missing values the engine fills",
 		Header: []string{"method", "held-out cells", "correct", "accuracy"},
 	}
 	// A structured table where class determines target (deterministic but
@@ -428,9 +428,9 @@ func RunQBE() *Table {
 // vs uniform allocation.
 func RunCrowd() *Table {
 	t := &Table{
-		ID:    "E-FS8",
-		Title: "Crowdsourced incompleteness resolution: budget vs accuracy",
-		Claim: "qualitative vs quantitative cost functions: uniform buys maximum accuracy with the full budget; adaptive reaches its plateau at a fraction of the asks",
+		ID:     "E-FS8",
+		Title:  "Crowdsourced incompleteness resolution: budget vs accuracy",
+		Claim:  "qualitative vs quantitative cost functions: uniform buys maximum accuracy with the full budget; adaptive reaches its plateau at a fraction of the asks",
 		Header: []string{"budget", "uniform acc (asks=budget)", "adaptive acc", "adaptive asks"},
 	}
 	const tasks = 50

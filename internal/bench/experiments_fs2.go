@@ -21,9 +21,9 @@ func init() {
 // baseline that queries each layer separately.
 func RunUnifiedLanguage() *Table {
 	t := &Table{
-		ID:    "E-FS5",
-		Title: "Unified SCQL vs hand-layered three-pass baseline",
-		Claim: "one combined language answers cross-layer questions that otherwise need manual orchestration across engines",
+		ID:     "E-FS5",
+		Title:  "Unified SCQL vs hand-layered three-pass baseline",
+		Claim:  "one combined language answers cross-layer questions that otherwise need manual orchestration across engines",
 		Header: []string{"approach", "passes", "answers", "latency"},
 	}
 	db, err := lifesciDB(3, 300, 200, 100)
@@ -85,9 +85,9 @@ func init() { register("E-FS5", "Unified language vs layered baseline", RunUnifi
 // materialization cache vs LRU vs none under a skewed repeated-query mix.
 func RunMaterialization() *Table {
 	t := &Table{
-		ID:    "E-FS9",
-		Title: "Context-aware materialization of discovered results",
-		Claim: "ranking materialized results by reuse × recompute-benefit beats recency-only retention",
+		ID:     "E-FS9",
+		Title:  "Context-aware materialization of discovered results",
+		Claim:  "ranking materialized results by reuse × recompute-benefit beats recency-only retention",
 		Header: []string{"policy", "capacity", "hit rate", "evictions"},
 	}
 	// Workload: zipf-ish skew — a few expensive "discovery" queries recur
@@ -126,9 +126,9 @@ func RunMaterialization() *Table {
 // scales the mechanism to more sources and classes (FS.10).
 func RunParallelWorlds() *Table {
 	t := &Table{
-		ID:    "E-FS10",
-		Title: "Parallel worlds: the Warfarin dosage question",
-		Claim: "naive certain answer is false; semantics-aware evaluation justifies the answer within a disjoint context class",
+		ID:     "E-FS10",
+		Title:  "Parallel worlds: the Warfarin dosage question",
+		Claim:  "naive certain answer is false; semantics-aware evaluation justifies the answer within a disjoint context class",
 		Header: []string{"sources", "classes", "naive certain", "justified degree", "c-table P(close dose)"},
 	}
 	mkWorlds := func(nClasses int) *fusion.Worlds {
@@ -175,9 +175,9 @@ func RunParallelWorlds() *Table {
 // throughput.
 func RunTxnIsolation() *Table {
 	t := &Table{
-		ID:    "E-FS11",
-		Title: "Concurrency control under non-deterministic enrichment",
-		Claim: "classical snapshot isolation cannot be satisfied under continuous enrichment (aborts); relaxed isolation commits with a staleness bound",
+		ID:     "E-FS11",
+		Title:  "Concurrency control under non-deterministic enrichment",
+		Claim:  "classical snapshot isolation cannot be satisfied under continuous enrichment (aborts); relaxed isolation commits with a staleness bound",
 		Header: []string{"isolation", "churn (enrich/txn)", "commits", "enrichment aborts", "mean staleness"},
 	}
 	run := func(level txn.Level, churn int) (commits, aborts int, staleness float64) {
@@ -226,4 +226,3 @@ func RunTxnIsolation() *Table {
 	t.Verdict = "snapshot aborts under any churn; eventual-enrichment always commits, paying bounded staleness"
 	return t
 }
-

@@ -19,9 +19,9 @@ func init() {
 // three return identical answers — only the work differs.
 func RunIndexSweep() *Table {
 	t := &Table{
-		ID:    "E-IDX",
-		Title: "Access-path sweep: scan vs pruned scan vs secondary index",
-		Claim: "self-curated indexes and zone maps cut lookup work by orders of magnitude at high selectivity without changing answers",
+		ID:     "E-IDX",
+		Title:  "Access-path sweep: scan vs pruned scan vs secondary index",
+		Claim:  "self-curated indexes and zone maps cut lookup work by orders of magnitude at high selectivity without changing answers",
 		Header: []string{"rows", "selectivity", "full scan", "pruned scan", "index", "segments pruned", "speedup (index vs scan)"},
 	}
 	for _, rows := range []int{10_000, 100_000} {

@@ -25,9 +25,9 @@ func init() {
 // the dynamically clustered layout vs the static insertion-order layout.
 func RunClusterLocality() *Table {
 	t := &Table{
-		ID:    "E-OS1",
-		Title: "Dynamic instance clustering: locality and compression",
-		Claim: "clustering by instance relations improves retrieval locality and compression over a static layout",
+		ID:     "E-OS1",
+		Title:  "Dynamic instance clustering: locality and compression",
+		Claim:  "clustering by instance relations improves retrieval locality and compression over a static layout",
 		Header: []string{"layout", "workload page touches", "RLE bytes (category col)", "compression ratio"},
 	}
 	r := rand.New(rand.NewSource(13))
@@ -86,9 +86,9 @@ func RunClusterLocality() *Table {
 // adjacency-map baseline vs CSR snapshots under three vertex orders.
 func RunTraversalLocality() *Table {
 	t := &Table{
-		ID:    "E-OS2",
-		Title: "Multi-hop traversal: CSR layouts vs adjacency map",
-		Claim: "an immutable locality-optimized representation beats pointer-chasing for multi-hop traversal; layout order matters",
+		ID:     "E-OS2",
+		Title:  "Multi-hop traversal: CSR layouts vs adjacency map",
+		Claim:  "an immutable locality-optimized representation beats pointer-chasing for multi-hop traversal; layout order matters",
 		Header: []string{"representation", "k", "visited", "line fetches"},
 	}
 	// A community-structured graph: locality exists to be exploited.
@@ -139,9 +139,9 @@ func RunTraversalLocality() *Table {
 // only difference is the optimizer.
 func RunSemanticOpt() *Table {
 	t := &Table{
-		ID:    "E-OS3",
-		Title: "Semantic query optimization (rewrites on vs off)",
-		Claim: "class/subclass knowledge collapses redundant predicates and proves queries empty without touching data",
+		ID:     "E-OS3",
+		Title:  "Semantic query optimization (rewrites on vs off)",
+		Claim:  "class/subclass knowledge collapses redundant predicates and proves queries empty without touching data",
 		Header: []string{"query", "rewrites", "est cost (on)", "est cost (off)", "latency on", "latency off"},
 	}
 	open := func(disable bool) (*core.DB, error) {
@@ -210,9 +210,9 @@ func RunSemanticOpt() *Table {
 // footprint for three placement policies with and without remote caching.
 func RunPlacement() *Table {
 	t := &Table{
-		ID:    "E-OS4",
-		Title: "DSM placement: affinity vs round-robin vs random",
-		Claim: "affinity placement eliminates remote access cost without the duplicated-cache memory footprint",
+		ID:     "E-OS4",
+		Title:  "DSM placement: affinity vs round-robin vs random",
+		Claim:  "affinity placement eliminates remote access cost without the duplicated-cache memory footprint",
 		Header: []string{"policy", "cache", "access cost", "remote frac", "footprint"},
 	}
 	r := rand.New(rand.NewSource(31))
@@ -239,7 +239,7 @@ func RunPlacement() *Table {
 		name string
 		p    placement.Placement
 	}{
-		{"affinity", placement.AffinityPlace(parts, aff, nodes, groups * per / nodes)},
+		{"affinity", placement.AffinityPlace(parts, aff, nodes, groups*per/nodes)},
 		{"round-robin", placement.RoundRobin(parts, nodes)},
 		{"random", placement.Random(parts, nodes, 5)},
 	}
@@ -260,4 +260,3 @@ func RunPlacement() *Table {
 	t.Verdict = "affinity reaches local-only cost at base footprint; baselines need duplicated caches to compete"
 	return t
 }
-

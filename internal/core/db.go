@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -19,6 +20,7 @@ import (
 	"scdb/internal/fusion"
 	"scdb/internal/graph"
 	"scdb/internal/model"
+	"scdb/internal/obs"
 	"scdb/internal/ontology"
 	"scdb/internal/reason"
 	"scdb/internal/refine"
@@ -343,11 +345,22 @@ func (db *DB) enrichmentVersion() uint64 {
 // invalidating the materialization cache, which also waits out in-flight
 // readers so no stale result survives the enrichment.
 func (db *DB) Ingest(ds datagen.Dataset) error {
+	return db.IngestCtx(context.Background(), ds)
+}
+
+// IngestCtx is Ingest with an observability scope: when ctx carries an
+// obs trace (a TRACE-style ingest request, or the debug tooling), the
+// curation pipeline attaches per-stage spans — decode fan-out, batch
+// install with WAL fsync wait, relation/ER, integration, inference — to
+// it. Cancellation is not yet observed mid-pass; a delivery is atomic
+// with respect to the curation state.
+func (db *DB) IngestCtx(ctx context.Context, ds datagen.Dataset) error {
 	db.ingestMu.Lock()
 	defer db.ingestMu.Unlock()
 	if err := db.pipeline.IngestDatasetOpts(ds, curate.IngestOptions{
 		BatchSize:   db.opts.IngestBatchSize,
 		Parallelism: db.opts.IngestParallelism,
+		Trace:       obs.FromContext(ctx),
 	}); err != nil {
 		return err
 	}
@@ -443,6 +456,10 @@ func (db *DB) IndexStats() []storage.IndexStat {
 
 // PlanCacheStats reports plan-cache hits, misses, and resident entries.
 func (db *DB) PlanCacheStats() PlanCacheStats { return db.plans.stats() }
+
+// WALStats reports the durable store's write-ahead-log counters (zero for
+// in-memory databases).
+func (db *DB) WALStats() storage.WALStats { return db.store.WALStats() }
 
 // TableRecords materializes every live record of a table (for QBE and
 // export paths; queries should use SCQL).

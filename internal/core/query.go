@@ -6,8 +6,11 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"scdb/internal/model"
+	"scdb/internal/obs"
 	"scdb/internal/optimizer"
 	"scdb/internal/query"
 	"scdb/internal/storage"
@@ -63,6 +66,7 @@ func (db *DB) QueryCtx(ctx context.Context, src string) (*query.Result, *QueryIn
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	info := &QueryInfo{}
+	planStart := time.Now()
 
 	// Plan-cache probe before any lexing: the key is the raw statement
 	// text plus the schema and ontology versions, so a hit means the
@@ -89,8 +93,25 @@ func (db *DB) QueryCtx(ctx context.Context, src string) (*query.Result, *QueryIn
 		}
 	}
 	info.Mode = stmt.Mode
+
+	// TRACE: adopt the trace the service layer opened (it already holds
+	// frame-decode and admission-wait spans) or start a fresh one for
+	// embedded callers. tr stays nil for untraced statements, and every
+	// span call below no-ops on nil — the plain path pays one extra
+	// time.Now and nil checks, nothing else.
+	var tr *obs.Trace
+	if stmt.Trace {
+		if tr = obs.FromContext(ctx); tr == nil {
+			tr = obs.NewTrace()
+		}
+	}
+	root := tr.Root("request")
+
 	key := stmt.String()
-	if !stmt.Explain && !db.opts.DisableMatCache {
+	// Traced statements always execute: a materialization-cache hit would
+	// short-circuit the very work the trace is meant to expose. (They may
+	// still hit the plan cache — the trace reports that as plan_cached.)
+	if !stmt.Explain && !stmt.Trace && !db.opts.DisableMatCache {
 		if v, ok := db.matCache.Get(key); ok {
 			info.CacheHit = true
 			return v.(*query.Result), info, nil
@@ -118,10 +139,15 @@ func (db *DB) QueryCtx(ctx context.Context, src string) (*query.Result, *QueryIn
 			})
 		}
 	}
+	planSpan := root.ChildDur("plan", time.Since(planStart))
+	planSpan.SetBool("plan_cached", info.PlanCached)
+	planSpan.SetInt("est_morsels", int64(info.EstimatedMorsels))
 	if stmt.Explain && !stmt.Analyze {
 		return planResult(info.Plan), info, nil
 	}
+	execSpan := root.Child("execute")
 	res, st, err := query.ExecuteOpts(plan, env, db.execOptions(ctx, stmt))
+	execSpan.End()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -129,10 +155,48 @@ func (db *DB) QueryCtx(ctx context.Context, src string) (*query.Result, *QueryIn
 	if stmt.Explain { // EXPLAIN ANALYZE: rows are the annotated plan
 		return planResult(st.Render()), info, nil
 	}
+	if stmt.Trace {
+		execSpan.SetInt("rows_out", int64(len(res.Rows)))
+		addOpSpans(execSpan, st)
+		return traceResult(tr), info, nil
+	}
 	if !db.opts.DisableMatCache {
 		db.matCache.Put(key, res, info.EstimatedCost)
 	}
 	return res, info, nil
+}
+
+// addOpSpans mirrors the executor's per-operator statistics tree as trace
+// spans under the execute span. Each operator's Elapsed is busy time summed
+// across workers, so these are attached as completed duration-only spans
+// rather than wall-clock children.
+func addOpSpans(parent *obs.Span, st *query.OpStats) {
+	s := parent.ChildDur("op:"+st.Label, time.Duration(atomic.LoadInt64((*int64)(&st.Elapsed))))
+	s.SetInt("rows_in", atomic.LoadInt64(&st.RowsIn))
+	s.SetInt("rows_out", atomic.LoadInt64(&st.RowsOut))
+	s.SetInt("morsels", atomic.LoadInt64(&st.Morsels))
+	if st.ShowPruned {
+		s.SetInt("pruned", st.Pruned)
+	}
+	if st.IndexName != "" {
+		s.SetStr("index", st.IndexName)
+	}
+	for _, c := range st.Children {
+		addOpSpans(s, c)
+	}
+}
+
+// traceResult renders the span tree as a one-column result, one row per
+// JSON line, so TRACE output flows through the ordinary result path (and
+// over the wire) unchanged. The root span is still open here — the service
+// layer closes it when the response goes out — so its dur_us reads as
+// time-so-far at render.
+func traceResult(tr *obs.Trace) *query.Result {
+	res := &query.Result{Columns: []string{"trace"}}
+	for _, line := range strings.Split(strings.TrimRight(tr.JSON(), "\n"), "\n") {
+		res.Rows = append(res.Rows, []model.Value{model.String(line)})
+	}
+	return res
 }
 
 // planResult renders plan or stats text as a one-column result, one row

@@ -129,8 +129,8 @@ func TestMoreBudgetMoreAccuracy(t *testing.T) {
 		}
 		return total / 5
 	}
-	low := accAt(40)    // one ask per task
-	high := accAt(280)  // seven asks per task
+	low := accAt(40)   // one ask per task
+	high := accAt(280) // seven asks per task
 	if high <= low {
 		t.Errorf("accuracy must improve with budget: %v → %v", low, high)
 	}

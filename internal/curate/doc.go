@@ -1,0 +1,40 @@
+// Package curate implements the self-curation pipeline — the paper's
+// "gradual curation process that transforms the raw data into a new
+// unified entity that has knowledge-like characteristics" (Section 1).
+//
+// One IngestDataset call runs the full layer stack for a source delivery,
+// as a staged pipeline over record batches:
+//
+//	decode stage     – pure per-record work (instance-record construction,
+//	                   ER normalization) runs on a worker pool, morsel-
+//	                   parallel, before any curation state is touched;
+//	instance layer   – each decoded batch lands in storage through the
+//	                   batch write path (one latch acquisition, one
+//	                   multi-record log frame) and the catalog observes
+//	                   its schema (no DDL);
+//	relation layer   – entities and edges enter the graph; literal
+//	                   foreign references are resolved to entity edges via
+//	                   link rules (online instance-level integration, with
+//	                   unresolved references retried as later sources
+//	                   arrive — "continuous online integration", §4.2);
+//	                   incremental entity resolution merges duplicates
+//	                   (FS.1); information extraction turns unstructured
+//	                   text into mentions and confidence-weighted edges;
+//	semantic layer   – the reasoner incrementally re-materializes inferred
+//	                   types, existential witnesses, and inconsistencies.
+//
+// The relation stage stays strictly in record order — incremental ER
+// merge decisions depend on arrival order, and the differential tests
+// require batched and per-record ingest to converge to identical state —
+// so only the decode stage fans out.
+//
+// A pass is observable end to end: IngestOptions.Trace attaches per-stage
+// spans (decode busy time across the worker pool, batch install with WAL
+// fsync wait, relation/ER, integration, incremental inference) to the
+// request's obs trace, so the cost of curation — the part of the write
+// path a conventional engine doesn't have — is first-class in the ops
+// surface rather than folded into an opaque ingest latency.
+//
+// The package also provides the ranked materialization cache of FS.9
+// ("context-aware materialization of ranked & discovered data").
+package curate

@@ -1,41 +1,11 @@
-// Package curate implements the self-curation pipeline — the paper's
-// "gradual curation process that transforms the raw data into a new
-// unified entity that has knowledge-like characteristics" (Section 1).
-//
-// One IngestDataset call runs the full layer stack for a source delivery,
-// as a staged pipeline over record batches:
-//
-//	decode stage     – pure per-record work (instance-record construction,
-//	                   ER normalization) runs on a worker pool, morsel-
-//	                   parallel, before any curation state is touched;
-//	instance layer   – each decoded batch lands in storage through the
-//	                   batch write path (one latch acquisition, one
-//	                   multi-record log frame) and the catalog observes
-//	                   its schema (no DDL);
-//	relation layer   – entities and edges enter the graph; literal
-//	                   foreign references are resolved to entity edges via
-//	                   link rules (online instance-level integration, with
-//	                   unresolved references retried as later sources
-//	                   arrive — "continuous online integration", §4.2);
-//	                   incremental entity resolution merges duplicates
-//	                   (FS.1); information extraction turns unstructured
-//	                   text into mentions and confidence-weighted edges;
-//	semantic layer   – the reasoner incrementally re-materializes inferred
-//	                   types, existential witnesses, and inconsistencies.
-//
-// The relation stage stays strictly in record order — incremental ER
-// merge decisions depend on arrival order, and the differential tests
-// require batched and per-record ingest to converge to identical state —
-// so only the decode stage fans out.
-//
-// The package also provides the ranked materialization cache of FS.9
-// ("context-aware materialization of ranked & discovered data").
 package curate
 
 import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"scdb/internal/catalog"
 	"scdb/internal/datagen"
@@ -43,6 +13,7 @@ import (
 	"scdb/internal/extract"
 	"scdb/internal/graph"
 	"scdb/internal/model"
+	"scdb/internal/obs"
 	"scdb/internal/ontology"
 	"scdb/internal/reason"
 	"scdb/internal/storage"
@@ -179,6 +150,10 @@ type IngestOptions struct {
 	// Parallelism sizes the decode worker pool (<=0 = one per CPU; 1
 	// decodes inline). Final state is identical for every setting.
 	Parallelism int
+	// Trace, when non-nil, receives per-stage spans for this pass:
+	// decode fan-out busy time, batch install (with WAL fsync wait),
+	// relation/ER, integration, and incremental inference.
+	Trace *obs.Trace
 }
 
 // IngestDataset runs the full curation pass for one source delivery with
@@ -260,6 +235,15 @@ func (p *Pipeline) IngestDatasetOpts(ds datagen.Dataset, opt IngestOptions) erro
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	// Tracing: the root is the service layer's request span when this pass
+	// came over the wire, or a fresh "ingest" root for embedded callers.
+	// All span calls no-op when opt.Trace is nil; decodeBusy sums worker
+	// busy time across the pool so the decode stage reports CPU cost, not
+	// wall clock.
+	tr := opt.Trace
+	root := tr.Root("ingest")
+	root.SetStr("source", ds.Source)
+	var decodeBusy atomic.Int64
 
 	// Stage 1 — decode. Chunks hand out in index order; ready[ci] closes
 	// when chunk ci is decoded.
@@ -279,7 +263,9 @@ func (p *Pipeline) IngestDatasetOpts(ds datagen.Dataset, opt IngestOptions) erro
 		for w := 0; w < workers; w++ {
 			go func() {
 				for ci := range jobs {
+					start := time.Now()
 					decoded[ci] = decodeChunk(chunks[ci])
+					decodeBusy.Add(int64(time.Since(start)))
 					close(ready[ci])
 				}
 			}()
@@ -307,17 +293,23 @@ func (p *Pipeline) IngestDatasetOpts(ds datagen.Dataset, opt IngestOptions) erro
 	if err != nil {
 		return err
 	}
+	walBefore := p.store.WALStats()
+	entBefore, mergeBefore := p.stats.Entities, p.stats.Merges
+	var installDur, relateDur time.Duration
 	var touched []model.EntityID
 	for ci := range chunks {
 		if ready != nil {
 			<-ready[ci]
 		} else {
+			start := time.Now()
 			decoded[ci] = decodeChunk(chunks[ci])
+			decodeBusy.Add(int64(time.Since(start)))
 		}
 		d := &decoded[ci]
 
 		// Stage 2 — instance layer: one latch acquisition, one zone-map and
 		// index maintenance pass, one multi-record log frame per batch.
+		start := time.Now()
 		if batchSize == 1 {
 			if _, err := table.Insert(d.recs[0]); err != nil {
 				return err
@@ -331,24 +323,53 @@ func (p *Pipeline) IngestDatasetOpts(ds datagen.Dataset, opt IngestOptions) erro
 				p.cat.Observe(ds.Source, rec)
 			}
 		}
+		installDur += time.Since(start)
 
 		// Stage 3 — relation layer, strictly in record order.
+		start = time.Now()
 		for i, spec := range chunks[ci] {
 			if err := p.relateSpec(ds.Source, spec, d.norms[i], &touched); err != nil {
 				return err
 			}
 		}
+		relateDur += time.Since(start)
 	}
+	if tr != nil {
+		walAfter := p.store.WALStats()
+		dec := root.ChildDur("ingest.decode", time.Duration(decodeBusy.Load()))
+		dec.SetInt("records", int64(len(ds.Entities)))
+		dec.SetInt("chunks", int64(len(chunks)))
+		dec.SetInt("workers", int64(workers))
+		inst := root.ChildDur("ingest.install", installDur)
+		inst.SetInt("rows", int64(len(ds.Entities)))
+		inst.SetInt("batches", int64(len(chunks)))
+		inst.SetInt("wal_frames", int64(walAfter.Frames-walBefore.Frames))
+		inst.SetInt("wal_bytes", int64(walAfter.Bytes-walBefore.Bytes))
+		inst.SetDur("wal_fsync_wait_us", walAfter.CommitWait-walBefore.CommitWait)
+		rel := root.ChildDur("ingest.relate", relateDur)
+		rel.SetInt("entities", int64(p.stats.Entities-entBefore))
+		rel.SetInt("merges", int64(p.stats.Merges-mergeBefore))
+	}
+	integ := root.Child("ingest.integrate")
 	if err := p.integrate(ds, &touched); err != nil {
+		integ.End()
 		return err
 	}
+	integ.SetInt("links_discovered", int64(p.stats.LinksDiscovered))
+	integ.SetInt("links_pending", int64(p.stats.LinksPending))
+	integ.End()
 
 	// Semantic layer: incremental re-inference over touched entities.
+	infer := root.Child("ingest.infer")
 	rs := p.reasoner.MaterializeEntities(touched)
 	p.stats.InferredTypes = rs.InferredTypes
 	p.stats.Witnesses = rs.Witnesses
 	p.stats.Inconsistencies = rs.Inconsistencies
 	p.refreshConceptStats()
+	infer.SetInt("inferred_types", int64(rs.InferredTypes))
+	infer.SetInt("witnesses", int64(rs.Witnesses))
+	infer.SetInt("inconsistencies", int64(rs.Inconsistencies))
+	infer.End()
 	return nil
 }
 

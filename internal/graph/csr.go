@@ -42,12 +42,12 @@ func (o Order) String() string {
 // of record while analytical traversal runs over this locality-optimized
 // representation (the pairing OS.2 asks for).
 type CSR struct {
-	ids     []model.EntityID           // position → entity ID, in layout order
-	pos     map[model.EntityID]int32   // entity ID → position
-	offsets []int32                    // position → [start,end) in targets
-	targets []int32                    // neighbor positions
-	predIDs []uint16                   // per-edge predicate dictionary index
-	preds   []string                   // predicate dictionary
+	ids     []model.EntityID         // position → entity ID, in layout order
+	pos     map[model.EntityID]int32 // entity ID → position
+	offsets []int32                  // position → [start,end) in targets
+	targets []int32                  // neighbor positions
+	predIDs []uint16                 // per-edge predicate dictionary index
+	preds   []string                 // predicate dictionary
 	predIdx map[string]uint16
 	version uint64
 }

@@ -212,7 +212,7 @@ func TestVersionBumps(t *testing.T) {
 func chain(g *Graph, n int, pred string) []model.EntityID {
 	ids := make([]model.EntityID, n)
 	for i := range ids {
-		ids[i] = g.AddEntity(&model.Entity{Key: string(rune('a' + i%26)) + string(rune('0'+i/26%10)) + string(rune('0'+i/260)), Source: "chain", Attrs: model.Record{}})
+		ids[i] = g.AddEntity(&model.Entity{Key: string(rune('a'+i%26)) + string(rune('0'+i/26%10)) + string(rune('0'+i/260)), Source: "chain", Attrs: model.Record{}})
 	}
 	for i := 0; i+1 < n; i++ {
 		g.AddEdge(Edge{From: ids[i], Predicate: pred, To: model.Ref(ids[i+1]), Source: "chain"})
@@ -355,7 +355,7 @@ func TestBFSOrderImprovesChainLocality(t *testing.T) {
 	perm := r.Perm(n)
 	ids := make([]model.EntityID, n)
 	for _, i := range perm {
-		ids[i] = g.AddEntity(&model.Entity{Key: key3(i) + key3(i / 100), Source: "chain", Attrs: model.Record{}})
+		ids[i] = g.AddEntity(&model.Entity{Key: key3(i) + key3(i/100), Source: "chain", Attrs: model.Record{}})
 	}
 	for i := 0; i+1 < n; i++ {
 		g.AddEdge(Edge{From: ids[i], Predicate: "next", To: model.Ref(ids[i+1]), Source: "chain"})

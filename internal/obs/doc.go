@@ -1,0 +1,45 @@
+// Package obs is the engine's observability kernel: hierarchical request
+// tracing, a metrics registry, and a slow-operation ring log. It is the
+// single surface every layer reports through — the server's request
+// lifecycle, the planner, the morsel executor's operator profile, the
+// curation pipeline's ingest stages, and the WAL's durability counters all
+// land here, and the service layer exports it over the wire (TRACE
+// statements, the "metrics" and "slowlog" ops) and over the optional debug
+// HTTP listener (/metrics, /slowlog, pprof, expvar).
+//
+// # Tracing
+//
+// A Trace is a tree of Spans rooted at one request. Traces are explicitly
+// opt-in per request: code on the hot path asks the context for a trace
+// with FromContext, which returns nil when the request is not being
+// traced, and every Trace and Span method is a no-op on a nil receiver.
+// The disabled path therefore costs one context lookup and a nil check —
+// no allocation, no atomics, no locks — which is asserted by
+// testing.AllocsPerRun in the package tests. Span timestamps are recorded
+// relative to the trace's start so a rendered trace is self-contained.
+//
+// Spans form a tree: Child starts a nested live span, ChildDur attaches an
+// already-measured phase (used for operator busy time aggregated across
+// workers, where wall-clock nesting is not meaningful), and attributes
+// carry counters such as rows, morsels, and cache hits. Rendering with
+// JSON produces a stable, indented document whose layout OPERATIONS.md
+// specifies.
+//
+// # Metrics
+//
+// A Registry is a flat, name-keyed set of counters (monotonic),
+// gauges (sampled at dump time via callback), and log2 histograms.
+// Everything dumps in one pass as "name value" lines in sorted order, so
+// two dumps of the same state are byte-identical — the format scraped off
+// the "metrics" wire op and the debug listener's /metrics endpoint.
+// Histogram is a fixed-size power-of-two-bucket histogram (the same shape
+// the service layer always used for latencies); it is internally
+// synchronized and safe for concurrent observers.
+//
+// # Slow-op log
+//
+// SlowLog is a bounded ring of the most recent operations that crossed a
+// duration threshold. Recording is lock-cheap and eviction is implicit
+// (the ring overwrites oldest-first), so it can stay enabled in
+// production; the service layer exposes it via the "slowlog" op.
+package obs

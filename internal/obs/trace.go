@@ -1,0 +1,232 @@
+package obs
+
+import (
+	"context"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Trace is the root of one request's span tree. A nil *Trace is the
+// disabled state: every method (and every method of spans derived from it)
+// is a no-op, so hot-path code can unconditionally call into a trace it
+// got from FromContext without branching on enablement.
+type Trace struct {
+	mu    sync.Mutex
+	start time.Time
+	root  *Span
+}
+
+// Span is one timed phase of a traced request. Spans are created with
+// Trace.Root, Span.Child, or Span.ChildDur and closed with End. All
+// methods are safe on a nil receiver and safe for concurrent use on
+// distinct spans of the same trace.
+type Span struct {
+	tr       *Trace
+	name     string
+	start    time.Duration // offset from trace start
+	dur      time.Duration
+	ended    bool
+	attrs    []attr
+	children []*Span
+}
+
+type attr struct {
+	key string
+	val string
+	num bool // render without quotes
+}
+
+// NewTrace starts a trace whose clock begins now.
+func NewTrace() *Trace {
+	return &Trace{start: time.Now()}
+}
+
+// Root returns the root span, creating it on first call.
+func (t *Trace) Root(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.root == nil {
+		t.root = &Span{tr: t, name: name, start: 0}
+	}
+	return t.root
+}
+
+func (t *Trace) since() time.Duration {
+	return time.Since(t.start)
+}
+
+// Child starts a live nested span under s.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{tr: s.tr, name: name, start: s.tr.since()}
+	s.tr.mu.Lock()
+	s.children = append(s.children, c)
+	s.tr.mu.Unlock()
+	return c
+}
+
+// ChildDur attaches a completed span of a known duration under s. The
+// span's start is the attach point minus d (clamped to s's start), which
+// keeps externally measured phases — e.g. operator busy time summed
+// across workers — inside the parent's window without pretending they
+// nest on the wall clock.
+func (s *Span) ChildDur(name string, d time.Duration) *Span {
+	if s == nil {
+		return nil
+	}
+	start := s.tr.since() - d
+	if start < s.start {
+		start = s.start
+	}
+	c := &Span{tr: s.tr, name: name, start: start, dur: d, ended: true}
+	s.tr.mu.Lock()
+	s.children = append(s.children, c)
+	s.tr.mu.Unlock()
+	return c
+}
+
+// End closes the span. Ending twice keeps the first duration.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.dur = s.tr.since() - s.start
+	}
+	s.tr.mu.Unlock()
+}
+
+// SetInt attaches an integer attribute (row counts, cache hits, bytes).
+func (s *Span) SetInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.set(attr{key: key, val: strconv.FormatInt(v, 10), num: true})
+}
+
+// SetStr attaches a string attribute.
+func (s *Span) SetStr(key, v string) {
+	if s == nil {
+		return
+	}
+	s.set(attr{key: key, val: v})
+}
+
+// SetBool attaches a boolean attribute.
+func (s *Span) SetBool(key string, v bool) {
+	if s == nil {
+		return
+	}
+	s.set(attr{key: key, val: strconv.FormatBool(v), num: true})
+}
+
+// SetDur attaches a duration attribute in microseconds; the key should
+// carry a _us suffix by convention.
+func (s *Span) SetDur(key string, d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.set(attr{key: key, val: strconv.FormatInt(d.Microseconds(), 10), num: true})
+}
+
+func (s *Span) set(a attr) {
+	s.tr.mu.Lock()
+	for i := range s.attrs {
+		if s.attrs[i].key == a.key {
+			s.attrs[i] = a
+			s.tr.mu.Unlock()
+			return
+		}
+	}
+	s.attrs = append(s.attrs, a)
+	s.tr.mu.Unlock()
+}
+
+// JSON renders the whole trace as an indented JSON document. Spans still
+// open at render time are reported with their duration so far. Attribute
+// keys render in sorted order so output is stable.
+func (t *Trace) JSON() string {
+	if t == nil {
+		return "null"
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.root == nil {
+		return "null"
+	}
+	var b strings.Builder
+	t.writeSpan(&b, t.root, 0)
+	b.WriteByte('\n')
+	return b.String()
+}
+
+func (t *Trace) writeSpan(b *strings.Builder, s *Span, depth int) {
+	ind := strings.Repeat("  ", depth)
+	b.WriteString(ind)
+	b.WriteString("{\"span\": ")
+	b.WriteString(strconv.Quote(s.name))
+	b.WriteString(", \"start_us\": ")
+	b.WriteString(strconv.FormatInt(s.start.Microseconds(), 10))
+	b.WriteString(", \"dur_us\": ")
+	d := s.dur
+	if !s.ended {
+		d = t.since() - s.start
+	}
+	b.WriteString(strconv.FormatInt(d.Microseconds(), 10))
+	if len(s.attrs) > 0 {
+		attrs := make([]attr, len(s.attrs))
+		copy(attrs, s.attrs)
+		sort.Slice(attrs, func(i, j int) bool { return attrs[i].key < attrs[j].key })
+		for _, a := range attrs {
+			b.WriteString(", ")
+			b.WriteString(strconv.Quote(a.key))
+			b.WriteString(": ")
+			if a.num {
+				b.WriteString(a.val)
+			} else {
+				b.WriteString(strconv.Quote(a.val))
+			}
+		}
+	}
+	if len(s.children) > 0 {
+		b.WriteString(", \"children\": [\n")
+		for i, c := range s.children {
+			t.writeSpan(b, c, depth+1)
+			if i < len(s.children)-1 {
+				b.WriteByte(',')
+			}
+			b.WriteByte('\n')
+		}
+		b.WriteString(ind)
+		b.WriteByte(']')
+	}
+	b.WriteByte('}')
+}
+
+type ctxKey struct{}
+
+// With returns a context carrying tr. A nil tr returns ctx unchanged.
+func With(ctx context.Context, tr *Trace) context.Context {
+	if tr == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, tr)
+}
+
+// FromContext returns the trace carried by ctx, or nil when the request
+// is not being traced. The nil result is usable directly: all Trace and
+// Span methods no-op on nil receivers.
+func FromContext(ctx context.Context) *Trace {
+	tr, _ := ctx.Value(ctxKey{}).(*Trace)
+	return tr
+}

@@ -242,11 +242,11 @@ func TestSemanticSelectivityLowersCost(t *testing.T) {
 func TestEstimateCardShapes(t *testing.T) {
 	opts := defaultOpts()
 	cases := []struct {
-		src string
+		src      string
 		min, max int
 	}{
 		{"SELECT * FROM drugs", 500, 500},
-		{"SELECT * FROM Drug", 100, 100},              // from ontology stats
+		{"SELECT * FROM Drug", 100, 100}, // from ontology stats
 		{"SELECT * FROM drugs LIMIT 3", 3, 3},
 		{"SELECT COUNT(*) FROM drugs", 1, 1},
 		{"SELECT name FROM drugs WHERE name = 'x'", 1, 100},

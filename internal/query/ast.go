@@ -30,7 +30,7 @@ type Literal struct {
 func (l *Literal) String() string { return sqlValue(l.Val) }
 
 // sqlValue renders a value in SCQL literal syntax (single-quoted strings
-// with '' escaping); other kinds use their natural rendering.
+// with ” escaping); other kinds use their natural rendering.
 func sqlValue(v model.Value) string {
 	if s, ok := v.AsString(); ok {
 		return "'" + strings.ReplaceAll(s, "'", "''") + "'"
@@ -201,6 +201,11 @@ type SelectStmt struct {
 	Explain bool
 	Analyze bool
 
+	// Trace is set by a TRACE prefix: execute the statement and return
+	// its hierarchical span tree (plan, execution, per-operator timings)
+	// as a JSON document instead of rows.
+	Trace bool
+
 	// Semantics is set by WITH SEMANTICS: ISA consults inferred types and
 	// the optimizer may use semantic rewrites.
 	Semantics bool
@@ -213,6 +218,9 @@ type SelectStmt struct {
 // the refinement engine, which manipulates statements programmatically).
 func (s *SelectStmt) String() string {
 	var b strings.Builder
+	if s.Trace {
+		b.WriteString("TRACE ")
+	}
 	if s.Explain {
 		b.WriteString("EXPLAIN ")
 		if s.Analyze {

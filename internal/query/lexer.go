@@ -15,7 +15,7 @@ const (
 	tokKeyword
 	tokNumber
 	tokString
-	tokOp    // = != < <= > >= + - * / ( ) , .
+	tokOp     // = != < <= > >= + - * / ( ) , .
 	tokQuoted // "double quoted identifier"
 )
 
@@ -25,7 +25,7 @@ var keywords = map[string]bool{
 	"AS": true, "AND": true, "OR": true, "NOT": true, "GROUP": true,
 	"BY": true, "ORDER": true, "LIMIT": true, "ASC": true, "DESC": true,
 	"IS": true, "NULL": true, "IN": true, "LIKE": true, "WITH": true,
-	"DISTINCT": true, "HAVING": true, "EXPLAIN": true, "ANALYZE": true,
+	"DISTINCT": true, "HAVING": true, "EXPLAIN": true, "ANALYZE": true, "TRACE": true,
 	"SEMANTICS": true, "UNDER": true, "CERTAIN": true, "FUZZY": true,
 	"TRUE": true, "FALSE": true,
 }

@@ -15,8 +15,12 @@ func Parse(src string) (*SelectStmt, error) {
 		return nil, err
 	}
 	p := &parser{toks: toks, src: src}
+	trace := p.accept(tokKeyword, "TRACE")
 	explain, analyze := false, false
 	if p.accept(tokKeyword, "EXPLAIN") {
+		if trace {
+			return nil, p.errf("TRACE cannot be combined with EXPLAIN")
+		}
 		explain = true
 		analyze = p.accept(tokKeyword, "ANALYZE")
 	}
@@ -24,6 +28,7 @@ func Parse(src string) (*SelectStmt, error) {
 	if err != nil {
 		return nil, err
 	}
+	stmt.Trace = trace
 	stmt.Explain = explain
 	stmt.Analyze = analyze
 	if !p.at(tokEOF, "") {

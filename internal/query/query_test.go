@@ -417,10 +417,10 @@ func TestInList(t *testing.T) {
 func TestRuntimeErrors(t *testing.T) {
 	bad := []string{
 		"SELECT * FROM nonexistent",
-		"SELECT name FROM drugs WHERE name - 1 > 2",      // non-numeric arithmetic
-		"SELECT name FROM drugs WHERE dose",              // non-boolean filter
-		"SELECT ISA(id) FROM drugs",                      // wrong arity
-		"SELECT UNKNOWN_FUNC(name) FROM drugs",           // unknown function
+		"SELECT name FROM drugs WHERE name - 1 > 2",           // non-numeric arithmetic
+		"SELECT name FROM drugs WHERE dose",                   // non-boolean filter
+		"SELECT ISA(id) FROM drugs",                           // wrong arity
+		"SELECT UNKNOWN_FUNC(name) FROM drugs",                // unknown function
 		"SELECT COUNT(name) FROM drugs WHERE COUNT(name) > 1", // aggregate in WHERE
 	}
 	for _, src := range bad {

@@ -13,11 +13,11 @@ import (
 // the operator's busy time summed over all workers (so it can exceed wall
 // clock on a parallel run, exactly like MonetDB's per-operator profile).
 type OpStats struct {
-	Label   string
-	RowsIn  int64
-	RowsOut int64
-	Morsels int64
-	Elapsed time.Duration
+	Label    string
+	RowsIn   int64
+	RowsOut  int64
+	Morsels  int64
+	Elapsed  time.Duration
 	Children []*OpStats
 
 	// Access-path counters, populated by IndexScan operators. ShowPruned

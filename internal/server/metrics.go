@@ -4,68 +4,12 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"scdb/internal/obs"
 )
 
-// histBuckets are power-of-two buckets: bucket i counts observations in
-// [2^i, 2^(i+1)). For latencies the unit is the microsecond, making the
-// last bucket ~34 s; the same shape serves batch sizes and rows/sec.
-const histBuckets = 25
-
-// histogram is a fixed-size log2 histogram. Percentiles are read back as
-// the upper edge of the bucket holding the quantile — a ≤2× overestimate,
-// which is enough to see admission control and saturation.
-type histogram struct {
-	counts [histBuckets]uint64
-	count  uint64
-	sumUS  uint64
-	maxUS  uint64
-}
-
-func (h *histogram) observe(d time.Duration) {
-	h.observeValue(uint64(d.Microseconds()))
-}
-
-func (h *histogram) observeValue(us uint64) {
-	b := 0
-	for v := us; v > 1 && b < histBuckets-1; v >>= 1 {
-		b++
-	}
-	h.counts[b]++
-	h.count++
-	h.sumUS += us
-	if us > h.maxUS {
-		h.maxUS = us
-	}
-}
-
-func (h *histogram) mean() float64 {
-	if h.count == 0 {
-		return 0
-	}
-	return float64(h.sumUS) / float64(h.count)
-}
-
-// quantile returns the upper bucket edge at q (0 < q <= 1) in µs.
-func (h *histogram) quantile(q float64) uint64 {
-	if h.count == 0 {
-		return 0
-	}
-	rank := uint64(q * float64(h.count))
-	if rank == 0 {
-		rank = 1
-	}
-	var seen uint64
-	for i, c := range h.counts {
-		seen += c
-		if seen >= rank {
-			return uint64(1) << (i + 1)
-		}
-	}
-	return h.maxUS
-}
-
-// OpMetrics is one operation's counters in a stats snapshot.
-type OpMetrics struct {
+// OpCounters is one operation's counters in a stats snapshot.
+type OpCounters struct {
 	Count  uint64  `json:"count"`
 	Errors uint64  `json:"errors"`
 	MeanUS float64 `json:"mean_us"`
@@ -79,7 +23,7 @@ type OpMetrics struct {
 type ServerStats struct {
 	// Ops maps op name to its counters, latency measured request-entry to
 	// response-ready (admission wait included).
-	Ops map[string]OpMetrics `json:"ops"`
+	Ops map[string]OpCounters `json:"ops"`
 	// InFlight / Queued / InFlightPeak come from the admission controller.
 	InFlight     int `json:"in_flight"`
 	Queued       int `json:"queued"`
@@ -93,6 +37,9 @@ type ServerStats struct {
 	ConnsTotal uint64 `json:"conns_total"`
 	// Ingest covers the batch write path (ingest and ingest_batch).
 	Ingest IngestMetrics `json:"ingest"`
+	// SlowOps is the lifetime count of operations recorded by the slow-op
+	// log (including entries its ring has since evicted).
+	SlowOps uint64 `json:"slow_ops,omitempty"`
 }
 
 // IngestMetrics summarizes the server's ingest traffic: batch sizes in
@@ -111,42 +58,72 @@ type IngestMetrics struct {
 	MaxRowsPS  uint64  `json:"max_rows_ps"`
 }
 
-// metrics aggregates the service layer's counters. One mutex is plenty:
-// updates are two additions per request, far off any hot path.
+// metrics is the service layer's instrument set. Every instrument lives in
+// the shared obs.Registry — the snapshot rendered for the stats op and the
+// text dump served by the metrics op read the same state. The per-op map
+// only caches registry lookups (ops arrive as request strings).
 type metrics struct {
-	mu         sync.Mutex
-	ops        map[string]*opCell
-	rejected   uint64
-	canceled   uint64
-	conns      int
-	connsTotal uint64
+	reg *obs.Registry
 
-	ingestBatch histogram // rows per installed batch
-	ingestRate  histogram // rows/sec per installed batch
-	ingestRows  uint64
+	mu  sync.Mutex
+	ops map[string]*opCell
+	// conns is a gauge (open connections go up and down), so it stays a
+	// plain field sampled by the registry at dump time.
+	conns int
+
+	rejected   *obs.Counter
+	canceled   *obs.Counter
+	connsTotal *obs.Counter
+
+	ingestBatch *obs.Histogram // rows per installed batch
+	ingestRate  *obs.Histogram // rows/sec per installed batch
+	ingestRows  *obs.Counter
 }
 
 type opCell struct {
-	errors uint64
-	hist   histogram
+	errors *obs.Counter
+	hist   *obs.Histogram
 }
 
-func newMetrics() *metrics {
-	return &metrics{ops: map[string]*opCell{}}
+func newMetrics(reg *obs.Registry) *metrics {
+	m := &metrics{
+		reg:         reg,
+		ops:         map[string]*opCell{},
+		rejected:    reg.Counter("server.rejected_total"),
+		canceled:    reg.Counter("server.canceled_total"),
+		connsTotal:  reg.Counter("server.conns_total"),
+		ingestBatch: reg.Histogram("server.ingest_batch_rows"),
+		ingestRate:  reg.Histogram("server.ingest_rows_per_sec"),
+		ingestRows:  reg.Counter("server.ingest_rows_total"),
+	}
+	reg.Gauge("server.conns_open", func() float64 {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		return float64(m.conns)
+	})
+	return m
 }
 
-func (m *metrics) observe(op string, d time.Duration, failed bool) {
+func (m *metrics) cell(op string) *opCell {
 	m.mu.Lock()
 	c := m.ops[op]
 	if c == nil {
-		c = &opCell{}
+		c = &opCell{
+			errors: m.reg.Counter("server.op." + op + ".errors_total"),
+			hist:   m.reg.Histogram("server.op." + op + ".latency_us"),
+		}
 		m.ops[op] = c
 	}
-	c.hist.observe(d)
-	if failed {
-		c.errors++
-	}
 	m.mu.Unlock()
+	return c
+}
+
+func (m *metrics) observe(op string, d time.Duration, failed bool) {
+	c := m.cell(op)
+	c.hist.Observe(d)
+	if failed {
+		c.errors.Inc()
+	}
 }
 
 // observeIngest records one installed batch: its size in rows and the
@@ -159,30 +136,19 @@ func (m *metrics) observeIngest(rows int, d time.Duration) {
 	if s := d.Seconds(); s > 0 {
 		rate = uint64(float64(rows) / s)
 	}
-	m.mu.Lock()
-	m.ingestBatch.observeValue(uint64(rows))
-	m.ingestRate.observeValue(rate)
-	m.ingestRows += uint64(rows)
-	m.mu.Unlock()
+	m.ingestBatch.ObserveValue(uint64(rows))
+	m.ingestRate.ObserveValue(rate)
+	m.ingestRows.Add(uint64(rows))
 }
 
-func (m *metrics) reject() {
-	m.mu.Lock()
-	m.rejected++
-	m.mu.Unlock()
-}
-
-func (m *metrics) cancel() {
-	m.mu.Lock()
-	m.canceled++
-	m.mu.Unlock()
-}
+func (m *metrics) reject() { m.rejected.Inc() }
+func (m *metrics) cancel() { m.canceled.Inc() }
 
 func (m *metrics) connOpen() {
 	m.mu.Lock()
 	m.conns++
-	m.connsTotal++
 	m.mu.Unlock()
+	m.connsTotal.Inc()
 }
 
 func (m *metrics) connClose() {
@@ -194,46 +160,50 @@ func (m *metrics) connClose() {
 // snapshot renders the counters; admission depths are merged in by the
 // caller, which owns the admitter.
 func (m *metrics) snapshot() ServerStats {
+	batch := m.ingestBatch.Snapshot()
+	rate := m.ingestRate.Snapshot()
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := ServerStats{
-		Ops:        make(map[string]OpMetrics, len(m.ops)),
-		Rejected:   m.rejected,
-		Canceled:   m.canceled,
-		Conns:      m.conns,
-		ConnsTotal: m.connsTotal,
-		Ingest: IngestMetrics{
-			Batches:    m.ingestBatch.count,
-			Rows:       m.ingestRows,
-			MeanBatch:  m.ingestBatch.mean(),
-			P50Batch:   m.ingestBatch.quantile(0.50),
-			P95Batch:   m.ingestBatch.quantile(0.95),
-			MaxBatch:   m.ingestBatch.maxUS,
-			MeanRowsPS: m.ingestRate.mean(),
-			P50RowsPS:  m.ingestRate.quantile(0.50),
-			P95RowsPS:  m.ingestRate.quantile(0.95),
-			MaxRowsPS:  m.ingestRate.maxUS,
-		},
-	}
+	conns := m.conns
 	names := make([]string, 0, len(m.ops))
 	for name := range m.ops {
 		names = append(names, name)
 	}
+	cells := make([]*opCell, 0, len(names))
 	sort.Strings(names)
 	for _, name := range names {
-		c := m.ops[name]
-		s := OpMetrics{
-			Count:  c.hist.count,
-			Errors: c.errors,
-			P50US:  c.hist.quantile(0.50),
-			P95US:  c.hist.quantile(0.95),
-			P99US:  c.hist.quantile(0.99),
-			MaxUS:  c.hist.maxUS,
+		cells = append(cells, m.ops[name])
+	}
+	m.mu.Unlock()
+	out := ServerStats{
+		Ops:        make(map[string]OpCounters, len(names)),
+		Rejected:   m.rejected.Value(),
+		Canceled:   m.canceled.Value(),
+		Conns:      conns,
+		ConnsTotal: m.connsTotal.Value(),
+		Ingest: IngestMetrics{
+			Batches:    batch.Count,
+			Rows:       m.ingestRows.Value(),
+			MeanBatch:  batch.Mean(),
+			P50Batch:   batch.Quantile(0.50),
+			P95Batch:   batch.Quantile(0.95),
+			MaxBatch:   batch.Max,
+			MeanRowsPS: rate.Mean(),
+			P50RowsPS:  rate.Quantile(0.50),
+			P95RowsPS:  rate.Quantile(0.95),
+			MaxRowsPS:  rate.Max,
+		},
+	}
+	for i, name := range names {
+		h := cells[i].hist.Snapshot()
+		out.Ops[name] = OpCounters{
+			Count:  h.Count,
+			Errors: cells[i].errors.Value(),
+			MeanUS: h.Mean(),
+			P50US:  h.Quantile(0.50),
+			P95US:  h.Quantile(0.95),
+			P99US:  h.Quantile(0.99),
+			MaxUS:  h.Max,
 		}
-		if c.hist.count > 0 {
-			s.MeanUS = float64(c.hist.sumUS) / float64(c.hist.count)
-		}
-		out.Ops[name] = s
 	}
 	return out
 }

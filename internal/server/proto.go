@@ -1,11 +1,3 @@
-// Package server is the network service layer: a TCP server speaking a
-// length-prefixed JSON frame protocol over an embedded scdb.DB. Sessions
-// are handled concurrently over MVCC snapshots; every request carries a
-// deadline that is threaded as a context.Context down through the morsel
-// executor and the storage scans, so a canceled or disconnected client
-// stops consuming worker time within one morsel boundary. Admission
-// control bounds the number of in-flight statements with a fair FIFO wait
-// queue and sheds load with a typed "server busy" error.
 package server
 
 import (
@@ -88,6 +80,12 @@ const (
 	// the links and texts, after every entity chunk, so cross-chunk
 	// references resolve without retries.
 	OpIngestBatch = "ingest_batch"
+	// OpMetrics answers with the server's full metrics registry rendered
+	// as sorted "name value" text (Response.Metrics).
+	OpMetrics = "metrics"
+	// OpSlowLog answers with the slow-op ring log (Response.Slow):
+	// the most recent operations that crossed the server's threshold.
+	OpSlowLog = "slowlog"
 )
 
 // Error codes carried in Response.Code.
@@ -108,18 +106,49 @@ type Request struct {
 	// uses the server's default; the server clamps to its maximum.
 	TimeoutMS int64       `json:"timeout_ms,omitempty"`
 	Source    *WireSource `json:"source,omitempty"`
+	// Trace requests a curation-stage trace for ingest and ingest_batch
+	// (query requests use the TRACE statement prefix instead). The span
+	// tree comes back in Response.Trace.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // Response is one server frame.
 type Response struct {
-	OK      bool          `json:"ok"`
-	Code    string        `json:"code,omitempty"`
-	Err     string        `json:"err,omitempty"`
+	OK      bool           `json:"ok"`
+	Code    string         `json:"code,omitempty"`
+	Err     string         `json:"err,omitempty"`
 	Columns []string       `json:"columns,omitempty"`
 	Rows    [][]WireValue  `json:"rows,omitempty"`
 	Info    *WireInfo      `json:"info,omitempty"`
 	Stats   *StatsReply    `json:"stats,omitempty"`
 	Ingest  *IngestSummary `json:"ingest,omitempty"`
+	// Metrics is the registry text dump (op "metrics").
+	Metrics string `json:"metrics,omitempty"`
+	// Slow is the slow-op log snapshot (op "slowlog").
+	Slow *SlowLogReply `json:"slow,omitempty"`
+	// Trace is the span-tree JSON of a traced ingest request.
+	Trace string `json:"trace,omitempty"`
+}
+
+// SlowLogReply is the slowlog response body.
+type SlowLogReply struct {
+	// ThresholdUS is the recording threshold; zero when the log is
+	// disabled.
+	ThresholdUS int64 `json:"threshold_us"`
+	// Total counts every slow op recorded over the server's lifetime,
+	// including entries the ring has evicted.
+	Total uint64 `json:"total"`
+	// Entries are the retained slow ops, oldest first.
+	Entries []WireSlowEntry `json:"entries,omitempty"`
+}
+
+// WireSlowEntry is one slow operation on the wire.
+type WireSlowEntry struct {
+	Op     string `json:"op"`
+	Detail string `json:"detail,omitempty"`
+	Start  string `json:"start"` // RFC3339Nano
+	DurUS  int64  `json:"dur_us"`
+	Err    string `json:"err,omitempty"`
 }
 
 // IngestChunk is one streamed frame of an ingest_batch request. Chunks

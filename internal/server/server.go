@@ -6,10 +6,12 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"time"
 
 	"scdb"
+	"scdb/internal/obs"
 )
 
 // Config configures a Server. The zero value of every field picks a
@@ -41,6 +43,12 @@ type Config struct {
 	// frame payload (default DefaultMaxFrame).
 	FrameTimeout time.Duration
 	MaxFrame     int
+
+	// SlowOpThreshold routes any request at or above this duration into
+	// the slow-op ring log (default 100ms; negative disables the log).
+	// SlowLogSize is the ring's capacity (default 128).
+	SlowOpThreshold time.Duration
+	SlowLogSize     int
 }
 
 func (c Config) withDefaults() Config {
@@ -65,6 +73,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxFrame == 0 {
 		c.MaxFrame = DefaultMaxFrame
 	}
+	if c.SlowOpThreshold == 0 {
+		c.SlowOpThreshold = 100 * time.Millisecond
+	}
+	if c.SlowLogSize == 0 {
+		c.SlowLogSize = 128
+	}
 	return c
 }
 
@@ -78,6 +92,8 @@ type Server struct {
 	ln      net.Listener
 	admit   *admitter
 	metrics *metrics
+	reg     *obs.Registry
+	slow    *obs.SlowLog
 
 	baseCtx   context.Context
 	cancelAll context.CancelFunc
@@ -117,16 +133,68 @@ func (c *conn) setBusy(b bool) {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Server{
+	reg := obs.NewRegistry()
+	s := &Server{
 		cfg:       cfg,
 		admit:     newAdmitter(cfg.MaxInFlight, cfg.MaxQueue),
-		metrics:   newMetrics(),
+		metrics:   newMetrics(reg),
+		reg:       reg,
+		slow:      obs.NewSlowLog(cfg.SlowLogSize, cfg.SlowOpThreshold),
 		baseCtx:   ctx,
 		cancelAll: cancel,
 		conns:     map[*conn]struct{}{},
 		serveErr:  make(chan error, 1),
 	}
+	s.registerEngineGauges()
+	return s
 }
+
+// registerEngineGauges folds the engine's own counters — storage WAL,
+// plan cache, self-curated indexes, curation totals, admission depth —
+// into the server's registry, so one metrics dump covers every layer.
+func (s *Server) registerEngineGauges() {
+	if s.cfg.DB == nil {
+		return // Listen rejects a nil DB before any dump can happen
+	}
+	db := s.cfg.DB
+	s.reg.Gauge("admission.in_flight", func() float64 { f, _, _ := s.admit.depth(); return float64(f) })
+	s.reg.Gauge("admission.queued", func() float64 { _, q, _ := s.admit.depth(); return float64(q) })
+	s.reg.Gauge("admission.in_flight_peak", func() float64 { _, _, p := s.admit.depth(); return float64(p) })
+	s.reg.Gauge("plan_cache.hits", func() float64 { return float64(db.PlanCacheStats().Hits) })
+	s.reg.Gauge("plan_cache.misses", func() float64 { return float64(db.PlanCacheStats().Misses) })
+	s.reg.Gauge("plan_cache.size", func() float64 { return float64(db.PlanCacheStats().Size) })
+	s.reg.Gauge("wal.frames_total", func() float64 { return float64(db.WALStats().Frames) })
+	s.reg.Gauge("wal.bytes_total", func() float64 { return float64(db.WALStats().Bytes) })
+	s.reg.Gauge("wal.fsyncs_total", func() float64 { return float64(db.WALStats().Fsyncs) })
+	s.reg.Gauge("wal.fsync_time_us", func() float64 { return float64(db.WALStats().FsyncTime.Microseconds()) })
+	s.reg.Gauge("wal.commits_waited_total", func() float64 { return float64(db.WALStats().Commits) })
+	s.reg.Gauge("wal.commit_wait_us", func() float64 { return float64(db.WALStats().CommitWait.Microseconds()) })
+	s.reg.Gauge("index.count", func() float64 { return float64(len(db.IndexStats())) })
+	s.reg.Gauge("index.hits_total", func() float64 {
+		var n uint64
+		for _, ix := range db.IndexStats() {
+			n += ix.Hits
+		}
+		return float64(n)
+	})
+	s.reg.Gauge("engine.tables", func() float64 { return float64(db.Stats().Tables) })
+	s.reg.Gauge("engine.entities", func() float64 { return float64(db.Stats().Entities) })
+	s.reg.Gauge("engine.edges", func() float64 { return float64(db.Stats().Edges) })
+	s.reg.Gauge("engine.merges_total", func() float64 { return float64(db.Stats().Merges) })
+	s.reg.Gauge("engine.inconsistencies", func() float64 { return float64(db.Stats().Inconsistencies) })
+}
+
+// Registry exposes the server's metrics registry (the debug listener and
+// tests read it; MetricsDump is the stable text form).
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// MetricsDump renders every registered instrument as sorted "name value"
+// text — the body of the metrics op and the debug /metrics endpoint.
+func (s *Server) MetricsDump() string { return s.reg.Dump() }
+
+// SlowLog returns the retained slow-op entries (oldest first) and the
+// lifetime count of recorded slow operations.
+func (s *Server) SlowLog() ([]obs.SlowEntry, uint64) { return s.slow.Snapshot() }
 
 // Listen binds the listener; Addr is final after it returns.
 func (s *Server) Listen() error {
@@ -238,6 +306,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 func (s *Server) Stats() StatsReply {
 	srv := s.metrics.snapshot()
 	srv.InFlight, srv.Queued, srv.InFlightPeak = s.admit.depth()
+	_, srv.SlowOps = s.slow.Snapshot()
 	return StatsReply{
 		Engine:    s.cfg.DB.Stats(),
 		Indexes:   s.cfg.DB.IndexStats(),
@@ -262,10 +331,13 @@ func (s *Server) handleConn(c *conn) {
 			return
 		}
 		// Slow-loris guard: the whole frame must arrive promptly now that
-		// it has started.
+		// it has started. The read's duration is kept for traced requests,
+		// which report it as the frame_decode span.
 		c.nc.SetReadDeadline(time.Now().Add(s.cfg.FrameTimeout))
+		decodeStart := time.Now()
 		var req Request
 		err := ReadFrame(br, s.cfg.MaxFrame, &req)
+		decodeDur := time.Since(decodeStart)
 		c.nc.SetReadDeadline(time.Time{})
 		if err != nil {
 			if errors.Is(err, ErrFrameTooLarge) {
@@ -277,7 +349,7 @@ func (s *Server) handleConn(c *conn) {
 			return
 		}
 		c.setBusy(true)
-		resp := s.handleRequest(br, c, req)
+		resp := s.handleRequest(br, c, req, decodeDur)
 		wErr := WriteFrame(c.nc, resp)
 		c.setBusy(false)
 		if wErr != nil {
@@ -286,11 +358,11 @@ func (s *Server) handleConn(c *conn) {
 	}
 }
 
-// handleRequest executes one request under its deadline and maps errors
-// to wire codes.
-func (s *Server) handleRequest(br *bufio.Reader, c *conn, req Request) Response {
+// handleRequest executes one request under its deadline, maps errors to
+// wire codes, and feeds the latency instruments and the slow-op log.
+func (s *Server) handleRequest(br *bufio.Reader, c *conn, req Request, decodeDur time.Duration) Response {
 	start := time.Now()
-	resp := s.dispatch(br, c, req)
+	resp := s.dispatch(br, c, req, decodeDur)
 	d := time.Since(start)
 	s.metrics.observe(req.Op, d, !resp.OK)
 	switch resp.Code {
@@ -299,16 +371,29 @@ func (s *Server) handleRequest(br *bufio.Reader, c *conn, req Request) Response 
 	case CodeCanceled, CodeDeadline, CodeShutdown:
 		s.metrics.cancel()
 	}
+	detail := req.Query
+	if detail == "" && req.Source != nil {
+		detail = "source:" + req.Source.Name
+	}
+	var opErr error
+	if resp.Err != "" {
+		opErr = errors.New(resp.Err)
+	}
+	s.slow.Observe(req.Op, detail, start, d, opErr)
 	return resp
 }
 
-func (s *Server) dispatch(br *bufio.Reader, c *conn, req Request) Response {
+func (s *Server) dispatch(br *bufio.Reader, c *conn, req Request, decodeDur time.Duration) Response {
 	switch req.Op {
 	case OpPing:
 		return Response{OK: true}
 	case OpStats:
 		st := s.Stats()
 		return Response{OK: true, Stats: &st}
+	case OpMetrics:
+		return Response{OK: true, Metrics: s.MetricsDump()}
+	case OpSlowLog:
+		return Response{OK: true, Slow: s.slowLogReply()}
 	case OpQuery, OpExplain, OpIngest, OpIngestBatch:
 		// Fall through to the admitted path below.
 	case "":
@@ -317,8 +402,22 @@ func (s *Server) dispatch(br *bufio.Reader, c *conn, req Request) Response {
 		return Response{Code: CodeBadRequest, Err: fmt.Sprintf("unknown op %q", req.Op)}
 	}
 
+	// Tracing starts here for TRACE statements and traced ingests, so the
+	// trace covers the whole service-side lifecycle: the frame decode that
+	// already happened (attached as a completed span) and the admission
+	// wait below. tr stays nil otherwise, and nil traces/spans no-op.
+	var tr *obs.Trace
+	if (req.Op == OpQuery && isTraceStmt(req.Query)) ||
+		(req.Trace && (req.Op == OpIngest || req.Op == OpIngestBatch)) {
+		tr = obs.NewTrace()
+	}
+	root := tr.Root("request")
+	root.SetStr("op", req.Op)
+	root.ChildDur("frame_decode", decodeDur)
+
 	ctx, cancel := s.requestCtx(req)
 	defer cancel()
+	ctx = obs.With(ctx, tr)
 
 	// Admission: bounded in-flight with FIFO queueing. The request's own
 	// deadline bounds the wait so a queued request cannot outlive itself.
@@ -328,7 +427,10 @@ func (s *Server) dispatch(br *bufio.Reader, c *conn, req Request) Response {
 		admitCtx, acancel = context.WithTimeout(ctx, s.cfg.QueueTimeout)
 		defer acancel()
 	}
-	if err := s.admit.acquire(admitCtx); err != nil {
+	admitSpan := root.Child("admission_wait")
+	err := s.admit.acquire(admitCtx)
+	admitSpan.End()
+	if err != nil {
 		if req.Op == OpIngestBatch {
 			s.drainIngest(br, c)
 		}
@@ -373,15 +475,64 @@ func (s *Server) dispatch(br *bufio.Reader, c *conn, req Request) Response {
 			return Response{Code: CodeBadRequest, Err: err.Error()}
 		}
 		start := time.Now()
-		if err := s.cfg.DB.Ingest(src); err != nil {
+		if err := s.cfg.DB.IngestCtx(ctx, src); err != nil {
 			return errorResponse(err)
 		}
 		s.metrics.observeIngest(len(src.Entities), time.Since(start))
-		return Response{OK: true}
+		root.End()
+		return Response{OK: true, Trace: traceJSON(tr)}
 	case OpIngestBatch:
-		return s.ingestStream(ctx, br, c, req)
+		resp := s.ingestStream(ctx, br, c, req)
+		if resp.OK {
+			root.End()
+			resp.Trace = traceJSON(tr)
+		}
+		return resp
 	}
 	return Response{Code: CodeBadRequest, Err: "unreachable"}
+}
+
+// isTraceStmt reports whether a query begins with the TRACE keyword — a
+// cheap check so the service layer can open the trace before admission
+// (the parser makes the authoritative call later).
+func isTraceStmt(q string) bool {
+	i := 0
+	for i < len(q) && (q[i] == ' ' || q[i] == '\t' || q[i] == '\n' || q[i] == '\r') {
+		i++
+	}
+	if len(q)-i < 6 {
+		return false
+	}
+	tail := q[i+5]
+	return strings.EqualFold(q[i:i+5], "TRACE") &&
+		(tail == ' ' || tail == '\t' || tail == '\n' || tail == '\r')
+}
+
+// traceJSON renders a trace for the wire; nil traces yield "".
+func traceJSON(tr *obs.Trace) string {
+	if tr == nil {
+		return ""
+	}
+	return tr.JSON()
+}
+
+// slowLogReply snapshots the slow-op log in wire form.
+func (s *Server) slowLogReply() *SlowLogReply {
+	entries, total := s.slow.Snapshot()
+	out := &SlowLogReply{
+		ThresholdUS: s.slow.Threshold().Microseconds(),
+		Total:       total,
+	}
+	for _, e := range entries {
+		out.Entries = append(out.Entries, WireSlowEntry{
+			Op:     e.Op,
+			Detail: e.Detail,
+			Start:  e.Start.Format(time.RFC3339Nano),
+			DurUS:  e.Dur.Microseconds(),
+			Err:    e.Err,
+		})
+	}
+	return out
 }
 
 // drainIngest discards an ingest_batch chunk stream whose request failed
@@ -456,7 +607,7 @@ func (s *Server) ingestStream(ctx context.Context, br *bufio.Reader, c *conn, re
 				badCode = CodeBadRequest
 			} else {
 				bStart := time.Now()
-				if err := s.cfg.DB.Ingest(src); err != nil {
+				if err := s.cfg.DB.IngestCtx(ctx, src); err != nil {
 					opErr = err
 				} else {
 					s.metrics.observeIngest(len(src.Entities), time.Since(bStart))

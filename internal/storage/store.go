@@ -62,8 +62,8 @@ type Table struct {
 	live   int // rows visible at latest CSN
 
 	// Self-curated access paths (index.go, zonemap.go), lazily initialized.
-	zones   map[uint64]*zoneSeg   // per-segment statistics for pruning
-	indexes map[string]*Index     // secondary indexes by attribute
+	zones   map[uint64]*zoneSeg    // per-segment statistics for pruning
+	indexes map[string]*Index      // secondary indexes by attribute
 	access  map[string]*accessStat // predicate traffic per attribute
 }
 

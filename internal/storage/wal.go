@@ -12,6 +12,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"scdb/internal/model"
 )
@@ -93,6 +94,16 @@ type wal struct {
 	pol    SyncPolicy
 	seq    uint64 // frames appended (under mu)
 	closed atomic.Bool
+
+	// Durability counters, read by Store.WALStats for the metrics surface
+	// and ingest traces. Atomics: bytes is bumped under mu but read
+	// without it; fsyncs/waitNS are bumped from committers and the
+	// flusher concurrently.
+	bytes   atomic.Uint64 // framed bytes appended (headers included)
+	fsyncs  atomic.Uint64 // fsync calls issued
+	syncNS  atomic.Uint64 // time spent inside fsync (SyncAlways, Sync)
+	waitNS  atomic.Uint64 // time commits spent waiting for durability
+	commits atomic.Uint64 // commits that waited for durability
 
 	// Group-commit state: commits under SyncGroup wait on cond until
 	// flushed covers their frame or a flush failed (sticky flushErr).
@@ -190,6 +201,7 @@ func (w *wal) frame(op byte, table string, rowID uint64, data []byte) (uint64, e
 		return 0, fmt.Errorf("storage: wal append: %w", err)
 	}
 	w.seq++
+	w.bytes.Add(uint64(len(hdr) + len(payload)))
 	return w.seq, nil
 }
 
@@ -244,9 +256,20 @@ func (w *wal) commit(seq uint64) error {
 		if err != nil {
 			return err
 		}
-		return w.f.Sync()
+		start := nanotime()
+		err = w.f.Sync()
+		d := nanotime() - start
+		w.fsyncs.Add(1)
+		w.syncNS.Add(uint64(d))
+		w.waitNS.Add(uint64(d))
+		w.commits.Add(1)
+		return err
 	}
-	return w.waitDurable(seq)
+	start := nanotime()
+	err := w.waitDurable(seq)
+	w.waitNS.Add(uint64(nanotime() - start))
+	w.commits.Add(1)
+	return err
 }
 
 // flusher is the single group-commit goroutine: every kick flushes and
@@ -269,7 +292,10 @@ func (w *wal) flushOnce() {
 	err := w.w.Flush()
 	w.mu.Unlock()
 	if err == nil {
+		start := nanotime()
 		err = w.f.Sync()
+		w.fsyncs.Add(1)
+		w.syncNS.Add(uint64(nanotime() - start))
 	}
 	w.flushMu.Lock()
 	if err != nil {
@@ -311,8 +337,52 @@ func (s *Store) Sync() error {
 	if err != nil {
 		return err
 	}
-	return s.wal.f.Sync()
+	start := nanotime()
+	err = s.wal.f.Sync()
+	s.wal.fsyncs.Add(1)
+	s.wal.syncNS.Add(uint64(nanotime() - start))
+	return err
 }
+
+// WALStats is a point-in-time readout of the durability log's counters.
+// The zero value is returned for in-memory stores (no WAL).
+type WALStats struct {
+	// Frames is log frames appended; Bytes is their total framed size
+	// including headers.
+	Frames uint64
+	Bytes  uint64
+	// Fsyncs counts fsync system calls; FsyncTime is time spent inside
+	// them. Under SyncGroup, Commits/CommitWait measure how long
+	// committers blocked for durability — group commit shows many
+	// commits per fsync.
+	Fsyncs     uint64
+	FsyncTime  time.Duration
+	Commits    uint64
+	CommitWait time.Duration
+}
+
+// WALStats reports the write-ahead log's durability counters.
+func (s *Store) WALStats() WALStats {
+	if s.wal == nil {
+		return WALStats{}
+	}
+	w := s.wal
+	w.mu.Lock()
+	frames := w.seq
+	w.mu.Unlock()
+	return WALStats{
+		Frames:     frames,
+		Bytes:      w.bytes.Load(),
+		Fsyncs:     w.fsyncs.Load(),
+		FsyncTime:  time.Duration(w.syncNS.Load()),
+		Commits:    w.commits.Load(),
+		CommitWait: time.Duration(w.waitNS.Load()),
+	}
+}
+
+// nanotime is time.Now().UnixNano() behind a name that keeps call sites
+// terse inside the commit paths.
+func nanotime() int64 { return time.Now().UnixNano() }
 
 // logEntry is one decoded log frame.
 type logEntry struct {
