@@ -1,7 +1,14 @@
-// Package client is the Go client for scdb-server. It speaks the
-// length-prefixed JSON frame protocol over one TCP connection, strictly
-// request-response. A Client is safe for concurrent use: calls are
-// serialized on the connection (open several clients for parallel load).
+// Package client is the Go client for scdb-server. Dial negotiates the
+// wire protocol at connect time: against a current server it speaks
+// protocol v2 — compact binary frames, columnar row batches, and request
+// pipelining (many calls in flight on one connection, responses matched
+// by request id) — and against an older server it falls back to the v1
+// length-prefixed JSON protocol, which is strictly request-response.
+// DialProto pins the protocol explicitly.
+//
+// A Client is safe for concurrent use. On v2, concurrent calls are
+// pipelined on the one connection; on v1 they are serialized (open
+// several clients for parallel load).
 //
 // Results come back through the same lossless value encoding the server
 // uses, so rows read over the network are identical — value for value —
@@ -50,19 +57,23 @@ func (e *ServerError) Is(target error) bool {
 
 // Client is one connection to an scdb-server.
 type Client struct {
-	mu     sync.Mutex // serializes request/response exchanges
+	mu     sync.Mutex // v1: serializes request/response exchanges
 	nc     net.Conn
 	br     *bufio.Reader
 	broken atomic.Bool
+
+	proto int      // negotiated protocol version (1 or 2)
+	v2    *v2state // multiplexing state; nil on v1
 }
 
-// Dial connects to an scdb-server at addr ("host:port").
+func newClientV1(nc net.Conn) *Client {
+	return &Client{nc: nc, br: bufio.NewReader(nc), proto: server.ProtoV1}
+}
+
+// Dial connects to an scdb-server at addr ("host:port"), negotiating the
+// newest protocol both sides speak (see DialProto to pin one).
 func Dial(addr string) (*Client, error) {
-	nc, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	return &Client{nc: nc, br: bufio.NewReader(nc)}, nil
+	return DialProto(addr, "auto")
 }
 
 // Close closes the connection immediately, failing any in-flight call —
@@ -141,6 +152,9 @@ func (c *Client) roundTrip(ctx context.Context, req server.Request) (*server.Res
 
 // Ping round-trips an empty request.
 func (c *Client) Ping() error {
+	if c.proto == server.ProtoV2 {
+		return c.pingV2()
+	}
 	_, err := c.roundTrip(nil, server.Request{Op: server.OpPing})
 	return err
 }
@@ -164,6 +178,9 @@ func (c *Client) QueryInfo(q string) (*scdb.Rows, *scdb.QueryInfo, error) {
 
 // QueryInfoCtx is QueryInfo with a deadline.
 func (c *Client) QueryInfoCtx(ctx context.Context, q string) (*scdb.Rows, *scdb.QueryInfo, error) {
+	if c.proto == server.ProtoV2 {
+		return c.queryV2(ctx, server.V2OpQuery, q)
+	}
 	resp, err := c.roundTrip(ctx, server.Request{Op: server.OpQuery, Query: q})
 	if err != nil {
 		return nil, nil, err
@@ -177,6 +194,10 @@ func (c *Client) QueryInfoCtx(ctx context.Context, q string) (*scdb.Rows, *scdb.
 
 // Explain returns the optimized plan without executing.
 func (c *Client) Explain(q string) (*scdb.QueryInfo, error) {
+	if c.proto == server.ProtoV2 {
+		_, info, err := c.queryV2(nil, server.V2OpExplain, q)
+		return info, err
+	}
 	resp, err := c.roundTrip(nil, server.Request{Op: server.OpExplain, Query: q})
 	if err != nil {
 		return nil, err
@@ -186,6 +207,10 @@ func (c *Client) Explain(q string) (*scdb.QueryInfo, error) {
 
 // Ingest ships one source delivery through the server's curation pipeline.
 func (c *Client) Ingest(src scdb.Source) error {
+	if c.proto == server.ProtoV2 {
+		_, err := c.ingestV2(nil, src, false)
+		return err
+	}
 	ws, err := server.EncodeSource(src)
 	if err != nil {
 		return err
@@ -198,6 +223,9 @@ func (c *Client) Ingest(src scdb.Source) error {
 // curation pipeline's span tree (decode fan-out, batch install with WAL
 // fsync wait, relation, integration, inference) as indented JSON.
 func (c *Client) IngestTraced(src scdb.Source) (string, error) {
+	if c.proto == server.ProtoV2 {
+		return c.ingestV2(nil, src, true)
+	}
 	ws, err := server.EncodeSource(src)
 	if err != nil {
 		return "", err
@@ -225,6 +253,9 @@ const DefaultIngestBatch = 1024
 func (c *Client) IngestBatch(ctx context.Context, src scdb.Source, batchSize int) (*IngestSummary, error) {
 	if batchSize <= 0 {
 		batchSize = DefaultIngestBatch
+	}
+	if c.proto == server.ProtoV2 {
+		return c.ingestBatchV2(ctx, src, batchSize)
 	}
 	ws, err := server.EncodeSource(src)
 	if err != nil {
@@ -308,6 +339,9 @@ func (c *Client) IngestBatch(ctx context.Context, src scdb.Source, batchSize int
 
 // Stats fetches the engine snapshot plus the server's live metrics.
 func (c *Client) Stats() (server.StatsReply, error) {
+	if c.proto == server.ProtoV2 {
+		return c.statsV2()
+	}
 	resp, err := c.roundTrip(nil, server.Request{Op: server.OpStats})
 	if err != nil {
 		return server.StatsReply{}, err
@@ -321,6 +355,10 @@ func (c *Client) Stats() (server.StatsReply, error) {
 // Metrics fetches the server's metrics registry as sorted "name value"
 // text — the same body the debug listener serves at /metrics.
 func (c *Client) Metrics() (string, error) {
+	if c.proto == server.ProtoV2 {
+		blob, err := c.blobV2(server.V2OpMetrics)
+		return string(blob), err
+	}
 	resp, err := c.roundTrip(nil, server.Request{Op: server.OpMetrics})
 	if err != nil {
 		return "", err
@@ -331,6 +369,9 @@ func (c *Client) Metrics() (string, error) {
 // SlowLog fetches the server's slow-op ring, oldest first, along with the
 // configured threshold and the lifetime count of slow operations.
 func (c *Client) SlowLog() (server.SlowLogReply, error) {
+	if c.proto == server.ProtoV2 {
+		return c.slowLogV2()
+	}
 	resp, err := c.roundTrip(nil, server.Request{Op: server.OpSlowLog})
 	if err != nil {
 		return server.SlowLogReply{}, err

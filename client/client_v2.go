@@ -1,0 +1,411 @@
+package client
+
+// Protocol v2: binary frames, columnar row batches, and request
+// pipelining. One reader goroutine decodes every inbound frame and routes
+// it to the waiting call by request id, so many calls can be in flight on
+// one connection at once and responses may complete out of order. The v1
+// JSON path (strictly request-response) is in client.go.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"scdb"
+	"scdb/internal/server"
+)
+
+// handshakeTimeout bounds the v2 hello exchange: a v1-only server answers
+// the hello with a JSON error frame (it parses as an oversized v1 frame),
+// so the exchange settles quickly either way; the timeout covers a peer
+// that answers nothing at all.
+const handshakeTimeout = 5 * time.Second
+
+// v2call is one in-flight request. The reader goroutine owns rows/res/
+// code/msg/err until it closes ready; the caller reads them only after.
+type v2call struct {
+	rows      [][]any
+	res       *server.V2Result
+	code, msg string
+	err       error
+	ready     chan struct{}
+}
+
+// v2state is the multiplexing machinery of a protocol-v2 client.
+type v2state struct {
+	wmu sync.Mutex // serializes frame writes
+
+	pmu    sync.Mutex
+	nextID uint32
+	calls  map[uint32]*v2call
+}
+
+// DialProto connects with an explicit protocol choice:
+//
+//   - "auto" (or ""): propose v2; fall back to v1 if the server doesn't
+//     speak it. This is what Dial does.
+//   - "v2" or "2": require v2; fail against a v1-only server.
+//   - "v1" or "1": speak v1 JSON unconditionally (what old clients do).
+func DialProto(addr, proto string) (*Client, error) {
+	switch proto {
+	case "v1", "1":
+		return dialV1(addr)
+	case "v2", "2":
+		return dialV2(addr)
+	case "auto", "":
+		c, err := dialV2(addr)
+		if err == nil {
+			return c, nil
+		}
+		var ne net.Error
+		if errors.As(err, &ne) && !ne.Timeout() {
+			return nil, err // dial-level failure; v1 would fail the same way
+		}
+		return dialV1(addr)
+	}
+	return nil, fmt.Errorf("scdb client: unknown protocol %q (want auto, v1, or v2)", proto)
+}
+
+func dialV1(addr string) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return newClientV1(nc), nil
+}
+
+func dialV2(addr string) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	nc.SetDeadline(time.Now().Add(handshakeTimeout))
+	if err := server.WriteClientHello(nc); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	if _, err := server.ReadServerHello(nc); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	nc.SetDeadline(time.Time{})
+	c := newClientV1(nc)
+	c.proto = server.ProtoV2
+	c.v2 = &v2state{calls: map[uint32]*v2call{}}
+	go c.readLoopV2()
+	return c, nil
+}
+
+// Proto reports the negotiated protocol version: 1 or 2.
+func (c *Client) Proto() int { return c.proto }
+
+// readLoopV2 is the connection's single frame reader: it decodes every
+// inbound frame and routes it by request id. Frames for forgotten ids
+// (calls abandoned past their grace) are discarded, which is what keeps
+// an abandoned call from poisoning the connection.
+func (c *Client) readLoopV2() {
+	for {
+		f, err := server.ReadV2Frame(c.br, server.DefaultMaxFrame)
+		if err != nil {
+			c.failAllV2(err)
+			return
+		}
+		c.v2.pmu.Lock()
+		ca := c.v2.calls[f.ID]
+		c.v2.pmu.Unlock()
+		if ca == nil {
+			continue
+		}
+		switch f.Op {
+		case server.V2OpRowBatch:
+			rows, err := server.DecodeV2RowBatch(f.Payload, ca.rows)
+			if err != nil {
+				ca.err = err
+				c.finishV2(f.ID, ca)
+				continue
+			}
+			ca.rows = rows
+		case server.V2OpResult:
+			res, err := server.DecodeV2Result(f.Payload)
+			if err != nil {
+				ca.err = err
+			} else {
+				ca.res = res
+			}
+			c.finishV2(f.ID, ca)
+		case server.V2OpError:
+			code, msg, err := server.DecodeV2Error(f.Payload)
+			if err != nil {
+				ca.err = err
+			} else {
+				ca.code, ca.msg = code, msg
+			}
+			c.finishV2(f.ID, ca)
+		}
+	}
+}
+
+func (c *Client) finishV2(id uint32, ca *v2call) {
+	c.v2.pmu.Lock()
+	if c.v2.calls[id] == ca {
+		delete(c.v2.calls, id)
+	}
+	c.v2.pmu.Unlock()
+	close(ca.ready)
+}
+
+// failAllV2 breaks the connection: every pending call fails with err.
+func (c *Client) failAllV2(err error) {
+	c.broken.Store(true)
+	c.nc.Close()
+	c.v2.pmu.Lock()
+	calls := c.v2.calls
+	c.v2.calls = map[uint32]*v2call{}
+	c.v2.pmu.Unlock()
+	for _, ca := range calls {
+		ca.err = err
+		close(ca.ready)
+	}
+}
+
+// newCallV2 allocates a request id and registers the call for routing.
+func (c *Client) newCallV2() (uint32, *v2call) {
+	ca := &v2call{ready: make(chan struct{})}
+	c.v2.pmu.Lock()
+	c.v2.nextID++
+	id := c.v2.nextID
+	c.v2.calls[id] = ca
+	c.v2.pmu.Unlock()
+	return id, ca
+}
+
+func (c *Client) forgetV2(id uint32) {
+	c.v2.pmu.Lock()
+	delete(c.v2.calls, id)
+	c.v2.pmu.Unlock()
+}
+
+// writeFramesV2 writes complete frames under the write mutex. Frames from
+// concurrent calls may interleave on the wire — ids route them — but a
+// single frame is never torn. A write error poisons the connection (a
+// half-written frame cannot be resynchronized).
+func (c *Client) writeFramesV2(frames ...[]byte) error {
+	c.v2.wmu.Lock()
+	defer c.v2.wmu.Unlock()
+	if c.broken.Load() {
+		return errors.New("scdb client: connection is closed")
+	}
+	for _, fr := range frames {
+		if _, err := c.nc.Write(fr); err != nil {
+			c.broken.Store(true)
+			c.nc.Close()
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *Client) sendCancelV2(id uint32) {
+	e := server.GetV2Enc()
+	c.writeFramesV2(server.EncodeV2Simple(e, id, server.V2OpCancel))
+	e.Release()
+}
+
+// waitV2 waits for the call's final frame. A context deadline is enforced
+// in-band by the server (it received the same timeout), so the client
+// waits a grace past it for the typed response. Explicit cancellation
+// additionally sends a cancel frame so the server stops working on the
+// request; the canceled request still gets its error response. If the
+// server overshoots the grace, the call is forgotten — the reader drops
+// its late frames — and the connection stays usable, unlike v1.
+func (c *Client) waitV2(ctx context.Context, id uint32, ca *v2call) (*server.V2Result, error) {
+	select {
+	case <-ca.ready:
+	case <-ctx.Done():
+		if !errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			c.sendCancelV2(id)
+		}
+		select {
+		case <-ca.ready:
+		case <-time.After(deadlineGrace):
+			c.forgetV2(id)
+			return nil, ctx.Err()
+		}
+	}
+	if ca.err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
+		return nil, ca.err
+	}
+	if ca.code != "" {
+		return nil, &ServerError{Code: ca.code, Msg: ca.msg}
+	}
+	return ca.res, nil
+}
+
+// ctxAndTimeout normalizes a nil context and derives the request timeout
+// the server should enforce in-band.
+func ctxAndTimeout(ctx context.Context) (context.Context, int64) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var ms int64
+	if d, ok := ctx.Deadline(); ok {
+		ms = time.Until(d).Milliseconds()
+		if ms < 1 {
+			ms = 1
+		}
+	}
+	return ctx, ms
+}
+
+func (c *Client) pingV2() error {
+	id, ca := c.newCallV2()
+	e := server.GetV2Enc()
+	err := c.writeFramesV2(server.EncodeV2Simple(e, id, server.V2OpPing))
+	e.Release()
+	if err != nil {
+		c.forgetV2(id)
+		return err
+	}
+	_, err = c.waitV2(context.Background(), id, ca)
+	return err
+}
+
+func (c *Client) queryV2(ctx context.Context, op byte, q string) (*scdb.Rows, *scdb.QueryInfo, error) {
+	ctx, ms := ctxAndTimeout(ctx)
+	id, ca := c.newCallV2()
+	e := server.GetV2Enc()
+	err := c.writeFramesV2(server.EncodeV2Query(e, id, op, q, ms))
+	e.Release()
+	if err != nil {
+		c.forgetV2(id)
+		return nil, nil, err
+	}
+	res, err := c.waitV2(ctx, id, ca)
+	if err != nil {
+		return nil, nil, err
+	}
+	info := res.Info
+	if info == nil {
+		info = &scdb.QueryInfo{}
+	}
+	if op == server.V2OpExplain {
+		return nil, info, nil
+	}
+	return &scdb.Rows{Columns: res.Columns, Data: ca.rows}, info, nil
+}
+
+func (c *Client) ingestV2(ctx context.Context, src scdb.Source, trace bool) (string, error) {
+	ctx, ms := ctxAndTimeout(ctx)
+	id, ca := c.newCallV2()
+	e := server.GetV2Enc()
+	frame, err := server.EncodeV2Ingest(e, id, src, ms, trace)
+	if err != nil {
+		e.Release()
+		c.forgetV2(id)
+		return "", err
+	}
+	err = c.writeFramesV2(frame)
+	e.Release()
+	if err != nil {
+		c.forgetV2(id)
+		return "", err
+	}
+	res, err := c.waitV2(ctx, id, ca)
+	if err != nil {
+		return "", err
+	}
+	return res.Trace, nil
+}
+
+func (c *Client) ingestBatchV2(ctx context.Context, src scdb.Source, batchSize int) (*IngestSummary, error) {
+	ctx, ms := ctxAndTimeout(ctx)
+	id, ca := c.newCallV2()
+	fail := func(err error) (*IngestSummary, error) {
+		c.forgetV2(id)
+		return nil, err
+	}
+	e := server.GetV2Enc()
+	err := c.writeFramesV2(server.EncodeV2IngestBatchHeader(e, id, src.Name, ms, false))
+	e.Release()
+	if err != nil {
+		return fail(err)
+	}
+	for lo := 0; lo < len(src.Entities); lo += batchSize {
+		hi := min(lo+batchSize, len(src.Entities))
+		e := server.GetV2Enc()
+		frame, err := server.EncodeV2IngestChunk(e, id, server.V2Chunk{Entities: src.Entities[lo:hi]})
+		if err == nil {
+			err = c.writeFramesV2(frame)
+		}
+		e.Release()
+		if err != nil {
+			return fail(err)
+		}
+	}
+	e = server.GetV2Enc()
+	frame, err := server.EncodeV2IngestChunk(e, id, server.V2Chunk{Links: src.Links, Texts: src.Texts, Done: true})
+	if err == nil {
+		err = c.writeFramesV2(frame)
+	}
+	e.Release()
+	if err != nil {
+		return fail(err)
+	}
+	res, err := c.waitV2(ctx, id, ca)
+	if err != nil {
+		return nil, err
+	}
+	if res.Ingest == nil {
+		return nil, errors.New("scdb client: ingest_batch response without summary")
+	}
+	return res.Ingest, nil
+}
+
+// blobV2 runs one control-plane op (stats, metrics, slowlog) and returns
+// its blob body.
+func (c *Client) blobV2(op byte) ([]byte, error) {
+	id, ca := c.newCallV2()
+	e := server.GetV2Enc()
+	err := c.writeFramesV2(server.EncodeV2Simple(e, id, op))
+	e.Release()
+	if err != nil {
+		c.forgetV2(id)
+		return nil, err
+	}
+	res, err := c.waitV2(context.Background(), id, ca)
+	if err != nil {
+		return nil, err
+	}
+	return res.Blob, nil
+}
+
+func (c *Client) statsV2() (server.StatsReply, error) {
+	blob, err := c.blobV2(server.V2OpStats)
+	if err != nil {
+		return server.StatsReply{}, err
+	}
+	var st server.StatsReply
+	if err := json.Unmarshal(blob, &st); err != nil {
+		return server.StatsReply{}, err
+	}
+	return st, nil
+}
+
+func (c *Client) slowLogV2() (server.SlowLogReply, error) {
+	blob, err := c.blobV2(server.V2OpSlowLog)
+	if err != nil {
+		return server.SlowLogReply{}, err
+	}
+	var sl server.SlowLogReply
+	if err := json.Unmarshal(blob, &sl); err != nil {
+		return server.SlowLogReply{}, err
+	}
+	return sl, nil
+}

@@ -287,6 +287,33 @@ func (db *DB) QueryInfoCtx(ctx context.Context, q string) (*Rows, *QueryInfo, er
 	return out, pub, nil
 }
 
+// QueryBatchesCtx executes one statement and streams its result rows to
+// emit in columnar batches as they drain off the morsel executor, without
+// materializing the public row set first. The batch values are the
+// engine's internal representation (model.Value) — this is the
+// zero-conversion path the network service layer encodes from; embedded
+// applications should use QueryCtx. cols is identical on every call and
+// also returned (a statement with no rows never calls emit). emit
+// returning false aborts the statement. Emitted row slices are shared
+// with the result cache and must not be mutated.
+func (db *DB) QueryBatchesCtx(ctx context.Context, q string, emit func(cols []string, batch [][]model.Value) bool) ([]string, *QueryInfo, error) {
+	cols, info, err := db.inner.QueryStreamCtx(ctx, q, emit)
+	if err != nil {
+		return nil, nil, err
+	}
+	pub := &QueryInfo{
+		Plan:          info.Plan,
+		Rules:         info.Rules,
+		CacheHit:      info.CacheHit,
+		PlanCached:    info.PlanCached,
+		EstimatedCost: info.EstimatedCost,
+	}
+	if info.OperatorStats != nil {
+		pub.OperatorStats = info.OperatorStats.Render()
+	}
+	return cols, pub, nil
+}
+
 // Explain returns the optimized plan without executing.
 func (db *DB) Explain(q string) (*QueryInfo, error) {
 	info, err := db.inner.Explain(q)

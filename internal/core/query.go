@@ -60,6 +60,52 @@ func (db *DB) Query(src string) (*query.Result, *QueryInfo, error) {
 // consuming CPU within one morsel boundary and returns the context's
 // error. This is the entry point the network service layer drives.
 func (db *DB) QueryCtx(ctx context.Context, src string) (*query.Result, *QueryInfo, error) {
+	return db.queryCtx(ctx, src, nil)
+}
+
+// QueryStreamCtx executes one statement and delivers result rows to emit
+// in columnar batches as they drain off the morsel executor, instead of
+// materializing the whole result first. cols is identical on every call;
+// a statement with no rows never calls emit (the returned columns cover
+// that case). emit returning false aborts the query with
+// query.ErrEmitStopped. Emitted row slices are shared with the
+// materialization cache and must not be mutated.
+//
+// Statements that answer from materialized text (EXPLAIN, TRACE) or from
+// the result cache still stream: their rows are chunked through emit, so a
+// sink sees one uniform shape for every statement.
+func (db *DB) QueryStreamCtx(ctx context.Context, src string, emit func(cols []string, batch [][]model.Value) bool) ([]string, *QueryInfo, error) {
+	res, info, err := db.queryCtx(ctx, src, emit)
+	if err != nil {
+		return nil, info, err
+	}
+	return res.Columns, info, nil
+}
+
+// emitResultChunks streams an already-materialized result through emit in
+// morsel-size chunks.
+func emitResultChunks(res *query.Result, size int, emit func([]string, [][]model.Value) bool) error {
+	if size <= 0 {
+		size = query.DefaultMorselSize
+	}
+	for lo := 0; lo < len(res.Rows); lo += size {
+		hi := lo + size
+		if hi > len(res.Rows) {
+			hi = len(res.Rows)
+		}
+		if !emit(res.Columns, res.Rows[lo:hi]) {
+			return query.ErrEmitStopped
+		}
+	}
+	return nil
+}
+
+// queryCtx is the shared spine of QueryCtx and QueryStreamCtx. With a nil
+// emit the result is fully materialized; with emit set, executed rows
+// stream through it (and are also accumulated so the materialization cache
+// stays populated — the batches share row slices, so this costs one slice
+// append per batch).
+func (db *DB) queryCtx(ctx context.Context, src string, emit func([]string, [][]model.Value) bool) (*query.Result, *QueryInfo, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
@@ -114,7 +160,13 @@ func (db *DB) QueryCtx(ctx context.Context, src string) (*query.Result, *QueryIn
 	if !stmt.Explain && !stmt.Trace && !db.opts.DisableMatCache {
 		if v, ok := db.matCache.Get(key); ok {
 			info.CacheHit = true
-			return v.(*query.Result), info, nil
+			res := v.(*query.Result)
+			if emit != nil {
+				if err := emitResultChunks(res, db.opts.MorselSize, emit); err != nil {
+					return nil, info, err
+				}
+			}
+			return res, info, nil
 		}
 	}
 	env := &queryEnv{db: db, ctx: ctx, mode: stmt.Mode, fuzzyT: stmt.FuzzyThreshold}
@@ -142,23 +194,53 @@ func (db *DB) QueryCtx(ctx context.Context, src string) (*query.Result, *QueryIn
 	planSpan := root.ChildDur("plan", time.Since(planStart))
 	planSpan.SetBool("plan_cached", info.PlanCached)
 	planSpan.SetInt("est_morsels", int64(info.EstimatedMorsels))
+	// streamText hands a materialized text result (plans, traces) to the
+	// sink in chunks, so streaming callers see one uniform shape.
+	streamText := func(res *query.Result) (*query.Result, *QueryInfo, error) {
+		if emit != nil {
+			if err := emitResultChunks(res, db.opts.MorselSize, emit); err != nil {
+				return nil, info, err
+			}
+		}
+		return res, info, nil
+	}
 	if stmt.Explain && !stmt.Analyze {
-		return planResult(info.Plan), info, nil
+		return streamText(planResult(info.Plan))
 	}
 	execSpan := root.Child("execute")
-	res, st, err := query.ExecuteOpts(plan, env, db.execOptions(ctx, stmt))
+	opts := db.execOptions(ctx, stmt)
+	// Plain statements stream straight off the executor; EXPLAIN ANALYZE
+	// and TRACE answer with rendered text, so they materialize as before
+	// and stream that text instead.
+	stream := emit != nil && !stmt.Explain && !stmt.Trace
+	var streamed [][]model.Value
+	if stream {
+		opts.EmitBatch = func(cols []string, batch [][]model.Value) bool {
+			if !emit(cols, batch) {
+				return false
+			}
+			// Keep the delivered rows (sharing the batch's row slices) so
+			// the materialization cache is populated below.
+			streamed = append(streamed, batch...)
+			return true
+		}
+	}
+	res, st, err := query.ExecuteOpts(plan, env, opts)
 	execSpan.End()
 	if err != nil {
 		return nil, nil, err
 	}
 	info.OperatorStats = st
 	if stmt.Explain { // EXPLAIN ANALYZE: rows are the annotated plan
-		return planResult(st.Render()), info, nil
+		return streamText(planResult(st.Render()))
 	}
 	if stmt.Trace {
 		execSpan.SetInt("rows_out", int64(len(res.Rows)))
 		addOpSpans(execSpan, st)
-		return traceResult(tr), info, nil
+		return streamText(traceResult(tr))
+	}
+	if stream {
+		res.Rows = streamed
 	}
 	if !db.opts.DisableMatCache {
 		db.matCache.Put(key, res, info.EstimatedCost)

@@ -3,6 +3,7 @@ package query
 import (
 	"container/heap"
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -72,7 +73,21 @@ type ExecOptions struct {
 	// scan producers stop emitting, so a canceled or deadline-expired query
 	// frees its workers within one morsel boundary. Nil means Background.
 	Ctx context.Context
+	// EmitBatch switches ExecuteOpts to streaming delivery: result rows are
+	// handed to the sink in columnar batches as morsels drain off the
+	// pipeline, and the returned Result carries only the columns (Rows stays
+	// nil). cols is identical on every call. Returning false aborts the
+	// query with ErrEmitStopped. When the plan fixes no output schema
+	// (SELECT * over heterogeneous rows), rows are materialized first to
+	// union the columns, then emitted in morsel-size chunks. Emitted row
+	// slices must not be mutated by the sink.
+	EmitBatch func(cols []string, batch [][]model.Value) bool
 }
+
+// ErrEmitStopped reports that an EmitBatch sink returned false: the query
+// was aborted mid-stream at the sink's request (typically a dead network
+// connection), not by an engine failure.
+var ErrEmitStopped = errors.New("query: batch sink stopped consumption")
 
 // Execute runs the plan serially — the exact legacy behavior. semantic
 // enables inferred types in ISA/ConceptScan (the WITH SEMANTICS modifier).
@@ -106,6 +121,18 @@ func ExecuteOpts(n Node, env Env, opts ExecOptions) (*Result, *OpStats, error) {
 		x.wg.Wait()
 		return nil, nil, err
 	}
+	if opts.EmitBatch != nil && cols != nil {
+		// Streaming delivery: the plan fixed its output schema, so each
+		// drained morsel can be materialized and emitted without waiting for
+		// the rest of the result.
+		err := emitStream(ctx, s, cols, opts.EmitBatch)
+		s.stop()
+		x.wg.Wait()
+		if err != nil {
+			return nil, st, err
+		}
+		return &Result{Columns: cols}, st, nil
+	}
 	rows, err := drainRows(ctx, s)
 	// Join every worker and producer goroutine before returning: they hold
 	// references into the environment, which may only be valid while the
@@ -119,15 +146,65 @@ func ExecuteOpts(n Node, env Env, opts ExecOptions) (*Result, *OpStats, error) {
 		// The plan's top produced raw rows (no projection) — normalize.
 		cols = unionColumns(rows)
 	}
+	if opts.EmitBatch != nil {
+		// Raw-row plan: columns are only known now, so stream the
+		// materialized result in morsel-size chunks.
+		for lo := 0; lo < len(rows); lo += size {
+			hi := min(lo+size, len(rows))
+			batch := make([][]model.Value, 0, hi-lo)
+			for _, r := range rows[lo:hi] {
+				batch = append(batch, materializeRow(cols, r))
+			}
+			if !opts.EmitBatch(cols, batch) {
+				return nil, st, ErrEmitStopped
+			}
+		}
+		return &Result{Columns: cols}, st, nil
+	}
 	res := &Result{Columns: cols}
 	for _, r := range rows {
-		out := make([]model.Value, len(cols))
-		for i, c := range cols {
-			out[i] = r.vals[outKey(c, r)]
-		}
-		res.Rows = append(res.Rows, out)
+		res.Rows = append(res.Rows, materializeRow(cols, r))
 	}
 	return res, st, nil
+}
+
+// materializeRow projects one bound row onto the display columns.
+func materializeRow(cols []string, r Row) []model.Value {
+	out := make([]model.Value, len(cols))
+	for i, c := range cols {
+		out[i] = r.vals[outKey(c, r)]
+	}
+	return out
+}
+
+// emitStream drains a stream morsel by morsel, materializing each against
+// the fixed column schema and handing it to the sink. The context is
+// observed between morsels, exactly like drainRows.
+func emitStream(ctx context.Context, s *stream, cols []string, emit func([]string, [][]model.Value) bool) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			s.stop()
+			return err
+		}
+		m, ok, err := s.next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		if len(m.rows) == 0 {
+			continue
+		}
+		batch := make([][]model.Value, 0, len(m.rows))
+		for _, r := range m.rows {
+			batch = append(batch, materializeRow(cols, r))
+		}
+		if !emit(cols, batch) {
+			s.stop()
+			return ErrEmitStopped
+		}
+	}
 }
 
 // outKey maps a display column back to the row key.

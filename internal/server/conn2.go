@@ -1,0 +1,562 @@
+package server
+
+// Protocol-v2 connection handling: one reader goroutine routes frames by
+// request id, every request runs in its own goroutine, and responses are
+// written under a single mutex — so one connection multiplexes many
+// in-flight requests (client pipelining) and responses may complete out
+// of order. v1's strictly request-response loop lives in server.go.
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"scdb"
+	"scdb/internal/model"
+	"scdb/internal/obs"
+)
+
+// v2req is the per-request bookkeeping the reader and the request
+// goroutine share.
+type v2req struct {
+	// cancel is the request context's cancel, installed by the request
+	// goroutine once the context exists (under v2conn.pmu). canceled
+	// records a V2OpCancel that arrived before that moment.
+	cancel   context.CancelFunc
+	canceled bool
+	// chunks carries the ingest_batch stream; nil for other ops.
+	chunks chan v2chunk
+	// gone closes when the request finishes, so the reader never blocks
+	// forever handing a chunk to a handler that already answered.
+	gone chan struct{}
+}
+
+type v2chunk struct {
+	c   V2Chunk
+	err error
+}
+
+// v2conn is one negotiated protocol-v2 connection.
+type v2conn struct {
+	s  *Server
+	c  *conn
+	br *bufio.Reader
+
+	// wmu serializes response writes; dead marks the connection broken so
+	// later writes fail fast instead of interleaving with a half-written
+	// frame.
+	wmu  sync.Mutex
+	dead bool
+
+	pmu  sync.Mutex
+	reqs map[uint32]*v2req
+
+	wg sync.WaitGroup
+}
+
+// serveV2 runs a connection after the v2 hello exchange.
+func (s *Server) serveV2(c *conn, br *bufio.Reader) {
+	vc := &v2conn{s: s, c: c, br: br, reqs: map[uint32]*v2req{}}
+	vc.run()
+}
+
+func (vc *v2conn) run() {
+	s, c := vc.s, vc.c
+	for {
+		// Idle wait: block until the next frame's first byte. Shutdown
+		// interrupts this read via interruptIfIdle once the connection has
+		// no in-flight requests.
+		if _, err := vc.br.Peek(1); err != nil {
+			vc.exit(err)
+			return
+		}
+		// Slow-loris guard, as in v1: a started frame must arrive promptly.
+		c.nc.SetReadDeadline(time.Now().Add(s.cfg.FrameTimeout))
+		decodeStart := time.Now()
+		f, err := ReadV2Frame(vc.br, s.cfg.MaxFrame)
+		decodeDur := time.Since(decodeStart)
+		c.nc.SetReadDeadline(time.Time{})
+		if err != nil {
+			if errors.Is(err, ErrFrameTooLarge) {
+				// The length was rejected before reading the payload; say
+				// why, then drop the connection (the unread payload makes
+				// the stream unframeable).
+				vc.writeError(f.ID, CodeBadRequest, err.Error())
+			}
+			vc.exit(err)
+			return
+		}
+
+		switch f.Op {
+		case V2OpIngestChunk:
+			// Chunks are stream continuations, not requests: route to the
+			// owning stream, or discard if it already finished (chunk
+			// frames are self-delimiting, so dropping them never
+			// desynchronizes the connection).
+			vc.routeChunk(f)
+			continue
+		case V2OpCancel:
+			vc.cancelRequest(f.ID)
+			continue
+		}
+
+		if s.isDraining() {
+			vc.writeError(f.ID, CodeShutdown, "server draining")
+			s.metrics.cancel()
+			continue
+		}
+		if s.cfg.MaxPipeline > 0 && vc.pending() >= s.cfg.MaxPipeline {
+			vc.writeError(f.ID, CodeBusy, "connection pipeline limit reached")
+			s.metrics.reject()
+			continue
+		}
+
+		req := &v2req{gone: make(chan struct{})}
+		if f.Op == V2OpIngestBatch {
+			req.chunks = make(chan v2chunk, 4)
+		}
+		vc.pmu.Lock()
+		if _, dup := vc.reqs[f.ID]; dup {
+			vc.pmu.Unlock()
+			vc.writeError(f.ID, CodeBadRequest, fmt.Sprintf("request id %d already in flight", f.ID))
+			continue
+		}
+		vc.reqs[f.ID] = req
+		vc.pmu.Unlock()
+		c.addActive(1)
+		vc.wg.Add(1)
+		go func(f V2Frame, req *v2req) {
+			defer vc.wg.Done()
+			s.handleV2Request(vc, f, req, decodeDur)
+			vc.finish(f.ID, req)
+		}(f, req)
+	}
+}
+
+// exit ends the reader. A drain kick (read deadline fired while the
+// server drains) lets in-flight requests finish and flush their
+// responses; any other error means the peer is gone, so in-flight work
+// is canceled rather than burned.
+func (vc *v2conn) exit(err error) {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() && vc.s.isDraining() {
+		vc.wg.Wait()
+		return
+	}
+	vc.abortAll()
+	vc.wg.Wait()
+}
+
+func (vc *v2conn) pending() int {
+	vc.pmu.Lock()
+	n := len(vc.reqs)
+	vc.pmu.Unlock()
+	return n
+}
+
+// finish retires a request after its final frame is written.
+func (vc *v2conn) finish(id uint32, req *v2req) {
+	vc.pmu.Lock()
+	if vc.reqs[id] == req {
+		delete(vc.reqs, id)
+	}
+	vc.pmu.Unlock()
+	close(req.gone)
+	if vc.c.addActive(-1) == 0 && vc.s.isDraining() {
+		vc.c.interruptIfIdle()
+	}
+}
+
+// arm installs the request context's cancel so a V2OpCancel (or
+// connection teardown) can reach it; a cancel that raced ahead of the
+// context is honored immediately.
+func (vc *v2conn) arm(req *v2req, cancel context.CancelFunc) {
+	vc.pmu.Lock()
+	req.cancel = cancel
+	canceled := req.canceled
+	vc.pmu.Unlock()
+	if canceled {
+		cancel()
+	}
+}
+
+// cancelRequest handles V2OpCancel: the identified request (if still in
+// flight) is canceled but still delivers its error response, so
+// cancellation never desynchronizes the stream. Unknown ids are ignored
+// — the request may have just finished.
+func (vc *v2conn) cancelRequest(id uint32) {
+	vc.pmu.Lock()
+	if req := vc.reqs[id]; req != nil {
+		req.canceled = true
+		if req.cancel != nil {
+			req.cancel()
+		}
+	}
+	vc.pmu.Unlock()
+}
+
+// abortAll cancels every in-flight request (disconnect semantics).
+func (vc *v2conn) abortAll() {
+	vc.pmu.Lock()
+	for _, req := range vc.reqs {
+		req.canceled = true
+		if req.cancel != nil {
+			req.cancel()
+		}
+	}
+	vc.pmu.Unlock()
+}
+
+// routeChunk hands an ingest chunk to its stream's handler. Chunks for
+// unknown or finished streams are discarded.
+func (vc *v2conn) routeChunk(f V2Frame) {
+	vc.pmu.Lock()
+	req := vc.reqs[f.ID]
+	vc.pmu.Unlock()
+	if req == nil || req.chunks == nil {
+		return
+	}
+	c, err := DecodeV2IngestChunk(f.Payload)
+	select {
+	case req.chunks <- v2chunk{c: c, err: err}:
+	case <-req.gone:
+	}
+}
+
+// write sends one complete frame under the write mutex. Each write runs
+// under FrameTimeout, so a client that stops reading mid-stream cannot
+// pin an executor behind a full socket buffer: the write fails, the
+// connection is marked dead and closed (which also unblocks the reader),
+// and streaming callbacks stop.
+func (vc *v2conn) write(frame []byte) error {
+	vc.wmu.Lock()
+	defer vc.wmu.Unlock()
+	if vc.dead {
+		return net.ErrClosed
+	}
+	vc.c.nc.SetWriteDeadline(time.Now().Add(vc.s.cfg.FrameTimeout))
+	_, err := vc.c.nc.Write(frame)
+	vc.c.nc.SetWriteDeadline(time.Time{})
+	if err != nil {
+		vc.dead = true
+		vc.c.nc.Close()
+	}
+	return err
+}
+
+// writev sends two frames in one vectored write — one syscall, one
+// write-deadline window. The query path uses it to piggyback the final
+// result frame on the last row batch, so a small query costs a single
+// write just like v1's one-shot JSON response.
+func (vc *v2conn) writev(a, b []byte) error {
+	vc.wmu.Lock()
+	defer vc.wmu.Unlock()
+	if vc.dead {
+		return net.ErrClosed
+	}
+	vc.c.nc.SetWriteDeadline(time.Now().Add(vc.s.cfg.FrameTimeout))
+	bufs := net.Buffers{a, b}
+	_, err := bufs.WriteTo(vc.c.nc)
+	vc.c.nc.SetWriteDeadline(time.Time{})
+	if err != nil {
+		vc.dead = true
+		vc.c.nc.Close()
+	}
+	return err
+}
+
+func (vc *v2conn) writeError(id uint32, code, msg string) error {
+	e := GetV2Enc()
+	defer e.Release()
+	return vc.write(EncodeV2Error(e, id, code, msg))
+}
+
+// handleV2Request executes one request end to end and feeds the same
+// observability surfaces as the v1 path: per-op latency and error
+// counters (under the v1 op names), reject/cancel counters, and the
+// slow-op log.
+func (s *Server) handleV2Request(vc *v2conn, f V2Frame, req *v2req, decodeDur time.Duration) {
+	start := time.Now()
+	op := v2OpName(f.Op)
+	s.metrics.protoRequest(ProtoV2)
+	code, detail, errMsg := s.dispatchV2(vc, f, req, decodeDur)
+	d := time.Since(start)
+	s.metrics.observe(op, d, code != "")
+	switch code {
+	case CodeBusy:
+		s.metrics.reject()
+	case CodeCanceled, CodeDeadline, CodeShutdown:
+		s.metrics.cancel()
+	}
+	var opErr error
+	if errMsg != "" {
+		opErr = errors.New(errMsg)
+	}
+	s.slow.Observe(op, detail, start, d, opErr)
+}
+
+// errorCode maps an execution error onto its wire code, mirroring v1's
+// errorResponse.
+func errorCode(err error) (code, msg string) {
+	code = CodeQuery
+	switch {
+	case errors.Is(err, ErrBusy):
+		code = CodeBusy
+	case errors.Is(err, context.DeadlineExceeded):
+		code = CodeDeadline
+	case errors.Is(err, context.Canceled):
+		code = CodeCanceled
+	}
+	return code, err.Error()
+}
+
+// dispatchV2 runs one decoded request frame and writes its response
+// frames. It returns the error code (empty on success), a detail string
+// for the slow-op log, and the error message for the op metrics.
+func (s *Server) dispatchV2(vc *v2conn, f V2Frame, req *v2req, decodeDur time.Duration) (code, detail, errMsg string) {
+	fail := func(code, msg string) (string, string, string) {
+		vc.writeError(f.ID, code, msg)
+		return code, detail, msg
+	}
+
+	// Control-plane ops answer before admission, exactly as v1 does: they
+	// must stay responsive while the data plane is saturated.
+	switch f.Op {
+	case V2OpPing:
+		e := GetV2Enc()
+		vc.write(EncodeV2PingResult(e, f.ID))
+		e.Release()
+		return "", "", ""
+	case V2OpStats:
+		st := s.Stats()
+		blob, err := json.Marshal(&st)
+		if err != nil {
+			return fail(CodeQuery, err.Error())
+		}
+		e := GetV2Enc()
+		vc.write(EncodeV2BlobResult(e, f.ID, V2OpStats, blob))
+		e.Release()
+		return "", "", ""
+	case V2OpMetrics:
+		e := GetV2Enc()
+		vc.write(EncodeV2BlobResult(e, f.ID, V2OpMetrics, []byte(s.MetricsDump())))
+		e.Release()
+		return "", "", ""
+	case V2OpSlowLog:
+		blob, err := json.Marshal(s.slowLogReply())
+		if err != nil {
+			return fail(CodeQuery, err.Error())
+		}
+		e := GetV2Enc()
+		vc.write(EncodeV2BlobResult(e, f.ID, V2OpSlowLog, blob))
+		e.Release()
+		return "", "", ""
+	case V2OpQuery, V2OpExplain, V2OpIngest, V2OpIngestBatch:
+		// Fall through to the admitted path below.
+	default:
+		return fail(CodeBadRequest, fmt.Sprintf("unknown op 0x%02x", f.Op))
+	}
+
+	switch f.Op {
+	case V2OpQuery, V2OpExplain:
+		q, timeoutMS, err := DecodeV2Query(f.Payload)
+		if err != nil {
+			return fail(CodeBadRequest, err.Error())
+		}
+		detail = q
+		var tr *obs.Trace
+		if f.Op == V2OpQuery && isTraceStmt(q) {
+			tr = obs.NewTrace()
+		}
+		root := tr.Root("request")
+		root.SetStr("op", v2OpName(f.Op))
+		root.ChildDur("frame_decode", decodeDur)
+		ctx, cancel := s.requestCtx(timeoutMS)
+		defer cancel()
+		vc.arm(req, cancel)
+		ctx = obs.With(ctx, tr)
+		if err := s.acquireSlot(ctx, root); err != nil {
+			c, msg := errorCode(err)
+			return fail(c, msg)
+		}
+		defer s.admit.release()
+
+		if f.Op == V2OpExplain {
+			info, err := s.cfg.DB.Explain(q)
+			if err != nil {
+				c, msg := errorCode(err)
+				return fail(c, msg)
+			}
+			e := GetV2Enc()
+			vc.write(EncodeV2ExplainResult(e, f.ID, info))
+			e.Release()
+			return "", detail, ""
+		}
+
+		// Streaming query: row batches are encoded straight off the
+		// executor and written as they materialize, holding back one frame
+		// so the final V2OpResult (column names + query info) coalesces
+		// with the last batch into a single write.
+		var writeErr error
+		var pend []byte
+		var pendEnc *V2Enc
+		defer func() {
+			if pendEnc != nil {
+				pendEnc.Release()
+			}
+		}()
+		cols, info, err := s.cfg.DB.QueryBatchesCtx(ctx, q, func(_ []string, batch [][]model.Value) bool {
+			e := GetV2Enc()
+			frame := EncodeV2RowBatch(e, f.ID, batch)
+			if pendEnc != nil {
+				werr := vc.write(pend)
+				pendEnc.Release()
+				pendEnc = nil
+				if werr != nil {
+					writeErr = werr
+					e.Release()
+					return false
+				}
+			}
+			pend, pendEnc = frame, e
+			return true
+		})
+		if writeErr != nil {
+			// The connection died mid-stream; there is nobody to answer.
+			return CodeCanceled, detail, "client stopped reading mid-stream"
+		}
+		if err != nil {
+			// The held-back batch is dropped: the client discards any rows
+			// it already received once the error frame lands.
+			c, msg := errorCode(err)
+			return fail(c, msg)
+		}
+		e := GetV2Enc()
+		res := EncodeV2QueryResult(e, f.ID, cols, info)
+		var werr error
+		if pendEnc != nil {
+			werr = vc.writev(pend, res)
+			pendEnc.Release()
+			pendEnc = nil
+		} else {
+			werr = vc.write(res)
+		}
+		e.Release()
+		if werr != nil {
+			return CodeCanceled, detail, "client gone before result"
+		}
+		return "", detail, ""
+
+	case V2OpIngest:
+		src, timeoutMS, trace, err := DecodeV2Ingest(f.Payload)
+		if err != nil {
+			return fail(CodeBadRequest, err.Error())
+		}
+		detail = "source:" + src.Name
+		var tr *obs.Trace
+		if trace {
+			tr = obs.NewTrace()
+		}
+		root := tr.Root("request")
+		root.SetStr("op", OpIngest)
+		root.ChildDur("frame_decode", decodeDur)
+		ctx, cancel := s.requestCtx(timeoutMS)
+		defer cancel()
+		vc.arm(req, cancel)
+		ctx = obs.With(ctx, tr)
+		if err := s.acquireSlot(ctx, root); err != nil {
+			c, msg := errorCode(err)
+			return fail(c, msg)
+		}
+		defer s.admit.release()
+		start := time.Now()
+		if err := s.cfg.DB.IngestCtx(ctx, src); err != nil {
+			c, msg := errorCode(err)
+			return fail(c, msg)
+		}
+		s.metrics.observeIngest(len(src.Entities), time.Since(start))
+		root.End()
+		e := GetV2Enc()
+		vc.write(EncodeV2IngestResult(e, f.ID, V2OpIngest, nil, traceJSON(tr)))
+		e.Release()
+		return "", detail, ""
+
+	case V2OpIngestBatch:
+		name, timeoutMS, trace, err := DecodeV2IngestBatchHeader(f.Payload)
+		if err != nil {
+			return fail(CodeBadRequest, err.Error())
+		}
+		detail = "source:" + name
+		var tr *obs.Trace
+		if trace {
+			tr = obs.NewTrace()
+		}
+		root := tr.Root("request")
+		root.SetStr("op", OpIngestBatch)
+		root.ChildDur("frame_decode", decodeDur)
+		ctx, cancel := s.requestCtx(timeoutMS)
+		defer cancel()
+		vc.arm(req, cancel)
+		ctx = obs.With(ctx, tr)
+		if err := s.acquireSlot(ctx, root); err != nil {
+			c, msg := errorCode(err)
+			return fail(c, msg)
+		}
+		defer s.admit.release()
+		if name == "" {
+			return fail(CodeBadRequest, "ingest_batch without source name")
+		}
+		// Unlike v1, an early failure needs no drain loop: the reader owns
+		// the socket and discards chunks addressed to a finished request.
+		var sum IngestSummary
+		start := time.Now()
+		for {
+			var msg v2chunk
+			select {
+			case msg = <-req.chunks:
+			case <-ctx.Done():
+				c, emsg := errorCode(ctx.Err())
+				return fail(c, emsg)
+			}
+			if msg.err != nil {
+				return fail(CodeBadRequest, msg.err.Error())
+			}
+			chunk := msg.c
+			if len(chunk.Entities) > 0 || len(chunk.Links) > 0 || len(chunk.Texts) > 0 {
+				src := scdb.Source{
+					Name:     name,
+					Entities: chunk.Entities,
+					Links:    chunk.Links,
+					Texts:    chunk.Texts,
+				}
+				bStart := time.Now()
+				if err := s.cfg.DB.IngestCtx(ctx, src); err != nil {
+					c, msg := errorCode(err)
+					return fail(c, msg)
+				}
+				s.metrics.observeIngest(len(src.Entities), time.Since(bStart))
+				sum.Batches++
+				sum.Rows += len(src.Entities)
+			}
+			if chunk.Done {
+				break
+			}
+		}
+		elapsed := time.Since(start)
+		sum.ElapsedUS = elapsed.Microseconds()
+		if sec := elapsed.Seconds(); sec > 0 {
+			sum.RowsPerSec = float64(sum.Rows) / sec
+		}
+		root.End()
+		e := GetV2Enc()
+		vc.write(EncodeV2IngestResult(e, f.ID, V2OpIngestBatch, &sum, traceJSON(tr)))
+		e.Release()
+		return "", detail, ""
+	}
+	return fail(CodeBadRequest, "unreachable")
+}

@@ -40,9 +40,18 @@ type Config struct {
 
 	// FrameTimeout bounds reading one complete frame once its first byte
 	// arrives — the slow-loris guard (default 10s). MaxFrame bounds a
-	// frame payload (default DefaultMaxFrame).
+	// frame payload (default DefaultMaxFrame). On protocol-v2 connections
+	// FrameTimeout also bounds each response-frame write, so a client that
+	// stops reading mid-stream cannot pin an executor (and its read lock)
+	// behind a full socket buffer.
 	FrameTimeout time.Duration
 	MaxFrame     int
+
+	// MaxPipeline bounds in-flight requests per protocol-v2 connection;
+	// excess requests are shed with ErrBusy. 0 means 128; negative
+	// disables the bound. (Admission control still bounds execution
+	// globally — this only caps per-connection bookkeeping.)
+	MaxPipeline int
 
 	// SlowOpThreshold routes any request at or above this duration into
 	// the slow-op ring log (default 100ms; negative disables the log).
@@ -72,6 +81,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxFrame == 0 {
 		c.MaxFrame = DefaultMaxFrame
+	}
+	if c.MaxPipeline == 0 {
+		c.MaxPipeline = 128
 	}
 	if c.SlowOpThreshold == 0 {
 		c.SlowOpThreshold = 100 * time.Millisecond
@@ -107,26 +119,30 @@ type Server struct {
 }
 
 type conn struct {
-	nc   net.Conn
-	mu   sync.Mutex
-	busy bool
+	nc     net.Conn
+	mu     sync.Mutex
+	active int
 }
 
 // interruptIfIdle kicks a connection out of its idle read so a draining
-// server doesn't wait on silent clients; a busy connection is left to
-// finish its in-flight request.
+// server doesn't wait on silent clients; a connection with in-flight
+// requests is left to finish them. (v1 connections have at most one
+// in-flight request; pipelined v2 connections can have many.)
 func (c *conn) interruptIfIdle() {
 	c.mu.Lock()
-	if !c.busy {
+	if c.active == 0 {
 		c.nc.SetReadDeadline(time.Unix(1, 0))
 	}
 	c.mu.Unlock()
 }
 
-func (c *conn) setBusy(b bool) {
+// addActive adjusts the in-flight request count and returns the new value.
+func (c *conn) addActive(d int) int {
 	c.mu.Lock()
-	c.busy = b
+	c.active += d
+	n := c.active
 	c.mu.Unlock()
+	return n
 }
 
 // New builds a Server; call Start (or Listen+Serve) to run it.
@@ -324,6 +340,37 @@ func (s *Server) handleConn(c *conn) {
 		s.metrics.connClose()
 	}()
 	br := bufio.NewReader(c.nc)
+
+	// Protocol negotiation: a v2 client opens with an 8-byte hello whose
+	// 4-byte magic can never be a valid v1 frame header (as a big-endian
+	// length it declares a ~1.4 GB frame, which v1 rejects outright). The
+	// magic is peeked, not consumed, so the v1 path re-reads the same
+	// bytes as its first frame header. The peek runs under FrameTimeout:
+	// a peer that dribbles fewer than 4 bytes and stalls is a slow-loris
+	// and is dropped, same as v1 always did.
+	if _, err := br.Peek(1); err != nil {
+		return
+	}
+	c.nc.SetReadDeadline(time.Now().Add(s.cfg.FrameTimeout))
+	magic, err := br.Peek(4)
+	if err != nil {
+		return
+	}
+	if isV2Magic(magic) {
+		if _, err := readClientHello(br); err != nil {
+			return
+		}
+		if err := WriteServerHello(c.nc, ProtoV2); err != nil {
+			return
+		}
+		c.nc.SetReadDeadline(time.Time{})
+		s.metrics.protoConn(ProtoV2)
+		s.serveV2(c, br)
+		return
+	}
+	c.nc.SetReadDeadline(time.Time{})
+	s.metrics.protoConn(ProtoV1)
+
 	for !s.isDraining() {
 		// Idle wait: block until the next request's first byte. Shutdown
 		// interrupts this read via interruptIfIdle.
@@ -348,10 +395,10 @@ func (s *Server) handleConn(c *conn) {
 			}
 			return
 		}
-		c.setBusy(true)
+		c.addActive(1)
 		resp := s.handleRequest(br, c, req, decodeDur)
 		wErr := WriteFrame(c.nc, resp)
-		c.setBusy(false)
+		c.addActive(-1)
 		if wErr != nil {
 			return
 		}
@@ -362,6 +409,7 @@ func (s *Server) handleConn(c *conn) {
 // wire codes, and feeds the latency instruments and the slow-op log.
 func (s *Server) handleRequest(br *bufio.Reader, c *conn, req Request, decodeDur time.Duration) Response {
 	start := time.Now()
+	s.metrics.protoRequest(ProtoV1)
 	resp := s.dispatch(br, c, req, decodeDur)
 	d := time.Since(start)
 	s.metrics.observe(req.Op, d, !resp.OK)
@@ -415,34 +463,17 @@ func (s *Server) dispatch(br *bufio.Reader, c *conn, req Request, decodeDur time
 	root.SetStr("op", req.Op)
 	root.ChildDur("frame_decode", decodeDur)
 
-	ctx, cancel := s.requestCtx(req)
+	ctx, cancel := s.requestCtx(req.TimeoutMS)
 	defer cancel()
 	ctx = obs.With(ctx, tr)
 
-	// Admission: bounded in-flight with FIFO queueing. The request's own
-	// deadline bounds the wait so a queued request cannot outlive itself.
-	admitCtx := ctx
-	if _, ok := ctx.Deadline(); !ok || s.cfg.QueueTimeout > 0 {
-		var acancel context.CancelFunc
-		admitCtx, acancel = context.WithTimeout(ctx, s.cfg.QueueTimeout)
-		defer acancel()
-	}
-	admitSpan := root.Child("admission_wait")
-	err := s.admit.acquire(admitCtx)
-	admitSpan.End()
-	if err != nil {
+	if err := s.acquireSlot(ctx, root); err != nil {
 		if req.Op == OpIngestBatch {
 			s.drainIngest(br, c)
 		}
 		return errorResponse(err)
 	}
 	defer s.admit.release()
-	if err := ctx.Err(); err != nil {
-		if req.Op == OpIngestBatch {
-			s.drainIngest(br, c)
-		}
-		return errorResponse(err)
-	}
 
 	switch req.Op {
 	case OpQuery:
@@ -637,15 +668,40 @@ func (s *Server) ingestStream(ctx context.Context, br *bufio.Reader, c *conn, re
 // requestCtx derives the per-request context: the client's timeout
 // (clamped to MaxTimeout) or the server default, on top of the base
 // context so a forced shutdown cancels everything at once.
-func (s *Server) requestCtx(req Request) (context.Context, context.CancelFunc) {
+func (s *Server) requestCtx(timeoutMS int64) (context.Context, context.CancelFunc) {
 	timeout := s.cfg.DefaultTimeout
-	if req.TimeoutMS > 0 {
-		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	if timeoutMS > 0 {
+		timeout = time.Duration(timeoutMS) * time.Millisecond
 		if timeout > s.cfg.MaxTimeout {
 			timeout = s.cfg.MaxTimeout
 		}
 	}
 	return context.WithTimeout(s.baseCtx, timeout)
+}
+
+// acquireSlot runs the admission wait for one request: bounded in-flight
+// with FIFO queueing, the wait itself bounded by QueueTimeout (and the
+// request's own deadline, so a queued request cannot outlive itself) and
+// recorded as the admission_wait span under root. On success the caller
+// owns one slot and must call s.admit.release().
+func (s *Server) acquireSlot(ctx context.Context, root *obs.Span) error {
+	admitCtx := ctx
+	if _, ok := ctx.Deadline(); !ok || s.cfg.QueueTimeout > 0 {
+		var acancel context.CancelFunc
+		admitCtx, acancel = context.WithTimeout(ctx, s.cfg.QueueTimeout)
+		defer acancel()
+	}
+	admitSpan := root.Child("admission_wait")
+	err := s.admit.acquire(admitCtx)
+	admitSpan.End()
+	if err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		s.admit.release()
+		return err
+	}
+	return nil
 }
 
 // watchConn cancels the request if the connection dies while a statement
