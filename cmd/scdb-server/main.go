@@ -14,6 +14,9 @@
 //	-timeout D        default per-request deadline
 //	-max-timeout D    cap on client-requested deadlines
 //	-grace D          drain window on SIGINT/SIGTERM before forcing
+//	-wal-segment-bytes N   WAL segment rotation threshold (0 = 16 MiB)
+//	-checkpoint-bytes N    bytes between automatic checkpoints (0 = 64 MiB,
+//	                       negative disables; \checkpoint still works)
 //	-slow-threshold D slow-op log threshold (0 = default 100ms, -1ns disables)
 //	-slow-log N       slow-op ring capacity (0 = default 128)
 //	-debug-addr ADDR  optional HTTP listener: /metrics /slowlog /debug/pprof
@@ -60,6 +63,8 @@ func main() {
 	syncFlag := flag.String("sync", "none", "WAL durability with -dir: none | group | always")
 	ingestBatch := flag.Int("ingest-batch", 0, "ingest write-batch size (0 = default 1024, 1 = per-record)")
 	ingestPar := flag.Int("ingest-parallelism", 0, "ingest decode worker-pool size (0 = one per CPU)")
+	walSegBytes := flag.Int64("wal-segment-bytes", 0, "WAL segment rotation threshold (0 = default 16 MiB)")
+	ckptBytes := flag.Int64("checkpoint-bytes", 0, "WAL bytes between automatic checkpoints (0 = default 64 MiB, negative disables)")
 	slowThreshold := flag.Duration("slow-threshold", 0, "slow-op log threshold (0 = default 100ms, negative disables)")
 	slowLog := flag.Int("slow-log", 0, "slow-op ring capacity (0 = default 128)")
 	debugAddr := flag.String("debug-addr", "", "HTTP listener for /metrics, /slowlog, /debug/pprof (empty = off)")
@@ -75,6 +80,8 @@ func main() {
 		Sync:              sync,
 		IngestBatchSize:   *ingestBatch,
 		IngestParallelism: *ingestPar,
+		WALSegmentBytes:   *walSegBytes,
+		CheckpointBytes:   *ckptBytes,
 	}
 	switch *load {
 	case "lifesci", "clinical":

@@ -29,6 +29,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"scdb"
 	"scdb/client"
@@ -466,6 +467,11 @@ func printStats(db *scdb.DB) {
 	fmt.Printf("tables=%d entities=%d edges=%d concepts=%d inferred=%d witnesses=%d inconsistencies=%d merges=%d cache-hit=%.0f%%\n",
 		st.Tables, st.Entities, st.Edges, st.Concepts, st.InferredTypes,
 		st.Witnesses, st.Inconsistencies, st.Merges, 100*st.CacheHitRate)
+	if w := db.WALStats(); w.Segments > 0 {
+		fmt.Printf("wal: segments=%d active=%d bytes=%d checkpoints=%d ckpt-csn=%d reclaimed=%d recovery=%s\n",
+			w.Segments, w.SegmentIndex, w.Bytes, w.Checkpoints, w.CheckpointCSN,
+			w.CheckpointReclaimed, w.RecoveryTime.Round(time.Microsecond))
+	}
 }
 
 func isTTY() bool {

@@ -73,6 +73,19 @@ type Options struct {
 	// Results are identical for every setting; only re-planning cost
 	// differs.
 	PlanCacheSize int
+	// WALSegmentBytes is the log segment rotation threshold for durable
+	// databases (0 = 16 MiB). Appends crossing it seal the active segment
+	// file and open the next; checkpoints delete sealed segments they
+	// cover.
+	WALSegmentBytes int64
+	// CheckpointBytes triggers an automatic incremental checkpoint after
+	// that many log bytes since the last one (0 = 64 MiB, negative
+	// disables automatic checkpoints; Checkpoint still works manually).
+	CheckpointBytes int64
+	// RecoverParallelism sizes recovery's worker pools for snapshot
+	// loading, log replay, and index rebuild (0 = one per CPU, 1 =
+	// serial). Recovered state is identical for every setting.
+	RecoverParallelism int
 }
 
 // SyncPolicy selects when a durable database's committed log frames reach
@@ -118,6 +131,9 @@ func Open(opts Options) (*DB, error) {
 		IngestBatchSize:    opts.IngestBatchSize,
 		IngestParallelism:  opts.IngestParallelism,
 		PlanCacheSize:      opts.PlanCacheSize,
+		WALSegmentBytes:    opts.WALSegmentBytes,
+		CheckpointBytes:    opts.CheckpointBytes,
+		RecoverParallelism: opts.RecoverParallelism,
 		ERConfig:           er.Config{Threshold: opts.ResolutionThreshold},
 	}
 	for _, r := range opts.LinkRules {

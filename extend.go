@@ -278,8 +278,12 @@ func (db *DB) PlanCacheStats() PlanCacheStats {
 
 // WALStats is a readout of the durability log's counters: frames and
 // bytes appended, fsync calls and time spent inside them, and — under the
-// group sync policy — how long committers waited for durability. All
-// zeros for an in-memory database.
+// group sync policy — how long committers waited for durability; plus the
+// segmented log's shape (segment files on disk, active segment index) and
+// the incremental-checkpoint counters (checkpoints completed, latest
+// snapshot CSN, sealed-segment bytes reclaimed, cumulative snapshot-write
+// time) and how long the last Open spent recovering. All zeros for an
+// in-memory database.
 type WALStats struct {
 	Frames     uint64
 	Bytes      uint64
@@ -287,6 +291,14 @@ type WALStats struct {
 	FsyncTime  time.Duration
 	Commits    uint64
 	CommitWait time.Duration
+
+	Segments            int
+	SegmentIndex        uint64
+	Checkpoints         uint64
+	CheckpointCSN       uint64
+	CheckpointReclaimed uint64
+	CheckpointTime      time.Duration
+	RecoveryTime        time.Duration
 }
 
 // WALStats reports the write-ahead log's durability counters.
@@ -299,11 +311,23 @@ func (db *DB) WALStats() WALStats {
 		FsyncTime:  s.FsyncTime,
 		Commits:    s.Commits,
 		CommitWait: s.CommitWait,
+
+		Segments:            s.Segments,
+		SegmentIndex:        s.SegmentIndex,
+		Checkpoints:         s.Checkpoints,
+		CheckpointCSN:       s.CheckpointCSN,
+		CheckpointReclaimed: s.CheckpointReclaimed,
+		CheckpointTime:      s.CheckpointTime,
+		RecoveryTime:        s.RecoveryTime,
 	}
 }
 
-// Checkpoint writes a snapshot of the durable store and truncates its log,
-// bounding recovery time. It is a no-op for in-memory databases.
+// Checkpoint writes an incremental snapshot of the durable store at a
+// consistent commit stamp — ingest continues concurrently — and retires
+// sealed log segments the snapshot covers, bounding recovery time. The
+// background checkpointer runs this automatically once CheckpointBytes of
+// log have accumulated; calling it manually is always safe. It is a no-op
+// for in-memory databases.
 func (db *DB) Checkpoint() error {
 	if err := db.inner.Catalog().Flush(); err != nil {
 		return err

@@ -85,6 +85,17 @@ type Options struct {
 	// IngestParallelism sizes the ingest decode worker pool (0 = one per
 	// CPU; 1 decodes inline). Final state is identical for every setting.
 	IngestParallelism int
+	// WALSegmentBytes is the WAL segment rotation threshold (0 =
+	// storage.DefaultSegmentBytes).
+	WALSegmentBytes int64
+	// CheckpointBytes triggers an automatic incremental checkpoint after
+	// that many WAL bytes since the last one (0 =
+	// storage.DefaultCheckpointBytes, negative disables automatic
+	// checkpoints).
+	CheckpointBytes int64
+	// RecoverParallelism sizes recovery's worker pools (0 = one per CPU,
+	// 1 = serial). Recovered state is identical for every setting.
+	RecoverParallelism int
 }
 
 // DB is the self-curating database engine.
@@ -131,7 +142,12 @@ type DB struct {
 
 // Open assembles the engine.
 func Open(opts Options) (*DB, error) {
-	store, err := storage.OpenOptions(opts.Dir, storage.Options{Sync: opts.Sync})
+	store, err := storage.OpenOptions(opts.Dir, storage.Options{
+		Sync:               opts.Sync,
+		SegmentBytes:       opts.WALSegmentBytes,
+		CheckpointBytes:    opts.CheckpointBytes,
+		RecoverParallelism: opts.RecoverParallelism,
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -185,6 +185,11 @@ func (s *Server) registerEngineGauges() {
 	s.reg.Gauge("wal.fsync_time_us", func() float64 { return float64(db.WALStats().FsyncTime.Microseconds()) })
 	s.reg.Gauge("wal.commits_waited_total", func() float64 { return float64(db.WALStats().Commits) })
 	s.reg.Gauge("wal.commit_wait_us", func() float64 { return float64(db.WALStats().CommitWait.Microseconds()) })
+	s.reg.Gauge("wal.segments", func() float64 { return float64(db.WALStats().Segments) })
+	s.reg.Gauge("wal.checkpoints_total", func() float64 { return float64(db.WALStats().Checkpoints) })
+	s.reg.Gauge("wal.ckpt_bytes_reclaimed", func() float64 { return float64(db.WALStats().CheckpointReclaimed) })
+	s.reg.Gauge("wal.ckpt_ns", func() float64 { return float64(db.WALStats().CheckpointTime.Nanoseconds()) })
+	s.reg.Gauge("store.recover_ns", func() float64 { return float64(db.WALStats().RecoveryTime.Nanoseconds()) })
 	s.reg.Gauge("index.count", func() float64 { return float64(len(db.IndexStats())) })
 	s.reg.Gauge("index.hits_total", func() float64 {
 		var n uint64

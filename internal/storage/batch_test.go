@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
-	"path/filepath"
 	"sync"
 	"testing"
 
@@ -273,7 +272,7 @@ func TestGroupCommitDurability(t *testing.T) {
 		return
 	}
 	crashDir := t.TempDir()
-	copyFile(t, filepath.Join(dir, logName), filepath.Join(crashDir, logName))
+	copyFile(t, segPath(dir, 1), segPath(crashDir, 1))
 	re, err := Open(crashDir)
 	if err != nil {
 		t.Fatal(err)
@@ -356,7 +355,7 @@ func TestCrashRecoveryTruncationDifferential(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	logBytes, err := os.ReadFile(filepath.Join(dir, logName))
+	logBytes, err := os.ReadFile(segPath(dir, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -367,7 +366,7 @@ func TestCrashRecoveryTruncationDifferential(t *testing.T) {
 	}
 	for _, cut := range cuts {
 		crashDir := t.TempDir()
-		if err := os.WriteFile(filepath.Join(crashDir, logName), logBytes[:cut], 0o644); err != nil {
+		if err := os.WriteFile(segPath(crashDir, 1), logBytes[:cut], 0o644); err != nil {
 			t.Fatal(err)
 		}
 		re, err := Open(crashDir)

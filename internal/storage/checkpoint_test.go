@@ -1,0 +1,716 @@
+package storage
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"scdb/internal/model"
+)
+
+// TestIngestDuringCheckpoint is the lost-write regression test: writers
+// hammer the store while checkpoints run concurrently, and the reopened
+// state must be byte-identical to the live state. The old single-file
+// Checkpoint truncated the log after its snapshot, silently dropping any
+// commit that raced between the snapshot read and the Truncate(0). Run
+// under -race.
+func TestIngestDuringCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments so checkpoints overlap rotations too.
+	s, err := OpenOptions(dir, Options{Sync: SyncGroup, SegmentBytes: 4096, CheckpointBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nWriters, nOps = 6, 120
+	tables := make([]*Table, 3)
+	for i := range tables {
+		tables[i], err = s.CreateTable(string(rune('a' + i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, nWriters)
+	for g := 0; g < nWriters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tb := tables[g%len(tables)]
+			var mine []RowID
+			for i := 0; i < nOps; i++ {
+				switch {
+				case i%11 == 10 && len(mine) > 0:
+					if err := tb.Delete(mine[0]); err != nil {
+						errs <- err
+						return
+					}
+					mine = mine[1:]
+				case i%5 == 4 && len(mine) > 0:
+					if err := tb.Update(mine[len(mine)-1], mkRec(g*10000+i)); err != nil {
+						errs <- err
+						return
+					}
+				case i%7 == 6:
+					ids, err := tb.InsertBatch([]model.Record{mkRec(g*10000 + i), mkRec(g*10000 + i + 5000)})
+					if err != nil {
+						errs <- err
+						return
+					}
+					mine = append(mine, ids...)
+				default:
+					id, err := tb.Insert(mkRec(g*10000 + i))
+					if err != nil {
+						errs <- err
+						return
+					}
+					mine = append(mine, id)
+				}
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	ckpts := 0
+	for {
+		if err := s.Checkpoint(); err != nil {
+			t.Error(err)
+			break
+		}
+		ckpts++
+		select {
+		case <-done:
+		default:
+			continue
+		}
+		break
+	}
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if t.Failed() {
+		return
+	}
+	if ckpts == 0 {
+		t.Fatal("no checkpoint ran")
+	}
+	want := dumpStore(t, s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatalf("recovery after concurrent checkpoints: %v", err)
+	}
+	defer re.Close()
+	if got := dumpStore(t, re); got != want {
+		t.Fatalf("recovered state differs from live state:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestSegmentRotationAndRetention: appends rotate the log into multiple
+// segment files, a checkpoint deletes the sealed ones below its horizon,
+// and the store survives reopen at every stage.
+func TestSegmentRotationAndRetention(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenOptions(dir, Options{Sync: SyncAlways, SegmentBytes: 256, CheckpointBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, _ := s.CreateTable("t")
+	for i := 0; i < 100; i++ {
+		if _, err := tb.Insert(mkRec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.WALStats()
+	if st.Segments < 3 || st.SegmentIndex < 3 {
+		t.Fatalf("expected several segments, got Segments=%d SegmentIndex=%d", st.Segments, st.SegmentIndex)
+	}
+	if segs, _ := listSegments(dir); len(segs) != st.Segments {
+		t.Fatalf("on-disk segments %d != stats %d", len(segs), st.Segments)
+	}
+
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	st = s.WALStats()
+	if st.Checkpoints != 1 || st.CheckpointCSN == 0 {
+		t.Fatalf("checkpoint stats: %+v", st)
+	}
+	if st.CheckpointReclaimed == 0 {
+		t.Fatal("checkpoint reclaimed no sealed segments")
+	}
+	segs, _ := listSegments(dir)
+	if len(segs) != 1 || segs[0] != st.SegmentIndex {
+		t.Fatalf("retention kept %v, want only active segment %d", segs, st.SegmentIndex)
+	}
+
+	for i := 100; i < 150; i++ {
+		if _, err := tb.Insert(mkRec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := dumpStore(t, s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := dumpStore(t, re); got != want {
+		t.Fatalf("recovered state differs:\n%s\nvs\n%s", got, want)
+	}
+	if re.WALStats().RecoveryTime <= 0 {
+		t.Error("RecoveryTime not recorded")
+	}
+}
+
+// TestAutoCheckpointTriggers: crossing CheckpointBytes makes the
+// background checkpointer run without any manual call.
+func TestAutoCheckpointTriggers(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenOptions(dir, Options{Sync: SyncAlways, CheckpointBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, _ := s.CreateTable("t")
+	for i := 0; i < 2000 && s.WALStats().Checkpoints == 0; i++ {
+		if _, err := tb.Insert(mkRec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The checkpointer is asynchronous: give it a moment after the kick.
+	for i := 0; i < 400 && s.WALStats().Checkpoints == 0; i++ {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if s.WALStats().Checkpoints == 0 {
+		t.Fatal("auto checkpoint never ran")
+	}
+	want := dumpStore(t, s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := dumpStore(t, re); got != want {
+		t.Fatal("recovered state differs after auto checkpoint")
+	}
+}
+
+// TestRecoverParallelismEquivalence: recovered state is identical whether
+// replay/rebuild run serially or fanned out.
+func TestRecoverParallelismEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenOptions(dir, Options{Sync: SyncAlways, SegmentBytes: 512, CheckpointBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ti := 0; ti < 4; ti++ {
+		tb, err := s.CreateTable(string(rune('a' + ti)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 40; i++ {
+			id, _ := tb.Insert(mkRec(ti*1000 + i))
+			if i%5 == 4 {
+				tb.Update(id, mkRec(ti*1000+i+100))
+			}
+			if i%9 == 8 {
+				tb.Delete(id)
+			}
+		}
+		if ti == 1 {
+			if err := s.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var dumps []string
+	for _, par := range []int{1, 4} {
+		re, err := OpenOptions(dir, Options{RecoverParallelism: par, CheckpointBytes: -1})
+		if err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		dumps = append(dumps, dumpStore(t, re))
+		re.Close()
+	}
+	if dumps[0] != dumps[1] {
+		t.Fatalf("serial and parallel recovery disagree:\n%s\nvs\n%s", dumps[0], dumps[1])
+	}
+}
+
+// TestCheckpointSegmentCrashDifferential extends the truncation
+// differential across checkpoint and rotation boundaries: with small
+// segments and two mid-run checkpoints, cut any surviving segment at
+// arbitrary offsets (later segments left in place), and recovery must land
+// on a whole-batch oracle state. Also covers a crash mid-rotation (partial
+// or header-only new segment) and a crash mid-snapshot (stale .tmp).
+func TestCheckpointSegmentCrashDifferential(t *testing.T) {
+	const batchSize, nBatches = 6, 12
+	dir := t.TempDir()
+	s, err := OpenOptions(dir, Options{Sync: SyncAlways, SegmentBytes: 512, CheckpointBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, _ := s.CreateTable("t")
+	oracle, _ := Open("")
+	ot, _ := oracle.CreateTable("t")
+	states := []string{dumpStore(t, oracle)}
+	next := 0
+	for b := 0; b < nBatches; b++ {
+		recs := make([]model.Record, batchSize)
+		for i := range recs {
+			recs[i] = mkRec(next)
+			next++
+		}
+		if _, err := tb.InsertBatch(recs); err != nil {
+			t.Fatal(err)
+		}
+		for _, rec := range recs {
+			if _, err := ot.Insert(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		states = append(states, dumpStore(t, oracle))
+		if b == 3 || b == 7 {
+			if err := s.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Capture the post-close image: snapshot + surviving segments.
+	files := map[string][]byte{}
+	if data, err := os.ReadFile(filepath.Join(dir, snapshotName)); err == nil {
+		files[snapshotName] = data
+	} else {
+		t.Fatalf("no snapshot after checkpoints: %v", err)
+	}
+	segs, _ := listSegments(dir)
+	if len(segs) < 2 {
+		t.Fatalf("want multiple surviving segments, got %v", segs)
+	}
+	for _, idx := range segs {
+		data, err := os.ReadFile(segPath(dir, idx))
+		if err != nil {
+			t.Fatal(err)
+		}
+		files[segName(idx)] = data
+	}
+	mkCrash := func(mutate func(map[string][]byte)) string {
+		crash := t.TempDir()
+		img := map[string][]byte{}
+		for name, data := range files {
+			img[name] = data
+		}
+		if mutate != nil {
+			mutate(img)
+		}
+		for name, data := range img {
+			if err := os.WriteFile(filepath.Join(crash, name), data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return crash
+	}
+	check := func(label string, crash string) {
+		t.Helper()
+		re, err := Open(crash)
+		if err != nil {
+			t.Fatalf("%s: recovery failed: %v", label, err)
+		}
+		got := dumpStore(t, re)
+		re.Close()
+		for _, want := range states {
+			if got == want {
+				return
+			}
+		}
+		t.Fatalf("%s: recovered state matches no whole-batch oracle prefix:\n%s", label, got)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	for si, seg := range segs {
+		data := files[segName(seg)]
+		cuts := []int{0, 1, 7, 8, 9, len(data) - 1, len(data)}
+		for i := 0; i < 10; i++ {
+			cuts = append(cuts, rng.Intn(len(data)+1))
+		}
+		for _, cut := range cuts {
+			if cut < 0 || cut > len(data) {
+				continue
+			}
+			// A crash tears only the active segment, so a cut in segment
+			// i means segments past i were never created.
+			crash := mkCrash(func(img map[string][]byte) {
+				img[segName(seg)] = data[:cut]
+				for _, later := range segs[si+1:] {
+					delete(img, segName(later))
+				}
+			})
+			check(segName(seg)[len(segPrefix):]+"-cut", crash)
+		}
+	}
+
+	// A torn tail in a non-final segment (filesystem damage rather than a
+	// crash): recovery must truncate there and drop every later segment,
+	// still landing on a whole-batch state.
+	if len(segs) > 1 {
+		first := segs[0]
+		data := files[segName(first)]
+		crash := mkCrash(func(img map[string][]byte) {
+			img[segName(first)] = data[:len(data)-1]
+		})
+		check("mid-segment-tear", crash)
+	}
+
+	// Crash mid-rotation: the next segment exists with a partial or
+	// complete header but no frames. Recovery must keep the full state.
+	last := segs[len(segs)-1]
+	for _, tail := range [][]byte{segMagic[:3], segMagic} {
+		crash := mkCrash(func(img map[string][]byte) {
+			img[segName(last+1)] = append([]byte(nil), tail...)
+		})
+		re, err := Open(crash)
+		if err != nil {
+			t.Fatalf("torn rotation: %v", err)
+		}
+		if got := dumpStore(t, re); got != states[nBatches] {
+			t.Fatalf("torn rotation lost data:\n%s", got)
+		}
+		re.Close()
+	}
+
+	// Crash mid-snapshot: a stale .tmp must be ignored and removed.
+	crash := mkCrash(func(img map[string][]byte) {
+		img[snapshotName+".tmp"] = []byte("partial snapshot garbage")
+	})
+	re, err := Open(crash)
+	if err != nil {
+		t.Fatalf("stale snapshot tmp: %v", err)
+	}
+	if got := dumpStore(t, re); got != states[nBatches] {
+		t.Fatalf("stale snapshot tmp corrupted recovery:\n%s", got)
+	}
+	re.Close()
+	if _, err := os.Stat(filepath.Join(crash, snapshotName+".tmp")); !os.IsNotExist(err) {
+		t.Error("stale snapshot .tmp not removed at open")
+	}
+}
+
+// legacyFrame encodes one pre-segmentation log frame (no commit stamp in
+// the payload), for upgrade testing against hand-built scdb.log files.
+func legacyFrame(op byte, table string, rowID uint64, data []byte) []byte {
+	payload := []byte{op}
+	payload = binary.AppendUvarint(payload, uint64(len(table)))
+	payload = append(payload, table...)
+	payload = binary.AppendUvarint(payload, rowID)
+	payload = binary.AppendUvarint(payload, uint64(len(data)))
+	payload = append(payload, data...)
+	h := fnv.New64a()
+	h.Write(payload)
+	frame := binary.BigEndian.AppendUint32(nil, uint32(len(payload)))
+	frame = binary.BigEndian.AppendUint64(frame, h.Sum64())
+	return append(frame, payload...)
+}
+
+// TestLegacyLogUpgrade: a pre-segmentation scdb.log (stamp-less frames,
+// no header) opens cleanly, migrates to segment 0, appends continue in
+// segment 1, and the first checkpoint retires the legacy file.
+func TestLegacyLogUpgrade(t *testing.T) {
+	dir := t.TempDir()
+	enc := func(i int) []byte { return model.AppendRecord(nil, mkRec(i)) }
+	var log []byte
+	log = append(log, legacyFrame(opCreateTable, "t", 0, nil)...)
+	log = append(log, legacyFrame(opInsert, "t", 1, enc(1))...)
+	log = append(log, legacyFrame(opInsert, "t", 2, enc(2))...)
+	log = append(log, legacyFrame(opUpdate, "t", 1, enc(10))...)
+	log = append(log, legacyFrame(opDelete, "t", 2, nil)...)
+	// One legacy batch frame: rowID slot holds the entry count.
+	var batch []byte
+	batch = append(batch, opInsert)
+	batch = binary.AppendUvarint(batch, 3)
+	batch = binary.AppendUvarint(batch, uint64(len(enc(3))))
+	batch = append(batch, enc(3)...)
+	batch = append(batch, opDelete)
+	batch = binary.AppendUvarint(batch, 1)
+	batch = binary.AppendUvarint(batch, 0)
+	log = append(log, legacyFrame(opBatch, "t", 2, batch)...)
+	if err := os.WriteFile(filepath.Join(dir, legacyLogName), log, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := OpenOptions(dir, Options{Sync: SyncAlways, CheckpointBytes: -1})
+	if err != nil {
+		t.Fatalf("legacy open: %v", err)
+	}
+	tb, ok := s.Table("t")
+	if !ok {
+		t.Fatal("legacy table lost")
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("legacy Len = %d, want 1", tb.Len())
+	}
+	if rec, ok := tb.Get(3); !ok {
+		t.Fatal("legacy batch insert lost")
+	} else if v, _ := rec.Get("i").AsInt(); v != 3 {
+		t.Fatalf("legacy row holds %v", rec)
+	}
+	if _, err := os.Stat(filepath.Join(dir, legacyLogName)); !os.IsNotExist(err) {
+		t.Error("scdb.log not migrated")
+	}
+	if _, err := os.Stat(segPath(dir, 0)); err != nil {
+		t.Errorf("legacy log not at segment 0: %v", err)
+	}
+	// New appends go to segment 1: the legacy file stays immutable.
+	id, err := tb.Insert(mkRec(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 4 {
+		t.Errorf("post-upgrade insert got id %d, want 4", id)
+	}
+	if st := s.WALStats(); st.SegmentIndex != 1 {
+		t.Errorf("active segment = %d, want 1", st.SegmentIndex)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(segPath(dir, 0)); !os.IsNotExist(err) {
+		t.Error("checkpoint did not retire the legacy segment")
+	}
+	want := dumpStore(t, s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := dumpStore(t, re); got != want {
+		t.Fatalf("post-upgrade recovery differs:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestSnapshotV1BackCompat: a v1 snapshot (no magic, no catalog) still
+// loads; the next checkpoint rewrites it as v2.
+func TestSnapshotV1BackCompat(t *testing.T) {
+	dir := t.TempDir()
+	var buf []byte
+	buf = binary.AppendUvarint(buf, 1) // one table
+	buf = binary.AppendUvarint(buf, 1)
+	buf = append(buf, 't')
+	buf = binary.AppendUvarint(buf, 2) // two rows
+	buf = binary.AppendUvarint(buf, 1)
+	buf = model.AppendRecord(buf, mkRec(1))
+	buf = binary.AppendUvarint(buf, 5)
+	buf = model.AppendRecord(buf, mkRec(5))
+	if err := os.WriteFile(filepath.Join(dir, snapshotName), buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := OpenOptions(dir, Options{Sync: SyncAlways, CheckpointBytes: -1})
+	if err != nil {
+		t.Fatalf("v1 snapshot open: %v", err)
+	}
+	tb, ok := s.Table("t")
+	if !ok || tb.Len() != 2 {
+		t.Fatalf("v1 snapshot rows lost")
+	}
+	// IDs must not be reused below the highest snapshot row.
+	id, err := tb.Insert(mkRec(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 6 {
+		t.Errorf("insert after v1 load got id %d, want 6", id)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, snapshotName))
+	if err != nil || len(data) < len(snapMagic) || string(data[:len(snapMagic)]) != string(snapMagic) {
+		t.Fatal("checkpoint did not upgrade the snapshot to v2")
+	}
+	want := dumpStore(t, s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := dumpStore(t, re); got != want {
+		t.Fatalf("v1->v2 upgrade recovery differs:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestIndexCatalogPersisted: the self-curation state — index catalog, hit
+// counters, access counters — survives checkpoint + restart, so hot
+// indexes don't have to be re-learned from cold counters.
+func TestIndexCatalogPersisted(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenOptions(dir, Options{Sync: SyncAlways, CheckpointBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, _ := s.CreateTable("t")
+	for i := 0; i < 100; i++ {
+		rec := model.Record{"i": model.Int(int64(i)), "j": model.Int(int64(i % 10))}
+		if _, err := tb.Insert(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tb.CreateIndex("i", IndexSorted); err != nil {
+		t.Fatal(err)
+	}
+	scan := func(tb *Table, attr string, n int) {
+		for k := 0; k < n; k++ {
+			preds := []ZonePred{{Attr: attr, Op: "=", Val: model.Int(int64(k % 10))}}
+			tb.ScanWhere(s.Now(), preds, ScanOptions{}, func([]RowID, []model.Record) bool { return true })
+		}
+	}
+	scan(tb, "i", 3)
+	before := tb.IndexStats()
+	if len(before) != 1 || before[0].Hits == 0 {
+		t.Fatalf("index stats before restart: %+v", before)
+	}
+	// Two accesses on "j": below the auto-index threshold, but the counter
+	// must persist so later traffic crosses it after a restart.
+	scan(tb, "j", 2)
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenOptions(dir, Options{Sync: SyncAlways, CheckpointBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	rt, _ := re.Table("t")
+	after := rt.IndexStats()
+	if len(after) != 1 {
+		t.Fatalf("index catalog lost across restart: %+v", after)
+	}
+	if after[0].Attr != "i" || after[0].Kind != "sorted" || after[0].Auto {
+		t.Fatalf("restored index wrong: %+v", after[0])
+	}
+	if after[0].Hits != before[0].Hits {
+		t.Errorf("restored hits = %d, want %d", after[0].Hits, before[0].Hits)
+	}
+	if after[0].Entries == 0 {
+		t.Error("restored index is empty")
+	}
+	// The persisted access counters plus two more scans cross the
+	// auto-index threshold (4); a fresh store would still be at 2.
+	scan(rt, "j", 2)
+	found := false
+	for _, st := range rt.IndexStats() {
+		if st.Attr == "j" && st.Auto {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("persisted access counters did not seed auto-indexing: %+v", rt.IndexStats())
+	}
+}
+
+// BenchmarkRecovery measures Open() on a prebuilt directory: full-log
+// replay (serial vs parallel) against checkpoint-bounded replay. The
+// checkpointed open must be O(data since the last checkpoint), not O(all
+// data ever written).
+func BenchmarkRecovery(b *testing.B) {
+	build := func(b *testing.B, rows int, ckpt bool, tail int) string {
+		b.Helper()
+		dir := b.TempDir()
+		s, err := OpenOptions(dir, Options{CheckpointBytes: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for ti := 0; ti < 4; ti++ {
+			tb, _ := s.CreateTable(string(rune('a' + ti)))
+			recs := make([]model.Record, 100)
+			for done := 0; done < rows/4; done += len(recs) {
+				for i := range recs {
+					recs[i] = mkRec(ti*rows + done + i)
+				}
+				if _, err := tb.InsertBatch(recs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Update churn: the log carries every version, a checkpoint
+			// snapshot only the live ones — the asymmetry checkpoints exist
+			// to exploit.
+			for round := 0; round < 2; round++ {
+				for id := 1; id <= rows/4; id++ {
+					if err := tb.Update(RowID(id), mkRec(ti*rows+round)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+		if ckpt {
+			if err := s.Checkpoint(); err != nil {
+				b.Fatal(err)
+			}
+			tb, _ := s.Table("a")
+			for i := 0; i < tail; i++ {
+				if _, err := tb.Insert(mkRec(rows + i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		if err := s.Close(); err != nil {
+			b.Fatal(err)
+		}
+		return dir
+	}
+	open := func(b *testing.B, dir string, par int) {
+		b.Helper()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s, err := OpenOptions(dir, Options{RecoverParallelism: par, CheckpointBytes: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			s.Close()
+		}
+	}
+	// par=4 is explicit (not 0 = per-CPU) so the worker pools engage even
+	// on single-CPU hosts; the speedup scales with real cores.
+	// SCDB_RECOVERY_ROWS overrides the 20k default (CI smoke runs set it
+	// small).
+	rows := 20000
+	if s := os.Getenv("SCDB_RECOVERY_ROWS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			rows = n
+		}
+	}
+	b.Run("wal-only/serial", func(b *testing.B) { open(b, build(b, rows, false, 0), 1) })
+	b.Run("wal-only/parallel", func(b *testing.B) { open(b, build(b, rows, false, 0), 4) })
+	b.Run("checkpointed/serial", func(b *testing.B) { open(b, build(b, rows, true, 100), 1) })
+	b.Run("checkpointed/parallel", func(b *testing.B) { open(b, build(b, rows, true, 100), 4) })
+}

@@ -504,6 +504,22 @@ func (t *Table) chooseIndexLocked(preds []ZonePred) (*Index, ZonePred) {
 	return best, bestPred
 }
 
+// restoreIndexLocked recreates one index from a checkpoint snapshot's
+// persisted catalog (recovery.go): same attribute, kind, pin, and hit
+// count, rebuilt over the recovered rows so a hot index serves its first
+// post-restart scan instead of being re-learned from cold counters.
+func (t *Table) restoreIndexLocked(spec idxSpec) {
+	if _, ok := t.indexes[spec.attr]; ok {
+		return
+	}
+	ix := &Index{attr: spec.attr, kind: spec.kind, pinned: spec.pinned, hits: spec.hits, lastHits: spec.hits}
+	if ix.kind == IndexHash {
+		ix.buckets = make(map[uint64][]idxEntry)
+	}
+	t.indexes[spec.attr] = ix
+	t.buildIndexLocked(ix)
+}
+
 // CreateIndex builds a pinned index on attr. Auto-curation normally makes
 // this unnecessary; it exists for tests and deliberate pinning.
 func (t *Table) CreateIndex(attr string, kind IndexKind) error {

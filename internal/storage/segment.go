@@ -1,0 +1,173 @@
+package storage
+
+// WAL segmentation. The log is a sequence of fixed-size-bounded segment
+// files named scdb.wal.NNNNNN with a strictly increasing index; appends go
+// to the highest-indexed (active) segment and rotation seals it — flush,
+// fsync, close — before opening the next. Sealed segments are immutable,
+// which is what makes checkpoint retention safe: a checkpoint records the
+// active segment index at its barrier (the horizon) and deletes only
+// sealed segments strictly below it. Nothing is ever truncated or
+// rewritten in place, so there is no window in which a concurrent commit
+// can land in a file that is about to be destroyed.
+//
+// Pre-segmentation stores used a single "scdb.log" in a older frame format
+// without commit stamps. On open such a file is renamed to segment 0 and
+// replayed with the legacy decoder; the first checkpoint's horizon then
+// retires it.
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+const (
+	legacyLogName = "scdb.log"
+	snapshotName  = "scdb.snapshot"
+	segPrefix     = "scdb.wal."
+)
+
+// segMagic opens every v2 segment. Legacy segment 0 (a renamed scdb.log)
+// has no header; the replayer sniffs the first 8 bytes to pick a decoder.
+var segMagic = []byte("SCWAL002")
+
+// DefaultSegmentBytes is the rotation threshold when Options.SegmentBytes
+// is zero.
+const DefaultSegmentBytes = 16 << 20
+
+// DefaultCheckpointBytes is the bytes-since-checkpoint trigger for the
+// background checkpointer when Options.CheckpointBytes is zero.
+const DefaultCheckpointBytes = 64 << 20
+
+func segName(idx uint64) string {
+	return fmt.Sprintf("%s%06d", segPrefix, idx)
+}
+
+func segPath(dir string, idx uint64) string {
+	return filepath.Join(dir, segName(idx))
+}
+
+// parseSegName extracts the index from a segment file name.
+func parseSegName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, segPrefix) {
+		return 0, false
+	}
+	idx, err := strconv.ParseUint(name[len(segPrefix):], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return idx, true
+}
+
+// listSegments returns the segment indexes present in dir, ascending.
+func listSegments(dir string) ([]uint64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var idxs []uint64
+	for _, e := range ents {
+		if idx, ok := parseSegName(e.Name()); ok {
+			idxs = append(idxs, idx)
+		}
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	return idxs, nil
+}
+
+// createSegment creates (truncating any stale leftover) segment idx and
+// writes its header. The returned file is positioned for appends.
+func createSegment(dir string, idx uint64) (*os.File, error) {
+	f, err := os.OpenFile(segPath(dir, idx), os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Write(segMagic); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+// openActiveSegment opens segment idx for appending, creating it with a
+// header if absent or empty. It returns the file and its current size.
+func openActiveSegment(dir string, idx uint64) (*os.File, int64, error) {
+	f, err := os.OpenFile(segPath(dir, idx), os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, 0, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	size := fi.Size()
+	if size == 0 {
+		if _, err := f.Write(segMagic); err != nil {
+			f.Close()
+			return nil, 0, err
+		}
+		size = int64(len(segMagic))
+	}
+	return f, size, nil
+}
+
+// rotateLocked seals the active segment and opens the next. Caller holds
+// w.mu. The seal always fsyncs — regardless of SyncPolicy — so a sealed
+// segment's frames are durable before any checkpoint may delete its
+// predecessors, and the group-commit flusher never needs to revisit it.
+func (w *wal) rotateLocked() error {
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	next, err := createSegment(w.dir, w.segIdx+1)
+	if err != nil {
+		return err
+	}
+	w.fileMu.Lock()
+	defer w.fileMu.Unlock()
+	start := nanotime()
+	err = w.f.Sync()
+	w.fsyncs.Add(1)
+	w.syncNS.Add(uint64(nanotime() - start))
+	if err != nil {
+		next.Close()
+		os.Remove(segPath(w.dir, w.segIdx+1))
+		return err
+	}
+	w.f.Close()
+	w.f = next
+	w.w.Reset(next)
+	w.segIdx++
+	w.segSize = int64(len(segMagic))
+	w.segCount.Add(1)
+	return nil
+}
+
+// removeBelow deletes sealed segments with index < horizon and returns the
+// bytes reclaimed. The active segment's index is always >= horizon, so
+// only closed, immutable files are touched.
+func (w *wal) removeBelow(horizon uint64) uint64 {
+	idxs, err := listSegments(w.dir)
+	if err != nil {
+		return 0
+	}
+	var reclaimed uint64
+	for _, idx := range idxs {
+		if idx >= horizon {
+			break
+		}
+		p := segPath(w.dir, idx)
+		if fi, err := os.Stat(p); err == nil {
+			reclaimed += uint64(fi.Size())
+		}
+		if err := os.Remove(p); err == nil || errors.Is(err, os.ErrNotExist) {
+			w.segCount.Add(-1)
+		}
+	}
+	return reclaimed
+}

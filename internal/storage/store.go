@@ -15,6 +15,7 @@ package storage
 import (
 	"context"
 	"fmt"
+	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -51,6 +52,22 @@ func (r *row) at(csn CSN) model.Record {
 	return nil
 }
 
+// addVersion inserts v keeping the chain sorted by commit stamp. Chains
+// are almost always appended to in order; the sorted insert covers
+// concurrent writers whose stamps were allocated in the opposite order of
+// their table-latch acquisition, and replay, where WAL order is not CSN
+// order.
+func (r *row) addVersion(v version) {
+	if n := len(r.versions); n > 0 && r.versions[n-1].from > v.from {
+		i := sort.Search(n, func(k int) bool { return r.versions[k].from > v.from })
+		r.versions = append(r.versions, version{})
+		copy(r.versions[i+1:], r.versions[i:])
+		r.versions[i] = v
+		return
+	}
+	r.versions = append(r.versions, v)
+}
+
 // Table is a named collection of multi-versioned rows.
 type Table struct {
 	name  string
@@ -80,6 +97,23 @@ type Store struct {
 	schemaVer atomic.Uint64 // bumped on catalog changes; plan-cache key part
 	wal       *wal          // nil when in-memory
 	dir       string
+
+	// writes tracks in-flight mutation CSNs so checkpoints can wait for
+	// every write at or below their snapshot stamp (checkpoint.go).
+	writes writeTracker
+
+	// Checkpoint machinery: ckptMu serializes manual Checkpoint calls
+	// against the background checkpointer; the counters feed WALStats.
+	ckptMu        sync.Mutex
+	ckptStop      sync.Once
+	ckptQuit      chan struct{}
+	ckptDone      chan struct{}
+	ckpts         atomic.Uint64
+	ckptCSN       atomic.Uint64
+	ckptReclaimed atomic.Uint64
+	ckptNS        atomic.Uint64
+	ckptErrs      atomic.Uint64
+	recoverNS     atomic.Int64
 }
 
 // Options configures a store beyond its directory.
@@ -87,37 +121,74 @@ type Options struct {
 	// Sync selects the commit durability policy (default SyncNone: frames
 	// are buffered and reach disk on Sync/Checkpoint/Close).
 	Sync SyncPolicy
+	// SegmentBytes is the WAL segment rotation threshold (0 =
+	// DefaultSegmentBytes). Appends crossing it seal the active segment —
+	// flush, fsync, close — and open the next.
+	SegmentBytes int64
+	// CheckpointBytes triggers the background checkpointer once that many
+	// WAL bytes have been appended since the last checkpoint (0 =
+	// DefaultCheckpointBytes, negative disables automatic checkpoints;
+	// manual Checkpoint always works).
+	CheckpointBytes int64
+	// RecoverParallelism sizes recovery's worker pools for snapshot
+	// loading, per-table replay, and access-path rebuild (0 = one per
+	// CPU, 1 = serial). Recovered state is identical for every setting.
+	RecoverParallelism int
+}
+
+func newStore(dir string) *Store {
+	s := &Store{tables: make(map[string]*Table), dir: dir}
+	s.writes.active = make(map[CSN]struct{})
+	s.writes.cond = sync.NewCond(&s.writes.mu)
+	return s
 }
 
 // Open opens (or creates) a store with default options. If dir is empty
 // the store is in-memory and non-durable; otherwise the directory holds a
-// snapshot file and a log, which are replayed on open.
+// snapshot file and log segments, which are replayed on open.
 func Open(dir string) (*Store, error) {
 	return OpenOptions(dir, Options{})
 }
 
 // OpenOptions opens (or creates) a store with explicit options.
 func OpenOptions(dir string, opt Options) (*Store, error) {
-	s := &Store{tables: make(map[string]*Table), dir: dir}
+	s := newStore(dir)
 	if dir == "" {
 		return s, nil
 	}
-	w, err := openWAL(dir, opt.Sync)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: open %s: %w", dir, err)
+	}
+	activeIdx, segCount, err := s.recover(opt)
+	if err != nil {
+		return nil, fmt.Errorf("storage: recover %s: %w", dir, err)
+	}
+	ckptEvery := opt.CheckpointBytes
+	if ckptEvery == 0 {
+		ckptEvery = DefaultCheckpointBytes
+	}
+	w, err := newWAL(dir, opt.Sync, activeIdx, segCount, opt.SegmentBytes, ckptEvery)
 	if err != nil {
 		return nil, fmt.Errorf("storage: open %s: %w", dir, err)
 	}
 	s.wal = w
-	if err := s.recover(); err != nil {
-		w.close()
-		return nil, fmt.Errorf("storage: recover %s: %w", dir, err)
+	if ckptEvery > 0 {
+		s.ckptQuit = make(chan struct{})
+		s.ckptDone = make(chan struct{})
+		go s.checkpointer()
 	}
 	return s, nil
 }
 
-// Close flushes and closes the underlying log.
+// Close stops the background checkpointer, then flushes and closes the
+// underlying log. Idempotent.
 func (s *Store) Close() error {
 	if s.wal == nil {
 		return nil
+	}
+	if s.ckptQuit != nil {
+		s.ckptStop.Do(func() { close(s.ckptQuit) })
+		<-s.ckptDone
 	}
 	return s.wal.close()
 }
@@ -129,8 +200,10 @@ func (s *Store) Now() CSN { return CSN(s.csn.Load()) }
 // next advances the commit clock and returns the new stamp.
 func (s *Store) next() CSN { return CSN(s.csn.Add(1)) }
 
-// AllocateCSN advances the commit clock on behalf of the transaction
-// layer, which installs a whole write set under the returned stamp.
+// AllocateCSN advances the commit clock and returns the stamp without
+// tracking it. Checkpoints do NOT wait for writes installed under such a
+// stamp; callers that install data at it should use BeginCommit/EndCommit
+// instead so a concurrent checkpoint cannot snapshot past them.
 func (s *Store) AllocateCSN() CSN { return s.next() }
 
 // SchemaVersion returns a counter that changes whenever the catalog does
@@ -146,11 +219,13 @@ func (s *Store) CreateTable(name string) (*Table, error) {
 	if _, ok := s.tables[name]; ok {
 		return nil, fmt.Errorf("storage: table %q already exists", name)
 	}
+	csn := s.beginWrite()
+	defer s.endWrite(csn)
 	t := &Table{name: name, store: s, rows: make(map[RowID]*row)}
 	s.tables[name] = t
 	s.schemaVer.Add(1)
 	if s.wal != nil {
-		if err := s.wal.log(opCreateTable, name, 0, nil); err != nil {
+		if err := s.wal.log(opCreateTable, csn, name, 0, nil); err != nil {
 			delete(s.tables, name)
 			return nil, err
 		}
@@ -197,11 +272,14 @@ func (s *Store) Tables() []string {
 // Insert appends a new row and returns its ID. The mutation commits
 // immediately with its own CSN.
 func (t *Table) Insert(rec model.Record) (RowID, error) {
-	return t.InsertAt(rec, t.store.next())
+	csn := t.store.beginWrite()
+	defer t.store.endWrite(csn)
+	return t.InsertAt(rec, csn)
 }
 
 // InsertAt appends a new row stamped with the given CSN. It is used by the
-// transaction layer to install a whole write set under one commit stamp.
+// transaction layer to install a whole write set under one commit stamp
+// (obtained from BeginCommit, so checkpoints wait for it).
 func (t *Table) InsertAt(rec model.Record, csn CSN) (RowID, error) {
 	t.mu.Lock()
 	t.nextID++
@@ -211,7 +289,7 @@ func (t *Table) InsertAt(rec model.Record, csn CSN) (RowID, error) {
 	t.noteWriteLocked(id, rec, true)
 	t.mu.Unlock()
 	if w := t.store.wal; w != nil {
-		return id, w.log(opInsert, t.name, uint64(id), model.AppendRecord(nil, rec))
+		return id, w.log(opInsert, csn, t.name, uint64(id), model.AppendRecord(nil, rec))
 	}
 	return id, nil
 }
@@ -235,7 +313,8 @@ func (t *Table) InsertBatch(recs []model.Record) ([]RowID, error) {
 			enc[i] = model.AppendRecord(nil, rec)
 		}
 	}
-	csn := t.store.next()
+	csn := t.store.beginWrite()
+	defer t.store.endWrite(csn)
 	ids := make([]RowID, len(recs))
 	t.mu.Lock()
 	for i, rec := range recs {
@@ -252,7 +331,7 @@ func (t *Table) InsertBatch(recs []model.Record) ([]RowID, error) {
 		for i := range recs {
 			entries[i] = batchEntry{op: opInsert, rowID: uint64(ids[i]), data: enc[i]}
 		}
-		return ids, t.store.wal.logBatch(t.name, entries)
+		return ids, t.store.wal.logBatch(t.name, csn, entries)
 	}
 	return ids, nil
 }
@@ -284,7 +363,8 @@ func (t *Table) ApplyBatch(ops []BatchOp) error {
 	if len(ops) == 0 {
 		return nil
 	}
-	csn := t.store.next()
+	csn := t.store.beginWrite()
+	defer t.store.endWrite(csn)
 	applied := make([]batchEntry, 0, len(ops))
 	var opErr error
 	t.mu.Lock()
@@ -305,7 +385,7 @@ func (t *Table) ApplyBatch(ops []BatchOp) error {
 			} else if r.versions[len(r.versions)-1].rec == nil {
 				opErr = fmt.Errorf("storage: %s: update of deleted row %d", t.name, op.ID)
 			} else {
-				r.versions = append(r.versions, version{rec: op.Rec, from: csn})
+				r.addVersion(version{rec: op.Rec, from: csn})
 				t.noteWriteLocked(op.ID, op.Rec, false)
 				applied = append(applied, batchEntry{op: opUpdate, rowID: uint64(op.ID)})
 			}
@@ -314,7 +394,7 @@ func (t *Table) ApplyBatch(ops []BatchOp) error {
 			if !ok || r.versions[len(r.versions)-1].rec == nil {
 				opErr = fmt.Errorf("storage: %s: delete of unknown row %d", t.name, op.ID)
 			} else {
-				r.versions = append(r.versions, version{rec: nil, from: csn})
+				r.addVersion(version{rec: nil, from: csn})
 				t.live--
 				applied = append(applied, batchEntry{op: opDelete, rowID: uint64(op.ID)})
 			}
@@ -332,7 +412,7 @@ func (t *Table) ApplyBatch(ops []BatchOp) error {
 				applied[i].data = model.AppendRecord(nil, ops[i].Rec)
 			}
 		}
-		if err := t.store.wal.logBatch(t.name, applied); err != nil {
+		if err := t.store.wal.logBatch(t.name, csn, applied); err != nil {
 			return err
 		}
 	}
@@ -362,14 +442,16 @@ func (t *Table) InsertReservedAt(id RowID, rec model.Record, csn CSN) error {
 	t.noteWriteLocked(id, rec, true)
 	t.mu.Unlock()
 	if w := t.store.wal; w != nil {
-		return w.log(opInsert, t.name, uint64(id), model.AppendRecord(nil, rec))
+		return w.log(opInsert, csn, t.name, uint64(id), model.AppendRecord(nil, rec))
 	}
 	return nil
 }
 
 // Update replaces the row's record, committing with a fresh CSN.
 func (t *Table) Update(id RowID, rec model.Record) error {
-	return t.UpdateAt(id, rec, t.store.next())
+	csn := t.store.beginWrite()
+	defer t.store.endWrite(csn)
+	return t.UpdateAt(id, rec, csn)
 }
 
 // UpdateAt replaces the row's record under the given commit stamp.
@@ -384,11 +466,11 @@ func (t *Table) UpdateAt(id RowID, rec model.Record, csn CSN) error {
 		t.mu.Unlock()
 		return fmt.Errorf("storage: %s: update of deleted row %d", t.name, id)
 	}
-	r.versions = append(r.versions, version{rec: rec, from: csn})
+	r.addVersion(version{rec: rec, from: csn})
 	t.noteWriteLocked(id, rec, false)
 	t.mu.Unlock()
 	if w := t.store.wal; w != nil {
-		return w.log(opUpdate, t.name, uint64(id), model.AppendRecord(nil, rec))
+		return w.log(opUpdate, csn, t.name, uint64(id), model.AppendRecord(nil, rec))
 	}
 	return nil
 }
@@ -396,7 +478,9 @@ func (t *Table) UpdateAt(id RowID, rec model.Record, csn CSN) error {
 // Delete removes the row (as a tombstone version), committing with a fresh
 // CSN. Older snapshots continue to see the row.
 func (t *Table) Delete(id RowID) error {
-	return t.DeleteAt(id, t.store.next())
+	csn := t.store.beginWrite()
+	defer t.store.endWrite(csn)
+	return t.DeleteAt(id, csn)
 }
 
 // DeleteAt removes the row under the given commit stamp.
@@ -407,11 +491,11 @@ func (t *Table) DeleteAt(id RowID, csn CSN) error {
 		t.mu.Unlock()
 		return fmt.Errorf("storage: %s: delete of unknown row %d", t.name, id)
 	}
-	r.versions = append(r.versions, version{rec: nil, from: csn})
+	r.addVersion(version{rec: nil, from: csn})
 	t.live--
 	t.mu.Unlock()
 	if w := t.store.wal; w != nil {
-		return w.log(opDelete, t.name, uint64(id), nil)
+		return w.log(opDelete, csn, t.name, uint64(id), nil)
 	}
 	return nil
 }

@@ -349,7 +349,7 @@ func TestTornLogTailTruncated(t *testing.T) {
 	s.Close()
 
 	// Corrupt the log by appending garbage (simulates a torn write).
-	path := filepath.Join(dir, logName)
+	path := segPath(dir, 1)
 	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -390,7 +390,7 @@ func TestMidLogCorruptionStopsReplay(t *testing.T) {
 
 	// Flip bytes in the middle of the log: replay must stop at the first
 	// bad frame (checksum) and keep what preceded it.
-	path := filepath.Join(dir, logName)
+	path := segPath(dir, 1)
 	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)

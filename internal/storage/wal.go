@@ -6,15 +6,10 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
-	"io"
 	"os"
-	"path/filepath"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
-
-	"scdb/internal/model"
 )
 
 // Log operation codes.
@@ -29,11 +24,6 @@ const (
 	// Because one checksum covers the whole frame, a batch is atomic under
 	// crash recovery — it is either fully replayed or truncated away.
 	opBatch byte = 5
-)
-
-const (
-	logName      = "scdb.log"
-	snapshotName = "scdb.snapshot"
 )
 
 // SyncPolicy selects when committed log frames reach stable storage.
@@ -78,22 +68,41 @@ func ParseSyncPolicy(s string) (SyncPolicy, error) {
 	return SyncNone, fmt.Errorf("storage: unknown sync policy %q (want none, group, or always)", s)
 }
 
-// wal is the append-only durability log. Each frame is
-// [u32 length][u64 FNV-1a checksum][payload]; a torn tail (short or
-// checksum-mismatched frame) is truncated on recovery rather than failing
-// the open, as a crash mid-append is expected behaviour.
+// wal is the append-only durability log, split into bounded segment files
+// (segment.go). Each frame is [u32 length][u64 FNV-1a checksum][payload];
+// a torn tail (short or checksum-mismatched frame) is truncated on
+// recovery rather than failing the open, as a crash mid-append is expected
+// behaviour. Frame payloads carry the mutation's commit stamp so recovery
+// can skip entries already covered by a checkpoint snapshot.
 //
 // All frame writes go through log/logBatch, which serialize on mu — the
 // bufio.Writer is shared, so an unserialized append from two goroutines
 // would interleave frame bytes and corrupt the log.
 type wal struct {
-	mu     sync.Mutex // serializes frame writes, seq, and buffer flushes
-	f      *os.File
-	w      *bufio.Writer
-	dir    string
-	pol    SyncPolicy
-	seq    uint64 // frames appended (under mu)
-	closed atomic.Bool
+	mu      sync.Mutex // serializes frame writes, seq, buffer flushes, rotation
+	f       *os.File   // active segment
+	w       *bufio.Writer
+	dir     string
+	pol     SyncPolicy
+	seq     uint64 // frames appended (under mu)
+	segIdx  uint64 // active segment index (under mu)
+	segSize int64  // bytes in the active segment, header included (under mu)
+	segMax  int64  // rotation threshold
+	closed  atomic.Bool
+
+	// fileMu guards fsync calls and the active-file swap during rotation,
+	// so the group-commit flusher (which syncs outside mu) never fsyncs a
+	// closed handle. Lock order: mu → fileMu, never the reverse.
+	fileMu sync.Mutex
+
+	segCount atomic.Int64 // segment files on disk
+
+	// ckptEvery/ckptMark drive the background checkpointer: when appended
+	// bytes since the last checkpoint (bytes - ckptMark) cross ckptEvery,
+	// frame() kicks ckptKick. <=0 disables.
+	ckptEvery int64
+	ckptMark  atomic.Uint64
+	ckptKick  chan struct{}
 
 	// Durability counters, read by Store.WALStats for the metrics surface
 	// and ingest traces. Atomics: bytes is bumped under mu but read
@@ -116,15 +125,26 @@ type wal struct {
 	done     chan struct{}
 }
 
-func openWAL(dir string, pol SyncPolicy) (*wal, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, err
-	}
-	f, err := os.OpenFile(filepath.Join(dir, logName), os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+// newWAL opens segment activeIdx for appending (creating it if needed) and
+// starts the group-commit flusher when the policy calls for one. segCount
+// is the number of segment files currently on disk, activeIdx included.
+func newWAL(dir string, pol SyncPolicy, activeIdx uint64, segCount int, segMax, ckptEvery int64) (*wal, error) {
+	f, size, err := openActiveSegment(dir, activeIdx)
 	if err != nil {
 		return nil, err
 	}
-	w := &wal{f: f, w: bufio.NewWriter(f), dir: dir, pol: pol}
+	if segMax <= 0 {
+		segMax = DefaultSegmentBytes
+	}
+	w := &wal{
+		f: f, w: bufio.NewWriter(f), dir: dir, pol: pol,
+		segIdx: activeIdx, segSize: size, segMax: segMax,
+		ckptEvery: ckptEvery,
+	}
+	w.segCount.Store(int64(segCount))
+	if ckptEvery > 0 {
+		w.ckptKick = make(chan struct{}, 1)
+	}
 	w.cond = sync.NewCond(&w.flushMu)
 	if pol == SyncGroup {
 		w.kick = make(chan struct{}, 1)
@@ -153,7 +173,9 @@ func (w *wal) close() error {
 	err := w.w.Flush()
 	w.mu.Unlock()
 	if err == nil && w.pol != SyncNone {
+		w.fileMu.Lock()
 		err = w.f.Sync()
+		w.fileMu.Unlock()
 	}
 	// Release any commit still parked in waitDurable.
 	w.flushMu.Lock()
@@ -172,10 +194,14 @@ func (w *wal) close() error {
 }
 
 // frame writes one framed payload under mu and returns its sequence
-// number. The caller then commits it per the sync policy.
-func (w *wal) frame(op byte, table string, rowID uint64, data []byte) (uint64, error) {
-	payload := make([]byte, 0, 1+10+len(table)+10+len(data))
+// number. csn is the mutation's commit stamp, recorded in the payload so
+// recovery can skip frames at or below a checkpoint's snapshot CSN. The
+// caller then commits the frame per the sync policy. Crossing the segment
+// size threshold rotates after the append, so a frame never spans files.
+func (w *wal) frame(op byte, csn CSN, table string, rowID uint64, data []byte) (uint64, error) {
+	payload := make([]byte, 0, 1+10+10+len(table)+10+len(data))
 	payload = append(payload, op)
+	payload = binary.AppendUvarint(payload, uint64(csn))
 	payload = binary.AppendUvarint(payload, uint64(len(table)))
 	payload = append(payload, table...)
 	payload = binary.AppendUvarint(payload, rowID)
@@ -201,15 +227,28 @@ func (w *wal) frame(op byte, table string, rowID uint64, data []byte) (uint64, e
 		return 0, fmt.Errorf("storage: wal append: %w", err)
 	}
 	w.seq++
-	w.bytes.Add(uint64(len(hdr) + len(payload)))
+	n := len(hdr) + len(payload)
+	w.bytes.Add(uint64(n))
+	w.segSize += int64(n)
+	if w.segSize >= w.segMax {
+		if err := w.rotateLocked(); err != nil {
+			return 0, fmt.Errorf("storage: wal rotate: %w", err)
+		}
+	}
+	if w.ckptKick != nil && int64(w.bytes.Load()-w.ckptMark.Load()) >= w.ckptEvery {
+		select {
+		case w.ckptKick <- struct{}{}:
+		default:
+		}
+	}
 	return w.seq, nil
 }
 
 // log appends one framed operation and commits it per the sync policy.
 // data is the op-specific payload (an encoded record for insert/update,
 // concatenated sub-entries for a batch, nil otherwise).
-func (w *wal) log(op byte, table string, rowID uint64, data []byte) error {
-	seq, err := w.frame(op, table, rowID, data)
+func (w *wal) log(op byte, csn CSN, table string, rowID uint64, data []byte) error {
+	seq, err := w.frame(op, csn, table, rowID, data)
 	if err != nil {
 		return err
 	}
@@ -226,7 +265,7 @@ type batchEntry struct {
 // logBatch appends one multi-record frame covering every entry and commits
 // it once: one checksum, one buffer write, and (under SyncGroup/SyncAlways)
 // one fsync for the whole batch.
-func (w *wal) logBatch(table string, entries []batchEntry) error {
+func (w *wal) logBatch(table string, csn CSN, entries []batchEntry) error {
 	if len(entries) == 0 {
 		return nil
 	}
@@ -241,7 +280,7 @@ func (w *wal) logBatch(table string, entries []batchEntry) error {
 		data = binary.AppendUvarint(data, uint64(len(e.data)))
 		data = append(data, e.data...)
 	}
-	return w.log(opBatch, table, uint64(len(entries)), data)
+	return w.log(opBatch, csn, table, uint64(len(entries)), data)
 }
 
 // commit makes frame seq durable per the policy before returning.
@@ -257,7 +296,9 @@ func (w *wal) commit(seq uint64) error {
 			return err
 		}
 		start := nanotime()
+		w.fileMu.Lock()
 		err = w.f.Sync()
+		w.fileMu.Unlock()
 		d := nanotime() - start
 		w.fsyncs.Add(1)
 		w.syncNS.Add(uint64(d))
@@ -292,8 +333,13 @@ func (w *wal) flushOnce() {
 	err := w.w.Flush()
 	w.mu.Unlock()
 	if err == nil {
+		// The sync may land on a newer segment if a rotation slipped in
+		// between the flush and here; that is still correct, because the
+		// rotation itself fsynced the sealed segment holding our frames.
 		start := nanotime()
+		w.fileMu.Lock()
 		err = w.f.Sync()
+		w.fileMu.Unlock()
 		w.fsyncs.Add(1)
 		w.syncNS.Add(uint64(nanotime() - start))
 	}
@@ -326,7 +372,7 @@ func (w *wal) waitDurable(seq uint64) error {
 	return w.flushErr
 }
 
-// Sync flushes buffered log frames and fsyncs the file.
+// Sync flushes buffered log frames and fsyncs the active segment.
 func (s *Store) Sync() error {
 	if s.wal == nil {
 		return nil
@@ -338,7 +384,9 @@ func (s *Store) Sync() error {
 		return err
 	}
 	start := nanotime()
+	s.wal.fileMu.Lock()
 	err = s.wal.f.Sync()
+	s.wal.fileMu.Unlock()
 	s.wal.fsyncs.Add(1)
 	s.wal.syncNS.Add(uint64(nanotime() - start))
 	return err
@@ -359,6 +407,21 @@ type WALStats struct {
 	FsyncTime  time.Duration
 	Commits    uint64
 	CommitWait time.Duration
+	// Segments is segment files on disk; SegmentIndex is the active
+	// (highest, append-target) segment.
+	Segments     int
+	SegmentIndex uint64
+	// Checkpoints counts completed checkpoints; CheckpointCSN is the
+	// snapshot CSN of the latest one; CheckpointReclaimed is total bytes
+	// of sealed segments deleted below checkpoint horizons; CheckpointTime
+	// is cumulative time spent writing snapshots.
+	Checkpoints         uint64
+	CheckpointCSN       uint64
+	CheckpointReclaimed uint64
+	CheckpointTime      time.Duration
+	// RecoveryTime is how long the last Open spent in recovery (snapshot
+	// load + segment replay + access-path rebuild).
+	RecoveryTime time.Duration
 }
 
 // WALStats reports the write-ahead log's durability counters.
@@ -369,359 +432,25 @@ func (s *Store) WALStats() WALStats {
 	w := s.wal
 	w.mu.Lock()
 	frames := w.seq
+	segIdx := w.segIdx
 	w.mu.Unlock()
 	return WALStats{
-		Frames:     frames,
-		Bytes:      w.bytes.Load(),
-		Fsyncs:     w.fsyncs.Load(),
-		FsyncTime:  time.Duration(w.syncNS.Load()),
-		Commits:    w.commits.Load(),
-		CommitWait: time.Duration(w.waitNS.Load()),
+		Frames:              frames,
+		Bytes:               w.bytes.Load(),
+		Fsyncs:              w.fsyncs.Load(),
+		FsyncTime:           time.Duration(w.syncNS.Load()),
+		Commits:             w.commits.Load(),
+		CommitWait:          time.Duration(w.waitNS.Load()),
+		Segments:            int(w.segCount.Load()),
+		SegmentIndex:        segIdx,
+		Checkpoints:         s.ckpts.Load(),
+		CheckpointCSN:       s.ckptCSN.Load(),
+		CheckpointReclaimed: s.ckptReclaimed.Load(),
+		CheckpointTime:      time.Duration(s.ckptNS.Load()),
+		RecoveryTime:        time.Duration(s.recoverNS.Load()),
 	}
 }
 
 // nanotime is time.Now().UnixNano() behind a name that keeps call sites
 // terse inside the commit paths.
 func nanotime() int64 { return time.Now().UnixNano() }
-
-// logEntry is one decoded log frame.
-type logEntry struct {
-	op    byte
-	table string
-	rowID uint64
-	data  []byte
-}
-
-// replayLog reads frames until EOF or a torn tail; a torn tail returns the
-// offset at which the file should be truncated.
-func replayLog(r io.Reader, fn func(logEntry) error) (valid int64, err error) {
-	br := bufio.NewReader(r)
-	var off int64
-	for {
-		var hdr [12]byte
-		if _, err := io.ReadFull(br, hdr[:]); err != nil {
-			if errors.Is(err, io.EOF) {
-				return off, nil
-			}
-			return off, nil // torn header
-		}
-		n := binary.BigEndian.Uint32(hdr[0:4])
-		sum := binary.BigEndian.Uint64(hdr[4:12])
-		if n > 1<<30 {
-			return off, nil // corrupt length; stop here
-		}
-		payload := make([]byte, n)
-		if _, err := io.ReadFull(br, payload); err != nil {
-			return off, nil // torn payload
-		}
-		h := fnv.New64a()
-		h.Write(payload)
-		if h.Sum64() != sum {
-			return off, nil // checksum mismatch: treat as torn
-		}
-		e, err := decodeEntry(payload)
-		if err != nil {
-			return off, err
-		}
-		if err := fn(e); err != nil {
-			return off, err
-		}
-		off += int64(12 + n)
-	}
-}
-
-func decodeEntry(payload []byte) (logEntry, error) {
-	if len(payload) < 1 {
-		return logEntry{}, fmt.Errorf("storage: empty log payload")
-	}
-	e := logEntry{op: payload[0]}
-	pos := 1
-	l, n := binary.Uvarint(payload[pos:])
-	if n <= 0 || uint64(len(payload)-pos-n) < l {
-		return logEntry{}, fmt.Errorf("storage: malformed table name")
-	}
-	pos += n
-	e.table = string(payload[pos : pos+int(l)])
-	pos += int(l)
-	id, n := binary.Uvarint(payload[pos:])
-	if n <= 0 {
-		return logEntry{}, fmt.Errorf("storage: malformed row id")
-	}
-	pos += n
-	e.rowID = id
-	dl, n := binary.Uvarint(payload[pos:])
-	if n <= 0 || uint64(len(payload)-pos-n) < dl {
-		return logEntry{}, fmt.Errorf("storage: malformed data length")
-	}
-	pos += n
-	e.data = payload[pos : pos+int(dl)]
-	return e, nil
-}
-
-// recover loads the snapshot (if any) and replays the log on top. Recovery
-// compacts history: every replayed mutation gets a fresh CSN in original
-// order, so the latest state is identical though historical snapshots are
-// not preserved across restarts.
-func (s *Store) recover() error {
-	if err := s.loadSnapshot(); err != nil {
-		return err
-	}
-	f, err := os.Open(filepath.Join(s.dir, logName))
-	if err != nil {
-		if errors.Is(err, os.ErrNotExist) {
-			return nil
-		}
-		return err
-	}
-	defer f.Close()
-	valid, err := replayLog(f, s.applyEntry)
-	if err != nil {
-		return err
-	}
-	fi, statErr := f.Stat()
-	if statErr == nil && fi.Size() > valid {
-		// Torn tail: truncate so future appends start at a clean frame.
-		if err := os.Truncate(filepath.Join(s.dir, logName), valid); err != nil {
-			return err
-		}
-	}
-	// Snapshot loading and replay install rows directly, bypassing the
-	// mutators that maintain zone maps; rebuild them so pruning stays sound
-	// on a recovered store. (No indexes exist yet — they are self-created
-	// from access traffic later.)
-	for _, t := range s.tables {
-		t.rebuildZonesLocked()
-	}
-	return nil
-}
-
-// applyEntry applies one recovered log entry directly to the tables,
-// bypassing the log (we are reading it).
-func (s *Store) applyEntry(e logEntry) error {
-	switch e.op {
-	case opCreateTable:
-		if _, ok := s.tables[e.table]; !ok {
-			s.tables[e.table] = &Table{name: e.table, store: s, rows: make(map[RowID]*row)}
-			s.schemaVer.Add(1)
-		}
-		return nil
-	}
-	t, ok := s.tables[e.table]
-	if !ok {
-		return fmt.Errorf("storage: log references unknown table %q", e.table)
-	}
-	if e.op == opBatch {
-		// One commit stamp for the whole batch, as the live path used.
-		csn := s.next()
-		rest := e.data
-		for i := uint64(0); i < e.rowID; i++ {
-			if len(rest) < 1 {
-				return fmt.Errorf("storage: malformed batch frame for %q", e.table)
-			}
-			op := rest[0]
-			pos := 1
-			id, n := binary.Uvarint(rest[pos:])
-			if n <= 0 {
-				return fmt.Errorf("storage: malformed batch row id")
-			}
-			pos += n
-			dl, n := binary.Uvarint(rest[pos:])
-			if n <= 0 || uint64(len(rest)-pos-n) < dl {
-				return fmt.Errorf("storage: malformed batch data length")
-			}
-			pos += n
-			data := rest[pos : pos+int(dl)]
-			rest = rest[pos+int(dl):]
-			if err := s.applyOp(t, op, id, data, csn); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	return s.applyOp(t, e.op, e.rowID, e.data, s.next())
-}
-
-// applyOp replays one mutation against a table at the given stamp.
-func (s *Store) applyOp(t *Table, op byte, rowID uint64, data []byte, csn CSN) error {
-	switch op {
-	case opInsert:
-		rec, _, err := model.DecodeRecord(data)
-		if err != nil {
-			return err
-		}
-		id := RowID(rowID)
-		t.rows[id] = &row{versions: []version{{rec: rec, from: csn}}}
-		if uint64(id) > t.nextID {
-			t.nextID = uint64(id)
-		}
-		t.live++
-	case opUpdate:
-		rec, _, err := model.DecodeRecord(data)
-		if err != nil {
-			return err
-		}
-		r, ok := t.rows[RowID(rowID)]
-		if !ok {
-			return fmt.Errorf("storage: log update of unknown row %d in %q", rowID, t.name)
-		}
-		r.versions = append(r.versions, version{rec: rec, from: csn})
-	case opDelete:
-		r, ok := t.rows[RowID(rowID)]
-		if !ok {
-			return fmt.Errorf("storage: log delete of unknown row %d in %q", rowID, t.name)
-		}
-		r.versions = append(r.versions, version{rec: nil, from: csn})
-		t.live--
-	default:
-		return fmt.Errorf("storage: unknown log op %d", op)
-	}
-	return nil
-}
-
-// Checkpoint writes a snapshot of the latest committed state and truncates
-// the log, bounding recovery time.
-func (s *Store) Checkpoint() error {
-	if s.wal == nil {
-		return nil
-	}
-	if err := s.Sync(); err != nil {
-		return err
-	}
-	tmp := filepath.Join(s.dir, snapshotName+".tmp")
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	bw := bufio.NewWriter(f)
-	if err := s.writeSnapshot(bw); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := bw.Flush(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp, filepath.Join(s.dir, snapshotName)); err != nil {
-		return err
-	}
-	// Truncate the log under the append lock: everything it held is in the
-	// snapshot now, and no new frame may interleave with the truncation.
-	s.wal.mu.Lock()
-	defer s.wal.mu.Unlock()
-	if err := s.wal.f.Truncate(0); err != nil {
-		return err
-	}
-	_, err = s.wal.f.Seek(0, io.SeekStart)
-	return err
-}
-
-// Snapshot format: uvarint table count, then per table: name, uvarint row
-// count, then per live row: rowID, encoded record. Only the latest visible
-// version is persisted.
-func (s *Store) writeSnapshot(w *bufio.Writer) error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	now := s.Now()
-	buf := binary.AppendUvarint(nil, uint64(len(s.tables)))
-	if _, err := w.Write(buf); err != nil {
-		return err
-	}
-	for _, name := range s.tablesLocked() {
-		t := s.tables[name]
-		t.mu.RLock()
-		buf = buf[:0]
-		buf = binary.AppendUvarint(buf, uint64(len(name)))
-		buf = append(buf, name...)
-		live := make([]RowID, 0, len(t.rows))
-		for id, r := range t.rows {
-			if r.at(now) != nil {
-				live = append(live, id)
-			}
-		}
-		buf = binary.AppendUvarint(buf, uint64(len(live)))
-		if _, err := w.Write(buf); err != nil {
-			t.mu.RUnlock()
-			return err
-		}
-		for _, id := range live {
-			buf = buf[:0]
-			buf = binary.AppendUvarint(buf, uint64(id))
-			buf = model.AppendRecord(buf, t.rows[id].at(now))
-			if _, err := w.Write(buf); err != nil {
-				t.mu.RUnlock()
-				return err
-			}
-		}
-		t.mu.RUnlock()
-	}
-	return nil
-}
-
-func (s *Store) tablesLocked() []string {
-	names := make([]string, 0, len(s.tables))
-	for n := range s.tables {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	return names
-}
-
-func (s *Store) loadSnapshot() error {
-	data, err := os.ReadFile(filepath.Join(s.dir, snapshotName))
-	if err != nil {
-		if errors.Is(err, os.ErrNotExist) {
-			return nil
-		}
-		return err
-	}
-	pos := 0
-	nTables, n := binary.Uvarint(data)
-	if n <= 0 {
-		return fmt.Errorf("storage: corrupt snapshot header")
-	}
-	pos += n
-	for i := uint64(0); i < nTables; i++ {
-		l, n := binary.Uvarint(data[pos:])
-		if n <= 0 || uint64(len(data)-pos-n) < l {
-			return fmt.Errorf("storage: corrupt snapshot table name")
-		}
-		pos += n
-		name := string(data[pos : pos+int(l)])
-		pos += int(l)
-		t := &Table{name: name, store: s, rows: make(map[RowID]*row)}
-		s.tables[name] = t
-		nRows, n := binary.Uvarint(data[pos:])
-		if n <= 0 {
-			return fmt.Errorf("storage: corrupt snapshot row count")
-		}
-		pos += n
-		for j := uint64(0); j < nRows; j++ {
-			id, n := binary.Uvarint(data[pos:])
-			if n <= 0 {
-				return fmt.Errorf("storage: corrupt snapshot row id")
-			}
-			pos += n
-			rec, used, err := model.DecodeRecord(data[pos:])
-			if err != nil {
-				return fmt.Errorf("storage: corrupt snapshot record: %w", err)
-			}
-			pos += used
-			t.rows[RowID(id)] = &row{versions: []version{{rec: rec, from: s.next()}}}
-			if id > t.nextID {
-				t.nextID = id
-			}
-			t.live++
-		}
-	}
-	return nil
-}

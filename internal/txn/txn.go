@@ -362,8 +362,11 @@ func (t *Txn) Commit() (CommitInfo, error) {
 		}
 	}
 
-	// Install under one stamp.
-	csn := m.store.AllocateCSN()
+	// Install under one stamp. The stamp is tracked (BeginCommit) so a
+	// concurrent checkpoint waits for the whole write set to install
+	// before snapshotting at or above it.
+	csn := m.store.BeginCommit()
+	defer m.store.EndCommit(csn)
 	for _, k := range t.inserted {
 		op, ok := t.writes[k]
 		if !ok || !op.isInsert || op.rec == nil {
