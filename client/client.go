@@ -33,6 +33,10 @@ import (
 // rejected by admission control. Retry with backoff.
 var ErrBusy = server.ErrBusy
 
+// ErrReadOnly mirrors the server's typed read-only error: the node is a
+// replica and refuses writes. Route the write to the primary.
+var ErrReadOnly = scdb.ErrReadOnly
+
 // ServerError is a non-OK response from the server. errors.Is(err,
 // ErrBusy) matches responses with the "busy" code.
 type ServerError struct {
@@ -51,6 +55,8 @@ func (e *ServerError) Is(target error) bool {
 		return e.Code == server.CodeDeadline
 	case context.Canceled:
 		return e.Code == server.CodeCanceled
+	case ErrReadOnly:
+		return e.Code == server.CodeReadOnly
 	}
 	return false
 }
@@ -64,7 +70,26 @@ type Client struct {
 
 	proto int      // negotiated protocol version (1 or 2)
 	v2    *v2state // multiplexing state; nil on v1
+
+	// lastCSN is the highest commit stamp any response on this connection
+	// has carried — the session's read-your-writes high-water mark. Write
+	// responses carry the commit CSN; pings carry the node's current CSN.
+	lastCSN atomic.Uint64
 }
+
+// noteCSN advances the session high-water mark; stamps never move it back.
+func (c *Client) noteCSN(csn uint64) {
+	for {
+		cur := c.lastCSN.Load()
+		if csn <= cur || c.lastCSN.CompareAndSwap(cur, csn) {
+			return
+		}
+	}
+}
+
+// LastCSN reports the highest commit stamp observed on this connection —
+// what a router must see applied on a replica before reading from it.
+func (c *Client) LastCSN() uint64 { return c.lastCSN.Load() }
 
 func newClientV1(nc net.Conn) *Client {
 	return &Client{nc: nc, br: bufio.NewReader(nc), proto: server.ProtoV1}
@@ -152,11 +177,23 @@ func (c *Client) roundTrip(ctx context.Context, req server.Request) (*server.Res
 
 // Ping round-trips an empty request.
 func (c *Client) Ping() error {
+	_, err := c.PingCSN()
+	return err
+}
+
+// PingCSN round-trips an empty request and returns the node's current
+// commit stamp: on a primary the latest allocated CSN, on a replica the
+// applied watermark. A router compares it against a session's LastCSN to
+// decide whether the replica is fresh enough to serve that session's reads.
+func (c *Client) PingCSN() (uint64, error) {
 	if c.proto == server.ProtoV2 {
 		return c.pingV2()
 	}
-	_, err := c.roundTrip(nil, server.Request{Op: server.OpPing})
-	return err
+	resp, err := c.roundTrip(nil, server.Request{Op: server.OpPing})
+	if err != nil {
+		return 0, err
+	}
+	return resp.CSN, nil
 }
 
 // Query executes one SCQL statement under the server's default deadline.
@@ -215,8 +252,12 @@ func (c *Client) Ingest(src scdb.Source) error {
 	if err != nil {
 		return err
 	}
-	_, err = c.roundTrip(nil, server.Request{Op: server.OpIngest, Source: ws})
-	return err
+	resp, err := c.roundTrip(nil, server.Request{Op: server.OpIngest, Source: ws})
+	if err != nil {
+		return err
+	}
+	c.noteCSN(resp.CSN)
+	return nil
 }
 
 // IngestTraced is Ingest with tracing on: the response carries the
@@ -234,6 +275,7 @@ func (c *Client) IngestTraced(src scdb.Source) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	c.noteCSN(resp.CSN)
 	return resp.Trace, nil
 }
 
@@ -334,6 +376,7 @@ func (c *Client) IngestBatch(ctx context.Context, src scdb.Source, batchSize int
 	if resp.Ingest == nil {
 		return nil, errors.New("scdb client: ingest_batch response without summary")
 	}
+	c.noteCSN(resp.CSN)
 	return resp.Ingest, nil
 }
 

@@ -264,17 +264,20 @@ func ctxAndTimeout(ctx context.Context) (context.Context, int64) {
 	return ctx, ms
 }
 
-func (c *Client) pingV2() error {
+func (c *Client) pingV2() (uint64, error) {
 	id, ca := c.newCallV2()
 	e := server.GetV2Enc()
 	err := c.writeFramesV2(server.EncodeV2Simple(e, id, server.V2OpPing))
 	e.Release()
 	if err != nil {
 		c.forgetV2(id)
-		return err
+		return 0, err
 	}
-	_, err = c.waitV2(context.Background(), id, ca)
-	return err
+	res, err := c.waitV2(context.Background(), id, ca)
+	if err != nil {
+		return 0, err
+	}
+	return res.CSN, nil
 }
 
 func (c *Client) queryV2(ctx context.Context, op byte, q string) (*scdb.Rows, *scdb.QueryInfo, error) {
@@ -321,6 +324,7 @@ func (c *Client) ingestV2(ctx context.Context, src scdb.Source, trace bool) (str
 	if err != nil {
 		return "", err
 	}
+	c.noteCSN(res.CSN)
 	return res.Trace, nil
 }
 
@@ -365,6 +369,7 @@ func (c *Client) ingestBatchV2(ctx context.Context, src scdb.Source, batchSize i
 	if res.Ingest == nil {
 		return nil, errors.New("scdb client: ingest_batch response without summary")
 	}
+	c.noteCSN(res.CSN)
 	return res.Ingest, nil
 }
 

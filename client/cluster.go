@@ -1,0 +1,214 @@
+package client
+
+// Cluster is a read-your-writes router over one primary and any number of
+// read replicas. Writes always go to the primary; its responses carry the
+// commit CSN, which becomes the session's high-water mark. Reads go to a
+// replica only once that replica's applied CSN covers the mark — verified
+// with a PingCSN and cached (applied CSNs only grow) — so a session never
+// reads a replica state older than its own writes. A replica that is still
+// catching up is polled briefly; if none freshens within FreshnessWait the
+// read falls back to the primary, trading locality for latency rather
+// than blocking.
+//
+// Only transport failures fail a read over to another node: a replica
+// whose connection breaks is marked down and redialed after RetryDown.
+// Server-side errors (bad SCQL, deadline, busy) are deterministic answers
+// and are returned to the caller unchanged.
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"scdb"
+)
+
+// replicaNode is one follower endpoint and its cached freshness.
+type replicaNode struct {
+	addr string
+
+	mu        sync.Mutex
+	c         *Client   // nil when not connected
+	applied   uint64    // last observed applied CSN; monotone
+	downUntil time.Time // zero when healthy
+}
+
+// Cluster routes one session's calls across a primary and its replicas.
+// Safe for concurrent use; concurrent reads spread round-robin across
+// fresh replicas.
+type Cluster struct {
+	// FreshnessWait bounds how long a read waits for some replica to
+	// apply the session's last write before falling back to the primary.
+	FreshnessWait time.Duration
+	// RetryDown is how long a failed replica stays out of rotation.
+	RetryDown time.Duration
+
+	primary  *Client
+	replicas []*replicaNode
+
+	mu   sync.Mutex
+	next int // round-robin cursor
+}
+
+// DialCluster connects to the primary and registers the replica addresses.
+// Replica connections are dialed lazily on first read, so a replica that is
+// down at dial time costs nothing until it is needed.
+func DialCluster(primary string, replicas ...string) (*Cluster, error) {
+	pc, err := Dial(primary)
+	if err != nil {
+		return nil, err
+	}
+	cl := &Cluster{
+		FreshnessWait: 2 * time.Second,
+		RetryDown:     time.Second,
+		primary:       pc,
+	}
+	for _, addr := range replicas {
+		cl.replicas = append(cl.replicas, &replicaNode{addr: addr})
+	}
+	return cl, nil
+}
+
+// Primary returns the primary connection for direct use (stats, ingest
+// streams, anything that must not be routed).
+func (cl *Cluster) Primary() *Client { return cl.primary }
+
+// LastCSN reports the session's read-your-writes high-water mark: the
+// commit stamp of its latest write through this cluster.
+func (cl *Cluster) LastCSN() uint64 { return cl.primary.LastCSN() }
+
+// Close closes the primary and every connected replica.
+func (cl *Cluster) Close() error {
+	err := cl.primary.Close()
+	for _, r := range cl.replicas {
+		r.mu.Lock()
+		if r.c != nil {
+			r.c.Close()
+			r.c = nil
+		}
+		r.mu.Unlock()
+	}
+	return err
+}
+
+// Ingest ships one source delivery to the primary.
+func (cl *Cluster) Ingest(src scdb.Source) error { return cl.primary.Ingest(src) }
+
+// IngestBatch streams one source delivery to the primary.
+func (cl *Cluster) IngestBatch(ctx context.Context, src scdb.Source, batchSize int) (*IngestSummary, error) {
+	return cl.primary.IngestBatch(ctx, src, batchSize)
+}
+
+// Query executes one read, preferring a replica that has applied this
+// session's writes.
+func (cl *Cluster) Query(q string) (*scdb.Rows, error) { return cl.QueryCtx(nil, q) }
+
+// QueryCtx is Query with a deadline.
+func (cl *Cluster) QueryCtx(ctx context.Context, q string) (*scdb.Rows, error) {
+	hw := cl.primary.LastCSN()
+	deadline := time.Now().Add(cl.FreshnessWait)
+	for {
+		r, alive := cl.pickFresh(hw)
+		if r == nil {
+			// Lagging replicas are worth a short wait; dead ones are not.
+			if alive && time.Now().Before(deadline) {
+				time.Sleep(5 * time.Millisecond)
+				continue
+			}
+			// No replica covers the mark in time: the primary always does.
+			return cl.primary.QueryCtx(ctx, q)
+		}
+		rows, err := cl.queryReplica(r, ctx, q)
+		if err == nil {
+			return rows, nil
+		}
+		var se *ServerError
+		if errors.As(err, &se) {
+			return nil, err // deterministic server answer; don't fail over
+		}
+		cl.markDown(r)
+	}
+}
+
+// pickFresh returns a connected replica whose applied CSN covers hw, or
+// nil when none does right now; alive reports whether any replica is at
+// least reachable (merely lagging), so the caller knows whether waiting
+// can help. The round-robin cursor spreads load across equally fresh
+// replicas.
+func (cl *Cluster) pickFresh(hw uint64) (r *replicaNode, alive bool) {
+	n := len(cl.replicas)
+	if n == 0 {
+		return nil, false
+	}
+	cl.mu.Lock()
+	start := cl.next
+	cl.next = (cl.next + 1) % n
+	cl.mu.Unlock()
+	for i := 0; i < n; i++ {
+		cand := cl.replicas[(start+i)%n]
+		fresh, up := cl.freshen(cand, hw)
+		if fresh {
+			return cand, true
+		}
+		alive = alive || up
+	}
+	return nil, alive
+}
+
+// freshen reports whether r has applied at least hw (fresh) and whether it
+// is reachable at all (alive), dialing and pinging as needed. The cached
+// applied CSN short-circuits the ping: applied stamps only grow, so a
+// cache that covers hw still does.
+func (cl *Cluster) freshen(r *replicaNode, hw uint64) (fresh, alive bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.downUntil.IsZero() {
+		if time.Now().Before(r.downUntil) {
+			return false, false
+		}
+		r.downUntil = time.Time{}
+	}
+	if r.c == nil {
+		c, err := Dial(r.addr)
+		if err != nil {
+			r.downUntil = time.Now().Add(cl.RetryDown)
+			return false, false
+		}
+		r.c = c
+	}
+	if r.applied >= hw {
+		return true, true
+	}
+	csn, err := r.c.PingCSN()
+	if err != nil {
+		r.c.Close()
+		r.c = nil
+		r.downUntil = time.Now().Add(cl.RetryDown)
+		return false, false
+	}
+	if csn > r.applied {
+		r.applied = csn
+	}
+	return r.applied >= hw, true
+}
+
+func (cl *Cluster) queryReplica(r *replicaNode, ctx context.Context, q string) (*scdb.Rows, error) {
+	r.mu.Lock()
+	c := r.c
+	r.mu.Unlock()
+	if c == nil {
+		return nil, errors.New("scdb client: replica not connected")
+	}
+	return c.QueryCtx(ctx, q)
+}
+
+func (cl *Cluster) markDown(r *replicaNode) {
+	r.mu.Lock()
+	if r.c != nil {
+		r.c.Close()
+		r.c = nil
+	}
+	r.downUntil = time.Now().Add(cl.RetryDown)
+	r.mu.Unlock()
+}

@@ -14,6 +14,9 @@
 //	-timeout D        default per-request deadline
 //	-max-timeout D    cap on client-requested deadlines
 //	-grace D          drain window on SIGINT/SIGTERM before forcing
+//	-replica-of ADDR  run as a read replica of the primary at ADDR
+//	                  (requires -dir; the node serves reads and refuses
+//	                  writes with the read_only code)
 //	-wal-segment-bytes N   WAL segment rotation threshold (0 = 16 MiB)
 //	-checkpoint-bytes N    bytes between automatic checkpoints (0 = 64 MiB,
 //	                       negative disables; \checkpoint still works)
@@ -46,6 +49,7 @@ import (
 	"time"
 
 	"scdb"
+	"scdb/internal/repl"
 	"scdb/internal/server"
 )
 
@@ -60,6 +64,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "default per-request deadline (0 = default 30s)")
 	maxTimeout := flag.Duration("max-timeout", 0, "cap on client deadlines (0 = default 5m)")
 	grace := flag.Duration("grace", 10*time.Second, "drain window on shutdown before forcing")
+	replicaOf := flag.String("replica-of", "", "primary address to replicate from (requires -dir)")
 	syncFlag := flag.String("sync", "none", "WAL durability with -dir: none | group | always")
 	ingestBatch := flag.Int("ingest-batch", 0, "ingest write-batch size (0 = default 1024, 1 = per-record)")
 	ingestPar := flag.Int("ingest-parallelism", 0, "ingest decode worker-pool size (0 = one per CPU)")
@@ -94,11 +99,35 @@ func main() {
 	default:
 		fatalf("unknown sample %q (want lifesci, clinical, or stream)", *load)
 	}
-	db, err := scdb.Open(opts)
-	if err != nil {
-		fatalf("open: %v", err)
+	var db *scdb.DB
+	var replStats func() *server.WireReplStats
+	if *replicaOf != "" {
+		if *dir == "" {
+			fatalf("-replica-of requires -dir (the replica keeps its own durable copy)")
+		}
+		if *load != "" {
+			fatalf("-replica-of and -load are mutually exclusive (a replica's data comes from its primary)")
+		}
+		f, err := repl.Start(repl.Config{
+			PrimaryAddr: *replicaOf,
+			Dir:         *dir,
+			Opts:        opts,
+			Logf:        log.Printf,
+		})
+		if err != nil {
+			fatalf("replica: %v", err)
+		}
+		defer f.Close()
+		db = f.DB()
+		replStats = f.Stats
+		log.Printf("replicating from %s (applied csn %d)", *replicaOf, db.CSN())
+	} else {
+		db, err = scdb.Open(opts)
+		if err != nil {
+			fatalf("open: %v", err)
+		}
+		defer db.Close()
 	}
-	defer db.Close()
 	switch *load {
 	case "lifesci":
 		for _, src := range scdb.LifeSciSample(1, 100, 60, 40) {
@@ -131,6 +160,7 @@ func main() {
 		MaxTimeout:      *maxTimeout,
 		SlowOpThreshold: *slowThreshold,
 		SlowLogSize:     *slowLog,
+		ReplStats:       replStats,
 	})
 	if err := srv.Start(); err != nil {
 		fatalf("listen: %v", err)

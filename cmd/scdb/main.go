@@ -262,7 +262,7 @@ func runRemote(addr, proto, q, explain, analyze string, args []string) {
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	if isTTY() {
-		fmt.Printf(`scdb shell (remote %s, proto v%d) — SCQL statements, or \stats \metrics \slow \explain Q \analyze Q \trace Q \quit`+"\n", addr, c.Proto())
+		fmt.Printf(`scdb shell (remote %s, proto v%d) — SCQL statements, or \stats \replicas \metrics \slow \explain Q \analyze Q \trace Q \quit`+"\n", addr, c.Proto())
 		fmt.Print("scdb> ")
 	}
 	for sc.Scan() {
@@ -273,6 +273,8 @@ func runRemote(addr, proto, q, explain, analyze string, args []string) {
 			return
 		case line == `\stats`:
 			printServerStats(c)
+		case line == `\replicas`:
+			printReplicas(c)
 		case line == `\metrics`:
 			dump, err := c.Metrics()
 			if err != nil {
@@ -331,6 +333,42 @@ func printServerStats(c *client.Client) {
 	}
 	pc := st.PlanCache
 	fmt.Printf("plan cache: %d plans, %d hits, %d misses\n", pc.Size, pc.Hits, pc.Misses)
+	if r := st.Repl; r != nil {
+		if r.Role == "replica" {
+			fmt.Printf("repl: replica applied-csn=%d lag-csn=%d lag-seconds=%.1f\n",
+				r.AppliedCSN, r.LagCSN, r.LagSeconds)
+		} else {
+			fmt.Printf("repl: primary durable-csn=%d allocated-csn=%d followers=%d lag-csn=%d\n",
+				r.DurableCSN, r.AllocatedCSN, len(r.Followers), r.LagCSN)
+		}
+	}
+}
+
+// printReplicas renders the replication topology as the queried node sees
+// it: a primary lists its subscribed followers with per-follower lag; a
+// replica reports its own applied watermark.
+func printReplicas(c *client.Client) {
+	st, err := c.Stats()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		return
+	}
+	r := st.Repl
+	if r == nil {
+		fmt.Println("replication: not active (standalone primary, no followers subscribed)")
+		return
+	}
+	if r.Role == "replica" {
+		fmt.Printf("role=replica applied-csn=%d primary-csn=%d lag-csn=%d lag-seconds=%.1f\n",
+			r.AppliedCSN, r.AllocatedCSN, r.LagCSN, r.LagSeconds)
+		return
+	}
+	fmt.Printf("role=primary durable-csn=%d allocated-csn=%d followers=%d\n",
+		r.DurableCSN, r.AllocatedCSN, len(r.Followers))
+	for _, f := range r.Followers {
+		fmt.Printf("  %-21s sent-csn=%-8d ack-csn=%-8d lag-csn=%-6d lag-bytes=%d\n",
+			f.Remote, f.SentCSN, f.AckCSN, f.LagCSN, f.LagBytes)
+	}
 }
 
 func printSlowLog(c *client.Client) {
@@ -468,9 +506,10 @@ func printStats(db *scdb.DB) {
 		st.Tables, st.Entities, st.Edges, st.Concepts, st.InferredTypes,
 		st.Witnesses, st.Inconsistencies, st.Merges, 100*st.CacheHitRate)
 	if w := db.WALStats(); w.Segments > 0 {
-		fmt.Printf("wal: segments=%d active=%d bytes=%d checkpoints=%d ckpt-csn=%d reclaimed=%d recovery=%s\n",
+		fmt.Printf("wal: segments=%d active=%d bytes=%d checkpoints=%d ckpt-csn=%d reclaimed=%d durable-csn=%d allocated-csn=%d recovery=%s\n",
 			w.Segments, w.SegmentIndex, w.Bytes, w.Checkpoints, w.CheckpointCSN,
-			w.CheckpointReclaimed, w.RecoveryTime.Round(time.Microsecond))
+			w.CheckpointReclaimed, w.DurableCSN, w.AllocatedCSN,
+			w.RecoveryTime.Round(time.Microsecond))
 	}
 }
 

@@ -86,6 +86,11 @@ type Options struct {
 	// loading, log replay, and index rebuild (0 = one per CPU, 1 =
 	// serial). Recovered state is identical for every setting.
 	RecoverParallelism int
+	// ReadOnly opens the database as a read replica: Ingest and AddClaim
+	// return ErrReadOnly, and nothing is ever written locally except
+	// replicated log frames applied through the replication plumbing
+	// (repl.go). Requires Dir.
+	ReadOnly bool
 }
 
 // SyncPolicy selects when a durable database's committed log frames reach
@@ -134,6 +139,7 @@ func Open(opts Options) (*DB, error) {
 		WALSegmentBytes:    opts.WALSegmentBytes,
 		CheckpointBytes:    opts.CheckpointBytes,
 		RecoverParallelism: opts.RecoverParallelism,
+		ReadOnly:           opts.ReadOnly,
 		ERConfig:           er.Config{Threshold: opts.ResolutionThreshold},
 	}
 	for _, r := range opts.LinkRules {
@@ -342,6 +348,9 @@ func (db *DB) Explain(q string) (*QueryInfo, error) {
 // AddClaim records a parallel-world claim. The entity is looked up by any
 // indexed name or key.
 func (db *DB) AddClaim(c Claim) error {
+	if db.inner.ReadOnly() {
+		return ErrReadOnly
+	}
 	e, ok := db.inner.LookupEntity("", c.Entity)
 	if !ok {
 		return fmt.Errorf("scdb: claim about unknown entity %q", c.Entity)

@@ -299,6 +299,12 @@ type WALStats struct {
 	CheckpointReclaimed uint64
 	CheckpointTime      time.Duration
 	RecoveryTime        time.Duration
+
+	// DurableCSN is the highest commit stamp known to be on stable storage;
+	// AllocatedCSN is the current commit clock. Their gap is the crash-loss
+	// window, and replication watermarks use the same stamps.
+	DurableCSN   uint64
+	AllocatedCSN uint64
 }
 
 // WALStats reports the write-ahead log's durability counters.
@@ -319,6 +325,9 @@ func (db *DB) WALStats() WALStats {
 		CheckpointReclaimed: s.CheckpointReclaimed,
 		CheckpointTime:      s.CheckpointTime,
 		RecoveryTime:        s.RecoveryTime,
+
+		DurableCSN:   s.DurableCSN,
+		AllocatedCSN: s.AllocatedCSN,
 	}
 }
 
@@ -329,8 +338,12 @@ func (db *DB) WALStats() WALStats {
 // log have accumulated; calling it manually is always safe. It is a no-op
 // for in-memory databases.
 func (db *DB) Checkpoint() error {
-	if err := db.inner.Catalog().Flush(); err != nil {
-		return err
+	// A replica's catalog rows are the primary's — flushing local counts
+	// would append local frames and corrupt the replicated clock.
+	if !db.inner.ReadOnly() {
+		if err := db.inner.Catalog().Flush(); err != nil {
+			return err
+		}
 	}
 	return db.inner.Store().Checkpoint()
 }

@@ -77,9 +77,37 @@ func Open(store *storage.Store) (*Catalog, error) {
 	return c, nil
 }
 
-// load restores the in-memory views from the system tables.
+// OpenReadOnly creates the catalog over a store without writing to it:
+// absent system tables are skipped rather than created. A read replica
+// must not append local frames — its commit clock is the primary's — so
+// this is the only correct way to open a catalog over a replicated store.
+func OpenReadOnly(store *storage.Store) (*Catalog, error) {
+	c := &Catalog{
+		store:   store,
+		schemas: map[string]map[string]*AttrInfo{},
+		counts:  map[string]int{},
+		sources: map[string]SourceInfo{},
+	}
+	if err := c.load(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// load restores the in-memory views from the system tables (absent ones —
+// a fresh store, or a read-only open before the primary's catalog frames
+// arrive — contribute nothing).
 func (c *Catalog) load() error {
-	tt, _ := c.store.Table(TablesTable)
+	if tt, ok := c.store.Table(TablesTable); ok {
+		c.loadTables(tt)
+	}
+	if st, ok := c.store.Table(SourcesTable); ok {
+		c.loadSources(st)
+	}
+	return nil
+}
+
+func (c *Catalog) loadTables(tt *storage.Table) {
 	tt.Scan(func(_ storage.RowID, rec model.Record) bool {
 		table, _ := rec.Get("table").AsString()
 		attr, _ := rec.Get("attribute").AsString()
@@ -100,7 +128,9 @@ func (c *Catalog) load() error {
 		}
 		return true
 	})
-	st, _ := c.store.Table(SourcesTable)
+}
+
+func (c *Catalog) loadSources(st *storage.Table) {
 	st.Scan(func(_ storage.RowID, rec model.Record) bool {
 		name, _ := rec.Get("name").AsString()
 		if name == "" {
@@ -111,7 +141,6 @@ func (c *Catalog) load() error {
 		c.sources[name] = SourceInfo{Name: name, Kind: kind, Description: desc}
 		return true
 	})
-	return nil
 }
 
 func (c *Catalog) attrLocked(table, attr string) *AttrInfo {

@@ -96,6 +96,12 @@ type Options struct {
 	// RecoverParallelism sizes recovery's worker pools (0 = one per CPU,
 	// 1 = serial). Recovered state is identical for every setting.
 	RecoverParallelism int
+	// ReadOnly opens the engine as a read replica: ingest and claim
+	// persistence return ErrReadOnly, the catalog is opened without
+	// creating its system tables, and Close skips the catalog/ontology
+	// flush — the store's content (and its commit clock) belong to the
+	// primary and arrive only through replication apply.
+	ReadOnly bool
 }
 
 // DB is the self-curating database engine.
@@ -151,7 +157,12 @@ func Open(opts Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	cat, err := catalog.Open(store)
+	var cat *catalog.Catalog
+	if opts.ReadOnly {
+		cat, err = catalog.OpenReadOnly(store)
+	} else {
+		cat, err = catalog.Open(store)
+	}
 	if err != nil {
 		store.Close()
 		return nil, err
@@ -213,9 +224,17 @@ func Open(opts Options) (*DB, error) {
 const claimsTable = "_claims"
 
 func (db *DB) loadClaims() error {
-	tb, ok := db.store.Table(claimsTable)
+	loadClaimsInto(db.store, db.graph, db.worlds)
+	return nil
+}
+
+// loadClaimsInto restores the persisted claim base into a claim store,
+// resolving entity references against the given graph. Shared by Open and
+// RefreshDerived (which rebuilds graph and worlds from scratch).
+func loadClaimsInto(store *storage.Store, g *graph.Graph, worlds *fusion.Worlds) {
+	tb, ok := store.Table(claimsTable)
 	if !ok {
-		return nil
+		return
 	}
 	tb.Scan(func(_ storage.RowID, rec model.Record) bool {
 		src, _ := rec.Get("claim_source").AsString()
@@ -231,17 +250,16 @@ func (db *DB) loadClaims() error {
 				}
 			}
 		}
-		e, ok := db.graph.FindByKey(eSrc, eKey)
+		e, ok := g.FindByKey(eSrc, eKey)
 		if !ok {
 			return true // entity gone; drop the claim
 		}
-		db.worlds.AddClaim(fusion.Claim{
+		worlds.AddClaim(fusion.Claim{
 			Source: src, Entity: e.ID, Attr: attr,
 			Value: rec.Get("value"), Context: ctx, Confidence: model.Fuzzy(conf),
 		})
 		return true
 	})
-	return nil
 }
 
 // persistClaim appends the claim to the claims table.
@@ -286,13 +304,15 @@ func (db *DB) Close() error {
 		return nil
 	}
 	db.closed = true
-	if err := db.cat.Flush(); err != nil {
-		db.store.Close()
-		return err
-	}
-	if err := db.cat.SaveOntology(db.onto); err != nil {
-		db.store.Close()
-		return err
+	if !db.opts.ReadOnly {
+		if err := db.cat.Flush(); err != nil {
+			db.store.Close()
+			return err
+		}
+		if err := db.cat.SaveOntology(db.onto); err != nil {
+			db.store.Close()
+			return err
+		}
 	}
 	if err := db.store.Sync(); err != nil {
 		db.store.Close()
@@ -346,9 +366,14 @@ func (db *DB) typePredictor() *semantic.TypePredictor {
 }
 
 // enrichmentVersion is the combined clock of the relation and semantic
-// layers, watched by transaction validation (FS.11).
+// layers, watched by transaction validation (FS.11). The layer pointers
+// are read under db.mu because RefreshDerived swaps them wholesale; the
+// transaction manager calls this outside any engine lock.
 func (db *DB) enrichmentVersion() uint64 {
-	return db.graph.Version() + db.onto.Version()
+	db.mu.RLock()
+	g, o := db.graph, db.onto
+	db.mu.RUnlock()
+	return g.Version() + o.Version()
 }
 
 // Ingest runs a source delivery through the curation pipeline. The heavy
@@ -371,6 +396,9 @@ func (db *DB) Ingest(ds datagen.Dataset) error {
 // it. Cancellation is not yet observed mid-pass; a delivery is atomic
 // with respect to the curation state.
 func (db *DB) IngestCtx(ctx context.Context, ds datagen.Dataset) error {
+	if db.opts.ReadOnly {
+		return ErrReadOnly
+	}
 	db.ingestMu.Lock()
 	defer db.ingestMu.Unlock()
 	if err := db.pipeline.IngestDatasetOpts(ds, curate.IngestOptions{
@@ -394,7 +422,10 @@ func (db *DB) AddClaim(c fusion.Claim) {
 	db.worlds.AddClaim(c)
 	// Persistence is best-effort bookkeeping: an unknown entity (claims
 	// created directly against synthetic IDs in tests) stays in-memory.
-	_ = db.persistClaim(c)
+	// Replicas never persist — their claim rows arrive from the primary.
+	if !db.opts.ReadOnly {
+		_ = db.persistClaim(c)
+	}
 	db.matCache.InvalidateAll()
 }
 
@@ -560,9 +591,13 @@ type Stats struct {
 }
 
 // Stats returns a snapshot. The pipeline counters are read before db.mu
-// (never under it — see the lock order on DB).
+// (never under it — see the lock order on DB); the pipeline pointer itself
+// is fetched under db.mu because RefreshDerived swaps it.
 func (db *DB) Stats() Stats {
-	ps := db.pipeline.Stats()
+	db.mu.RLock()
+	pipe := db.pipeline
+	db.mu.RUnlock()
+	ps := pipe.Stats()
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	rs := db.reasoner.Stats()

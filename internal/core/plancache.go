@@ -87,6 +87,16 @@ func (c *planCache) put(k planKey, e *planEntry) {
 	c.entries[k] = e
 }
 
+// clear drops every cached plan. Used when the derived layers are rebuilt
+// wholesale (replication refresh): the fresh ontology carries a new version
+// counter that could collide with a stale key's, so version keying alone
+// cannot be trusted across a swap.
+func (c *planCache) clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[planKey]*planEntry)
+}
+
 // PlanCacheStats reports plan-cache effectiveness.
 type PlanCacheStats struct {
 	Hits   uint64

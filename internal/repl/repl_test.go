@@ -1,0 +1,482 @@
+package repl_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"scdb"
+	"scdb/client"
+	"scdb/internal/repl"
+	"scdb/internal/server"
+)
+
+// lifesciOptions mirrors the CLI's sample-corpus options, so follower
+// rebuilds derive the same semantic layers the primary curates.
+func lifesciOptions() scdb.Options {
+	return scdb.Options{
+		Axioms:    scdb.LifeSciAxioms + scdb.PopulationAxioms,
+		LinkRules: scdb.LifeSciLinkRules(),
+		Patterns:  scdb.LifeSciPatterns(),
+	}
+}
+
+// startPrimary opens a durable primary (auto-checkpoints off, so the full
+// log stays shippable unless a test checkpoints deliberately) and serves
+// it on an ephemeral port.
+func startPrimary(tb testing.TB, mut func(*scdb.Options)) (*scdb.DB, string) {
+	tb.Helper()
+	opts := lifesciOptions()
+	opts.Dir = tb.TempDir()
+	opts.WALSegmentBytes = 64 << 10
+	opts.CheckpointBytes = -1
+	if mut != nil {
+		mut(&opts)
+	}
+	db, err := scdb.Open(opts)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(func() { db.Close() })
+	srv := server.New(server.Config{Addr: "127.0.0.1:0", DB: db})
+	if err := srv.Start(); err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return db, srv.Addr().String()
+}
+
+// followerNode is one running replica: the subscriber plus the server
+// offering its database for reads.
+type followerNode struct {
+	f    *repl.Follower
+	srv  *server.Server
+	addr string
+	once sync.Once
+}
+
+// stop tears the node down: server first (drains readers), subscriber
+// second (closes the local database). Idempotent, so tests can kill a
+// node mid-run and cleanup stays safe.
+func (n *followerNode) stop() {
+	n.once.Do(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		n.srv.Shutdown(ctx)
+		n.f.Close()
+	})
+}
+
+// startFollowerNode subscribes a follower to the primary and serves its
+// database on an ephemeral port with the replica's lag stats wired in.
+func startFollowerNode(tb testing.TB, primaryAddr, dir string, mut func(*scdb.Options)) *followerNode {
+	tb.Helper()
+	opts := lifesciOptions()
+	if mut != nil {
+		mut(&opts)
+	}
+	f, err := repl.Start(repl.Config{
+		PrimaryAddr:  primaryAddr,
+		Dir:          dir,
+		Opts:         opts,
+		RefreshEvery: -1, // tests refresh deterministically
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	srv := server.New(server.Config{Addr: "127.0.0.1:0", DB: f.DB(), ReplStats: f.Stats})
+	if err := srv.Start(); err != nil {
+		f.Close()
+		tb.Fatal(err)
+	}
+	n := &followerNode{f: f, srv: srv, addr: srv.Addr().String()}
+	tb.Cleanup(n.stop)
+	return n
+}
+
+// waitUntil polls cond up to d.
+func waitUntil(tb testing.TB, d time.Duration, cond func() bool, what string) {
+	tb.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	tb.Fatalf("timed out waiting for %s", what)
+}
+
+// waitCaughtUp waits until the follower's applied watermark reaches the
+// primary's current clock (quiescent primary: equality is stable).
+func waitCaughtUp(tb testing.TB, n *followerNode, db *scdb.DB) {
+	tb.Helper()
+	target := db.CSN()
+	waitUntil(tb, 15*time.Second, func() bool { return n.f.DB().CSN() >= target },
+		fmt.Sprintf("follower %s to reach csn %d (at %d)", n.addr, target, n.f.DB().CSN()))
+	if err := n.f.Err(); err != nil {
+		tb.Fatalf("follower failed: %v", err)
+	}
+}
+
+func dialNode(tb testing.TB, addr string) *client.Client {
+	tb.Helper()
+	c, err := client.Dial(addr)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(func() { c.Close() })
+	return c
+}
+
+// render flattens a result the way the CLI does, making byte-identical
+// comparison meaningful across nodes.
+func render(rows *scdb.Rows) string {
+	var b strings.Builder
+	b.WriteString(strings.Join(rows.Columns, "|"))
+	b.WriteByte('\n')
+	for _, r := range rows.Data {
+		for i, v := range r {
+			if i > 0 {
+				b.WriteByte('|')
+			}
+			fmt.Fprintf(&b, "%v", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// replCorpus spans the layers a replica must reproduce: instance-layer
+// scans, joins and aggregates (always fresh at the applied watermark) plus
+// semantic and claims queries served from the refreshed derived layers.
+var replCorpus = []string{
+	"SELECT * FROM drugbank ORDER BY name",
+	"SELECT name FROM drugbank WHERE name LIKE 'W%' ORDER BY name",
+	"SELECT d.name, c.disease_name FROM drugbank AS d JOIN ctd AS c ON d.name = c.chemical_name ORDER BY d.name, c.disease_name",
+	"SELECT COUNT(*) AS n FROM uniprot",
+	"SELECT symbol, COUNT(*) AS n FROM uniprot GROUP BY symbol ORDER BY n DESC, symbol LIMIT 5",
+	"SELECT DISTINCT disease_name FROM ctd WHERE disease_name IS NOT NULL ORDER BY disease_name",
+	"SELECT _key FROM Chemical ORDER BY _key WITH SEMANTICS",
+	"SELECT name FROM drugbank WHERE ISA(_id, 'Chemical') ORDER BY name WITH SEMANTICS",
+	"SELECT attr, COUNT(*) AS n FROM claims GROUP BY attr ORDER BY attr",
+	"SELECT COUNT(*) AS n FROM drugbank WHERE name IS NOT NULL",
+}
+
+// benchQuery is the same mid-weight join E-SRV measures, so E-REPL's
+// per-node throughput composes with the server sweep.
+const benchQuery = "SELECT d.name, c.disease_name FROM drugbank AS d JOIN ctd AS c ON d.name = c.chemical_name ORDER BY d.name, c.disease_name"
+
+// TestReplicaDifferential: a 1-primary/2-follower cluster must answer the
+// corpus byte-identically on every node at the same CSN — with the second
+// ingest wave landing after the followers subscribed, so the stream (not
+// just bootstrap) is what's being verified.
+func TestReplicaDifferential(t *testing.T) {
+	db, paddr := startPrimary(t, nil)
+	for _, src := range scdb.LifeSciSample(1, 100, 60, 40) {
+		if err := db.Ingest(src); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	n1 := startFollowerNode(t, paddr, t.TempDir(), nil)
+	n2 := startFollowerNode(t, paddr, t.TempDir(), nil)
+
+	// Second wave streams live to already-subscribed followers.
+	for _, src := range scdb.LifeSciSample(2, 40, 25, 15) {
+		if err := db.Ingest(src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitCaughtUp(t, n1, db)
+	waitCaughtUp(t, n2, db)
+	if err := n1.f.DB().RefreshDerived(); err != nil {
+		t.Fatal(err)
+	}
+	if err := n2.f.DB().RefreshDerived(); err != nil {
+		t.Fatal(err)
+	}
+
+	pc := dialNode(t, paddr)
+	c1 := dialNode(t, n1.addr)
+	c2 := dialNode(t, n2.addr)
+
+	// Every node answers at the same stamp.
+	pcsn, err := pc.PingCSN()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []*client.Client{c1, c2} {
+		csn, err := c.PingCSN()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if csn != pcsn {
+			t.Fatalf("replica csn %d, primary %d", csn, pcsn)
+		}
+	}
+
+	for _, q := range replCorpus {
+		want, err := pc.Query(q)
+		if err != nil {
+			t.Fatalf("primary %q: %v", q, err)
+		}
+		for i, c := range []*client.Client{c1, c2} {
+			got, err := c.Query(q)
+			if err != nil {
+				t.Fatalf("follower %d %q: %v", i+1, q, err)
+			}
+			if render(got) != render(want) {
+				t.Errorf("%q diverged on follower %d:\nprimary:\n%s\nfollower:\n%s",
+					q, i+1, render(want), render(got))
+			}
+		}
+	}
+
+	// Writes against a replica come back as the typed read-only error.
+	err = c1.Ingest(scdb.Source{Name: "rejected", Entities: []scdb.Entity{{Key: "x"}}})
+	if !errors.Is(err, client.ErrReadOnly) {
+		t.Fatalf("replica ingest error = %v, want ErrReadOnly", err)
+	}
+
+	// The stats surface reports roles and zero lag at quiescence.
+	st, err := c1.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Repl == nil || st.Repl.Role != "replica" {
+		t.Fatalf("replica stats: %+v", st.Repl)
+	}
+	if st.Repl.AppliedCSN != uint64(pcsn) || st.Repl.LagCSN != 0 {
+		t.Fatalf("replica lag: applied=%d lag=%d (primary %d)", st.Repl.AppliedCSN, st.Repl.LagCSN, pcsn)
+	}
+	pst, err := pc.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pst.Repl == nil || pst.Repl.Role != "primary" || len(pst.Repl.Followers) != 2 {
+		t.Fatalf("primary stats: %+v", pst.Repl)
+	}
+}
+
+// TestReadYourWrites: a session writing through the cluster router always
+// sees its own rows on the very next read, regardless of replica lag —
+// the router holds reads until a replica covers the session's high-water
+// mark or falls back to the primary.
+func TestReadYourWrites(t *testing.T) {
+	db, paddr := startPrimary(t, nil)
+	n := startFollowerNode(t, paddr, t.TempDir(), nil)
+	cl, err := client.DialCluster(paddr, n.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+
+	const writes = 30
+	for i := 0; i < writes; i++ {
+		src := scdb.Source{Name: "sessions", Entities: []scdb.Entity{
+			{Key: fmt.Sprintf("k%03d", i), Attrs: scdb.Record{"n": int64(i)}},
+		}}
+		if err := cl.Ingest(src); err != nil {
+			t.Fatal(err)
+		}
+		if cl.LastCSN() == 0 {
+			t.Fatal("write response carried no commit stamp")
+		}
+		rows, err := cl.Query("SELECT COUNT(*) AS n FROM sessions")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := rows.Data[0][0]; got != int64(i+1) {
+			t.Fatalf("after write %d: count = %v, want %d (stale read escaped the router)", i, got, i+1)
+		}
+	}
+
+	// Once the replica covers the session mark, routed reads land on it.
+	waitCaughtUp(t, n, db)
+	fc := dialNode(t, n.addr)
+	before, err := fc.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := cl.Query("SELECT COUNT(*) AS n FROM sessions"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after, err := fc.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Server.Ops["query"].Count < before.Server.Ops["query"].Count+10 {
+		t.Fatalf("replica served %d queries, want >= %d more than %d",
+			after.Server.Ops["query"].Count, 10, before.Server.Ops["query"].Count)
+	}
+}
+
+// TestReplicaFailover: killing the replica mid-run never yields a wrong
+// answer (the router falls back to the primary), and a restart against a
+// checkpoint-trimmed log catches back up via snapshot bootstrap.
+func TestReplicaFailover(t *testing.T) {
+	db, paddr := startPrimary(t, func(o *scdb.Options) { o.WALSegmentBytes = 8 << 10 })
+	fdir := t.TempDir()
+	n := startFollowerNode(t, paddr, fdir, nil)
+	cl, err := client.DialCluster(paddr, n.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	cl.RetryDown = 100 * time.Millisecond
+
+	var total atomic.Int64
+	write := func(i int) {
+		t.Helper()
+		src := scdb.Source{Name: "mono", Entities: []scdb.Entity{
+			{Key: fmt.Sprintf("m%04d", i), Attrs: scdb.Record{"n": int64(i)}},
+		}}
+		if err := cl.Ingest(src); err != nil {
+			t.Fatal(err)
+		}
+		total.Add(1)
+	}
+	check := func() {
+		t.Helper()
+		rows, err := cl.Query("SELECT COUNT(*) AS n FROM mono")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := rows.Data[0][0]; got != total.Load() {
+			t.Fatalf("count = %v, want %d (stale or lost read)", got, total.Load())
+		}
+	}
+
+	for i := 0; i < 15; i++ {
+		write(i)
+		check()
+	}
+
+	// Kill the replica mid-run: every subsequent read must still be right.
+	n.stop()
+	for i := 15; i < 30; i++ {
+		write(i)
+		check()
+	}
+
+	// Checkpoint trims the shipped log past the dead replica's watermark,
+	// so its restart must bootstrap from the snapshot, then stream the
+	// writes that landed after the checkpoint.
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 30; i < 40; i++ {
+		write(i)
+	}
+	n2 := startFollowerNode(t, paddr, fdir, nil)
+	waitCaughtUp(t, n2, db)
+	fc := dialNode(t, n2.addr)
+	rows, err := fc.Query("SELECT COUNT(*) AS n FROM mono")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rows.Data[0][0]; got != total.Load() {
+		t.Fatalf("restarted replica count = %v, want %d", got, total.Load())
+	}
+	csn, err := fc.PingCSN()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pcsn := uint64(db.CSN()); csn != pcsn {
+		t.Fatalf("restarted replica csn = %d, primary %d", csn, pcsn)
+	}
+
+	// A fresh session routed at the revived replica still reads its own
+	// write: the read-your-writes mark travels with the session's writes.
+	cl2, err := client.DialCluster(paddr, n2.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl2.Close() })
+	src := scdb.Source{Name: "mono", Entities: []scdb.Entity{
+		{Key: "m0040", Attrs: scdb.Record{"n": int64(40)}},
+	}}
+	if err := cl2.Ingest(src); err != nil {
+		t.Fatal(err)
+	}
+	total.Add(1)
+	rows, err = cl2.Query("SELECT COUNT(*) AS n FROM mono")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rows.Data[0][0]; got != total.Load() {
+		t.Fatalf("post-failover count = %v, want %d", got, total.Load())
+	}
+}
+
+// BenchmarkReplicaRead is E-REPL: closed-loop read throughput against 1
+// and 2 followers with a fixed client pool, primary untouched by reads.
+// Scaling headroom shows up as rows/s growing with the follower count.
+func BenchmarkReplicaRead(b *testing.B) {
+	for _, nf := range []int{1, 2} {
+		b.Run(fmt.Sprintf("followers=%d", nf), func(b *testing.B) {
+			db, paddr := startPrimary(b, func(o *scdb.Options) { o.DisableCache = true })
+			for _, src := range scdb.LifeSciSample(1, 100, 60, 40) {
+				if err := db.Ingest(src); err != nil {
+					b.Fatal(err)
+				}
+			}
+			nodes := make([]*followerNode, nf)
+			for i := range nodes {
+				nodes[i] = startFollowerNode(b, paddr, b.TempDir(), func(o *scdb.Options) { o.DisableCache = true })
+				waitCaughtUp(b, nodes[i], db)
+				if err := nodes[i].f.DB().RefreshDerived(); err != nil {
+					b.Fatal(err)
+				}
+			}
+
+			const clients = 8
+			conns := make([]*client.Client, clients)
+			for i := range conns {
+				c, err := client.Dial(nodes[i%nf].addr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer c.Close()
+				conns[i] = c
+				if _, err := c.Query(benchQuery); err != nil { // warm plan cache
+					b.Fatal(err)
+				}
+			}
+
+			var remaining atomic.Int64
+			remaining.Store(int64(b.N))
+			var wg sync.WaitGroup
+			b.ResetTimer()
+			start := time.Now()
+			for _, c := range conns {
+				wg.Add(1)
+				go func(c *client.Client) {
+					defer wg.Done()
+					for remaining.Add(-1) >= 0 {
+						if _, err := c.Query(benchQuery); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(c)
+			}
+			wg.Wait()
+			b.StopTimer()
+			elapsed := time.Since(start)
+			b.ReportMetric(float64(b.N)/elapsed.Seconds(), "queries/s")
+		})
+	}
+}

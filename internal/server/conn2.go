@@ -31,6 +31,10 @@ type v2req struct {
 	canceled bool
 	// chunks carries the ingest_batch stream; nil for other ops.
 	chunks chan v2chunk
+	// acks carries a replication subscription's applied-CSN reports; nil
+	// for other ops. Acks are monotone, so the router may drop one when the
+	// buffer is full — a later ack supersedes it.
+	acks chan uint64
 	// gone closes when the request finishes, so the reader never blocks
 	// forever handing a chunk to a handler that already answered.
 	gone chan struct{}
@@ -103,6 +107,11 @@ func (vc *v2conn) run() {
 		case V2OpCancel:
 			vc.cancelRequest(f.ID)
 			continue
+		case V2OpReplAck:
+			// Acks are stream continuations, like chunks: route to the
+			// owning subscription, or discard.
+			vc.routeAck(f)
+			continue
 		}
 
 		if s.isDraining() {
@@ -119,6 +128,9 @@ func (vc *v2conn) run() {
 		req := &v2req{gone: make(chan struct{})}
 		if f.Op == V2OpIngestBatch {
 			req.chunks = make(chan v2chunk, 4)
+		}
+		if f.Op == V2OpReplSubscribe {
+			req.acks = make(chan uint64, 16)
 		}
 		vc.pmu.Lock()
 		if _, dup := vc.reqs[f.ID]; dup {
@@ -228,6 +240,26 @@ func (vc *v2conn) routeChunk(f V2Frame) {
 	}
 }
 
+// routeAck hands a replication ack to its subscription's handler. Acks
+// for unknown or finished subscriptions are discarded, and a full buffer
+// drops the ack rather than blocking the reader (acks are monotone).
+func (vc *v2conn) routeAck(f V2Frame) {
+	vc.pmu.Lock()
+	req := vc.reqs[f.ID]
+	vc.pmu.Unlock()
+	if req == nil || req.acks == nil {
+		return
+	}
+	csn, err := DecodeV2ReplAck(f.Payload)
+	if err != nil {
+		return
+	}
+	select {
+	case req.acks <- csn:
+	default:
+	}
+}
+
 // write sends one complete frame under the write mutex. Each write runs
 // under FrameTimeout, so a client that stops reading mid-stream cannot
 // pin an executor behind a full socket buffer: the write fails, the
@@ -311,6 +343,8 @@ func errorCode(err error) (code, msg string) {
 		code = CodeDeadline
 	case errors.Is(err, context.Canceled):
 		code = CodeCanceled
+	case errors.Is(err, scdb.ErrReadOnly):
+		code = CodeReadOnly
 	}
 	return code, err.Error()
 }
@@ -329,9 +363,14 @@ func (s *Server) dispatchV2(vc *v2conn, f V2Frame, req *v2req, decodeDur time.Du
 	switch f.Op {
 	case V2OpPing:
 		e := GetV2Enc()
-		vc.write(EncodeV2PingResult(e, f.ID))
+		vc.write(EncodeV2PingResult(e, f.ID, s.cfg.DB.CSN()))
 		e.Release()
 		return "", "", ""
+	case V2OpReplSubscribe:
+		// Replication subscriptions live outside admission control (they
+		// tail the log; they never hold an executor) and outlast every
+		// other request on the connection.
+		return s.handleReplSubscribe(vc, f, req)
 	case V2OpStats:
 		st := s.Stats()
 		blob, err := json.Marshal(&st)
@@ -482,7 +521,7 @@ func (s *Server) dispatchV2(vc *v2conn, f V2Frame, req *v2req, decodeDur time.Du
 		s.metrics.observeIngest(len(src.Entities), time.Since(start))
 		root.End()
 		e := GetV2Enc()
-		vc.write(EncodeV2IngestResult(e, f.ID, V2OpIngest, nil, traceJSON(tr)))
+		vc.write(EncodeV2IngestResult(e, f.ID, V2OpIngest, nil, traceJSON(tr), s.cfg.DB.CSN()))
 		e.Release()
 		return "", detail, ""
 
@@ -553,8 +592,9 @@ func (s *Server) dispatchV2(vc *v2conn, f V2Frame, req *v2req, decodeDur time.Du
 			sum.RowsPerSec = float64(sum.Rows) / sec
 		}
 		root.End()
+		sum.CSN = s.cfg.DB.CSN()
 		e := GetV2Enc()
-		vc.write(EncodeV2IngestResult(e, f.ID, V2OpIngestBatch, &sum, traceJSON(tr)))
+		vc.write(EncodeV2IngestResult(e, f.ID, V2OpIngestBatch, &sum, traceJSON(tr), sum.CSN))
 		e.Release()
 		return "", detail, ""
 	}

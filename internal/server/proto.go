@@ -96,6 +96,7 @@ const (
 	CodeBadRequest = "bad_request" // malformed request
 	CodeQuery      = "query"       // the engine rejected the statement
 	CodeShutdown   = "shutdown"    // the server is draining
+	CodeReadOnly   = "read_only"   // this node is a read replica; write to the primary
 )
 
 // Request is one client frame.
@@ -128,6 +129,11 @@ type Response struct {
 	Slow *SlowLogReply `json:"slow,omitempty"`
 	// Trace is the span-tree JSON of a traced ingest request.
 	Trace string `json:"trace,omitempty"`
+	// CSN is the commit stamp after a successful write (ingest ops) or the
+	// node's current stamp (ping). Clients use it for read-your-writes
+	// routing: a replica read is consistent with a write once the replica's
+	// applied CSN reaches the write's CSN.
+	CSN uint64 `json:"csn,omitempty"`
 }
 
 // SlowLogReply is the slowlog response body.
@@ -171,6 +177,8 @@ type IngestSummary struct {
 	ElapsedUS int64 `json:"elapsed_us"`
 	// RowsPerSec is Rows over the elapsed wall clock.
 	RowsPerSec float64 `json:"rows_per_sec"`
+	// CSN is the commit stamp after the last installed chunk.
+	CSN uint64 `json:"csn,omitempty"`
 }
 
 // WireInfo mirrors scdb.QueryInfo.
@@ -408,4 +416,36 @@ type StatsReply struct {
 	Indexes   []scdb.IndexStat    `json:"indexes,omitempty"`
 	PlanCache scdb.PlanCacheStats `json:"plan_cache"`
 	Server    ServerStats         `json:"server"`
+	// Repl is present once the node participates in replication: a primary
+	// reports its connected followers, a replica its applied watermark and
+	// lag behind the primary.
+	Repl *WireReplStats `json:"repl,omitempty"`
+}
+
+// WireReplStats reports replication state in the stats op.
+type WireReplStats struct {
+	// Role is "primary" (has or had subscribed followers) or "replica".
+	Role string `json:"role"`
+	// DurableCSN/AllocatedCSN mirror WALStats on this node.
+	DurableCSN   uint64 `json:"durable_csn"`
+	AllocatedCSN uint64 `json:"allocated_csn"`
+	// Followers lists the primary's live subscriptions.
+	Followers []WireFollowerStat `json:"followers,omitempty"`
+	// AppliedCSN is a replica's applied watermark (equal to AllocatedCSN).
+	AppliedCSN uint64 `json:"applied_csn,omitempty"`
+	// LagCSN/LagSeconds: a replica's distance behind the last primary
+	// watermark it has seen, and how stale that sighting is.
+	LagCSN     uint64  `json:"lag_csn"`
+	LagSeconds float64 `json:"lag_seconds"`
+}
+
+// WireFollowerStat is one follower subscription as seen by the primary.
+type WireFollowerStat struct {
+	Remote string `json:"remote"`
+	// SentCSN is the last shipped watermark; AckCSN the follower's last
+	// acknowledged applied CSN; LagCSN the primary clock minus AckCSN.
+	SentCSN  uint64 `json:"sent_csn"`
+	AckCSN   uint64 `json:"ack_csn"`
+	LagCSN   uint64 `json:"lag_csn"`
+	LagBytes uint64 `json:"lag_bytes"`
 }

@@ -58,6 +58,12 @@ type Config struct {
 	// SlowLogSize is the ring's capacity (default 128).
 	SlowOpThreshold time.Duration
 	SlowLogSize     int
+
+	// ReplStats, when set, supplies the replication section of the stats
+	// op and the repl.lag_* gauges. A follower process sets it to report
+	// its applied watermark and lag; a primary leaves it nil (the server
+	// builds primary-side stats from its live subscriptions).
+	ReplStats func() *WireReplStats
 }
 
 func (c Config) withDefaults() Config {
@@ -113,6 +119,9 @@ type Server struct {
 	mu       sync.Mutex
 	conns    map[*conn]struct{}
 	draining bool
+
+	// repl tracks live replication subscriptions (primary side).
+	repl replRegistry
 
 	connWG   sync.WaitGroup
 	serveErr chan error
@@ -190,6 +199,22 @@ func (s *Server) registerEngineGauges() {
 	s.reg.Gauge("wal.ckpt_bytes_reclaimed", func() float64 { return float64(db.WALStats().CheckpointReclaimed) })
 	s.reg.Gauge("wal.ckpt_ns", func() float64 { return float64(db.WALStats().CheckpointTime.Nanoseconds()) })
 	s.reg.Gauge("store.recover_ns", func() float64 { return float64(db.WALStats().RecoveryTime.Nanoseconds()) })
+	s.reg.Gauge("wal.durable_csn", func() float64 { return float64(db.WALStats().DurableCSN) })
+	s.reg.Gauge("wal.allocated_csn", func() float64 { return float64(db.WALStats().AllocatedCSN) })
+	s.reg.Gauge("repl.followers", func() float64 { return float64(s.repl.count()) })
+	s.reg.Gauge("repl.lag_csn", func() float64 {
+		if r := s.replStats(); r != nil {
+			return float64(r.LagCSN)
+		}
+		return 0
+	})
+	s.reg.Gauge("repl.lag_seconds", func() float64 {
+		if r := s.replStats(); r != nil {
+			return r.LagSeconds
+		}
+		return 0
+	})
+	s.reg.Gauge("repl.lag_bytes", func() float64 { return float64(s.replLagBytes()) })
 	s.reg.Gauge("index.count", func() float64 { return float64(len(db.IndexStats())) })
 	s.reg.Gauge("index.hits_total", func() float64 {
 		var n uint64
@@ -333,6 +358,7 @@ func (s *Server) Stats() StatsReply {
 		Indexes:   s.cfg.DB.IndexStats(),
 		PlanCache: s.cfg.DB.PlanCacheStats(),
 		Server:    srv,
+		Repl:      s.replStats(),
 	}
 }
 
@@ -439,7 +465,7 @@ func (s *Server) handleRequest(br *bufio.Reader, c *conn, req Request, decodeDur
 func (s *Server) dispatch(br *bufio.Reader, c *conn, req Request, decodeDur time.Duration) Response {
 	switch req.Op {
 	case OpPing:
-		return Response{OK: true}
+		return Response{OK: true, CSN: s.cfg.DB.CSN()}
 	case OpStats:
 		st := s.Stats()
 		return Response{OK: true, Stats: &st}
@@ -516,7 +542,7 @@ func (s *Server) dispatch(br *bufio.Reader, c *conn, req Request, decodeDur time
 		}
 		s.metrics.observeIngest(len(src.Entities), time.Since(start))
 		root.End()
-		return Response{OK: true, Trace: traceJSON(tr)}
+		return Response{OK: true, Trace: traceJSON(tr), CSN: s.cfg.DB.CSN()}
 	case OpIngestBatch:
 		resp := s.ingestStream(ctx, br, c, req)
 		if resp.OK {
@@ -667,7 +693,8 @@ func (s *Server) ingestStream(ctx context.Context, br *bufio.Reader, c *conn, re
 	if s := elapsed.Seconds(); s > 0 {
 		sum.RowsPerSec = float64(sum.Rows) / s
 	}
-	return Response{OK: true, Ingest: &sum}
+	sum.CSN = s.cfg.DB.CSN()
+	return Response{OK: true, Ingest: &sum, CSN: sum.CSN}
 }
 
 // requestCtx derives the per-request context: the client's timeout
@@ -757,6 +784,8 @@ func errorResponse(err error) Response {
 		code = CodeDeadline
 	case errors.Is(err, context.Canceled):
 		code = CodeCanceled
+	case errors.Is(err, scdb.ErrReadOnly):
+		code = CodeReadOnly
 	}
 	return Response{Code: code, Err: err.Error()}
 }

@@ -143,6 +143,16 @@ const (
 	// cancellation never desynchronizes the stream — this replaces v1's
 	// poison-the-connection behavior.
 	V2OpCancel byte = 0x0A
+	// V2OpReplSubscribe turns the connection into a replication stream: the
+	// payload carries the follower's applied CSN, and the server answers
+	// with a V2OpReplFrames sequence (snapshot chunks if the follower is
+	// below the checkpoint horizon, then live WAL frames) until either side
+	// disconnects.
+	V2OpReplSubscribe byte = 0x0B
+	// V2OpReplAck reports a follower's applied CSN back up its subscription
+	// (routed by request id, like ingest chunks); the primary folds it into
+	// lag metrics and stats.
+	V2OpReplAck byte = 0x0C
 
 	// V2OpRowBatch is a server frame carrying one columnar batch of query
 	// result rows; more frames for the same id follow.
@@ -151,6 +161,11 @@ const (
 	V2OpResult byte = 0x21
 	// V2OpError is the final server frame of a failed request.
 	V2OpError byte = 0x22
+	// V2OpReplFrames is a server frame on a replication subscription: a
+	// batch of WAL entries with a watermark, a snapshot chunk, or the
+	// snapshot-done marker. More frames for the same id always follow (the
+	// stream ends only in V2OpError or disconnect).
+	V2OpReplFrames byte = 0x23
 )
 
 // v2OpName maps a v2 op code onto the v1 op strings so both protocols feed
@@ -175,6 +190,8 @@ func v2OpName(op byte) string {
 		return OpSlowLog
 	case V2OpCancel:
 		return "cancel"
+	case V2OpReplSubscribe, V2OpReplAck:
+		return "repl"
 	}
 	return fmt.Sprintf("op_0x%02x", op)
 }
@@ -188,6 +205,7 @@ const (
 	v2CodeBadRequest
 	v2CodeQuery
 	v2CodeShutdown
+	v2CodeReadOnly
 )
 
 func v2CodeByte(code string) byte {
@@ -202,6 +220,8 @@ func v2CodeByte(code string) byte {
 		return v2CodeBadRequest
 	case CodeShutdown:
 		return v2CodeShutdown
+	case CodeReadOnly:
+		return v2CodeReadOnly
 	}
 	return v2CodeQuery
 }
@@ -219,6 +239,8 @@ func V2CodeString(b byte) string {
 		return CodeBadRequest
 	case v2CodeShutdown:
 		return CodeShutdown
+	case v2CodeReadOnly:
+		return CodeReadOnly
 	}
 	return CodeQuery
 }
@@ -1165,11 +1187,14 @@ type V2Result struct {
 	Ingest  *IngestSummary  // ingest_batch
 	Trace   string          // ingest, ingest_batch (traced)
 	Blob    []byte          // stats/slowlog JSON, metrics text
+	CSN     uint64          // ping, ingest, ingest_batch
 }
 
-// EncodeV2PingResult answers a ping.
-func EncodeV2PingResult(e *V2Enc, id uint32) []byte {
+// EncodeV2PingResult answers a ping with the node's current commit stamp
+// (on a replica: its applied watermark — what routing clients poll).
+func EncodeV2PingResult(e *V2Enc, id uint32, csn uint64) []byte {
 	e.u8(V2OpPing)
+	e.uvarint(csn)
 	return e.Frame(V2OpResult, 0, id)
 }
 
@@ -1194,7 +1219,7 @@ func EncodeV2ExplainResult(e *V2Enc, id uint32, info *scdb.QueryInfo) []byte {
 
 // EncodeV2IngestResult answers ingest (kind V2OpIngest, no summary) and
 // ingest_batch (kind V2OpIngestBatch, with summary).
-func EncodeV2IngestResult(e *V2Enc, id uint32, kind byte, sum *IngestSummary, trace string) []byte {
+func EncodeV2IngestResult(e *V2Enc, id uint32, kind byte, sum *IngestSummary, trace string, csn uint64) []byte {
 	e.u8(kind)
 	if sum == nil {
 		e.u8(0)
@@ -1206,6 +1231,7 @@ func EncodeV2IngestResult(e *V2Enc, id uint32, kind byte, sum *IngestSummary, tr
 		e.f64(sum.RowsPerSec)
 	}
 	e.rawBytes([]byte(trace))
+	e.uvarint(csn)
 	return e.Frame(V2OpResult, 0, id)
 }
 
@@ -1231,6 +1257,12 @@ func DecodeV2Result(payload []byte) (*V2Result, error) {
 	res := &V2Result{Kind: kind}
 	switch kind {
 	case V2OpPing:
+		// The trailing CSN is absent on pre-replication servers.
+		if !d.empty() {
+			if res.CSN, err = d.uvarint(); err != nil {
+				return nil, err
+			}
+		}
 		return res, nil
 	case V2OpQuery:
 		n, err := d.uvarint()
@@ -1287,6 +1319,12 @@ func DecodeV2Result(payload []byte) (*V2Result, error) {
 			return nil, err
 		}
 		res.Trace = string(tb)
+		// The trailing CSN is absent on pre-replication servers.
+		if !d.empty() {
+			if res.CSN, err = d.uvarint(); err != nil {
+				return nil, err
+			}
+		}
 		return res, nil
 	case V2OpStats, V2OpMetrics, V2OpSlowLog:
 		if res.Blob, err = d.rawBytes(); err != nil {

@@ -139,7 +139,12 @@ func (s *Store) Checkpoint() error {
 		return err
 	}
 	s.ckptCSN.Store(uint64(snapCSN))
-	s.ckptReclaimed.Add(s.wal.removeBelow(horizon))
+	s.wal.noteDurable(snapCSN) // the snapshot covers every stamp <= snapCSN
+	// Replication subscribers pin the segment they are streaming; deletion
+	// stops at the lowest pin so a slow follower keeps its file. The
+	// snapshot still records the barrier horizon — recovery retires the
+	// extra segments on the next open.
+	s.ckptReclaimed.Add(s.wal.removeBelow(s.pinnedHorizon(horizon)))
 	s.ckpts.Add(1)
 	s.ckptNS.Add(uint64(nanotime() - start))
 	s.wal.ckptMark.Store(s.wal.bytes.Load())

@@ -1,0 +1,430 @@
+package storage
+
+// Replication support: the primary-side WAL tailing API and the
+// follower-side replay entry points.
+//
+// A primary ships its log as decoded frames. The shipping loop computes a
+// watermark with StableCSN — every mutation at or below it is installed and
+// appended to the log — then drains frames from the segment files with
+// TailWAL. A follower applies shipped frames with ApplyRepl, which installs
+// each mutation at its recorded commit stamp (mirroring recovery's replay,
+// but under the table latch and with live access-path maintenance, because
+// the follower serves queries continuously), re-logs the frame into the
+// follower's own WAL, and finally publishes the batch watermark as the
+// follower's commit clock. Readers at Now() therefore never observe a
+// partially applied batch, and a follower crash leaves an exact CSN-prefix
+// of the primary's history in its local log.
+//
+// Checkpoints interact with shipping through segment pins: a subscriber
+// pins the segment it is reading, and Checkpoint caps its deletion horizon
+// at the lowest pinned segment, so a slow follower can keep streaming a
+// sealed segment that a checkpoint has already covered. A follower that
+// disconnects releases its pin; if the log it needs is gone by the time it
+// resubscribes (ErrWALTrimmed / ReplNeedsSnapshot), it bootstraps from the
+// primary's snapshot file instead.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"scdb/internal/model"
+)
+
+// ReplEntry is one decoded WAL frame in shipping form. Op and Data use the
+// log's internal encoding (opaque to the wire layer); for batch frames
+// RowID carries the entry count, exactly as framed on disk.
+type ReplEntry struct {
+	Op    byte
+	CSN   CSN
+	Table string
+	RowID uint64
+	Data  []byte
+}
+
+// WALPos addresses a frame boundary in the segmented log. Off == 0 means
+// "start of the segment" (the header magic is skipped on read).
+type WALPos struct {
+	Seg uint64
+	Off int64
+}
+
+// ErrWALTrimmed reports that the segment a reader needs has been deleted by
+// a checkpoint (or is a legacy stamp-less segment that cannot be shipped);
+// the subscriber must bootstrap from a snapshot instead.
+var ErrWALTrimmed = errors.New("storage: wal segment trimmed below reader position")
+
+// errNotDurable fails replication entry points on in-memory stores.
+var errNotDurable = errors.New("storage: replication requires a durable store")
+
+// SnapshotPath returns the checkpoint snapshot's path inside dir — where a
+// follower bootstrap writes a shipped snapshot before opening the store.
+func SnapshotPath(dir string) string { return filepath.Join(dir, snapshotName) }
+
+// StableCSN returns the highest commit stamp w such that every mutation
+// with csn <= w is installed in the tables and appended to the log. It is
+// the replication watermark: frames at or below it may be shipped as a
+// consistent prefix. Computed under the write-tracker lock, like the
+// checkpoint barrier: one less than the lowest in-flight CSN, or Now() when
+// nothing is in flight.
+func (s *Store) StableCSN() CSN {
+	tr := &s.writes
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	w := s.Now()
+	for c := range tr.active {
+		if c-1 < w {
+			w = c - 1
+		}
+	}
+	return w
+}
+
+// ReplNeedsSnapshot reports whether a follower whose applied CSN is the
+// given stamp can be served from the retained log, or must bootstrap from a
+// checkpoint snapshot first. A follower below the latest checkpoint CSN
+// needs frames that checkpoints may already have deleted; a legacy
+// (pre-segmentation) segment carries stamp-less frames that cannot be
+// shipped at all until a checkpoint retires it.
+func (s *Store) ReplNeedsSnapshot(applied CSN) (bool, error) {
+	if s.wal == nil {
+		return false, errNotDurable
+	}
+	if applied < CSN(s.ckptCSN.Load()) {
+		return true, nil
+	}
+	idxs, err := listSegments(s.dir)
+	if err != nil {
+		return false, err
+	}
+	if len(idxs) > 0 && idxs[0] == 0 {
+		return true, nil // segment 0 is reserved for legacy logs
+	}
+	return false, nil
+}
+
+// ReplStartPos returns the position of the earliest retained log frame —
+// where a subscriber that needs the full retained history starts reading.
+func (s *Store) ReplStartPos() (WALPos, error) {
+	if s.wal == nil {
+		return WALPos{}, errNotDurable
+	}
+	idxs, err := listSegments(s.dir)
+	if err != nil {
+		return WALPos{}, err
+	}
+	if len(idxs) == 0 {
+		s.wal.mu.Lock()
+		seg := s.wal.segIdx
+		s.wal.mu.Unlock()
+		return WALPos{Seg: seg}, nil
+	}
+	return WALPos{Seg: idxs[0]}, nil
+}
+
+// TailWAL reads committed frames starting at pos, first flushing the write
+// buffer so the segment files reflect every appended frame. At most
+// maxBytes of framed data is decoded per call (<= 0 means 1 MiB). It
+// returns the decoded entries, the next read position, and atEnd — whether
+// the read caught up with the active segment's current end. A deleted (or
+// legacy) segment returns ErrWALTrimmed. Entry Data slices alias the read
+// buffer and are valid until the caller discards them.
+func (s *Store) TailWAL(pos WALPos, maxBytes int64) (entries []ReplEntry, next WALPos, atEnd bool, err error) {
+	w := s.wal
+	if w == nil {
+		return nil, pos, false, errNotDurable
+	}
+	if maxBytes <= 0 {
+		maxBytes = 1 << 20
+	}
+	w.mu.Lock()
+	if w.closed.Load() {
+		w.mu.Unlock()
+		return nil, pos, false, errWALClosed
+	}
+	ferr := w.w.Flush()
+	active := w.segIdx
+	w.mu.Unlock()
+	if ferr != nil {
+		return nil, pos, false, ferr
+	}
+	if pos.Seg > active {
+		return nil, pos, true, nil
+	}
+	data, err := os.ReadFile(segPath(s.dir, pos.Seg))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, pos, false, ErrWALTrimmed
+		}
+		return nil, pos, false, err
+	}
+	if pos.Off == 0 {
+		if !bytes.HasPrefix(data, segMagic) {
+			return nil, pos, false, ErrWALTrimmed // legacy frames have no stamps
+		}
+		pos.Off = int64(len(segMagic))
+	}
+	limit := int64(len(data))
+	truncated := false
+	if limit > pos.Off+maxBytes {
+		limit = pos.Off + maxBytes
+		truncated = true
+	}
+	valid, err := parseFrames(data[:limit], pos.Off, false, func(e logEntry) error {
+		entries = append(entries, ReplEntry{
+			Op: e.op, CSN: e.csn, Table: e.table, RowID: e.rowID, Data: e.data,
+		})
+		return nil
+	})
+	if err != nil {
+		return nil, pos, false, err
+	}
+	next = WALPos{Seg: pos.Seg, Off: valid}
+	if pos.Seg < active {
+		// Sealed segments are immutable and fully framed; reaching their end
+		// advances to the next segment (indexes are consecutive — rotation
+		// is sequential and checkpoints delete only a prefix).
+		if valid >= int64(len(data)) {
+			next = WALPos{Seg: pos.Seg + 1}
+		} else if !truncated && len(entries) == 0 {
+			return nil, pos, false, fmt.Errorf("storage: torn frame in sealed segment %d", pos.Seg)
+		}
+		return entries, next, false, nil
+	}
+	// Active segment: a partial frame at the tail belongs to an append in
+	// flight and completes on a later call.
+	return entries, next, valid >= int64(len(data)) && !truncated, nil
+}
+
+// OpenSnapshot opens the current checkpoint snapshot for bootstrap
+// shipping, returning the open file, its size, and the snapshot's commit
+// stamp parsed from its own header (so a concurrent checkpoint swapping the
+// file underneath never mismatches stamp and content).
+func (s *Store) OpenSnapshot() (*os.File, int64, CSN, error) {
+	if s.dir == "" {
+		return nil, 0, 0, errNotDurable
+	}
+	f, err := os.Open(filepath.Join(s.dir, snapshotName))
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, 0, 0, err
+	}
+	hdr := make([]byte, len(snapMagic)+binary.MaxVarintLen64)
+	n, err := f.ReadAt(hdr, 0)
+	if n < len(snapMagic)+1 && err != nil {
+		f.Close()
+		return nil, 0, 0, err
+	}
+	if !bytes.HasPrefix(hdr[:n], snapMagic) {
+		f.Close()
+		return nil, 0, 0, errors.New("storage: snapshot is not v2; run a checkpoint first")
+	}
+	snapCSN, un := binary.Uvarint(hdr[len(snapMagic):n])
+	if un <= 0 {
+		f.Close()
+		return nil, 0, 0, errors.New("storage: corrupt snapshot header")
+	}
+	return f, fi.Size(), CSN(snapCSN), nil
+}
+
+// --- segment pins --------------------------------------------------------
+
+// SegmentPin holds segments at or above its position against checkpoint
+// deletion while a replication subscriber streams them. Pins only bound
+// deletion, never snapshot contents; release promptly on disconnect.
+type SegmentPin struct {
+	s   *Store
+	seg uint64
+}
+
+// PinSegments registers a pin at the given segment index.
+func (s *Store) PinSegments(seg uint64) *SegmentPin {
+	p := &SegmentPin{s: s, seg: seg}
+	s.pinMu.Lock()
+	if s.pins == nil {
+		s.pins = make(map[*SegmentPin]struct{})
+	}
+	s.pins[p] = struct{}{}
+	s.pinMu.Unlock()
+	return p
+}
+
+// Advance moves the pin forward (it never retreats).
+func (p *SegmentPin) Advance(seg uint64) {
+	p.s.pinMu.Lock()
+	if seg > p.seg {
+		p.seg = seg
+	}
+	p.s.pinMu.Unlock()
+}
+
+// Release drops the pin; the next checkpoint may delete its segments.
+func (p *SegmentPin) Release() {
+	p.s.pinMu.Lock()
+	delete(p.s.pins, p)
+	p.s.pinMu.Unlock()
+}
+
+// pinnedHorizon caps a checkpoint's deletion horizon at the lowest pinned
+// segment, so streaming subscribers never lose a file out from under them.
+// The snapshot still records the barrier horizon — recovery retires the
+// extra retained segments on the next open.
+func (s *Store) pinnedHorizon(horizon uint64) uint64 {
+	s.pinMu.Lock()
+	for p := range s.pins {
+		if p.seg < horizon {
+			horizon = p.seg
+		}
+	}
+	s.pinMu.Unlock()
+	return horizon
+}
+
+// --- follower apply ------------------------------------------------------
+
+// ApplyRepl installs shipped frames and publishes watermark as the store's
+// commit clock. Every entry's CSN must be <= watermark (the shipper
+// guarantees the prefix is stable), and the caller must be the store's only
+// writer — replication apply does not take the write tracker, because the
+// follower's clock is advanced only here, after installation, so readers at
+// Now() never see a partial batch.
+//
+// Entries are applied in ascending stamp order (stable for equal stamps —
+// a transaction's write set shares one stamp across frames), each mutation
+// is re-logged to the follower's own WAL at its recorded stamp, and batch
+// frames are preserved as single frames. The follower's log is therefore
+// stamp-sorted: a crash leaves an exact stamp-prefix, and recovery's
+// max-CSN clock restore resubscribes precisely where shipping stopped.
+func (s *Store) ApplyRepl(entries []ReplEntry, watermark CSN) error {
+	sort.SliceStable(entries, func(i, j int) bool { return entries[i].CSN < entries[j].CSN })
+	for i := range entries {
+		if entries[i].CSN > watermark {
+			return fmt.Errorf("storage: replicated frame csn %d above watermark %d", entries[i].CSN, watermark)
+		}
+		if err := s.applyReplEntry(&entries[i]); err != nil {
+			return err
+		}
+	}
+	for {
+		cur := s.csn.Load()
+		if cur >= uint64(watermark) || s.csn.CompareAndSwap(cur, uint64(watermark)) {
+			return nil
+		}
+	}
+}
+
+func (s *Store) applyReplEntry(e *ReplEntry) error {
+	if e.Op == opCreateTable {
+		s.mu.Lock()
+		if _, ok := s.tables[e.Table]; !ok {
+			s.tables[e.Table] = &Table{name: e.Table, store: s, rows: make(map[RowID]*row)}
+			s.schemaVer.Add(1)
+		}
+		s.mu.Unlock()
+		if s.wal != nil {
+			return s.wal.log(opCreateTable, e.CSN, e.Table, 0, nil)
+		}
+		return nil
+	}
+	t, ok := s.Table(e.Table)
+	if !ok {
+		return fmt.Errorf("storage: replicated frame references unknown table %q", e.Table)
+	}
+	if e.Op == opBatch {
+		rest := e.Data
+		t.mu.Lock()
+		for i := uint64(0); i < e.RowID; i++ {
+			if len(rest) < 1 {
+				t.mu.Unlock()
+				return fmt.Errorf("storage: malformed replicated batch for %q", e.Table)
+			}
+			op := rest[0]
+			pos := 1
+			id, n := binary.Uvarint(rest[pos:])
+			if n <= 0 {
+				t.mu.Unlock()
+				return fmt.Errorf("storage: malformed replicated batch row id")
+			}
+			pos += n
+			dl, n := binary.Uvarint(rest[pos:])
+			if n <= 0 || uint64(len(rest)-pos-n) < dl {
+				t.mu.Unlock()
+				return fmt.Errorf("storage: malformed replicated batch data length")
+			}
+			pos += n
+			if err := t.applyReplLocked(op, id, rest[pos:pos+int(dl)], e.CSN); err != nil {
+				t.mu.Unlock()
+				return err
+			}
+			rest = rest[pos+int(dl):]
+		}
+		t.mu.Unlock()
+		if s.wal != nil {
+			return s.wal.log(opBatch, e.CSN, e.Table, e.RowID, e.Data)
+		}
+		return nil
+	}
+	t.mu.Lock()
+	err := t.applyReplLocked(e.Op, e.RowID, e.Data, e.CSN)
+	t.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if s.wal != nil {
+		return s.wal.log(e.Op, e.CSN, e.Table, e.RowID, e.Data)
+	}
+	return nil
+}
+
+// applyReplLocked mirrors recovery's applyOp, but under the table latch and
+// with live access-path maintenance — the follower serves queries while
+// frames land, so zone maps and indexes must track inserts and updates
+// exactly as the primary's write path does. Caller holds t.mu.
+func (t *Table) applyReplLocked(op byte, rowID uint64, data []byte, csn CSN) error {
+	switch op {
+	case opInsert:
+		rec, _, err := model.DecodeRecord(data)
+		if err != nil {
+			return err
+		}
+		id := RowID(rowID)
+		if _, exists := t.rows[id]; exists {
+			return fmt.Errorf("storage: replicated insert of existing row %d in %q", rowID, t.name)
+		}
+		t.rows[id] = &row{versions: []version{{rec: rec, from: csn}}}
+		if rowID > t.nextID {
+			t.nextID = rowID
+		}
+		t.live++
+		t.noteWriteLocked(id, rec, true)
+	case opUpdate:
+		rec, _, err := model.DecodeRecord(data)
+		if err != nil {
+			return err
+		}
+		r, ok := t.rows[RowID(rowID)]
+		if !ok {
+			return fmt.Errorf("storage: replicated update of unknown row %d in %q", rowID, t.name)
+		}
+		r.addVersion(version{rec: rec, from: csn})
+		t.noteWriteLocked(RowID(rowID), rec, false)
+	case opDelete:
+		r, ok := t.rows[RowID(rowID)]
+		if !ok || r.versions[len(r.versions)-1].rec == nil {
+			return fmt.Errorf("storage: replicated delete of unknown row %d in %q", rowID, t.name)
+		}
+		r.addVersion(version{rec: nil, from: csn})
+		t.live--
+	default:
+		return fmt.Errorf("storage: unknown replicated op %d", op)
+	}
+	return nil
+}

@@ -139,6 +139,7 @@ func (w *wal) rotateLocked() error {
 		os.Remove(segPath(w.dir, w.segIdx+1))
 		return err
 	}
+	w.noteDurable(w.appendedCSN) // the seal fsynced every framed stamp
 	w.f.Close()
 	w.f = next
 	w.w.Reset(next)

@@ -114,6 +114,12 @@ type Store struct {
 	ckptNS        atomic.Uint64
 	ckptErrs      atomic.Uint64
 	recoverNS     atomic.Int64
+
+	// Replication segment pins (repl.go): checkpoints cap their deletion
+	// horizon at the lowest pinned segment so streaming subscribers never
+	// lose the file they are reading.
+	pinMu sync.Mutex
+	pins  map[*SegmentPin]struct{}
 }
 
 // Options configures a store beyond its directory.

@@ -90,6 +90,15 @@ type wal struct {
 	segMax  int64  // rotation threshold
 	closed  atomic.Bool
 
+	// appendedCSN is the highest commit stamp framed so far (under mu).
+	// durable is the highest stamp known to be on stable storage — advanced
+	// monotonically after a successful frame fsync, sealed-segment rotation,
+	// or checkpoint snapshot. The gap between the store's allocated clock
+	// and durable is the crash-loss window; replication lag is measured
+	// against the same stamps, so the two surfaces agree.
+	appendedCSN CSN
+	durable     atomic.Uint64
+
 	// fileMu guards fsync calls and the active-file swap during rotation,
 	// so the group-commit flusher (which syncs outside mu) never fsyncs a
 	// closed handle. Lock order: mu → fileMu, never the reverse.
@@ -170,12 +179,16 @@ func (w *wal) close() error {
 	}
 	w.mu.Lock()
 	seq := w.seq
+	tcsn := w.appendedCSN
 	err := w.w.Flush()
 	w.mu.Unlock()
 	if err == nil && w.pol != SyncNone {
 		w.fileMu.Lock()
 		err = w.f.Sync()
 		w.fileMu.Unlock()
+		if err == nil {
+			w.noteDurable(tcsn)
+		}
 	}
 	// Release any commit still parked in waitDurable.
 	w.flushMu.Lock()
@@ -227,6 +240,9 @@ func (w *wal) frame(op byte, csn CSN, table string, rowID uint64, data []byte) (
 		return 0, fmt.Errorf("storage: wal append: %w", err)
 	}
 	w.seq++
+	if csn > w.appendedCSN {
+		w.appendedCSN = csn
+	}
 	n := len(hdr) + len(payload)
 	w.bytes.Add(uint64(n))
 	w.segSize += int64(n)
@@ -290,6 +306,7 @@ func (w *wal) commit(seq uint64) error {
 		return nil
 	case SyncAlways:
 		w.mu.Lock()
+		tcsn := w.appendedCSN
 		err := w.w.Flush()
 		w.mu.Unlock()
 		if err != nil {
@@ -304,6 +321,9 @@ func (w *wal) commit(seq uint64) error {
 		w.syncNS.Add(uint64(d))
 		w.waitNS.Add(uint64(d))
 		w.commits.Add(1)
+		if err == nil {
+			w.noteDurable(tcsn)
+		}
 		return err
 	}
 	start := nanotime()
@@ -327,9 +347,20 @@ func (w *wal) flusher() {
 	}
 }
 
+// noteDurable advances the durable commit stamp monotonically.
+func (w *wal) noteDurable(c CSN) {
+	for {
+		cur := w.durable.Load()
+		if uint64(c) <= cur || w.durable.CompareAndSwap(cur, uint64(c)) {
+			return
+		}
+	}
+}
+
 func (w *wal) flushOnce() {
 	w.mu.Lock()
 	target := w.seq
+	tcsn := w.appendedCSN
 	err := w.w.Flush()
 	w.mu.Unlock()
 	if err == nil {
@@ -342,6 +373,9 @@ func (w *wal) flushOnce() {
 		w.fileMu.Unlock()
 		w.fsyncs.Add(1)
 		w.syncNS.Add(uint64(nanotime() - start))
+		if err == nil {
+			w.noteDurable(tcsn)
+		}
 	}
 	w.flushMu.Lock()
 	if err != nil {
@@ -378,6 +412,7 @@ func (s *Store) Sync() error {
 		return nil
 	}
 	s.wal.mu.Lock()
+	tcsn := s.wal.appendedCSN
 	err := s.wal.w.Flush()
 	s.wal.mu.Unlock()
 	if err != nil {
@@ -389,6 +424,9 @@ func (s *Store) Sync() error {
 	s.wal.fileMu.Unlock()
 	s.wal.fsyncs.Add(1)
 	s.wal.syncNS.Add(uint64(nanotime() - start))
+	if err == nil {
+		s.wal.noteDurable(tcsn)
+	}
 	return err
 }
 
@@ -422,6 +460,13 @@ type WALStats struct {
 	// RecoveryTime is how long the last Open spent in recovery (snapshot
 	// load + segment replay + access-path rebuild).
 	RecoveryTime time.Duration
+	// DurableCSN is the highest commit stamp known to be on stable storage
+	// (frame fsync, sealed-segment rotation, or checkpoint snapshot);
+	// AllocatedCSN is the store's current commit clock. Their gap is the
+	// crash-loss window. Replication watermarks are measured against the
+	// same stamps, so group-commit and replication metrics agree.
+	DurableCSN   uint64
+	AllocatedCSN uint64
 }
 
 // WALStats reports the write-ahead log's durability counters.
@@ -448,6 +493,8 @@ func (s *Store) WALStats() WALStats {
 		CheckpointReclaimed: s.ckptReclaimed.Load(),
 		CheckpointTime:      time.Duration(s.ckptNS.Load()),
 		RecoveryTime:        time.Duration(s.recoverNS.Load()),
+		DurableCSN:          w.durable.Load(),
+		AllocatedCSN:        s.csn.Load(),
 	}
 }
 
