@@ -109,11 +109,22 @@ func (cl *Cluster) QueryCtx(ctx context.Context, q string) (*scdb.Rows, error) {
 	hw := cl.primary.LastCSN()
 	deadline := time.Now().Add(cl.FreshnessWait)
 	for {
+		if ctx != nil && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		r, alive := cl.pickFresh(hw)
 		if r == nil {
 			// Lagging replicas are worth a short wait; dead ones are not.
 			if alive && time.Now().Before(deadline) {
-				time.Sleep(5 * time.Millisecond)
+				if ctx != nil {
+					select {
+					case <-ctx.Done():
+						return nil, ctx.Err()
+					case <-time.After(5 * time.Millisecond):
+					}
+				} else {
+					time.Sleep(5 * time.Millisecond)
+				}
 				continue
 			}
 			// No replica covers the mark in time: the primary always does.
@@ -159,32 +170,57 @@ func (cl *Cluster) pickFresh(hw uint64) (r *replicaNode, alive bool) {
 // freshen reports whether r has applied at least hw (fresh) and whether it
 // is reachable at all (alive), dialing and pinging as needed. The cached
 // applied CSN short-circuits the ping: applied stamps only grow, so a
-// cache that covers hw still does.
+// cache that covers hw still does. Network calls happen outside r.mu —
+// the lock only snapshots and publishes state — so a slow or unresponsive
+// replica never serializes the concurrent readers probing it.
 func (cl *Cluster) freshen(r *replicaNode, hw uint64) (fresh, alive bool) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if !r.downUntil.IsZero() {
 		if time.Now().Before(r.downUntil) {
+			r.mu.Unlock()
 			return false, false
 		}
 		r.downUntil = time.Time{}
 	}
-	if r.c == nil {
-		c, err := Dial(r.addr)
+	c := r.c
+	applied := r.applied
+	r.mu.Unlock()
+
+	if c == nil {
+		nc, err := Dial(r.addr)
+		r.mu.Lock()
 		if err != nil {
-			r.downUntil = time.Now().Add(cl.RetryDown)
+			// Another prober may have connected meanwhile; only back off
+			// while the node is still unconnected.
+			if r.c == nil {
+				r.downUntil = time.Now().Add(cl.RetryDown)
+			}
+			r.mu.Unlock()
 			return false, false
 		}
-		r.c = c
+		if r.c == nil {
+			r.c = nc
+		} else {
+			nc.Close() // lost the dial race; keep the established connection
+		}
+		c = r.c
+		applied = r.applied
+		r.mu.Unlock()
 	}
-	if r.applied >= hw {
+	if applied >= hw {
 		return true, true
 	}
-	csn, err := r.c.PingCSN()
+	csn, err := c.PingCSN()
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if err != nil {
-		r.c.Close()
-		r.c = nil
-		r.downUntil = time.Now().Add(cl.RetryDown)
+		// Tear down only if our connection is still the node's current one
+		// (a concurrent prober may already have replaced it).
+		if r.c == c {
+			r.c.Close()
+			r.c = nil
+			r.downUntil = time.Now().Add(cl.RetryDown)
+		}
 		return false, false
 	}
 	if csn > r.applied {

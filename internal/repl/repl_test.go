@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -265,6 +266,71 @@ func TestReplicaDifferential(t *testing.T) {
 	}
 	if pst.Repl == nil || pst.Repl.Role != "primary" || len(pst.Repl.Followers) != 2 {
 		t.Fatalf("primary stats: %+v", pst.Repl)
+	}
+}
+
+// TestReplCatchUpClockNeverLeadsState guards the shipping watermark: a
+// follower catching up through a retained log much larger than one shipping
+// batch receives truncated batches, and the watermark sent with a truncated
+// batch must not cover frames the stream has not shipped yet. A regression
+// here publishes the primary's full stable stamp after the first partial
+// batch, so the follower's clock runs ahead of its rows and reads at Now()
+// briefly miss committed data — observable as a row count below what the
+// primary had committed at the follower's own published clock.
+func TestReplCatchUpClockNeverLeadsState(t *testing.T) {
+	db, paddr := startPrimary(t, nil)
+
+	// Each ingest commits one padded row; marks[i] is the primary clock
+	// once i+1 rows are committed. ~2.5 MiB of log ≈ several 1 MiB batches.
+	pad := strings.Repeat("x", 4096)
+	const rowsTotal = 600
+	marks := make([]uint64, 0, rowsTotal)
+	for i := 0; i < rowsTotal; i++ {
+		src := scdb.Source{Name: "bulk", Entities: []scdb.Entity{
+			{Key: fmt.Sprintf("k%04d", i), Attrs: scdb.Record{"n": int64(i), "pad": pad}},
+		}}
+		if err := db.Ingest(src); err != nil {
+			t.Fatal(err)
+		}
+		marks = append(marks, uint64(db.CSN()))
+	}
+	target := uint64(db.CSN())
+
+	n := startFollowerNode(t, paddr, t.TempDir(), nil)
+	fdb := n.f.DB()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		applied := uint64(fdb.CSN())
+		// Rows committed at or below the follower's published clock must
+		// all be visible: the count can only exceed `want` (the query runs
+		// after the clock was read, never before).
+		want := sort.Search(len(marks), func(i int) bool { return marks[i] > applied })
+		if want > 0 {
+			rows, err := fdb.Query("SELECT COUNT(*) AS n FROM bulk")
+			if err != nil {
+				t.Fatalf("follower at csn %d: %v", applied, err)
+			}
+			if got := rows.Data[0][0].(int64); got < int64(want) {
+				t.Fatalf("follower clock %d leads its state: %d rows visible, want >= %d (watermark covered un-shipped frames)",
+					applied, got, want)
+			}
+		}
+		if applied >= target {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower stuck at csn %d, want %d (err: %v)", applied, target, n.f.Err())
+		}
+	}
+	if err := n.f.Err(); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := fdb.Query("SELECT COUNT(*) AS n FROM bulk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rows.Data[0][0].(int64); got != rowsTotal {
+		t.Fatalf("caught-up follower has %d rows, want %d", got, rowsTotal)
 	}
 }
 

@@ -12,8 +12,10 @@ package server
 // log from one cursor and pins the segment it reads, so checkpoints never
 // delete a file out from under a live subscriber (a *re*-subscriber whose
 // frames are gone bootstraps from the snapshot instead). The watermark sent
-// with each batch is storage.StableCSN — entries stamped above it ride along
-// and the follower buffers them until a later watermark covers them.
+// with each batch is storage.StableCSN, advanced only when the tail drain
+// has reached the log's end, so it never claims frames the stream has not
+// shipped yet — entries stamped above it ride along and the follower
+// buffers them until a later watermark covers them.
 
 import (
 	"errors"
@@ -344,9 +346,21 @@ func (s *Server) handleReplSubscribe(vc *v2conn, f V2Frame, req *v2req) (code, d
 
 	fo := &replFollower{remote: vc.c.nc.RemoteAddr().String()}
 	fo.ackCSN.Store(uint64(base))
+	fo.sentCSN.Store(uint64(base))
 	s.repl.add(fo)
 	defer s.repl.remove(fo)
 
+	// sentW is the watermark shipped with each batch: the highest stamp the
+	// cumulative stream is guaranteed to cover, which the follower publishes
+	// as its commit clock once the batch is applied. It advances to a fresh
+	// StableCSN only on iterations whose drain reached the log's end — a
+	// batch truncated by replBatchBytes is a strict prefix of the log, so
+	// frames at or below the new stable stamp may still be un-shipped and
+	// publishing it would let the follower's clock run ahead of its state
+	// (readers at Now() would miss committed rows). Entries stamped above
+	// sentW ride along; the follower buffers them until a later watermark
+	// covers them.
+	sentW := uint64(base)
 	lastSend := time.Now()
 	for {
 		if s.isDraining() {
@@ -360,9 +374,10 @@ func (s *Server) handleReplSubscribe(vc *v2conn, f V2Frame, req *v2req) (code, d
 				drained = true
 			}
 		}
-		// The watermark is computed before the tail drain: every frame
+		// The stable stamp is computed before the tail drain: every frame
 		// stamped at or below it is already in the log, so once the drain
-		// reaches the log's end the batch is a complete prefix up to w.
+		// reaches the log's end the shipped stream is a complete prefix up
+		// to w.
 		w := uint64(st.StableCSN())
 		var (
 			batch      []storage.ReplEntry
@@ -394,21 +409,27 @@ func (s *Server) handleReplSubscribe(vc *v2conn, f V2Frame, req *v2req) (code, d
 				break // torn frame at the active tail; completes later
 			}
 		}
-		if len(batch) > 0 || time.Since(lastSend) >= replHeartbeat {
+		if atEnd && w > sentW {
+			sentW = w
+		}
+		if len(batch) > 0 || sentW > fo.sentCSN.Load() || time.Since(lastSend) >= replHeartbeat {
 			e := GetV2Enc()
-			werr := vc.write(EncodeV2ReplFrames(e, f.ID, w, batch))
+			werr := vc.write(EncodeV2ReplFrames(e, f.ID, sentW, batch))
 			e.Release()
 			if werr != nil {
 				return CodeCanceled, detail, "follower gone or stalled: " + werr.Error()
 			}
 			lastSend = time.Now()
-			fo.sentCSN.Store(w)
+			fo.sentCSN.Store(sentW)
 		}
 		if atEnd {
 			fo.caughtBytes.Store(db.WALStats().Bytes)
-			if len(batch) == 0 {
-				time.Sleep(replIdlePoll)
-			}
+		}
+		if len(batch) == 0 {
+			// Idle log, torn frame at the active tail, or a catch-up stretch
+			// entirely below the subscriber's base: nothing shipped, so poll
+			// instead of spinning on flush+read.
+			time.Sleep(replIdlePoll)
 		}
 	}
 }

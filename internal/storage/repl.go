@@ -128,11 +128,13 @@ func (s *Store) ReplStartPos() (WALPos, error) {
 
 // TailWAL reads committed frames starting at pos, first flushing the write
 // buffer so the segment files reflect every appended frame. At most
-// maxBytes of framed data is decoded per call (<= 0 means 1 MiB). It
-// returns the decoded entries, the next read position, and atEnd — whether
-// the read caught up with the active segment's current end. A deleted (or
-// legacy) segment returns ErrWALTrimmed. Entry Data slices alias the read
-// buffer and are valid until the caller discards them.
+// maxBytes of framed data is decoded per call (<= 0 means 1 MiB), except
+// that a single frame larger than maxBytes is still read whole — every call
+// with data available makes progress. It returns the decoded entries, the
+// next read position, and atEnd — whether the read caught up with the
+// active segment's current end. A deleted (or legacy) segment returns
+// ErrWALTrimmed. Entry Data slices alias the read buffer and are valid
+// until the caller discards them.
 func (s *Store) TailWAL(pos WALPos, maxBytes int64) (entries []ReplEntry, next WALPos, atEnd bool, err error) {
 	w := s.wal
 	if w == nil {
@@ -148,6 +150,7 @@ func (s *Store) TailWAL(pos WALPos, maxBytes int64) (entries []ReplEntry, next W
 	}
 	ferr := w.w.Flush()
 	active := w.segIdx
+	activeSize := w.segSize
 	w.mu.Unlock()
 	if ferr != nil {
 		return nil, pos, false, ferr
@@ -155,40 +158,76 @@ func (s *Store) TailWAL(pos WALPos, maxBytes int64) (entries []ReplEntry, next W
 	if pos.Seg > active {
 		return nil, pos, true, nil
 	}
-	data, err := os.ReadFile(segPath(s.dir, pos.Seg))
+	if pos.Seg == active && pos.Off > 0 && pos.Off >= activeSize {
+		// Caught-up fast path: nothing appended since the last call, so the
+		// idle poll never touches the file.
+		return nil, pos, true, nil
+	}
+	f, err := os.Open(segPath(s.dir, pos.Seg))
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
 			return nil, pos, false, ErrWALTrimmed
 		}
 		return nil, pos, false, err
 	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, pos, false, err
+	}
+	size := fi.Size()
 	if pos.Off == 0 {
-		if !bytes.HasPrefix(data, segMagic) {
+		hdr := make([]byte, len(segMagic))
+		if _, herr := f.ReadAt(hdr, 0); herr != nil || !bytes.Equal(hdr, segMagic) {
 			return nil, pos, false, ErrWALTrimmed // legacy frames have no stamps
 		}
 		pos.Off = int64(len(segMagic))
 	}
-	limit := int64(len(data))
-	truncated := false
-	if limit > pos.Off+maxBytes {
-		limit = pos.Off + maxBytes
-		truncated = true
-	}
-	valid, err := parseFrames(data[:limit], pos.Off, false, func(e logEntry) error {
+	collect := func(e logEntry) error {
 		entries = append(entries, ReplEntry{
 			Op: e.op, CSN: e.csn, Table: e.table, RowID: e.rowID, Data: e.data,
 		})
 		return nil
-	})
-	if err != nil {
-		return nil, pos, false, err
 	}
-	next = WALPos{Seg: pos.Seg, Off: valid}
+	// Read only the tail past the cursor, bounded by maxBytes; a segment is
+	// never re-read whole on every poll.
+	remain := size - pos.Off
+	readLen := remain
+	truncated := false
+	if readLen > maxBytes {
+		readLen, truncated = maxBytes, true
+	}
+	var valid int64
+	if readLen > 0 {
+		buf := make([]byte, readLen)
+		if _, err := f.ReadAt(buf, pos.Off); err != nil {
+			return nil, pos, false, err
+		}
+		if valid, err = parseFrames(buf, 0, false, collect); err != nil {
+			return nil, pos, false, err
+		}
+		if truncated && valid == 0 && readLen >= 12 {
+			// The first frame alone exceeds maxBytes (e.g. a large ingest
+			// batch): widen the read to its boundary so the cursor advances
+			// instead of re-truncating the same frame forever.
+			if need := int64(binary.BigEndian.Uint32(buf[:4])) + 12; need > readLen && need <= remain {
+				buf = make([]byte, need)
+				if _, err := f.ReadAt(buf, pos.Off); err != nil {
+					return nil, pos, false, err
+				}
+				if valid, err = parseFrames(buf, 0, false, collect); err != nil {
+					return nil, pos, false, err
+				}
+				truncated = need < remain
+			}
+		}
+	}
+	next = WALPos{Seg: pos.Seg, Off: pos.Off + valid}
 	if pos.Seg < active {
 		// Sealed segments are immutable and fully framed; reaching their end
 		// advances to the next segment (indexes are consecutive — rotation
 		// is sequential and checkpoints delete only a prefix).
-		if valid >= int64(len(data)) {
+		if next.Off >= size {
 			next = WALPos{Seg: pos.Seg + 1}
 		} else if !truncated && len(entries) == 0 {
 			return nil, pos, false, fmt.Errorf("storage: torn frame in sealed segment %d", pos.Seg)
@@ -197,7 +236,7 @@ func (s *Store) TailWAL(pos WALPos, maxBytes int64) (entries []ReplEntry, next W
 	}
 	// Active segment: a partial frame at the tail belongs to an append in
 	// flight and completes on a later call.
-	return entries, next, valid >= int64(len(data)) && !truncated, nil
+	return entries, next, next.Off >= size && !truncated, nil
 }
 
 // OpenSnapshot opens the current checkpoint snapshot for bootstrap
