@@ -133,6 +133,83 @@ func BenchmarkERBatch(b *testing.B) {
 	}
 }
 
+// erIngestStations sizes BenchmarkERIngest: SCDB_ER_STATIONS overrides
+// the 240-station default (CI smoke runs set it small).
+func erIngestStations() int {
+	if s := os.Getenv("SCDB_ER_STATIONS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 240
+}
+
+// BenchmarkERIngest measures end-to-end ingest of the IoT near-duplicate
+// stream through the full curation pipeline per ER blocking mode — the
+// tentpole claim is that approximate candidate generation keeps the
+// relate stage the ingest fast path at a high source count. Run with
+// -benchtime=1x; records/s is the number E-ER records, and recall (over
+// the generator's truth pairs) guards against buying speed with misses.
+func BenchmarkERIngest(b *testing.B) {
+	stations := erIngestStations()
+	sets, truth := datagen.IoTSensors(7, 4, stations, 1, 0.25)
+	var srcs []Source
+	records := 0
+	for _, ds := range sets {
+		srcs = append(srcs, fromDataset(ds))
+		records += len(ds.Entities)
+	}
+	modes := []struct {
+		name     string
+		blocking string
+		par      int
+	}{
+		{"token-serial", "token", 1},
+		{"token-parallel", "token", 4},
+		{"ann-parallel", "ann", 4},
+		{"both-parallel", "both", 4},
+	}
+	for _, m := range modes {
+		b.Run(m.name, func(b *testing.B) {
+			var total time.Duration
+			var comparisons, hit int
+			for i := 0; i < b.N; i++ {
+				db, err := Open(Options{
+					Axioms:            "concept Device",
+					DisableCache:      true,
+					ERBlocking:        m.blocking,
+					IngestParallelism: m.par,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				start := time.Now()
+				for _, src := range srcs {
+					if err := db.Ingest(src); err != nil {
+						b.Fatal(err)
+					}
+				}
+				total += time.Since(start)
+				comparisons = db.Stats().ER.Comparisons
+				g := db.inner.Graph()
+				r := db.inner.Pipeline().Resolver()
+				hit = 0
+				for _, p := range truth {
+					a, aok := g.FindByKey(p.KeyA[:4], p.KeyA)
+					c, cok := g.FindByKey(p.KeyB[:4], p.KeyB)
+					if aok && cok && r.Same(a.ID, c.ID) {
+						hit++
+					}
+				}
+				db.Close()
+			}
+			b.ReportMetric(float64(records)*float64(b.N)/total.Seconds(), "records/s")
+			b.ReportMetric(float64(comparisons), "comparisons")
+			b.ReportMetric(float64(hit)/float64(len(truth)), "recall")
+		})
+	}
+}
+
 // --- E-FS2: richness ------------------------------------------------------
 
 func BenchmarkRichness(b *testing.B) {

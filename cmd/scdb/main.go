@@ -311,6 +311,7 @@ func printServerStats(c *client.Client) {
 	fmt.Printf("tables=%d entities=%d edges=%d concepts=%d inferred=%d witnesses=%d inconsistencies=%d merges=%d cache-hit=%.0f%%\n",
 		e.Tables, e.Entities, e.Edges, e.Concepts, e.InferredTypes,
 		e.Witnesses, e.Inconsistencies, e.Merges, 100*e.CacheHitRate)
+	printCurationLine(e.ER)
 	s := st.Server
 	fmt.Printf("server: conns=%d in-flight=%d (peak %d) queued=%d rejected=%d canceled=%d\n",
 		s.Conns, s.InFlight, s.InFlightPeak, s.Queued, s.Rejected, s.Canceled)
@@ -500,11 +501,20 @@ func runAnalyze(db engine, q string) bool {
 	return true
 }
 
+func printCurationLine(er scdb.ERStats) {
+	if er.Comparisons == 0 && er.Candidates == 0 && er.Blocks == 0 {
+		return
+	}
+	fmt.Printf("curation: comparisons=%d candidates=%d ann-probes=%d blocks=%d oversized-skips=%d\n",
+		er.Comparisons, er.Candidates, er.ANNProbes, er.Blocks, er.BlockSkips)
+}
+
 func printStats(db *scdb.DB) {
 	st := db.Stats()
 	fmt.Printf("tables=%d entities=%d edges=%d concepts=%d inferred=%d witnesses=%d inconsistencies=%d merges=%d cache-hit=%.0f%%\n",
 		st.Tables, st.Entities, st.Edges, st.Concepts, st.InferredTypes,
 		st.Witnesses, st.Inconsistencies, st.Merges, 100*st.CacheHitRate)
+	printCurationLine(st.ER)
 	if w := db.WALStats(); w.Segments > 0 {
 		fmt.Printf("wal: segments=%d active=%d bytes=%d checkpoints=%d ckpt-csn=%d reclaimed=%d durable-csn=%d allocated-csn=%d recovery=%s\n",
 			w.Segments, w.SegmentIndex, w.Bytes, w.Checkpoints, w.CheckpointCSN,

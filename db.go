@@ -41,6 +41,19 @@ type Options struct {
 	Patterns []Pattern
 	// ResolutionThreshold tunes entity resolution (default 0.85).
 	ResolutionThreshold float64
+	// ERBlocking selects the entity-resolution candidate-generation
+	// strategy: "token" (token-prefix blocks, the default), "ann"
+	// (feature-hashed embedding index, top-K cosine neighbors — bounded
+	// cost per entity, robust to leading-character typos), or "both"
+	// (union of the two, maximum recall). Results change only in which
+	// duplicate pairs are discovered; see DESIGN.md.
+	ERBlocking string
+	// ERTopK is the ANN neighbor count per arriving entity under "ann" or
+	// "both" blocking (<=0 = default 8).
+	ERTopK int
+	// EREmbedDim is the feature-hashed embedding width under "ann" or
+	// "both" blocking (<=0 = default 64).
+	EREmbedDim int
 	// CacheSize bounds the materialization cache (default 256 entries).
 	CacheSize int
 	// DisableSemanticOptimizer turns the ontology-driven query rewrites
@@ -125,6 +138,10 @@ type DB struct {
 
 // Open creates or reopens a database.
 func Open(opts Options) (*DB, error) {
+	blocking, err := er.ParseBlocking(opts.ERBlocking)
+	if err != nil {
+		return nil, err
+	}
 	coreOpts := core.Options{
 		Dir:                opts.Dir,
 		MatCacheSize:       opts.CacheSize,
@@ -140,7 +157,12 @@ func Open(opts Options) (*DB, error) {
 		CheckpointBytes:    opts.CheckpointBytes,
 		RecoverParallelism: opts.RecoverParallelism,
 		ReadOnly:           opts.ReadOnly,
-		ERConfig:           er.Config{Threshold: opts.ResolutionThreshold},
+		ERConfig: er.Config{
+			Threshold: opts.ResolutionThreshold,
+			Blocking:  blocking,
+			TopK:      opts.ERTopK,
+			EmbedDim:  opts.EREmbedDim,
+		},
 	}
 	for _, r := range opts.LinkRules {
 		coreOpts.LinkRules = append(coreOpts.LinkRules, curate.LinkRule{
@@ -516,6 +538,24 @@ func (tx *Tx) Commit() (staleness uint64, err error) {
 // Abort discards the transaction.
 func (tx *Tx) Abort() { tx.inner.Abort() }
 
+// ERStats reports entity-resolution work counters — the cost side of
+// curation that Merges alone hides.
+type ERStats struct {
+	// Comparisons counts candidate pairs scored since open.
+	Comparisons int
+	// Candidates counts candidate pairs gathered by blocking/ANN before
+	// cluster filtering.
+	Candidates int
+	// ANNProbes counts embedding-index bucket members examined during
+	// top-K rerank (zero under "token" blocking).
+	ANNProbes int
+	// Blocks is the number of distinct token blocking keys indexed.
+	Blocks int
+	// BlockSkips counts candidate slots dropped by the per-key block cap
+	// (oversized, stop-word-like blocks).
+	BlockSkips int
+}
+
 // Stats summarizes the engine.
 type Stats struct {
 	Tables          int
@@ -527,6 +567,7 @@ type Stats struct {
 	Inconsistencies int
 	Merges          int
 	CacheHitRate    float64
+	ER              ERStats
 }
 
 // Stats returns a snapshot of the engine's state.
@@ -542,6 +583,13 @@ func (db *DB) Stats() Stats {
 		Inconsistencies: s.Inconsistencies,
 		Merges:          s.Merges,
 		CacheHitRate:    s.CacheHitRate,
+		ER: ERStats{
+			Comparisons: s.ER.Comparisons,
+			Candidates:  s.ER.Candidates,
+			ANNProbes:   s.ER.ANNProbes,
+			Blocks:      s.ER.Blocks,
+			BlockSkips:  s.ER.BlockSkips,
+		},
 	}
 }
 

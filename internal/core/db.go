@@ -588,6 +588,8 @@ type Stats struct {
 	Merges          int
 	Claims          int
 	CacheHitRate    float64
+	// ER reports the resolver's work counters (curation cost visibility).
+	ER er.Stats
 }
 
 // Stats returns a snapshot. The pipeline counters are read before db.mu
@@ -616,5 +618,6 @@ func (db *DB) Stats() Stats {
 		Merges:          ps.Merges,
 		Claims:          claims,
 		CacheHitRate:    db.matCache.Stats().HitRate(),
+		ER:              ps.ER,
 	}
 }

@@ -46,6 +46,10 @@ type Stats struct {
 	InferredTypes   int
 	Witnesses       int
 	Inconsistencies int
+	// ER mirrors the resolver's work counters (comparisons, candidates,
+	// ANN probes, block counts) at snapshot time — filled by
+	// Pipeline.Stats, not accumulated here.
+	ER er.Stats
 }
 
 // pendingLink is a literal reference that found no target yet.
@@ -125,11 +129,14 @@ func NewPipeline(cfg Config) (*Pipeline, error) {
 	}, nil
 }
 
-// Stats returns the accumulated counters.
+// Stats returns the accumulated counters plus the resolver's work
+// counters at this moment.
 func (p *Pipeline) Stats() Stats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.stats
+	s := p.stats
+	s.ER = p.resolver.Stats()
+	return s
 }
 
 // Reasoner exposes the pipeline's reasoner (the query layer needs it).
@@ -295,7 +302,8 @@ func (p *Pipeline) IngestDatasetOpts(ds datagen.Dataset, opt IngestOptions) erro
 	}
 	walBefore := p.store.WALStats()
 	entBefore, mergeBefore := p.stats.Entities, p.stats.Merges
-	var installDur, relateDur time.Duration
+	erBefore := p.resolver.Stats()
+	var installDur, relateDur, blockBusy, scoreBusy time.Duration
 	var touched []model.EntityID
 	for ci := range chunks {
 		if ready != nil {
@@ -325,10 +333,20 @@ func (p *Pipeline) IngestDatasetOpts(ds datagen.Dataset, opt IngestOptions) erro
 		}
 		installDur += time.Since(start)
 
-		// Stage 3 — relation layer, strictly in record order.
+		// Stage 3 — relation layer. Candidate generation and pair scoring
+		// are pure reads over the resolver's committed state, so they fan
+		// out across the worker pool; graph insertion, union-find merge,
+		// and attribute/ANN indexing then replay strictly in record order
+		// (the same ordered-commit shape as the decode stage), keeping the
+		// final state byte-identical to a serial pass.
 		start = time.Now()
+		preps := p.prepareChunk(ds.Source, chunks[ci], workers)
+		for _, prep := range preps {
+			blockBusy += prep.BlockDur()
+			scoreBusy += prep.ScoreDur()
+		}
 		for i, spec := range chunks[ci] {
-			if err := p.relateSpec(ds.Source, spec, d.norms[i], &touched); err != nil {
+			if err := p.relatePrepared(ds.Source, spec, d.norms[i], preps[i], &touched); err != nil {
 				return err
 			}
 		}
@@ -349,6 +367,14 @@ func (p *Pipeline) IngestDatasetOpts(ds datagen.Dataset, opt IngestOptions) erro
 		rel := root.ChildDur("ingest.relate", relateDur)
 		rel.SetInt("entities", int64(p.stats.Entities-entBefore))
 		rel.SetInt("merges", int64(p.stats.Merges-mergeBefore))
+		erAfter := p.resolver.Stats()
+		blk := root.ChildDur("ingest.block", blockBusy)
+		blk.SetInt("candidates", int64(erAfter.Candidates-erBefore.Candidates))
+		blk.SetInt("ann_probes", int64(erAfter.ANNProbes-erBefore.ANNProbes))
+		blk.SetInt("block_skips", int64(erAfter.BlockSkips-erBefore.BlockSkips))
+		sc := root.ChildDur("ingest.score", scoreBusy)
+		sc.SetInt("comparisons", int64(erAfter.Comparisons-erBefore.Comparisons))
+		sc.SetInt("workers", int64(workers))
 	}
 	integ := root.Child("ingest.integrate")
 	if err := p.integrate(ds, &touched); err != nil {
@@ -373,18 +399,74 @@ func (p *Pipeline) IngestDatasetOpts(ds datagen.Dataset, opt IngestOptions) erro
 	return nil
 }
 
+// prepareChunk runs the resolver's pure half — candidate generation and
+// pair scoring — for every spec of the chunk, fanned out across the
+// worker pool when it is sized for it. Workers only read the resolver's
+// committed state (the chunk commits after this barrier), so the results
+// are independent of the worker count.
+func (p *Pipeline) prepareChunk(source string, chunk []datagen.EntitySpec, workers int) []*er.Prepared {
+	preps := make([]*er.Prepared, len(chunk))
+	prep := func(i int) {
+		spec := chunk[i]
+		preps[i] = p.resolver.Prepare(&model.Entity{Key: spec.Key, Source: source, Types: spec.Types, Attrs: spec.Attrs, Confidence: 1})
+	}
+	if workers <= 1 || len(chunk) < 2 {
+		for i := range chunk {
+			prep(i)
+		}
+		return preps
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	n := min(workers, len(chunk))
+	wg.Add(n)
+	for w := 0; w < n; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(chunk) {
+					return
+				}
+				prep(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return preps
+}
+
 // relateSpec runs the relation layer for one entity: graph insertion,
 // attribute indexing, and incremental ER against everything already
-// curated.
+// curated. The serial entry point (replay/rebuild); live ingest goes
+// through prepareChunk + relatePrepared.
 func (p *Pipeline) relateSpec(source string, spec datagen.EntitySpec, norms []normEntry, touched *[]model.EntityID) error {
+	return p.relatePrepared(source, spec, norms, nil, touched)
+}
+
+// relatePrepared is the order-sensitive half of the relation layer for
+// one entity: graph insertion, attribute indexing, and the resolver's
+// ordered commit. prep carries the pre-scored candidate set computed
+// against the pre-chunk snapshot; it is valid only for a key new to the
+// graph — a re-delivered key merges attributes into the existing entity,
+// so the record is re-scored serially from the resolved entity, exactly
+// as a serial pass would. nil prep always takes the serial path.
+func (p *Pipeline) relatePrepared(source string, spec datagen.EntitySpec, norms []normEntry, prep *er.Prepared, touched *[]model.EntityID) error {
+	_, existed := p.graph.FindByKey(source, spec.Key)
 	e := &model.Entity{Key: spec.Key, Source: source, Types: spec.Types, Attrs: spec.Attrs, Confidence: 1}
 	id := p.graph.AddEntity(e)
 	p.stats.Entities++
 	*touched = append(*touched, id)
 	p.indexNorms(id, norms)
 
-	resolved, _ := p.graph.Entity(id)
-	for _, m := range p.resolver.Add(&model.Entity{ID: id, Key: spec.Key, Source: source, Attrs: resolved.Attrs, Types: resolved.Types}) {
+	var matches []er.Match
+	if prep == nil || existed {
+		resolved, _ := p.graph.Entity(id)
+		matches = p.resolver.Add(&model.Entity{ID: id, Key: spec.Key, Source: source, Attrs: resolved.Attrs, Types: resolved.Types})
+	} else {
+		matches = p.resolver.Commit(prep, id)
+	}
+	for _, m := range matches {
 		if err := p.graph.Merge(m.A, m.B); err != nil {
 			return err
 		}

@@ -373,3 +373,100 @@ func Stream(seed int64, n int) []Dataset {
 	}
 	return out
 }
+
+// Station codes are digit-free on purpose — the fuzzy similarity
+// measures are withheld when numeric tokens disagree, so a typo inside
+// "st0042" would trip that identifier guard instead of exercising
+// approximate matching. Each station is named by a 4-letter base-6 code
+// (a short, precise token — the only blocking key that distinguishes
+// stations) plus the code spelled out in words (trigram-rich embedding
+// ballast). Each code position draws from its own six-word list, so the
+// word set uniquely identifies the code (repeated letters cannot collapse
+// two stations into one trigram set), and words are pairwise ≥7 edits
+// apart within a list, so two distinct stations always score below the
+// resolution threshold while a one-character code typo keeps a true
+// duplicate well above it.
+var (
+	codeLetters = "bcdfgh"
+	codeWords   = [4][6]string{
+		{"fennel", "saffron", "rosemary", "wisteria", "edelweiss", "quillback"},
+		{"russet", "gentian", "oleander", "driftwood", "jacaranda", "yellowtail"},
+		{"cinder", "hemlock", "obsidian", "birchwood", "ultramarine", "zucchini"},
+		{"basalt", "gardenia", "anemone", "whirlpool", "ironweed", "snowdrop"},
+	}
+)
+
+// siteCode renders a station index (< 1296) as its 4-letter base-6 code
+// and the code's spelled-out words.
+func siteCode(station int) (string, [4]string) {
+	var code [4]byte
+	var words [4]string
+	for i := 3; i >= 0; i-- {
+		d := station % 6
+		station /= 6
+		code[i] = codeLetters[d]
+		words[i] = codeWords[i][d]
+	}
+	return string(code[:]), words
+}
+
+// perturbCode injects one early-character typo (drop or duplicate — one
+// edit) into a station code: the worst case for prefix blocking, which
+// loses the only distinguishing block key, while edit-distance and
+// trigram similarity of the full label barely move.
+func perturbCode(r *rand.Rand, code string) string {
+	b := []byte(code)
+	p := 1 + r.Intn(2)
+	if r.Intn(2) == 0 {
+		return string(append(b[:p:p], b[p+1:]...)) // drop
+	}
+	return string(append(b[:p+1:p+1], append([]byte{b[p]}, b[p+1:]...)...)) // duplicate
+}
+
+// IoTSensors generates the high-cardinality ER stress corpus: nGateways
+// gateways each report every one of nStations field stations (< 1296 for
+// unique codes), rounds times over — near-duplicate readings under
+// stable per-gateway keys, so repeat rounds re-deliver every key. With
+// probability noise a report's station code takes an early-character
+// typo, the regime where token-prefix blocking goes blind — the damaged
+// code hashes into a different block, and every other label token is so
+// common its block overflows the per-key cap — but embedding-based
+// candidate generation does not, because the spelled-out code dominates
+// the trigram features. Ground-truth cross-gateway duplicate pairs are
+// returned for recall measurement.
+func IoTSensors(seed int64, nGateways, nStations, rounds int, noise float64) ([]Dataset, []DirtyPair) {
+	r := rand.New(rand.NewSource(seed))
+	labelAttr := []string{"label", "sensor_name", "station_label", "descriptor"}
+	var truth []DirtyPair
+	for st := 0; st < nStations; st++ {
+		for g := 1; g < nGateways; g++ {
+			truth = append(truth, DirtyPair{
+				KeyA: fmt.Sprintf("gw%02d:st%04d", 0, st),
+				KeyB: fmt.Sprintf("gw%02d:st%04d", g, st),
+			})
+		}
+	}
+	var sets []Dataset
+	for round := 0; round < rounds; round++ {
+		for g := 0; g < nGateways; g++ {
+			ds := Dataset{Source: fmt.Sprintf("gw%02d", g)}
+			for st := 0; st < nStations; st++ {
+				code, words := siteCode(st)
+				if r.Float64() < noise {
+					code = perturbCode(r, code)
+				}
+				label := fmt.Sprintf("station %s %s %s %s %s", code, words[0], words[1], words[2], words[3])
+				ds.Entities = append(ds.Entities, EntitySpec{
+					Key:   fmt.Sprintf("gw%02d:st%04d", g, st),
+					Types: []string{"Device"},
+					Attrs: model.Record{
+						labelAttr[g%len(labelAttr)]: model.String(label),
+						"reading":                   model.Float(15 + r.Float64()*20),
+					},
+				})
+			}
+			sets = append(sets, ds)
+		}
+	}
+	return sets, truth
+}

@@ -1,0 +1,124 @@
+package er
+
+import "sort"
+
+// The ANN index approximates "which already-curated entities are nearest
+// in embedding space?" with random-hyperplane LSH: each entity's unit
+// vector is reduced to a short signature of sign bits (one bit per
+// hyperplane), once per table. Entities sharing a signature in any table
+// land in one bucket, and a query gathers its buckets' members and
+// reranks them by exact cosine to keep the top K. Insertion is O(tables ·
+// bits · dim) — incremental, matching the resolver's one-entity-at-a-time
+// ingestion — and the hyperplanes are generated from a fixed seed, so the
+// index is deterministic across processes.
+const (
+	annTables = 8 // independent hash tables (recall amplification)
+	annBits   = 8 // hyperplanes (signature bits) per table
+)
+
+// DefaultTopK is the ANN neighbor count used when Config.TopK is zero.
+const DefaultTopK = 8
+
+type annIndex struct {
+	dim     int
+	planes  [][]float32          // annTables*annBits hyperplanes, row-major
+	buckets []map[uint32][]int32 // per table: signature → entity positions
+	vecs    [][]float32          // position → embedding (append-only)
+}
+
+// splitmix64 steps the seed and returns the next pseudo-random word — the
+// only randomness source here, so hyperplanes are identical on every run.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	return mix64(*state)
+}
+
+func newANNIndex(dim int) *annIndex {
+	a := &annIndex{
+		dim:     dim,
+		planes:  make([][]float32, annTables*annBits),
+		buckets: make([]map[uint32][]int32, annTables),
+	}
+	seed := uint64(0x5cdb5cdb5cdb5cdb)
+	for i := range a.planes {
+		p := make([]float32, dim)
+		for j := range p {
+			// Uniform in [-1, 1): direction is all that matters for a
+			// sign test, so no Gaussian shaping is needed.
+			p[j] = float32(splitmix64(&seed)>>11)/float32(1<<52) - 1
+		}
+		a.planes[i] = p
+	}
+	for t := range a.buckets {
+		a.buckets[t] = make(map[uint32][]int32)
+	}
+	return a
+}
+
+// signature computes the sign-bit signature of vec under table t's planes.
+func (a *annIndex) signature(t int, vec []float32) uint32 {
+	var sig uint32
+	base := t * annBits
+	for b := 0; b < annBits; b++ {
+		if dot(a.planes[base+b], vec) >= 0 {
+			sig |= 1 << b
+		}
+	}
+	return sig
+}
+
+// add indexes the vector under position pos (positions must arrive in
+// order; pos == len(vecs)).
+func (a *annIndex) add(pos int, vec []float32) {
+	a.vecs = append(a.vecs, vec)
+	for t := 0; t < annTables; t++ {
+		sig := a.signature(t, vec)
+		a.buckets[t][sig] = append(a.buckets[t][sig], int32(pos))
+	}
+}
+
+// topK returns up to k indexed positions nearest to vec by cosine,
+// gathered from the query's LSH buckets and reranked exactly. Positions
+// for which skip returns true are never candidates (the resolver skips
+// same-source entities and positions already selected by token blocks).
+// probed reports how many bucket members were examined — the er.ann_probes
+// work metric. Order is deterministic: cosine descending, position
+// ascending on ties.
+func (a *annIndex) topK(vec []float32, k int, skip func(pos int) bool) (nbrs []int, probed int) {
+	if k <= 0 || len(a.vecs) == 0 {
+		return nil, 0
+	}
+	type scored struct {
+		pos int
+		sim float64
+	}
+	seen := make(map[int32]bool)
+	var cands []scored
+	for t := 0; t < annTables; t++ {
+		for _, pos := range a.buckets[t][a.signature(t, vec)] {
+			if seen[pos] {
+				continue
+			}
+			seen[pos] = true
+			if skip != nil && skip(int(pos)) {
+				continue
+			}
+			probed++
+			cands = append(cands, scored{pos: int(pos), sim: dot(vec, a.vecs[pos])})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].sim != cands[j].sim {
+			return cands[i].sim > cands[j].sim
+		}
+		return cands[i].pos < cands[j].pos
+	})
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	nbrs = make([]int, len(cands))
+	for i, c := range cands {
+		nbrs[i] = c.pos
+	}
+	return nbrs, probed
+}

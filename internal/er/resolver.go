@@ -1,25 +1,83 @@
 package er
 
 import (
+	"fmt"
 	"sort"
+	"time"
 
 	"scdb/internal/model"
 )
 
+// BlockingMode selects how candidate sets are generated.
+type BlockingMode int
+
+const (
+	// BlockingToken (the zero value) is classic token-prefix blocking:
+	// candidates share at least one token prefix. Cheap and byte-stable —
+	// the compatibility baseline — but blind to typos in every leading
+	// prefix and unbounded on stop-word-like keys until the MaxBlock cap
+	// truncates them.
+	BlockingToken BlockingMode = iota
+	// BlockingANN replaces token blocks with the embedding index: the
+	// candidate set is the top-K cosine neighbors, so cost per entity is
+	// bounded by K and early-character typos no longer hide duplicates.
+	BlockingANN
+	// BlockingBoth unions token-block hits with the ANN top-K — maximum
+	// recall at the cost of both stages.
+	BlockingBoth
+)
+
+// ParseBlocking maps the flag spelling ("token", "ann", "both") to a
+// mode; "" means BlockingToken.
+func ParseBlocking(s string) (BlockingMode, error) {
+	switch s {
+	case "", "token":
+		return BlockingToken, nil
+	case "ann":
+		return BlockingANN, nil
+	case "both":
+		return BlockingBoth, nil
+	}
+	return 0, fmt.Errorf("er: unknown blocking mode %q (want token, ann, or both)", s)
+}
+
+// String names the mode as ParseBlocking spells it.
+func (m BlockingMode) String() string {
+	switch m {
+	case BlockingANN:
+		return "ann"
+	case BlockingBoth:
+		return "both"
+	}
+	return "token"
+}
+
 // Config tunes the resolver.
 type Config struct {
 	// Threshold is the minimum pair score treated as a match. Zero means
-	// the default 0.85.
+	// the default 0.85. Ignored when Advisor is set.
 	Threshold float64
-	// BlockPrefix is the blocking-key length in characters. Each token of
-	// each string attribute contributes its prefix as a blocking key, so
-	// only entities sharing at least one key are ever compared. Zero means
-	// the default 4.
+	// Blocking selects the candidate-generation strategy (default
+	// BlockingToken).
+	Blocking BlockingMode
+	// BlockPrefix is the blocking-key length in characters (runes). Each
+	// token of each string attribute contributes its prefix as a blocking
+	// key, so only entities sharing at least one key are ever compared.
+	// Zero means the default 4.
 	BlockPrefix int
 	// MaxBlock caps the number of candidates considered per blocking key;
 	// oversized blocks (stop-word-like keys) are skipped beyond the cap,
 	// trading recall for bounded cost. Zero means the default 64.
 	MaxBlock int
+	// TopK is the ANN neighbor count per entity under BlockingANN/Both.
+	// Zero means DefaultTopK.
+	TopK int
+	// EmbedDim is the feature-hashed embedding width under
+	// BlockingANN/Both. Zero means DefaultEmbedDim.
+	EmbedDim int
+	// Advisor reviews scored candidate pairs (nil = ThresholdAdvisor over
+	// Threshold). See CurationAdvisor for the purity contract.
+	Advisor CurationAdvisor
 	// DisableBlocking compares every new entity against every indexed
 	// entity — the quadratic ablation baseline for the blocking design
 	// choice (see DESIGN.md).
@@ -35,6 +93,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBlock == 0 {
 		c.MaxBlock = 64
+	}
+	if c.TopK == 0 {
+		c.TopK = DefaultTopK
+	}
+	if c.EmbedDim == 0 {
+		c.EmbedDim = DefaultEmbedDim
+	}
+	if c.Advisor == nil {
+		c.Advisor = ThresholdAdvisor{Threshold: c.Threshold}
 	}
 	return c
 }
@@ -52,33 +119,97 @@ type indexed struct {
 	source string
 	tokens []string
 	attrs  map[string]string
+	// vals caches the per-value similarity derivations (tokens, trigram
+	// set, rune decoding) so pair scoring — the ingest hot path — never
+	// re-normalizes or re-tokenizes a value per comparison.
+	vals []attrVal
 }
 
 // Resolver performs incremental entity resolution: entities are added one
 // at a time (or source by source) and each addition is compared only
-// against the candidates selected by shared blocking keys. The resolver is
-// schema-agnostic — it compares bags of normalized values, so sources with
-// different attribute names still match (FS.1's "across different
-// schemata without requiring prior knowledge").
+// against the candidates its blocking keys (and, under BlockingANN/Both,
+// its embedding neighbors) select. The resolver is schema-agnostic — it
+// compares bags of normalized values, so sources with different attribute
+// names still match (FS.1's "across different schemata without requiring
+// prior knowledge").
+//
+// Addition splits into a pure half and an ordered half: Prepare reads the
+// committed state only (candidate generation + pair scoring — safe to fan
+// out across workers against an immutable snapshot), Commit applies the
+// order-sensitive effects (union-find, block/ANN insertion, counters) in
+// strict record order. Add is exactly Prepare followed by Commit, so a
+// serial pass and a parallel pass over the same records produce identical
+// state.
 type Resolver struct {
 	cfg     Config
 	blocks  map[string][]int // blocking key → indexes into ents
 	ents    []indexed
 	byID    map[model.EntityID]int
 	uf      *UnionFind
+	ann     *annIndex
 	matches []Match
-	// Comparisons counts candidate pairs actually scored — the work metric
-	// the incremental-vs-batch experiment (E-FS1) reports.
+	// Comparisons counts candidate pairs logically scored — the work
+	// metric the incremental-vs-batch experiment (E-FS1) reports. It is
+	// counted at commit time under the serial skip rules, so it is
+	// identical for serial and parallel scoring.
 	Comparisons int
+
+	candidates int // candidate pairs gathered (pre union-find filtering)
+	annProbes  int // ANN bucket members examined during rerank
+	blockSkips int // candidate slots dropped by the MaxBlock cap
 }
 
 // NewResolver creates a resolver with the given configuration.
 func NewResolver(cfg Config) *Resolver {
-	return &Resolver{
+	r := &Resolver{
 		cfg:    cfg.withDefaults(),
 		blocks: make(map[string][]int),
 		byID:   make(map[model.EntityID]int),
 		uf:     NewUnionFind(),
+	}
+	if r.useANN() {
+		r.ann = newANNIndex(r.cfg.EmbedDim)
+	}
+	return r
+}
+
+func (r *Resolver) useANN() bool {
+	return !r.cfg.DisableBlocking && (r.cfg.Blocking == BlockingANN || r.cfg.Blocking == BlockingBoth)
+}
+
+func (r *Resolver) useTokenBlocks() bool {
+	return !r.cfg.DisableBlocking && (r.cfg.Blocking == BlockingToken || r.cfg.Blocking == BlockingBoth)
+}
+
+// Stats is a snapshot of the resolver's work counters (exported into the
+// obs metrics registry and the CLI \stats curation line).
+type Stats struct {
+	// Comparisons counts candidate pairs logically scored.
+	Comparisons int
+	// Candidates counts candidate pairs gathered by blocking/ANN before
+	// union-find filtering.
+	Candidates int
+	// ANNProbes counts ANN bucket members examined during cosine rerank.
+	ANNProbes int
+	// Blocks is the number of distinct blocking keys indexed.
+	Blocks int
+	// BlockSkips counts candidate slots dropped by the MaxBlock cap
+	// (oversized, stop-word-like blocks).
+	BlockSkips int
+	// Matches is the number of duplicate pairs accepted so far.
+	Matches int
+}
+
+// Stats returns the current work counters. Callers synchronize with
+// writers (the curation pipeline reads under its own mutex).
+func (r *Resolver) Stats() Stats {
+	return Stats{
+		Comparisons: r.Comparisons,
+		Candidates:  r.candidates,
+		ANNProbes:   r.annProbes,
+		Blocks:      len(r.blocks),
+		BlockSkips:  r.blockSkips,
+		Matches:     len(r.matches),
 	}
 }
 
@@ -96,6 +227,9 @@ func index(e *model.Entity) indexed {
 			continue
 		}
 		ix.attrs[k] = text
+		if len(text) >= minIdentifyingLen {
+			ix.vals = append(ix.vals, newAttrVal(text))
+		}
 		for _, t := range Tokens(text) {
 			if !seen[t] {
 				seen[t] = true
@@ -107,16 +241,30 @@ func index(e *model.Entity) indexed {
 	return ix
 }
 
+// runePrefix returns the first n runes of s. Byte slicing would split a
+// multi-byte UTF-8 rune mid-sequence and produce invalid blocking keys on
+// non-ASCII attributes.
+func runePrefix(s string, n int) string {
+	if len(s) <= n {
+		return s // n bytes always cover at least n runes
+	}
+	seen := 0
+	for i := range s {
+		if seen == n {
+			return s[:i]
+		}
+		seen++
+	}
+	return s
+}
+
 // blockKeys derives the blocking keys of an indexed entity: the prefix of
 // every token.
 func (r *Resolver) blockKeys(ix indexed) []string {
 	seen := map[string]bool{}
 	var keys []string
 	for _, t := range ix.tokens {
-		k := t
-		if len(k) > r.cfg.BlockPrefix {
-			k = k[:r.cfg.BlockPrefix]
-		}
+		k := runePrefix(t, r.cfg.BlockPrefix)
 		if !seen[k] {
 			seen[k] = true
 			keys = append(keys, k)
@@ -177,15 +325,13 @@ func pairScore(a, b indexed) float64 {
 	if score >= 1 {
 		return 1 // exact containment: the fuzzy measures cannot improve it
 	}
-	for _, av := range a.attrs {
-		if len(av) < minIdentifyingLen {
-			continue
-		}
-		for _, bv := range b.attrs {
-			if len(bv) < minIdentifyingLen {
-				continue
-			}
-			if s := StringSim(av, bv); s > score {
+	// Fuzzy measures run over the cached value derivations (vals holds
+	// every identifying-length value): same math as StringSim, but
+	// normalization, tokenization, trigram sets, and rune decoding were
+	// all paid once at index time, not per candidate pair.
+	for i := range a.vals {
+		for j := range b.vals {
+			if s := valSim(&a.vals[i], &b.vals[j]); s > score {
 				score = s
 				if score == 1 {
 					return 1
@@ -196,54 +342,143 @@ func pairScore(a, b indexed) float64 {
 	return score
 }
 
-// Add incrementally resolves one entity: it is compared against candidates
-// sharing a blocking key, clustered with those scoring above the
-// threshold, and indexed for future arrivals. Matches found by this
-// addition are returned. Entities from the same source are never matched
-// to each other (sources are assumed internally duplicate-free; the
-// generic dirty-table workload overrides this by giving each record its
-// own source).
-func (r *Resolver) Add(e *model.Entity) []Match {
-	ix := index(e)
-	pos := len(r.ents)
-	var found []Match
-	compare := func(ci int) {
-		cand := r.ents[ci]
-		if cand.source == ix.source || r.uf.Same(cand.id, ix.id) {
-			return
-		}
-		r.Comparisons++
-		if s := pairScore(ix, cand); s >= r.cfg.Threshold {
-			r.uf.Union(ix.id, cand.id)
-			found = append(found, Match{A: cand.id, B: ix.id, Score: s})
-		}
-	}
+// Prepared carries the pure half of one entity's resolution: its index
+// representation, blocking keys, embedding, and the scored candidate set —
+// everything computable from the resolver's committed state without
+// mutating it. Prepare calls for distinct entities may run concurrently
+// (against the same frozen resolver); each Prepared is then handed to
+// Commit in record order.
+type Prepared struct {
+	ix     indexed
+	keys   []string  // token blocking keys (token/both modes)
+	vec    []float32 // embedding (ann/both modes)
+	cands  []int     // candidate positions, in serial candidate order
+	scores []float64 // pair scores, aligned with cands
+	accept []bool    // advisor verdicts, aligned with cands
+	probes int       // ANN bucket members examined
+	skips  int       // candidate slots dropped by the MaxBlock cap
+
+	blockDur time.Duration // candidate generation (blocking + ANN probe)
+	scoreDur time.Duration // pair scoring + advisor review
+}
+
+// BlockDur reports time spent generating this entity's candidate set.
+func (p *Prepared) BlockDur() time.Duration { return p.blockDur }
+
+// ScoreDur reports time spent scoring this entity's candidate pairs.
+func (p *Prepared) ScoreDur() time.Duration { return p.scoreDur }
+
+// Candidates reports the size of the gathered candidate set.
+func (p *Prepared) Candidates() int { return len(p.cands) }
+
+// Prepare runs candidate generation and pair scoring for one arriving
+// entity against the resolver's committed state, without mutating it. The
+// entity's ID need not be final yet (Commit assigns it); same-source
+// candidates are gathered but never scored, mirroring Add's skip rule.
+func (r *Resolver) Prepare(e *model.Entity) *Prepared {
+	start := time.Now()
+	p := &Prepared{ix: index(e)}
 	if r.cfg.DisableBlocking {
+		p.cands = make([]int, len(r.ents))
 		for ci := range r.ents {
-			compare(ci)
+			p.cands[ci] = ci
 		}
 	} else {
-		seenCand := map[int]bool{}
-		for _, key := range r.blockKeys(ix) {
-			cands := r.blocks[key]
-			if len(cands) > r.cfg.MaxBlock {
-				cands = cands[:r.cfg.MaxBlock]
-			}
-			for _, ci := range cands {
-				if seenCand[ci] {
-					continue
+		var seen map[int]bool
+		if r.useTokenBlocks() {
+			p.keys = r.blockKeys(p.ix)
+			seen = map[int]bool{}
+			for _, key := range p.keys {
+				cands := r.blocks[key]
+				if len(cands) > r.cfg.MaxBlock {
+					p.skips += len(cands) - r.cfg.MaxBlock
+					cands = cands[:r.cfg.MaxBlock]
 				}
-				seenCand[ci] = true
-				compare(ci)
+				for _, ci := range cands {
+					if !seen[ci] {
+						seen[ci] = true
+						p.cands = append(p.cands, ci)
+					}
+				}
 			}
-			r.blocks[key] = append(r.blocks[key], pos)
+		}
+		if r.useANN() {
+			p.vec = embedTokens(p.ix.tokens, r.cfg.EmbedDim)
+			// Same-source positions are filtered before the top-K cut:
+			// they can never match, and ranking them would let a burst of
+			// sibling records crowd real neighbors out of K (it would also
+			// make the parallel snapshot diverge from a serial pass).
+			nbrs, probed := r.ann.topK(p.vec, r.cfg.TopK, func(pos int) bool {
+				return r.ents[pos].source == p.ix.source || (seen != nil && seen[pos])
+			})
+			p.probes = probed
+			p.cands = append(p.cands, nbrs...)
 		}
 	}
-	r.ents = append(r.ents, ix)
-	r.byID[ix.id] = pos
-	r.uf.Find(ix.id)
+	p.blockDur = time.Since(start)
+
+	start = time.Now()
+	p.scores = make([]float64, len(p.cands))
+	p.accept = make([]bool, len(p.cands))
+	for i, ci := range p.cands {
+		cand := r.ents[ci]
+		if cand.source == p.ix.source {
+			continue // never scored; Commit skips it the same way
+		}
+		s := pairScore(p.ix, cand)
+		p.scores[i] = s
+		p.accept[i] = r.cfg.Advisor.Accept(view(p.ix), view(cand), s)
+	}
+	p.scoreDur = time.Since(start)
+	return p
+}
+
+// Commit applies a Prepared entity under its final ID, in record order:
+// candidates are walked in the serial order, pairs already clustered are
+// skipped (without counting), accepted pairs are unioned, and the entity
+// is indexed (blocks, ANN, union-find) for future arrivals. The resulting
+// state — clusters, matches, and the Comparisons counter — is identical
+// to a serial Add of the same record sequence.
+func (r *Resolver) Commit(p *Prepared, id model.EntityID) []Match {
+	p.ix.id = id
+	pos := len(r.ents)
+	var found []Match
+	for i, ci := range p.cands {
+		cand := r.ents[ci]
+		if cand.source == p.ix.source || r.uf.Same(cand.id, id) {
+			continue
+		}
+		r.Comparisons++
+		if p.accept[i] {
+			r.uf.Union(id, cand.id)
+			found = append(found, Match{A: cand.id, B: id, Score: p.scores[i]})
+		}
+	}
+	r.candidates += len(p.cands)
+	r.annProbes += p.probes
+	r.blockSkips += p.skips
+	for _, key := range p.keys {
+		r.blocks[key] = append(r.blocks[key], pos)
+	}
+	if r.useANN() {
+		r.ann.add(pos, p.vec)
+	}
+	r.ents = append(r.ents, p.ix)
+	r.byID[id] = pos
+	r.uf.Find(id)
 	r.matches = append(r.matches, found...)
 	return found
+}
+
+// Add incrementally resolves one entity: it is compared against candidates
+// sharing a blocking key (or embedding neighborhood), clustered with those
+// the advisor accepts, and indexed for future arrivals. Matches found by
+// this addition are returned. Entities from the same source are never
+// matched to each other (sources are assumed internally duplicate-free;
+// the generic dirty-table workload overrides this by giving each record
+// its own source).
+func (r *Resolver) Add(e *model.Entity) []Match {
+	return r.Commit(r.Prepare(e), e.ID)
 }
 
 // AddAll incrementally resolves a batch of entities in order.

@@ -13,6 +13,7 @@
 package er
 
 import (
+	"sort"
 	"strings"
 	"unicode"
 )
@@ -204,4 +205,162 @@ func digitTokens(tokens []string) map[string]bool {
 		}
 	}
 	return out
+}
+
+// attrVal caches every per-value derivation the fuzzy measures need —
+// sorted unique tokens, sorted unique padded trigrams, the digit-bearing
+// token subset, and the decoded runes — so the resolver's pair-scoring
+// hot path computes them once per entity instead of once per candidate
+// pair. text must already be normalized.
+type attrVal struct {
+	text   string
+	tokens []string // sorted, unique
+	digits []string // sorted, unique digit-bearing tokens
+	tris   []string // sorted, unique padded trigrams
+	runes  []rune
+}
+
+func newAttrVal(text string) attrVal {
+	v := attrVal{text: text, runes: []rune(text)}
+	v.tokens = sortedUnique(strings.Fields(text))
+	for _, t := range v.tokens {
+		if strings.ContainsAny(t, "0123456789") {
+			v.digits = append(v.digits, t)
+		}
+	}
+	padded := make([]rune, 0, len(v.runes)+4)
+	padded = append(padded, ' ', ' ')
+	padded = append(padded, v.runes...)
+	padded = append(padded, ' ', ' ')
+	tris := make([]string, 0, len(padded)-2)
+	for i := 0; i+3 <= len(padded); i++ {
+		tris = append(tris, string(padded[i:i+3]))
+	}
+	v.tris = sortedUnique(tris)
+	return v
+}
+
+func sortedUnique(xs []string) []string {
+	sort.Strings(xs)
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// jaccardSorted is Jaccard over two sorted duplicate-free slices — the
+// allocation-free twin of Jaccard.
+func jaccardSorted(a, b []string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	i, j, inter := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			inter++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return float64(inter) / float64(len(a)+len(b)-inter)
+}
+
+// valSim is StringSim over pre-normalized, pre-derived values: identical
+// result, none of the per-pair derivation cost.
+func valSim(a, b *attrVal) float64 {
+	if a.text == b.text {
+		return 1
+	}
+	s := jaccardSorted(a.tokens, b.tokens)
+	if !sortedSetsAgree(a.digits, b.digits) {
+		return s
+	}
+	if t := jaccardSorted(a.tris, b.tris); t > s {
+		s = t
+	}
+	if len(a.text) <= 64 && len(b.text) <= 64 {
+		maxLen := len(a.runes)
+		if len(b.runes) > maxLen {
+			maxLen = len(b.runes)
+		}
+		// Edit distance is at least the length gap; skip the O(len²) DP
+		// when even a perfect alignment could not beat the score so far.
+		if gap := 1 - float64(maxLen-minLenInt(len(a.runes), len(b.runes)))/float64(maxLen); gap > s {
+			if l := 1 - float64(levenshteinRunes(a.runes, b.runes))/float64(maxLen); l > s {
+				s = l
+			}
+		}
+	}
+	return s
+}
+
+// sortedSetsAgree mirrors digitTokensAgree over sorted unique slices:
+// vacuously true when either side is empty, otherwise set equality.
+func sortedSetsAgree(a, b []string) bool {
+	if len(a) == 0 || len(b) == 0 {
+		return true
+	}
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func minLenInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// levenshteinRunes is Levenshtein on pre-decoded runes with the three-way
+// minimum inlined — the variadic minInt showed up beside the DP itself in
+// ingest profiles.
+func levenshteinRunes(ra, rb []rune) int {
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			m := prev[j] + 1
+			if d := cur[j-1] + 1; d < m {
+				m = d
+			}
+			d := prev[j-1]
+			if ra[i-1] != rb[j-1] {
+				d++
+			}
+			if d < m {
+				m = d
+			}
+			cur[j] = m
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
 }

@@ -228,6 +228,11 @@ func (s *Server) registerEngineGauges() {
 	s.reg.Gauge("engine.edges", func() float64 { return float64(db.Stats().Edges) })
 	s.reg.Gauge("engine.merges_total", func() float64 { return float64(db.Stats().Merges) })
 	s.reg.Gauge("engine.inconsistencies", func() float64 { return float64(db.Stats().Inconsistencies) })
+	s.reg.Gauge("er.comparisons", func() float64 { return float64(db.Stats().ER.Comparisons) })
+	s.reg.Gauge("er.candidates", func() float64 { return float64(db.Stats().ER.Candidates) })
+	s.reg.Gauge("er.ann_probes", func() float64 { return float64(db.Stats().ER.ANNProbes) })
+	s.reg.Gauge("er.blocks", func() float64 { return float64(db.Stats().ER.Blocks) })
+	s.reg.Gauge("er.block_skips", func() float64 { return float64(db.Stats().ER.BlockSkips) })
 }
 
 // Registry exposes the server's metrics registry (the debug listener and
