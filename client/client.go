@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"scdb"
+	"scdb/internal/er"
 	"scdb/internal/server"
 )
 
@@ -378,6 +379,30 @@ func (c *Client) IngestBatch(ctx context.Context, src scdb.Source, batchSize int
 	}
 	c.noteCSN(resp.CSN)
 	return resp.Ingest, nil
+}
+
+// ERDigests pulls the node's incremental entity-resolution evidence past
+// the two resolver watermarks: entity digests indexed after entsSince and
+// accepted duplicate pairs recorded after matchesSince. The shard router
+// calls this after routed ingests and feeds the batches to an er.Exchange
+// so entities living on different shards still merge; application code
+// rarely needs it.
+func (c *Client) ERDigests(entsSince, matchesSince int) (er.DigestBatch, error) {
+	if c.proto == server.ProtoV2 {
+		return c.erDigestsV2(entsSince, matchesSince)
+	}
+	resp, err := c.roundTrip(nil, server.Request{
+		Op:           server.OpERDigests,
+		SinceEnts:    entsSince,
+		SinceMatches: matchesSince,
+	})
+	if err != nil {
+		return er.DigestBatch{}, err
+	}
+	if resp.Digests == nil {
+		return er.DigestBatch{}, errors.New("scdb client: er_digests response without body")
+	}
+	return *resp.Digests, nil
 }
 
 // Stats fetches the engine snapshot plus the server's live metrics.

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"scdb"
+	"scdb/internal/er"
 	"scdb/internal/server"
 )
 
@@ -401,6 +402,26 @@ func (c *Client) statsV2() (server.StatsReply, error) {
 		return server.StatsReply{}, err
 	}
 	return st, nil
+}
+
+func (c *Client) erDigestsV2(entsSince, matchesSince int) (er.DigestBatch, error) {
+	id, ca := c.newCallV2()
+	e := server.GetV2Enc()
+	err := c.writeFramesV2(server.EncodeV2ERDigests(e, id, entsSince, matchesSince))
+	e.Release()
+	if err != nil {
+		c.forgetV2(id)
+		return er.DigestBatch{}, err
+	}
+	res, err := c.waitV2(context.Background(), id, ca)
+	if err != nil {
+		return er.DigestBatch{}, err
+	}
+	var b er.DigestBatch
+	if err := json.Unmarshal(res.Blob, &b); err != nil {
+		return er.DigestBatch{}, err
+	}
+	return b, nil
 }
 
 func (c *Client) slowLogV2() (server.SlowLogReply, error) {

@@ -22,6 +22,8 @@ import (
 	"time"
 
 	"scdb"
+	"scdb/internal/er"
+	"scdb/internal/server"
 )
 
 // replicaNode is one follower endpoint and its cached freshness.
@@ -106,11 +108,19 @@ func (cl *Cluster) Query(q string) (*scdb.Rows, error) { return cl.QueryCtx(nil,
 
 // QueryCtx is Query with a deadline.
 func (cl *Cluster) QueryCtx(ctx context.Context, q string) (*scdb.Rows, error) {
+	rows, _, err := cl.QueryInfoCtx(ctx, q)
+	return rows, err
+}
+
+// QueryInfoCtx is QueryCtx reporting how the statement was answered. The
+// shard router reads through this method, so a replica-fronted shard keeps
+// its read-your-writes guarantee under scatter-gather fan-out.
+func (cl *Cluster) QueryInfoCtx(ctx context.Context, q string) (*scdb.Rows, *scdb.QueryInfo, error) {
 	hw := cl.primary.LastCSN()
 	deadline := time.Now().Add(cl.FreshnessWait)
 	for {
 		if ctx != nil && ctx.Err() != nil {
-			return nil, ctx.Err()
+			return nil, nil, ctx.Err()
 		}
 		r, alive := cl.pickFresh(hw)
 		if r == nil {
@@ -119,7 +129,7 @@ func (cl *Cluster) QueryCtx(ctx context.Context, q string) (*scdb.Rows, error) {
 				if ctx != nil {
 					select {
 					case <-ctx.Done():
-						return nil, ctx.Err()
+						return nil, nil, ctx.Err()
 					case <-time.After(5 * time.Millisecond):
 					}
 				} else {
@@ -128,18 +138,34 @@ func (cl *Cluster) QueryCtx(ctx context.Context, q string) (*scdb.Rows, error) {
 				continue
 			}
 			// No replica covers the mark in time: the primary always does.
-			return cl.primary.QueryCtx(ctx, q)
+			return cl.primary.QueryInfoCtx(ctx, q)
 		}
-		rows, err := cl.queryReplica(r, ctx, q)
+		rows, info, err := cl.queryReplica(r, ctx, q)
 		if err == nil {
-			return rows, nil
+			return rows, info, nil
 		}
 		var se *ServerError
 		if errors.As(err, &se) {
-			return nil, err // deterministic server answer; don't fail over
+			return nil, nil, err // deterministic server answer; don't fail over
 		}
 		cl.markDown(r)
 	}
+}
+
+// Explain returns the primary's optimized plan without executing.
+func (cl *Cluster) Explain(q string) (*scdb.QueryInfo, error) { return cl.primary.Explain(q) }
+
+// PingCSN reports the primary's current commit stamp.
+func (cl *Cluster) PingCSN() (uint64, error) { return cl.primary.PingCSN() }
+
+// Stats fetches the primary's stats reply.
+func (cl *Cluster) Stats() (server.StatsReply, error) { return cl.primary.Stats() }
+
+// ERDigests pulls the primary's incremental ER evidence (see
+// Client.ERDigests); replicas never resolve, so the primary is the one
+// authoritative source.
+func (cl *Cluster) ERDigests(entsSince, matchesSince int) (er.DigestBatch, error) {
+	return cl.primary.ERDigests(entsSince, matchesSince)
 }
 
 // pickFresh returns a connected replica whose applied CSN covers hw, or
@@ -229,14 +255,14 @@ func (cl *Cluster) freshen(r *replicaNode, hw uint64) (fresh, alive bool) {
 	return r.applied >= hw, true
 }
 
-func (cl *Cluster) queryReplica(r *replicaNode, ctx context.Context, q string) (*scdb.Rows, error) {
+func (cl *Cluster) queryReplica(r *replicaNode, ctx context.Context, q string) (*scdb.Rows, *scdb.QueryInfo, error) {
 	r.mu.Lock()
 	c := r.c
 	r.mu.Unlock()
 	if c == nil {
-		return nil, errors.New("scdb client: replica not connected")
+		return nil, nil, errors.New("scdb client: replica not connected")
 	}
-	return c.QueryCtx(ctx, q)
+	return c.QueryInfoCtx(ctx, q)
 }
 
 func (cl *Cluster) markDown(r *replicaNode) {

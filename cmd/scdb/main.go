@@ -343,6 +343,14 @@ func printServerStats(c *client.Client) {
 				r.DurableCSN, r.AllocatedCSN, len(r.Followers), r.LagCSN)
 		}
 	}
+	if sh := st.Sharding; sh != nil {
+		fmt.Printf("sharding: shards=%d scatter-queries=%d partial-rows=%d routed-rows=%d exchange-rounds=%d digests=%d cross-comparisons=%d cross-merges=%d\n",
+			sh.Shards, sh.ScatterQueries, sh.PartialRows, sh.RoutedRows,
+			sh.ExchangeRounds, sh.Digests, sh.CrossComparisons, sh.CrossMerges)
+		for i, n := range sh.Nodes {
+			fmt.Printf("  shard %-2d %-24s csn=%-8d entities=%d\n", i, n.Addr, n.LastCSN, n.Entities)
+		}
+	}
 }
 
 // printReplicas renders the replication topology as the queried node sees

@@ -1,6 +1,8 @@
 package scdb
 
 import (
+	"go/parser"
+	"go/token"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -111,6 +113,122 @@ func TestDocsLinks(t *testing.T) {
 				t.Errorf("%s: link %q points at a missing heading (#%s in %s)",
 					name, target, frag, host)
 			}
+		}
+	}
+}
+
+// TestDesignTOCComplete fails when a top-level DESIGN.md section is
+// missing from its table of contents — the failure mode where a new
+// section lands but never becomes navigable.
+func TestDesignTOCComplete(t *testing.T) {
+	b, err := os.ReadFile("DESIGN.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(b)
+	inFence := false
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence || !strings.HasPrefix(line, "## ") {
+			continue
+		}
+		heading := strings.TrimPrefix(line, "## ")
+		if !strings.Contains(body, "](#"+githubAnchor(heading)+")") {
+			t.Errorf("DESIGN.md section %q is not linked from the TOC", heading)
+		}
+	}
+}
+
+// TestPackagesDocumented requires a package doc comment on every
+// shipped package: internal/*, client, and each cmd binary.
+func TestPackagesDocumented(t *testing.T) {
+	dirs := []string{".", "client"}
+	for _, parent := range []string{"internal", "cmd"} {
+		ents, err := os.ReadDir(parent)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range ents {
+			if e.IsDir() {
+				dirs = append(dirs, filepath.Join(parent, e.Name()))
+			}
+		}
+	}
+	fset := token.NewFileSet()
+	for _, dir := range dirs {
+		matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		documented, hasGo := false, false
+		for _, path := range matches {
+			if strings.HasSuffix(path, "_test.go") {
+				continue
+			}
+			hasGo = true
+			f, err := parser.ParseFile(fset, path, nil, parser.PackageClauseOnly|parser.ParseComments)
+			if err != nil {
+				t.Fatalf("%s: %v", path, err)
+			}
+			if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+				documented = true
+				break
+			}
+		}
+		if hasGo && !documented {
+			t.Errorf("package %s has no package doc comment", dir)
+		}
+	}
+}
+
+// cmdFlag matches flag definitions in the cmd binaries' main.go files.
+var cmdFlag = regexp.MustCompile(`flag\.[A-Za-z0-9]+\("([^"]+)"`)
+
+// TestOperationsCoversServingFlags requires every flag of the two
+// serving binaries to appear in OPERATIONS.md as `-name`, so a new
+// flag cannot ship undocumented.
+func TestOperationsCoversServingFlags(t *testing.T) {
+	ops, err := os.ReadFile("OPERATIONS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, main := range []string{"cmd/scdb-server/main.go", "cmd/scdb-router/main.go"} {
+		src, err := os.ReadFile(filepath.FromSlash(main))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range cmdFlag.FindAllStringSubmatch(string(src), -1) {
+			if !strings.Contains(string(ops), "`-"+m[1]+"`") {
+				t.Errorf("flag -%s of %s is not documented in OPERATIONS.md", m[1], main)
+			}
+		}
+	}
+}
+
+// routerGauge matches the metric names the router registers.
+var routerGauge = regexp.MustCompile(`Gauge\("((?:router|shard)\.[a-z_.]+)"`)
+
+// TestOperationsCoversRouterMetrics requires every router-registered
+// gauge to have a row in the OPERATIONS.md metrics reference.
+func TestOperationsCoversRouterMetrics(t *testing.T) {
+	ops, err := os.ReadFile("OPERATIONS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := os.ReadFile(filepath.FromSlash("internal/shard/shard.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := routerGauge.FindAllStringSubmatch(string(src), -1)
+	if len(names) == 0 {
+		t.Fatal("no router gauges found in internal/shard/shard.go; regexp stale?")
+	}
+	for _, m := range names {
+		if !strings.Contains(string(ops), "`"+m[1]+"`") {
+			t.Errorf("metric %s is not documented in OPERATIONS.md", m[1])
 		}
 	}
 }

@@ -1,0 +1,24 @@
+// Package cluster implements the instance-level physical-design
+// experiments behind the paper's OS.1: can the database curate its own
+// storage layout from the workload it observes?
+//
+// Three pieces compose:
+//
+//   - Tracker records which rows are accessed together (co-access counts
+//     over observed access sets) and clusters rows by label-propagation
+//     over the co-access graph — rows that travel together should live
+//     together.
+//   - Layout turns an ordering of rows into physical positions and prices
+//     an access set by the distinct pages it touches, so the static
+//     insertion-order baseline and the co-access-clustered layout
+//     (LayoutFromClusters) compare under one locality metric
+//     (WorkloadCost, experiment E-OS1).
+//   - Compressed picks a per-column encoding (plain, dictionary,
+//     run-length) by measured size — self-curated compression over the
+//     same observed data.
+//
+// Note the distinction from internal/shard: this package is about
+// intra-node row placement on pages; horizontal scale-out across
+// processes is the shard package's hash placement, and the distributed
+// memory cost model it grew from is simulated in internal/placement.
+package cluster

@@ -465,6 +465,12 @@ func (db *DB) Refiner() *refine.Refiner { return db.refiner }
 // Pipeline exposes curation statistics.
 func (db *DB) Pipeline() *curate.Pipeline { return db.pipeline }
 
+// ERDigests exports the resolver's cross-shard ER evidence past the given
+// watermarks — the shard-side half of the router's digest exchange.
+func (db *DB) ERDigests(entsSince, matchesSince int) er.DigestBatch {
+	return db.pipeline.ERDigests(entsSince, matchesSince)
+}
+
 // Begin starts a transaction (FS.11).
 func (db *DB) Begin(level txn.Level) *txn.Txn { return db.txns.Begin(level) }
 

@@ -139,6 +139,15 @@ func (p *Pipeline) Stats() Stats {
 	return s
 }
 
+// ERDigests exports the resolver's entities and accepted matches past the
+// given watermarks for cross-shard exchange, serialized against ingest by
+// the pipeline mutex (the resolver itself is not goroutine-safe).
+func (p *Pipeline) ERDigests(entsSince, matchesSince int) er.DigestBatch {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.resolver.DigestsSince(entsSince, matchesSince)
+}
+
 // Reasoner exposes the pipeline's reasoner (the query layer needs it).
 func (p *Pipeline) Reasoner() *reason.Reasoner { return p.reasoner }
 

@@ -1,0 +1,343 @@
+package er
+
+// Cross-shard entity resolution. A sharded cluster hash-partitions entity
+// ownership by key, so each shard's resolver only ever sees its own
+// records — two entities that would have merged on a single node can land
+// on different shards and never become candidates for each other. The
+// router closes that gap by pulling Digests (the pairwise-scoring evidence
+// of each indexed entity) from every shard and feeding them to an
+// Exchange, which reruns candidate generation and pair scoring across
+// shard boundaries with the same blocking keys, the same pairScore, and
+// the same advisor as the local resolvers. Because scoring is pure and
+// union-find closure is order-independent, the set of clusters the cluster
+// converges to is the set a single node would have produced — the property
+// the 1-shard vs 3-shard differential test pins down (modulo MaxBlock
+// truncation, which can select different candidate subsets when a block
+// is split across shards; see DESIGN.md).
+
+import (
+	"sort"
+
+	"scdb/internal/model"
+)
+
+// Digest is the cross-process form of one locally indexed entity: exactly
+// the evidence pairScore consumes (normalized value tokens and normalized
+// attribute strings), keyed by the stable (source, key) identity instead
+// of the shard-local graph ID, which has no meaning on other nodes.
+type Digest struct {
+	Source string `json:"source"`
+	Key    string `json:"key"`
+	// Tokens are the normalized, sorted, deduplicated value tokens — the
+	// blocking keys and the embedding both derive from them, so the
+	// receiver reconstructs candidate generation without further state.
+	Tokens []string `json:"tokens,omitempty"`
+	// Attrs maps attribute name → normalized value string.
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// RefKey names an entity across process boundaries.
+type RefKey struct {
+	Source string `json:"source"`
+	Key    string `json:"key"`
+}
+
+// DigestBatch is one incremental pull of a shard's resolver state: the
+// entities indexed and the duplicate pairs accepted since the caller's
+// last watermarks, plus the new watermarks. Merges convey the shard's
+// local cluster structure pair by pair; the receiver's union-find takes
+// the transitive closure, so shipping only the increments is lossless.
+type DigestBatch struct {
+	Digests []Digest    `json:"digests,omitempty"`
+	Merges  [][2]RefKey `json:"merges,omitempty"`
+	// Ents and Matches are the resolver's totals after this batch — the
+	// watermarks to pass to the next DigestsSince call.
+	Ents    int `json:"ents"`
+	Matches int `json:"matches"`
+}
+
+// DigestsSince exports the entities indexed and the matches accepted at or
+// past the given watermarks (0, 0 exports everything). The caller
+// synchronizes with writers the same way Stats does: the curation
+// pipeline calls this under its own mutex.
+func (r *Resolver) DigestsSince(entsSince, matchesSince int) DigestBatch {
+	b := DigestBatch{Ents: len(r.ents), Matches: len(r.matches)}
+	if entsSince < 0 {
+		entsSince = 0
+	}
+	if matchesSince < 0 {
+		matchesSince = 0
+	}
+	for i := entsSince; i < len(r.ents); i++ {
+		ix := &r.ents[i]
+		b.Digests = append(b.Digests, Digest{
+			Source: ix.source,
+			Key:    ix.key,
+			Tokens: ix.tokens,
+			Attrs:  ix.attrs,
+		})
+	}
+	for i := matchesSince; i < len(r.matches); i++ {
+		m := r.matches[i]
+		ra, aok := r.refOf(m.A)
+		rb, bok := r.refOf(m.B)
+		if aok && bok {
+			b.Merges = append(b.Merges, [2]RefKey{ra, rb})
+		}
+	}
+	return b
+}
+
+// refOf maps a graph ID back to its stable cross-process identity.
+func (r *Resolver) refOf(id model.EntityID) (RefKey, bool) {
+	pos, ok := r.byID[id]
+	if !ok {
+		return RefKey{}, false
+	}
+	ix := &r.ents[pos]
+	return RefKey{Source: ix.source, Key: ix.key}, true
+}
+
+// digestIndexed rebuilds the resolver's internal representation from a
+// digest: tokens and attrs arrive pre-normalized, so only the per-value
+// similarity derivations (trigram sets, rune decoding) are recomputed.
+func digestIndexed(d Digest) indexed {
+	ix := indexed{key: d.Key, source: d.Source, tokens: d.Tokens, attrs: d.Attrs}
+	if ix.attrs == nil {
+		ix.attrs = map[string]string{}
+	}
+	keys := make([]string, 0, len(d.Attrs))
+	for k := range d.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if text := d.Attrs[k]; len(text) >= minIdentifyingLen {
+			ix.vals = append(ix.vals, newAttrVal(text))
+		}
+	}
+	return ix
+}
+
+// xelem is one digested entity inside the exchange.
+type xelem struct {
+	shard int
+	ix    indexed
+}
+
+// Exchange is the router-side half of cross-shard ER. Digest batches from
+// every shard stream in (AddBatch); each new digest is matched against the
+// digests of *other* shards — same-shard pairs are the local resolvers'
+// job — using the same candidate generation and scoring the shards run
+// locally. Two union-finds track cluster structure: ufLocal holds only the
+// shards' own merges, ufAll additionally holds the accepted cross-shard
+// pairs, so clusters(ufLocal) − clusters(ufAll) is exactly the number of
+// entity merges the cluster would lose without the exchange — the
+// correction the router applies to the summed per-shard entity counts.
+//
+// Exchange is not goroutine-safe; the router serializes AddBatch and
+// Stats under its own mutex.
+type Exchange struct {
+	cfg    Config
+	elems  []xelem
+	byRef  map[RefKey]int
+	blocks map[string][]int
+	ann    *annIndex
+
+	ufLocal *UnionFind
+	ufAll   *UnionFind
+
+	comparisons int
+	candidates  int
+	accepted    int
+	annProbes   int
+	blockSkips  int
+}
+
+// NewExchange creates an exchange. Pass the same Config the shards run so
+// candidate generation and acceptance agree across the boundary.
+func NewExchange(cfg Config) *Exchange {
+	x := &Exchange{
+		cfg:     cfg.withDefaults(),
+		byRef:   map[RefKey]int{},
+		blocks:  map[string][]int{},
+		ufLocal: NewUnionFind(),
+		ufAll:   NewUnionFind(),
+	}
+	if x.useANN() {
+		x.ann = newANNIndex(x.cfg.EmbedDim)
+	}
+	return x
+}
+
+func (x *Exchange) useANN() bool {
+	return !x.cfg.DisableBlocking && (x.cfg.Blocking == BlockingANN || x.cfg.Blocking == BlockingBoth)
+}
+
+func (x *Exchange) useTokenBlocks() bool {
+	return !x.cfg.DisableBlocking && (x.cfg.Blocking == BlockingToken || x.cfg.Blocking == BlockingBoth)
+}
+
+// xid maps an element position to its synthetic union-find ID.
+func xid(pos int) model.EntityID { return model.EntityID(pos + 1) }
+
+// AddBatch folds one shard's digest batch in: digests first (they may be
+// referenced by this batch's merges), then the shard's local merge pairs.
+// Re-pulling an already-seen digest is a no-op, so the exchange is
+// idempotent across router restarts that reset the watermarks to zero.
+func (x *Exchange) AddBatch(shard int, b DigestBatch) {
+	for _, d := range b.Digests {
+		x.addDigest(shard, d)
+	}
+	for _, m := range b.Merges {
+		a := x.elemFor(shard, m[0])
+		bb := x.elemFor(shard, m[1])
+		x.ufLocal.Union(xid(a), xid(bb))
+		x.ufAll.Union(xid(a), xid(bb))
+	}
+}
+
+// elemFor resolves a merge reference, registering a bare element if the
+// digest has not arrived (defensive: DigestsSince snapshots ents and
+// matches together, so in-order batches always carry the digest first).
+func (x *Exchange) elemFor(shard int, ref RefKey) int {
+	if pos, ok := x.byRef[ref]; ok {
+		return pos
+	}
+	pos := len(x.elems)
+	x.elems = append(x.elems, xelem{shard: shard, ix: indexed{key: ref.Key, source: ref.Source, attrs: map[string]string{}}})
+	x.byRef[ref] = pos
+	x.ufLocal.Find(xid(pos))
+	x.ufAll.Find(xid(pos))
+	return pos
+}
+
+// addDigest indexes one digest and scores it against the other shards'
+// candidates, mirroring Resolver.Prepare/Commit across the shard boundary.
+func (x *Exchange) addDigest(shard int, d Digest) {
+	ref := RefKey{Source: d.Source, Key: d.Key}
+	if _, ok := x.byRef[ref]; ok {
+		return
+	}
+	ix := digestIndexed(d)
+	pos := len(x.elems)
+	id := xid(pos)
+
+	var cands []int
+	var keys []string
+	var vec []float32
+	var seen map[int]bool
+	switch {
+	case x.cfg.DisableBlocking:
+		cands = make([]int, len(x.elems))
+		for ci := range x.elems {
+			cands[ci] = ci
+		}
+	default:
+		if x.useTokenBlocks() {
+			keys = blockKeysFor(ix, x.cfg.BlockPrefix)
+			seen = map[int]bool{}
+			for _, key := range keys {
+				cs := x.blocks[key]
+				if len(cs) > x.cfg.MaxBlock {
+					x.blockSkips += len(cs) - x.cfg.MaxBlock
+					cs = cs[:x.cfg.MaxBlock]
+				}
+				for _, ci := range cs {
+					if !seen[ci] {
+						seen[ci] = true
+						cands = append(cands, ci)
+					}
+				}
+			}
+		}
+		if x.useANN() {
+			vec = embedTokens(ix.tokens, x.cfg.EmbedDim)
+			nbrs, probed := x.ann.topK(vec, x.cfg.TopK, func(p int) bool {
+				return x.elems[p].shard == shard || x.elems[p].ix.source == ix.source || seen[p]
+			})
+			x.annProbes += probed
+			cands = append(cands, nbrs...)
+		}
+	}
+	x.candidates += len(cands)
+	for _, ci := range cands {
+		cand := &x.elems[ci]
+		// Same-shard pairs were already resolved (or correctly rejected)
+		// locally; same-source pairs never match; already-clustered pairs
+		// need no further evidence.
+		if cand.shard == shard || cand.ix.source == ix.source || x.ufAll.Same(xid(ci), id) {
+			continue
+		}
+		x.comparisons++
+		s := pairScore(ix, cand.ix)
+		if x.cfg.Advisor.Accept(view(ix), view(cand.ix), s) {
+			x.ufAll.Union(id, xid(ci))
+			x.accepted++
+		}
+	}
+	for _, key := range keys {
+		x.blocks[key] = append(x.blocks[key], pos)
+	}
+	if x.useANN() {
+		x.ann.add(pos, vec)
+	}
+	x.elems = append(x.elems, xelem{shard: shard, ix: ix})
+	x.byRef[ref] = pos
+	x.ufLocal.Find(id)
+	x.ufAll.Find(id)
+}
+
+// SameRef reports whether two entities — possibly on different shards —
+// resolved to one global cluster.
+func (x *Exchange) SameRef(a, b RefKey) bool {
+	pa, aok := x.byRef[a]
+	pb, bok := x.byRef[b]
+	return aok && bok && x.ufAll.Same(xid(pa), xid(pb))
+}
+
+// ExchangeStats snapshots the exchange's work counters.
+type ExchangeStats struct {
+	// Digests counts entities exchanged (one per distinct (source, key)).
+	Digests int `json:"digests"`
+	// Comparisons/Candidates/Accepted count cross-shard pair scoring work,
+	// in the same units as the local resolver's Stats.
+	Comparisons int `json:"comparisons"`
+	Candidates  int `json:"candidates"`
+	Accepted    int `json:"accepted"`
+	// ANNProbes/BlockSkips mirror the local resolver's counters for the
+	// exchange's own candidate generation.
+	ANNProbes  int `json:"ann_probes"`
+	BlockSkips int `json:"block_skips"`
+	// Clusters is the global entity count across the whole cluster: local
+	// and cross-shard merges both collapse clusters.
+	Clusters int `json:"clusters"`
+	// CrossMerges is how many merges exist only because of the exchange —
+	// the correction to subtract from the summed per-shard entity counts.
+	CrossMerges int `json:"cross_merges"`
+}
+
+// Stats computes the current counters. Cluster counting walks every
+// element (near-linear with union-find compression).
+func (x *Exchange) Stats() ExchangeStats {
+	local := x.countClusters(x.ufLocal)
+	all := x.countClusters(x.ufAll)
+	return ExchangeStats{
+		Digests:     len(x.elems),
+		Comparisons: x.comparisons,
+		Candidates:  x.candidates,
+		Accepted:    x.accepted,
+		ANNProbes:   x.annProbes,
+		BlockSkips:  x.blockSkips,
+		Clusters:    all,
+		CrossMerges: local - all,
+	}
+}
+
+func (x *Exchange) countClusters(uf *UnionFind) int {
+	roots := map[model.EntityID]bool{}
+	for pos := range x.elems {
+		roots[uf.Find(xid(pos))] = true
+	}
+	return len(roots)
+}

@@ -113,9 +113,11 @@ type Match struct {
 }
 
 // indexed holds what the resolver retains per entity: the normalized value
-// tokens and the per-attribute normalized strings.
+// tokens, the per-attribute normalized strings, and the source-local key
+// (the cross-process identity DigestsSince exports for cross-shard ER).
 type indexed struct {
 	id     model.EntityID
+	key    string
 	source string
 	tokens []string
 	attrs  map[string]string
@@ -215,7 +217,7 @@ func (r *Resolver) Stats() Stats {
 
 // index extracts the comparable representation of an entity.
 func index(e *model.Entity) indexed {
-	ix := indexed{id: e.ID, source: e.Source, attrs: map[string]string{}}
+	ix := indexed{id: e.ID, key: e.Key, source: e.Source, attrs: map[string]string{}}
 	seen := map[string]bool{}
 	for _, k := range e.Attrs.Keys() {
 		v := e.Attrs[k]
@@ -261,10 +263,17 @@ func runePrefix(s string, n int) string {
 // blockKeys derives the blocking keys of an indexed entity: the prefix of
 // every token.
 func (r *Resolver) blockKeys(ix indexed) []string {
+	return blockKeysFor(ix, r.cfg.BlockPrefix)
+}
+
+// blockKeysFor is the shared implementation: the resolver and the
+// cross-shard Exchange must derive identical keys for the same entity, or
+// a pair split across shards would never become a candidate.
+func blockKeysFor(ix indexed, prefix int) []string {
 	seen := map[string]bool{}
 	var keys []string
 	for _, t := range ix.tokens {
-		k := runePrefix(t, r.cfg.BlockPrefix)
+		k := runePrefix(t, prefix)
 		if !seen[k] {
 			seen[k] = true
 			keys = append(keys, k)
@@ -470,18 +479,19 @@ func (r *Resolver) Commit(p *Prepared, id model.EntityID) []Match {
 	return found
 }
 
-// Add incrementally resolves one entity: it is compared against candidates
-// sharing a blocking key (or embedding neighborhood), clustered with those
-// the advisor accepts, and indexed for future arrivals. Matches found by
-// this addition are returned. Entities from the same source are never
-// matched to each other (sources are assumed internally duplicate-free;
-// the generic dirty-table workload overrides this by giving each record
-// its own source).
+// Add is the serial convenience over the Prepare/Commit split: one entity
+// is prepared against the committed state and committed immediately under
+// its own ID. The parallel ingest path calls the halves separately
+// (Prepare fanned out across workers, Commit in record order); both routes
+// produce identical resolver state. Entities from the same source are
+// never matched to each other (sources are assumed internally
+// duplicate-free; the generic dirty-table workload overrides this by
+// giving each record its own source).
 func (r *Resolver) Add(e *model.Entity) []Match {
 	return r.Commit(r.Prepare(e), e.ID)
 }
 
-// AddAll incrementally resolves a batch of entities in order.
+// AddAll resolves a batch of entities in record order via Add.
 func (r *Resolver) AddAll(es []*model.Entity) []Match {
 	var all []Match
 	for _, e := range es {

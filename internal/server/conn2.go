@@ -395,6 +395,24 @@ func (s *Server) dispatchV2(vc *v2conn, f V2Frame, req *v2req, decodeDur time.Du
 		vc.write(EncodeV2BlobResult(e, f.ID, V2OpSlowLog, blob))
 		e.Release()
 		return "", "", ""
+	case V2OpERDigests:
+		ds, ok := s.cfg.DB.(erDigestSource)
+		if !ok {
+			return fail(CodeBadRequest, "backend has no local resolver to export ER digests from")
+		}
+		entsSince, matchesSince, err := DecodeV2ERDigests(f.Payload)
+		if err != nil {
+			return fail(CodeBadRequest, err.Error())
+		}
+		batch := ds.ERDigests(entsSince, matchesSince)
+		blob, err := json.Marshal(&batch)
+		if err != nil {
+			return fail(CodeQuery, err.Error())
+		}
+		e := GetV2Enc()
+		vc.write(EncodeV2BlobResult(e, f.ID, V2OpERDigests, blob))
+		e.Release()
+		return "", "", ""
 	case V2OpQuery, V2OpExplain, V2OpIngest, V2OpIngestBatch:
 		// Fall through to the admitted path below.
 	default:

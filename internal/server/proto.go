@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"scdb"
+	"scdb/internal/er"
 )
 
 // Frame format: a 4-byte big-endian payload length followed by that many
@@ -86,6 +87,12 @@ const (
 	// OpSlowLog answers with the slow-op ring log (Response.Slow):
 	// the most recent operations that crossed the server's threshold.
 	OpSlowLog = "slowlog"
+	// OpERDigests exports the node's incremental ER evidence past the
+	// request's SinceEnts/SinceMatches watermarks (Response.Digests). The
+	// shard router pulls these after routed ingests to run the cross-shard
+	// entity-resolution exchange; backends without a local resolver reject
+	// the op with CodeBadRequest.
+	OpERDigests = "er_digests"
 )
 
 // Error codes carried in Response.Code.
@@ -111,6 +118,10 @@ type Request struct {
 	// (query requests use the TRACE statement prefix instead). The span
 	// tree comes back in Response.Trace.
 	Trace bool `json:"trace,omitempty"`
+	// SinceEnts/SinceMatches are the er_digests watermarks: export only
+	// entities and accepted matches the resolver recorded past them.
+	SinceEnts    int `json:"since_ents,omitempty"`
+	SinceMatches int `json:"since_matches,omitempty"`
 }
 
 // Response is one server frame.
@@ -134,6 +145,8 @@ type Response struct {
 	// routing: a replica read is consistent with a write once the replica's
 	// applied CSN reaches the write's CSN.
 	CSN uint64 `json:"csn,omitempty"`
+	// Digests is the er_digests response body.
+	Digests *er.DigestBatch `json:"digests,omitempty"`
 }
 
 // SlowLogReply is the slowlog response body.
@@ -420,6 +433,43 @@ type StatsReply struct {
 	// reports its connected followers, a replica its applied watermark and
 	// lag behind the primary.
 	Repl *WireReplStats `json:"repl,omitempty"`
+	// Sharding is present when the backend is a shard router: cluster
+	// topology and cross-shard curation counters.
+	Sharding *WireShardingStats `json:"sharding,omitempty"`
+}
+
+// WireShardingStats reports a shard router's cluster view in the stats op.
+type WireShardingStats struct {
+	// Shards is the cluster width; records route to shard
+	// hash(key) mod Shards.
+	Shards int `json:"shards"`
+	// ScatterQueries counts queries fanned out to every shard;
+	// PartialRows the per-shard partial result rows merged router-side.
+	ScatterQueries uint64 `json:"scatter_queries"`
+	PartialRows    uint64 `json:"partial_rows"`
+	// RoutedRows counts ingested entity records split across shards.
+	RoutedRows uint64 `json:"routed_rows"`
+	// ExchangeRounds counts cross-shard ER digest exchanges; Digests the
+	// entity digests pulled; CrossComparisons the candidate pairs scored
+	// router-side; CrossMerges the accepted merges joining entities that
+	// live on different shards.
+	ExchangeRounds   uint64 `json:"exchange_rounds"`
+	Digests          uint64 `json:"digests"`
+	CrossComparisons uint64 `json:"cross_comparisons"`
+	CrossMerges      uint64 `json:"cross_merges"`
+	// Nodes lists the shards in routing order.
+	Nodes []WireShardNode `json:"nodes,omitempty"`
+}
+
+// WireShardNode is one shard as seen by the router.
+type WireShardNode struct {
+	Addr string `json:"addr"`
+	// LastCSN is the highest commit stamp the router has observed from
+	// this shard (its read-your-writes floor).
+	LastCSN uint64 `json:"last_csn"`
+	// Entities is the shard's local entity count from the router's last
+	// stats pull; zero until the router has polled it.
+	Entities int `json:"entities,omitempty"`
 }
 
 // WireReplStats reports replication state in the stats op.

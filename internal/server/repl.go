@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"scdb"
 	"scdb/internal/storage"
 )
 
@@ -241,9 +242,14 @@ func (r *replRegistry) list() []*replFollower {
 
 // replStats builds the stats-op replication section: the follower hook's
 // view on a replica, the registry's view on a primary with live
-// subscriptions, nil otherwise.
+// subscriptions, nil otherwise. Backends without a WAL (the shard router)
+// never participate — subscriptions are rejected up front — so the section
+// stays absent for them.
 func (s *Server) replStats() *WireReplStats {
-	w := s.cfg.DB.WALStats()
+	var w scdb.WALStats
+	if ws, ok := s.cfg.DB.(engineWAL); ok {
+		w = ws.WALStats()
+	}
 	if s.cfg.ReplStats != nil {
 		r := s.cfg.ReplStats()
 		if r != nil {
@@ -286,7 +292,11 @@ func (s *Server) replLagBytes() uint64 {
 	if len(fos) == 0 {
 		return 0
 	}
-	bytes := s.cfg.DB.WALStats().Bytes
+	ws, ok := s.cfg.DB.(engineWAL)
+	if !ok {
+		return 0
+	}
+	bytes := ws.WALStats().Bytes
 	var worst uint64
 	for _, fo := range fos {
 		if cb := fo.caughtBytes.Load(); bytes > cb && bytes-cb > worst {
@@ -312,7 +322,10 @@ func (s *Server) handleReplSubscribe(vc *v2conn, f V2Frame, req *v2req) (code, d
 	if err != nil {
 		return fail(CodeBadRequest, err.Error())
 	}
-	db := s.cfg.DB
+	db, capable := s.replCapable()
+	if !capable {
+		return fail(CodeBadRequest, "backend cannot source replication; subscribe to a shard primary, not the router")
+	}
 	if db.ReadOnly() {
 		return fail(CodeBadRequest, "cannot subscribe to a replica; subscribe to the primary")
 	}
@@ -330,7 +343,7 @@ func (s *Server) handleReplSubscribe(vc *v2conn, f V2Frame, req *v2req) (code, d
 		if err := db.Checkpoint(); err != nil {
 			return fail(CodeQuery, err.Error())
 		}
-		snapCSN, err := s.shipSnapshot(vc, f.ID)
+		snapCSN, err := s.shipSnapshot(db, vc, f.ID)
 		if err != nil {
 			return fail(CodeQuery, "snapshot bootstrap: "+err.Error())
 		}
@@ -436,8 +449,8 @@ func (s *Server) handleReplSubscribe(vc *v2conn, f V2Frame, req *v2req) (code, d
 
 // shipSnapshot streams the checkpoint snapshot file as chunk frames and
 // closes with the done marker, returning the snapshot's commit stamp.
-func (s *Server) shipSnapshot(vc *v2conn, id uint32) (storage.CSN, error) {
-	fh, size, snapCSN, err := s.cfg.DB.Store().OpenSnapshot()
+func (s *Server) shipSnapshot(db replSource, vc *v2conn, id uint32) (storage.CSN, error) {
+	fh, size, snapCSN, err := db.Store().OpenSnapshot()
 	if err != nil {
 		return 0, err
 	}

@@ -19,8 +19,11 @@ import (
 type Config struct {
 	// Addr is the TCP listen address ("127.0.0.1:0" for tests).
 	Addr string
-	// DB is the embedded engine the server fronts.
-	DB *scdb.DB
+	// DB is the engine the server fronts — usually an embedded *scdb.DB,
+	// but any Engine works (the shard router fronts a whole cluster
+	// through the same server). Optional engine surfaces are discovered
+	// via the capability interfaces in engine.go.
+	DB Engine
 
 	// MaxInFlight bounds concurrently executing statements (query,
 	// explain, ingest). 0 means 2×GOMAXPROCS-ish default of 16; negative
@@ -177,6 +180,9 @@ func New(cfg Config) *Server {
 // registerEngineGauges folds the engine's own counters — storage WAL,
 // plan cache, self-curated indexes, curation totals, admission depth —
 // into the server's registry, so one metrics dump covers every layer.
+// Storage-level gauges register only when the backend has that surface
+// (the shard router has no WAL or plan cache of its own); a backend with
+// gauges of its own (router.*, shard.*) registers them here too.
 func (s *Server) registerEngineGauges() {
 	if s.cfg.DB == nil {
 		return // Listen rejects a nil DB before any dump can happen
@@ -185,44 +191,53 @@ func (s *Server) registerEngineGauges() {
 	s.reg.Gauge("admission.in_flight", func() float64 { f, _, _ := s.admit.depth(); return float64(f) })
 	s.reg.Gauge("admission.queued", func() float64 { _, q, _ := s.admit.depth(); return float64(q) })
 	s.reg.Gauge("admission.in_flight_peak", func() float64 { _, _, p := s.admit.depth(); return float64(p) })
-	s.reg.Gauge("plan_cache.hits", func() float64 { return float64(db.PlanCacheStats().Hits) })
-	s.reg.Gauge("plan_cache.misses", func() float64 { return float64(db.PlanCacheStats().Misses) })
-	s.reg.Gauge("plan_cache.size", func() float64 { return float64(db.PlanCacheStats().Size) })
-	s.reg.Gauge("wal.frames_total", func() float64 { return float64(db.WALStats().Frames) })
-	s.reg.Gauge("wal.bytes_total", func() float64 { return float64(db.WALStats().Bytes) })
-	s.reg.Gauge("wal.fsyncs_total", func() float64 { return float64(db.WALStats().Fsyncs) })
-	s.reg.Gauge("wal.fsync_time_us", func() float64 { return float64(db.WALStats().FsyncTime.Microseconds()) })
-	s.reg.Gauge("wal.commits_waited_total", func() float64 { return float64(db.WALStats().Commits) })
-	s.reg.Gauge("wal.commit_wait_us", func() float64 { return float64(db.WALStats().CommitWait.Microseconds()) })
-	s.reg.Gauge("wal.segments", func() float64 { return float64(db.WALStats().Segments) })
-	s.reg.Gauge("wal.checkpoints_total", func() float64 { return float64(db.WALStats().Checkpoints) })
-	s.reg.Gauge("wal.ckpt_bytes_reclaimed", func() float64 { return float64(db.WALStats().CheckpointReclaimed) })
-	s.reg.Gauge("wal.ckpt_ns", func() float64 { return float64(db.WALStats().CheckpointTime.Nanoseconds()) })
-	s.reg.Gauge("store.recover_ns", func() float64 { return float64(db.WALStats().RecoveryTime.Nanoseconds()) })
-	s.reg.Gauge("wal.durable_csn", func() float64 { return float64(db.WALStats().DurableCSN) })
-	s.reg.Gauge("wal.allocated_csn", func() float64 { return float64(db.WALStats().AllocatedCSN) })
-	s.reg.Gauge("repl.followers", func() float64 { return float64(s.repl.count()) })
-	s.reg.Gauge("repl.lag_csn", func() float64 {
-		if r := s.replStats(); r != nil {
-			return float64(r.LagCSN)
-		}
-		return 0
-	})
-	s.reg.Gauge("repl.lag_seconds", func() float64 {
-		if r := s.replStats(); r != nil {
-			return r.LagSeconds
-		}
-		return 0
-	})
-	s.reg.Gauge("repl.lag_bytes", func() float64 { return float64(s.replLagBytes()) })
-	s.reg.Gauge("index.count", func() float64 { return float64(len(db.IndexStats())) })
-	s.reg.Gauge("index.hits_total", func() float64 {
-		var n uint64
-		for _, ix := range db.IndexStats() {
-			n += ix.Hits
-		}
-		return float64(n)
-	})
+	if pc, ok := db.(enginePlanCache); ok {
+		s.reg.Gauge("plan_cache.hits", func() float64 { return float64(pc.PlanCacheStats().Hits) })
+		s.reg.Gauge("plan_cache.misses", func() float64 { return float64(pc.PlanCacheStats().Misses) })
+		s.reg.Gauge("plan_cache.size", func() float64 { return float64(pc.PlanCacheStats().Size) })
+	}
+	if w, ok := db.(engineWAL); ok {
+		s.reg.Gauge("wal.frames_total", func() float64 { return float64(w.WALStats().Frames) })
+		s.reg.Gauge("wal.bytes_total", func() float64 { return float64(w.WALStats().Bytes) })
+		s.reg.Gauge("wal.fsyncs_total", func() float64 { return float64(w.WALStats().Fsyncs) })
+		s.reg.Gauge("wal.fsync_time_us", func() float64 { return float64(w.WALStats().FsyncTime.Microseconds()) })
+		s.reg.Gauge("wal.commits_waited_total", func() float64 { return float64(w.WALStats().Commits) })
+		s.reg.Gauge("wal.commit_wait_us", func() float64 { return float64(w.WALStats().CommitWait.Microseconds()) })
+		s.reg.Gauge("wal.segments", func() float64 { return float64(w.WALStats().Segments) })
+		s.reg.Gauge("wal.checkpoints_total", func() float64 { return float64(w.WALStats().Checkpoints) })
+		s.reg.Gauge("wal.ckpt_bytes_reclaimed", func() float64 { return float64(w.WALStats().CheckpointReclaimed) })
+		s.reg.Gauge("wal.ckpt_ns", func() float64 { return float64(w.WALStats().CheckpointTime.Nanoseconds()) })
+		s.reg.Gauge("store.recover_ns", func() float64 { return float64(w.WALStats().RecoveryTime.Nanoseconds()) })
+		s.reg.Gauge("wal.durable_csn", func() float64 { return float64(w.WALStats().DurableCSN) })
+		s.reg.Gauge("wal.allocated_csn", func() float64 { return float64(w.WALStats().AllocatedCSN) })
+		s.reg.Gauge("repl.followers", func() float64 { return float64(s.repl.count()) })
+		s.reg.Gauge("repl.lag_csn", func() float64 {
+			if r := s.replStats(); r != nil {
+				return float64(r.LagCSN)
+			}
+			return 0
+		})
+		s.reg.Gauge("repl.lag_seconds", func() float64 {
+			if r := s.replStats(); r != nil {
+				return r.LagSeconds
+			}
+			return 0
+		})
+		s.reg.Gauge("repl.lag_bytes", func() float64 { return float64(s.replLagBytes()) })
+	}
+	if ix, ok := db.(engineIndexes); ok {
+		s.reg.Gauge("index.count", func() float64 { return float64(len(ix.IndexStats())) })
+		s.reg.Gauge("index.hits_total", func() float64 {
+			var n uint64
+			for _, st := range ix.IndexStats() {
+				n += st.Hits
+			}
+			return float64(n)
+		})
+	}
+	if gr, ok := db.(gaugeRegistrar); ok {
+		gr.RegisterGauges(s.reg)
+	}
 	s.reg.Gauge("engine.tables", func() float64 { return float64(db.Stats().Tables) })
 	s.reg.Gauge("engine.entities", func() float64 { return float64(db.Stats().Entities) })
 	s.reg.Gauge("engine.edges", func() float64 { return float64(db.Stats().Edges) })
@@ -358,13 +373,21 @@ func (s *Server) Stats() StatsReply {
 	srv := s.metrics.snapshot()
 	srv.InFlight, srv.Queued, srv.InFlightPeak = s.admit.depth()
 	_, srv.SlowOps = s.slow.Snapshot()
-	return StatsReply{
-		Engine:    s.cfg.DB.Stats(),
-		Indexes:   s.cfg.DB.IndexStats(),
-		PlanCache: s.cfg.DB.PlanCacheStats(),
-		Server:    srv,
-		Repl:      s.replStats(),
+	reply := StatsReply{
+		Engine: s.cfg.DB.Stats(),
+		Server: srv,
+		Repl:   s.replStats(),
 	}
+	if ix, ok := s.cfg.DB.(engineIndexes); ok {
+		reply.Indexes = ix.IndexStats()
+	}
+	if pc, ok := s.cfg.DB.(enginePlanCache); ok {
+		reply.PlanCache = pc.PlanCacheStats()
+	}
+	if sh, ok := s.cfg.DB.(shardingStatser); ok {
+		reply.Sharding = sh.ShardingStats()
+	}
+	return reply
 }
 
 func (s *Server) handleConn(c *conn) {
@@ -478,6 +501,13 @@ func (s *Server) dispatch(br *bufio.Reader, c *conn, req Request, decodeDur time
 		return Response{OK: true, Metrics: s.MetricsDump()}
 	case OpSlowLog:
 		return Response{OK: true, Slow: s.slowLogReply()}
+	case OpERDigests:
+		ds, ok := s.cfg.DB.(erDigestSource)
+		if !ok {
+			return Response{Code: CodeBadRequest, Err: "backend has no local resolver to export ER digests from"}
+		}
+		b := ds.ERDigests(req.SinceEnts, req.SinceMatches)
+		return Response{OK: true, Digests: &b}
 	case OpQuery, OpExplain, OpIngest, OpIngestBatch:
 		// Fall through to the admitted path below.
 	case "":

@@ -153,6 +153,11 @@ const (
 	// (routed by request id, like ingest chunks); the primary folds it into
 	// lag metrics and stats.
 	V2OpReplAck byte = 0x0C
+	// V2OpERDigests pulls the node's incremental ER evidence past the
+	// request's two watermarks (entities, matches). The shard router calls
+	// it after routed ingests; the JSON-bodied reply rides a blob result
+	// like stats, since digests are a rare control-plane exchange.
+	V2OpERDigests byte = 0x0D
 
 	// V2OpRowBatch is a server frame carrying one columnar batch of query
 	// result rows; more frames for the same id follow.
@@ -188,6 +193,8 @@ func v2OpName(op byte) string {
 		return OpMetrics
 	case V2OpSlowLog:
 		return OpSlowLog
+	case V2OpERDigests:
+		return OpERDigests
 	case V2OpCancel:
 		return "cancel"
 	case V2OpReplSubscribe, V2OpReplAck:
@@ -800,6 +807,31 @@ func EncodeV2Simple(e *V2Enc, id uint32, op byte) []byte {
 	return e.Frame(op, 0, id)
 }
 
+// EncodeV2ERDigests builds an er_digests request: the two resolver
+// watermarks past which evidence should be exported.
+func EncodeV2ERDigests(e *V2Enc, id uint32, entsSince, matchesSince int) []byte {
+	e.uvarint(uint64(entsSince))
+	e.uvarint(uint64(matchesSince))
+	return e.Frame(V2OpERDigests, 0, id)
+}
+
+// DecodeV2ERDigests parses an er_digests request payload.
+func DecodeV2ERDigests(payload []byte) (entsSince, matchesSince int, err error) {
+	d, err := newV2Dec(payload)
+	if err != nil {
+		return 0, 0, err
+	}
+	a, err := d.uvarint()
+	if err != nil {
+		return 0, 0, err
+	}
+	b, err := d.uvarint()
+	if err != nil {
+		return 0, 0, err
+	}
+	return int(a), int(b), nil
+}
+
 func (e *V2Enc) entities(ents []scdb.Entity) error {
 	e.uvarint(uint64(len(ents)))
 	var keys []string
@@ -1326,7 +1358,7 @@ func DecodeV2Result(payload []byte) (*V2Result, error) {
 			}
 		}
 		return res, nil
-	case V2OpStats, V2OpMetrics, V2OpSlowLog:
+	case V2OpStats, V2OpMetrics, V2OpSlowLog, V2OpERDigests:
 		if res.Blob, err = d.rawBytes(); err != nil {
 			return nil, err
 		}

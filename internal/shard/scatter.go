@@ -1,0 +1,646 @@
+package shard
+
+// Scatter-gather query execution. The router parses each statement, ships
+// a rewritten partial query to every shard, and merges the shards' answers
+// with the same algebra the single-node executor uses to combine morsel
+// partials — so a cluster returns the same rows a single node holding the
+// whole corpus would.
+//
+// Plain selections ship with ORDER BY/LIMIT stripped (or, when both are
+// present, pushed down as per-shard top-K) and the merged rows are sorted
+// router-side. Aggregations ship as partials: group expressions plus one
+// partial aggregate per distinct call, with AVG decomposed into SUM+COUNT;
+// the router merges partials per group, finalizes each original call, and
+// re-evaluates projection, HAVING, and ORDER BY expressions over the
+// finalized values by literal substitution. Rows come back in canonical
+// order: ORDER BY keys when the query has them, the binary value encoding
+// of the whole row otherwise — deterministic regardless of shard count or
+// arrival order.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"scdb"
+	"scdb/internal/model"
+	"scdb/internal/query"
+)
+
+// aggFuncs are the aggregate calls the router knows how to decompose into
+// shard partials (mirrors the executor's aggregate set).
+var aggFuncs = map[string]bool{"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true}
+
+// Explain returns shard 0's optimized plan for the statement — every shard
+// runs the same engine over the same schema, so one shard's plan stands in
+// for all of them.
+func (r *Router) Explain(q string) (*scdb.QueryInfo, error) {
+	return r.shards[0].Explain(q)
+}
+
+// QueryInfoCtx executes one SCQL statement across the cluster.
+func (r *Router) QueryInfoCtx(ctx context.Context, q string) (*scdb.Rows, *scdb.QueryInfo, error) {
+	stmt, err := query.Parse(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Plan/trace introspection is about the engine, not the data; one
+	// shard's answer represents the cluster.
+	if stmt.Explain || stmt.Trace {
+		return r.shards[0].QueryInfoCtx(ctx, q)
+	}
+	r.scatterQueries.Add(1)
+	if len(stmt.GroupBy) > 0 || stmtHasAggregates(stmt) {
+		return r.scatterAgg(ctx, stmt)
+	}
+	return r.scatterRows(ctx, stmt)
+}
+
+// QueryBatchesCtx adapts the scatter-gather result to the streaming shape
+// the v2 wire path consumes: the merged result is computed in full (the
+// router must see every shard's rows to sort and dedup), then emitted as
+// one batch.
+func (r *Router) QueryBatchesCtx(ctx context.Context, q string, emit func(cols []string, batch [][]model.Value) bool) ([]string, *scdb.QueryInfo, error) {
+	rows, info, err := r.QueryInfoCtx(ctx, q)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(rows.Data) > 0 {
+		batch := make([][]model.Value, len(rows.Data))
+		for i, row := range rows.Data {
+			vals, err := rowValues(row)
+			if err != nil {
+				return nil, nil, err
+			}
+			batch[i] = vals
+		}
+		emit(rows.Columns, batch)
+	}
+	return rows.Columns, info, nil
+}
+
+// fanout runs q on every shard concurrently and returns the per-shard
+// results in shard order.
+func (r *Router) fanout(ctx context.Context, q string) ([]*scdb.Rows, error) {
+	n := len(r.shards)
+	res := make([]*scdb.Rows, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := range r.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res[i], _, errs[i] = r.shards[i].QueryInfoCtx(ctx, q)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("shard %d (%s): %w", i, r.addrs[i], err)
+		}
+	}
+	total := 0
+	for _, rs := range res {
+		total += len(rs.Data)
+	}
+	r.partialRows.Add(uint64(total))
+	return res, nil
+}
+
+// mergedRow is one gathered row plus its canonical encoding (the dedup key
+// and final sort tiebreak) and its evaluated ORDER BY key values.
+type mergedRow struct {
+	vals []model.Value
+	key  string
+	sk   []model.Value
+}
+
+// scatterRows handles selections without aggregation: ship, gather, dedup,
+// sort, truncate.
+func (r *Router) scatterRows(ctx context.Context, stmt *query.SelectStmt) (*scdb.Rows, *scdb.QueryInfo, error) {
+	if stmt.Star && len(stmt.GroupBy) > 0 {
+		return nil, nil, fmt.Errorf("shard: SELECT * with GROUP BY is not routable")
+	}
+	ship := *stmt
+	// Top-K push-down: with both ORDER BY and LIMIT the global top K rows
+	// are contained in the union of the shards' local top K, so each shard
+	// only returns K rows. Either clause alone is stripped and applied
+	// after the merge.
+	if stmt.Limit < 0 || len(stmt.OrderBy) == 0 {
+		ship.OrderBy = nil
+		ship.Limit = -1
+	}
+	res, err := r.fanout(ctx, ship.String())
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Result schema: a projection's labels are identical on every shard;
+	// SELECT * schemas are per-shard row unions, so the global schema is
+	// the sorted union of the shards' unions — exactly what a single node
+	// computes over all rows.
+	var cols []string
+	if stmt.Star {
+		set := map[string]bool{}
+		for _, rs := range res {
+			for _, c := range rs.Columns {
+				set[c] = true
+			}
+		}
+		for c := range set {
+			cols = append(cols, c)
+		}
+		sort.Strings(cols)
+	} else {
+		cols = res[0].Columns
+	}
+
+	var merged []mergedRow
+	seen := map[string]bool{}
+	for _, rs := range res {
+		// Column positions of this shard's rows within the global schema.
+		pos := make([]int, len(rs.Columns))
+		if stmt.Star {
+			at := make(map[string]int, len(cols))
+			for i, c := range cols {
+				at[c] = i
+			}
+			for i, c := range rs.Columns {
+				pos[i] = at[c]
+			}
+		} else {
+			for i := range pos {
+				pos[i] = i
+			}
+		}
+		for _, row := range rs.Data {
+			vals := make([]model.Value, len(cols))
+			for i, c := range row {
+				v, err := scdb.ToValue(c)
+				if err != nil {
+					return nil, nil, err
+				}
+				vals[pos[i]] = v
+			}
+			key := encodeRow(vals)
+			if stmt.Distinct {
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+			}
+			merged = append(merged, mergedRow{vals: vals, key: key})
+		}
+	}
+
+	for i := range merged {
+		sk, err := orderKeysOnRow(stmt.OrderBy, cols, merged[i].vals)
+		if err != nil {
+			return nil, nil, err
+		}
+		merged[i].sk = sk
+	}
+	sortMerged(merged, stmt.OrderBy)
+	if stmt.Limit >= 0 && len(merged) > stmt.Limit {
+		merged = merged[:stmt.Limit]
+	}
+	return r.gathered(cols, merged, stmt)
+}
+
+// orderKeysOnRow evaluates the ORDER BY key expressions against one output
+// row. Keys must be derivable from the projected columns (by name, alias,
+// or expression over them) — the shipped partials carry nothing else.
+func orderKeysOnRow(keys []query.OrderKey, cols []string, vals []model.Value) ([]model.Value, error) {
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	sk := make([]model.Value, len(keys))
+	for i, k := range keys {
+		v, err := query.EvalOnRow(k.Expr, cols, vals)
+		if err != nil {
+			return nil, err
+		}
+		sk[i] = v
+	}
+	return sk, nil
+}
+
+// sortMerged orders rows by their ORDER BY key values (model.Less total
+// order, inverted per DESC key) with the canonical row encoding as the
+// final tiebreak; without ORDER BY the canonical encoding alone decides.
+// The comparator is a total order over distinct rows, so the result is
+// independent of shard count and arrival order.
+func sortMerged(rows []mergedRow, keys []query.OrderKey) {
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		for k := range a.sk {
+			x, y := a.sk[k], b.sk[k]
+			if model.Less(x, y) {
+				return !keys[k].Desc
+			}
+			if model.Less(y, x) {
+				return keys[k].Desc
+			}
+		}
+		return a.key < b.key
+	})
+}
+
+// gathered materializes the merged rows as the facade row shape plus a
+// router-level query info.
+func (r *Router) gathered(cols []string, merged []mergedRow, stmt *query.SelectStmt) (*scdb.Rows, *scdb.QueryInfo, error) {
+	data := make([][]any, len(merged))
+	for i, m := range merged {
+		row := make([]any, len(m.vals))
+		for j, v := range m.vals {
+			row[j] = scdb.FromValue(v)
+		}
+		data[i] = row
+	}
+	info := &scdb.QueryInfo{
+		Plan: fmt.Sprintf("ScatterGather(shards=%d)\n  %s", len(r.shards), stmt.String()),
+	}
+	return &scdb.Rows{Columns: cols, Data: data}, info, nil
+}
+
+// stmtHasAggregates reports whether the projection or HAVING clause
+// contains an aggregate call.
+func stmtHasAggregates(stmt *query.SelectStmt) bool {
+	found := false
+	probe := func(c *query.Call) {
+		if aggFuncs[c.Name] {
+			found = true
+		}
+	}
+	for _, it := range stmt.Items {
+		walkCalls(it.Expr, probe)
+	}
+	if stmt.Having != nil {
+		walkCalls(stmt.Having, probe)
+	}
+	return found
+}
+
+// walkCalls visits every Call node in an expression tree.
+func walkCalls(e query.Expr, f func(*query.Call)) {
+	switch x := e.(type) {
+	case *query.Call:
+		f(x)
+		for _, a := range x.Args {
+			walkCalls(a, f)
+		}
+	case *query.Binary:
+		walkCalls(x.L, f)
+		walkCalls(x.R, f)
+	case *query.Unary:
+		walkCalls(x.X, f)
+	case *query.IsNull:
+		walkCalls(x.X, f)
+	case *query.InList:
+		walkCalls(x.X, f)
+	case *query.Like:
+		walkCalls(x.X, f)
+	}
+}
+
+// aggMerge accumulates one shipped partial aggregate across shards with the
+// executor's merge algebra: COUNT partials sum; SUM partials track an exact
+// integer sum while every contribution is an int and a float sum always
+// (so a late float demotes the result, as row-at-a-time accumulation
+// does); MIN/MAX keep the best non-null under model.Less.
+type aggMerge struct {
+	name   string // COUNT, SUM, MIN, MAX (AVG never ships)
+	count  int64
+	seen   bool
+	allInt bool
+	isum   int64
+	fsum   float64
+	best   model.Value
+	has    bool
+}
+
+func (a *aggMerge) add(v model.Value) error {
+	switch a.name {
+	case "COUNT":
+		i, ok := v.AsInt()
+		if !ok {
+			return fmt.Errorf("shard: COUNT partial is %s, want int", v.Kind())
+		}
+		a.count += i
+	case "SUM":
+		if v.IsNull() {
+			return nil // the shard saw no non-null input
+		}
+		if i, ok := v.AsInt(); ok {
+			a.isum += i
+			a.fsum += float64(i)
+		} else if f, ok := v.AsFloat(); ok {
+			a.allInt = false
+			a.fsum += f
+		} else {
+			return fmt.Errorf("shard: SUM partial is %s, want numeric", v.Kind())
+		}
+		a.seen = true
+	case "MIN":
+		if v.IsNull() {
+			return nil
+		}
+		if !a.has || model.Less(v, a.best) {
+			a.best, a.has = v, true
+		}
+	case "MAX":
+		if v.IsNull() {
+			return nil
+		}
+		if !a.has || model.Less(a.best, v) {
+			a.best, a.has = v, true
+		}
+	}
+	return nil
+}
+
+// aggGroup is one GROUP BY group being merged across shards.
+type aggGroup struct {
+	groupVals []model.Value
+	parts     []*aggMerge // aligned with the shipped partial calls
+}
+
+// scatterAgg handles aggregations: decompose into shard partials, merge
+// per group, finalize, then re-evaluate projection/HAVING/ORDER BY over
+// the finalized values.
+func (r *Router) scatterAgg(ctx context.Context, stmt *query.SelectStmt) (*scdb.Rows, *scdb.QueryInfo, error) {
+	if stmt.Star {
+		return nil, nil, fmt.Errorf("shard: SELECT * with GROUP BY is not routable")
+	}
+	groupN := len(stmt.GroupBy)
+
+	// Distinct original aggregate calls, in first-appearance order.
+	var calls []*query.Call
+	seenCall := map[string]bool{}
+	collect := func(c *query.Call) {
+		if aggFuncs[c.Name] && !seenCall[c.String()] {
+			seenCall[c.String()] = true
+			calls = append(calls, c)
+		}
+	}
+	for _, it := range stmt.Items {
+		walkCalls(it.Expr, collect)
+	}
+	if stmt.Having != nil {
+		walkCalls(stmt.Having, collect)
+	}
+
+	// Shipped partials: AVG decomposes into SUM+COUNT; everything else
+	// ships as itself. Deduped, so AVG(x)+SUM(x) ships SUM(x) once.
+	var shipCalls []*query.Call
+	shipIdx := map[string]int{}
+	shipOne := func(c *query.Call) {
+		k := c.String()
+		if _, ok := shipIdx[k]; !ok {
+			shipIdx[k] = len(shipCalls)
+			shipCalls = append(shipCalls, c)
+		}
+	}
+	for _, c := range calls {
+		if c.Name == "AVG" {
+			shipOne(&query.Call{Name: "SUM", Args: c.Args})
+			shipOne(&query.Call{Name: "COUNT", Args: c.Args})
+		} else {
+			shipOne(c)
+		}
+	}
+
+	ship := query.SelectStmt{
+		From:           stmt.From,
+		Joins:          stmt.Joins,
+		Where:          stmt.Where,
+		GroupBy:        stmt.GroupBy,
+		Limit:          -1,
+		Semantics:      stmt.Semantics,
+		Mode:           stmt.Mode,
+		FuzzyThreshold: stmt.FuzzyThreshold,
+	}
+	for i, g := range stmt.GroupBy {
+		ship.Items = append(ship.Items, query.SelectItem{Expr: g, Alias: fmt.Sprintf("g%d", i)})
+	}
+	for i, c := range shipCalls {
+		ship.Items = append(ship.Items, query.SelectItem{Expr: c, Alias: fmt.Sprintf("a%d", i)})
+	}
+
+	res, err := r.fanout(ctx, ship.String())
+	if err != nil {
+		return nil, nil, err
+	}
+
+	groups := map[string]*aggGroup{}
+	var order []string // first-appearance group keys (resorted below)
+	for _, rs := range res {
+		for _, row := range rs.Data {
+			vals, err := rowValues(row)
+			if err != nil {
+				return nil, nil, err
+			}
+			if len(vals) != groupN+len(shipCalls) {
+				return nil, nil, fmt.Errorf("shard: partial row has %d columns, want %d", len(vals), groupN+len(shipCalls))
+			}
+			key := encodeRow(vals[:groupN])
+			g := groups[key]
+			if g == nil {
+				g = &aggGroup{groupVals: vals[:groupN:groupN], parts: make([]*aggMerge, len(shipCalls))}
+				for i, c := range shipCalls {
+					g.parts[i] = &aggMerge{name: c.Name, allInt: true}
+				}
+				groups[key] = g
+				order = append(order, key)
+			}
+			for i := range shipCalls {
+				if err := g.parts[i].add(vals[groupN+i]); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+	}
+
+	cols := make([]string, len(stmt.Items))
+	for i, it := range stmt.Items {
+		cols[i] = it.Label()
+	}
+
+	var merged []mergedRow
+	dedup := map[string]bool{}
+	for _, key := range order {
+		g := groups[key]
+		// Substitution environment: group expressions and finalized
+		// aggregate calls by canonical text, then projection aliases, so
+		// HAVING and ORDER BY expressions evaluate over merged values.
+		env := map[string]model.Value{}
+		for i, ge := range stmt.GroupBy {
+			env[ge.String()] = g.groupVals[i]
+		}
+		for _, c := range calls {
+			v, err := finalizeCall(c, g, shipIdx)
+			if err != nil {
+				return nil, nil, err
+			}
+			env[c.String()] = v
+		}
+
+		vals := make([]model.Value, len(stmt.Items))
+		for i, it := range stmt.Items {
+			v, err := evalSubst(it.Expr, env)
+			if err != nil {
+				return nil, nil, err
+			}
+			vals[i] = v
+			if it.Alias != "" {
+				ref := &query.ColRef{Name: it.Alias}
+				env[ref.String()] = v
+			}
+		}
+
+		if stmt.Having != nil {
+			hv, err := evalSubst(stmt.Having, env)
+			if err != nil {
+				return nil, nil, err
+			}
+			if hv.IsNull() {
+				continue
+			}
+			b, ok := hv.AsBool()
+			if !ok {
+				return nil, nil, fmt.Errorf("HAVING must evaluate to a boolean, got %s", hv.Kind())
+			}
+			if !b {
+				continue
+			}
+		}
+
+		rowKey := encodeRow(vals)
+		if stmt.Distinct {
+			if dedup[rowKey] {
+				continue
+			}
+			dedup[rowKey] = true
+		}
+		sk := make([]model.Value, len(stmt.OrderBy))
+		for i, k := range stmt.OrderBy {
+			v, err := evalSubst(k.Expr, env)
+			if err != nil {
+				return nil, nil, err
+			}
+			sk[i] = v
+		}
+		merged = append(merged, mergedRow{vals: vals, key: rowKey, sk: sk})
+	}
+
+	sortMerged(merged, stmt.OrderBy)
+	if stmt.Limit >= 0 && len(merged) > stmt.Limit {
+		merged = merged[:stmt.Limit]
+	}
+	return r.gathered(cols, merged, stmt)
+}
+
+// finalizeCall turns merged partials into the call's final value, with the
+// executor's finalization rules: COUNT is the summed count, SUM is null
+// with no input / int while all input was int / float otherwise, AVG is
+// the merged sum over the merged count, MIN/MAX are null with no input.
+func finalizeCall(c *query.Call, g *aggGroup, shipIdx map[string]int) (model.Value, error) {
+	part := func(sc *query.Call) (*aggMerge, error) {
+		i, ok := shipIdx[sc.String()]
+		if !ok {
+			return nil, fmt.Errorf("shard: no partial for %s", sc.String())
+		}
+		return g.parts[i], nil
+	}
+	switch c.Name {
+	case "COUNT":
+		p, err := part(c)
+		if err != nil {
+			return model.Value{}, err
+		}
+		return model.Int(p.count), nil
+	case "SUM":
+		p, err := part(c)
+		if err != nil {
+			return model.Value{}, err
+		}
+		if !p.seen {
+			return model.Null(), nil
+		}
+		if p.allInt {
+			return model.Int(p.isum), nil
+		}
+		return model.Float(p.fsum), nil
+	case "AVG":
+		s, err := part(&query.Call{Name: "SUM", Args: c.Args})
+		if err != nil {
+			return model.Value{}, err
+		}
+		n, err := part(&query.Call{Name: "COUNT", Args: c.Args})
+		if err != nil {
+			return model.Value{}, err
+		}
+		if n.count == 0 {
+			return model.Null(), nil
+		}
+		return model.Float(s.fsum / float64(n.count)), nil
+	case "MIN", "MAX":
+		p, err := part(c)
+		if err != nil {
+			return model.Value{}, err
+		}
+		if !p.has {
+			return model.Null(), nil
+		}
+		return p.best, nil
+	}
+	return model.Value{}, fmt.Errorf("shard: unknown aggregate %s", c.Name)
+}
+
+// evalSubst evaluates an expression after replacing every subexpression
+// whose canonical text appears in env with the corresponding literal.
+func evalSubst(e query.Expr, env map[string]model.Value) (model.Value, error) {
+	return query.EvalScalar(subst(e, env))
+}
+
+// subst rewrites e, replacing matched subtrees top-down — an expression
+// that is itself in env never recurses, so aggregate calls inside larger
+// expressions become plain literals before scalar evaluation sees them.
+func subst(e query.Expr, env map[string]model.Value) query.Expr {
+	if v, ok := env[e.String()]; ok {
+		return &query.Literal{Val: v}
+	}
+	switch x := e.(type) {
+	case *query.Binary:
+		return &query.Binary{Op: x.Op, L: subst(x.L, env), R: subst(x.R, env)}
+	case *query.Unary:
+		return &query.Unary{Op: x.Op, X: subst(x.X, env)}
+	case *query.IsNull:
+		return &query.IsNull{X: subst(x.X, env), Negate: x.Negate}
+	case *query.InList:
+		return &query.InList{X: subst(x.X, env), Vals: x.Vals}
+	case *query.Like:
+		return &query.Like{X: subst(x.X, env), Pattern: x.Pattern}
+	case *query.Call:
+		args := make([]query.Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = subst(a, env)
+		}
+		return &query.Call{Name: x.Name, Args: args, Star: x.Star}
+	}
+	return e
+}
+
+// rowValues converts one wire row back to model values.
+func rowValues(row []any) ([]model.Value, error) {
+	out := make([]model.Value, len(row))
+	for i, c := range row {
+		v, err := scdb.ToValue(c)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,381 @@
+// Package shard implements horizontal scale-out: a hash-sharded cluster of
+// independent scdb-server processes behind a stateless scatter-gather
+// router.
+//
+// Ownership is by entity key: record k lives on shard ShardOf(k, N), so a
+// source delivery splits into N per-shard deliveries (each shipped through
+// the chunked ingest_batch stream) and every shard curates only its own
+// records — local schema observation, local graph, local incremental ER,
+// local inference. Queries fan out to every shard and merge router-side:
+// aggregate partials (COUNT/SUM/AVG as SUM+COUNT/MIN/MAX) combine with the
+// same merge algebra the morsel executor uses across intra-node partials,
+// DISTINCT dedups on canonical value encodings, and ORDER BY/LIMIT merges
+// per-shard top-K results. The router is an in-process server.Engine, so
+// cmd/scdb-router serves the same wire protocol (v1 and v2) as a single
+// node — clients cannot tell a cluster from one big server, except that
+// the stats op grows a sharding section.
+//
+// The part sharding would otherwise break is entity resolution: two records
+// of the same real-world entity can land on different shards, where no
+// local resolver ever compares them. After every routed ingest the router
+// pulls each shard's incremental ER digests (er_digests op) and feeds them
+// to an er.Exchange, which re-runs candidate generation and pair scoring
+// across shard boundaries with the same blocking keys, pair scorer, and
+// curation advisor the shards run locally. The exchange's cross-merge count
+// corrects the summed per-shard entity statistics, and SameRef answers
+// whether two keys resolved to one global entity.
+//
+// Consistency: the router tracks one commit stamp per shard (the client
+// connections' LastCSN high-water marks) — a vector of CSNs rather than a
+// single clock. Reads go to shard primaries or, when a shard backend is a
+// client.Cluster, to replicas only once they have applied that shard's
+// mark, so read-your-writes holds across the whole cluster.
+//
+// Determinism: the router returns rows in canonical value order (ORDER BY
+// keys first when present, then the rows' binary value encoding), so a
+// 1-shard and an N-shard cluster return byte-identical answers over the
+// same corpus. The known caveats — float SUM/AVG association order,
+// MaxBlock truncation when an ER block splits across shards, ties at a
+// pushed-down LIMIT boundary — are documented in DESIGN.md §Cluster
+// architecture.
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"scdb"
+	"scdb/client"
+	"scdb/internal/er"
+	"scdb/internal/model"
+	"scdb/internal/obs"
+	"scdb/internal/server"
+)
+
+// ShardOf maps an entity key to its owning shard: FNV-1a over the key,
+// mod the shard count. Stable across processes and releases — rebalancing
+// by changing N moves keys, hence the resharding caveats in OPERATIONS.md.
+func ShardOf(key string, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return int(h % uint32(shards))
+}
+
+// Backend is one shard as the router sees it. *client.Client (a direct
+// primary connection) and *client.Cluster (a primary plus read replicas
+// with read-your-writes routing) both satisfy it.
+type Backend interface {
+	QueryInfoCtx(ctx context.Context, q string) (*scdb.Rows, *scdb.QueryInfo, error)
+	Explain(q string) (*scdb.QueryInfo, error)
+	IngestBatch(ctx context.Context, src scdb.Source, batchSize int) (*client.IngestSummary, error)
+	ERDigests(entsSince, matchesSince int) (er.DigestBatch, error)
+	PingCSN() (uint64, error)
+	Stats() (server.StatsReply, error)
+	LastCSN() uint64
+	Close() error
+}
+
+// Config configures a Router.
+type Config struct {
+	// Backends are the shards in routing order. The order is part of the
+	// cluster's identity: ShardOf indexes into it, so every router in
+	// front of the same cluster must list the same shards in the same
+	// order.
+	Backends []Backend
+	// Addrs optionally labels the backends (for the stats op); aligned
+	// with Backends when set.
+	Addrs []string
+	// IngestBatch is the chunk size of routed ingest streams (0 = the
+	// client default).
+	IngestBatch int
+	// ER must mirror the shards' resolver configuration so the cross-shard
+	// exchange generates candidates and accepts pairs exactly as a local
+	// resolver would. The zero value matches servers running defaults.
+	ER er.Config
+}
+
+// Router fans requests out over the shards and merges the answers. It
+// implements server.Engine, so cmd/scdb-router hosts it behind the
+// ordinary server loop.
+type Router struct {
+	shards []Backend
+	addrs  []string
+	batch  int
+
+	// mu serializes routed ingests, the ER exchange they feed, and the
+	// per-shard digest watermarks.
+	mu          sync.Mutex
+	exch        *er.Exchange
+	entsMark    []int
+	matchesMark []int
+	// lastEntities caches each shard's entity count from the latest stats
+	// pull (display only; see ShardingStats).
+	lastEntities []int
+
+	scatterQueries atomic.Uint64
+	partialRows    atomic.Uint64
+	routedRows     atomic.Uint64
+	exchangeRounds atomic.Uint64
+	digestsPulled  atomic.Uint64
+}
+
+// New builds a router over the given backends.
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, fmt.Errorf("shard: router needs at least one backend")
+	}
+	addrs := cfg.Addrs
+	if len(addrs) != len(cfg.Backends) {
+		addrs = make([]string, len(cfg.Backends))
+		for i := range addrs {
+			addrs[i] = fmt.Sprintf("shard-%d", i)
+		}
+	}
+	return &Router{
+		shards:       cfg.Backends,
+		addrs:        addrs,
+		batch:        cfg.IngestBatch,
+		exch:         er.NewExchange(cfg.ER),
+		entsMark:     make([]int, len(cfg.Backends)),
+		matchesMark:  make([]int, len(cfg.Backends)),
+		lastEntities: make([]int, len(cfg.Backends)),
+	}, nil
+}
+
+// Dial connects to each shard address and builds a router over the
+// connections.
+func Dial(cfg Config, addrs ...string) (*Router, error) {
+	backends := make([]Backend, 0, len(addrs))
+	for _, a := range addrs {
+		c, err := client.Dial(a)
+		if err != nil {
+			for _, b := range backends {
+				b.Close()
+			}
+			return nil, fmt.Errorf("shard: dial %s: %w", a, err)
+		}
+		backends = append(backends, c)
+	}
+	cfg.Backends = backends
+	cfg.Addrs = addrs
+	return New(cfg)
+}
+
+// Close closes every backend connection.
+func (r *Router) Close() error {
+	var first error
+	for _, b := range r.shards {
+		if err := b.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Shards reports the cluster width.
+func (r *Router) Shards() int { return len(r.shards) }
+
+// CSN is the router's commit stamp: the sum of the per-shard high-water
+// marks. Each addend is monotone, so the sum is too — what ping-based
+// freshness checks rely on.
+func (r *Router) CSN() uint64 {
+	var sum uint64
+	for _, b := range r.shards {
+		sum += b.LastCSN()
+	}
+	return sum
+}
+
+// IngestCtx splits one source delivery by entity key and streams each part
+// to its shard through the chunked ingest path, then runs one cross-shard
+// ER exchange round over the shards' new digests.
+//
+// Every shard receives a delivery even when its split is empty: an empty
+// delivery still registers the source and creates its table, so scatter
+// queries never hit "unknown table" on a shard that happens to own none of
+// the source's records. Links route with their FromKey; a link whose ToKey
+// hashes to a different shard is rejected (the relation layer is
+// shard-local), as are unstructured Texts (extraction cannot be routed by
+// key) — deliver those to a shard directly if shard-local edges are
+// acceptable.
+func (r *Router) IngestCtx(ctx context.Context, src scdb.Source) error {
+	n := len(r.shards)
+	parts := make([]scdb.Source, n)
+	for i := range parts {
+		parts[i].Name = src.Name
+	}
+	if len(src.Texts) > 0 {
+		return fmt.Errorf("shard: texts cannot be routed by entity key; deliver them to one shard directly")
+	}
+	for _, e := range src.Entities {
+		s := ShardOf(e.Key, n)
+		parts[s].Entities = append(parts[s].Entities, e)
+	}
+	for _, l := range src.Links {
+		s := ShardOf(l.FromKey, n)
+		if l.ToKey != "" && ShardOf(l.ToKey, n) != s {
+			return fmt.Errorf("shard: link %s-[%s]->%s crosses shards (entities hash to %d and %d); the relation layer is shard-local",
+				l.FromKey, l.Predicate, l.ToKey, s, ShardOf(l.ToKey, n))
+		}
+		parts[s].Links = append(parts[s].Links, l)
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := range r.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = r.shards[i].IngestBatch(ctx, parts[i], r.batch)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("shard %d (%s): %w", i, r.addrs[i], err)
+		}
+	}
+	r.routedRows.Add(uint64(len(src.Entities)))
+	return r.exchangeLocked()
+}
+
+// exchangeLocked pulls each shard's digests past the router's watermarks
+// and folds them into the exchange. Caller holds r.mu.
+func (r *Router) exchangeLocked() error {
+	for i, b := range r.shards {
+		batch, err := b.ERDigests(r.entsMark[i], r.matchesMark[i])
+		if err != nil {
+			return fmt.Errorf("shard %d (%s): er digests: %w", i, r.addrs[i], err)
+		}
+		r.exch.AddBatch(i, batch)
+		r.entsMark[i], r.matchesMark[i] = batch.Ents, batch.Matches
+		r.digestsPulled.Add(uint64(len(batch.Digests)))
+	}
+	r.exchangeRounds.Add(1)
+	return nil
+}
+
+// SameRef reports whether two entity keys — wherever they landed — resolved
+// to one global entity, through local merges, the cross-shard exchange, or
+// both.
+func (r *Router) SameRef(a, b er.RefKey) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.exch.SameRef(a, b)
+}
+
+// ExchangeStats snapshots the cross-shard ER exchange counters.
+func (r *Router) ExchangeStats() er.ExchangeStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.exch.Stats()
+}
+
+// Stats aggregates the shards' engine snapshots into one cluster view.
+// Additive counts (entities, edges, merges, inference results, ER work)
+// sum; Entities is then corrected by the exchange's cross-merge count —
+// entities joined across shards are one entity, counted once — and the
+// same count adds to Merges. Tables and Concepts take the max (every shard
+// observes every source, so the counts coincide; max also reads correctly
+// if a shard is briefly behind). CacheHitRate averages. A shard that fails
+// its stats call contributes nothing to this best-effort snapshot.
+func (r *Router) Stats() scdb.Stats {
+	var out scdb.Stats
+	var hit float64
+	polled := 0
+	for i, b := range r.shards {
+		reply, err := b.Stats()
+		if err != nil {
+			continue
+		}
+		s := reply.Engine
+		polled++
+		out.Entities += s.Entities
+		out.Edges += s.Edges
+		out.InferredTypes += s.InferredTypes
+		out.Witnesses += s.Witnesses
+		out.Inconsistencies += s.Inconsistencies
+		out.Merges += s.Merges
+		out.ER.Comparisons += s.ER.Comparisons
+		out.ER.Candidates += s.ER.Candidates
+		out.ER.ANNProbes += s.ER.ANNProbes
+		out.ER.Blocks += s.ER.Blocks
+		out.ER.BlockSkips += s.ER.BlockSkips
+		out.Tables = max(out.Tables, s.Tables)
+		out.Concepts = max(out.Concepts, s.Concepts)
+		hit += s.CacheHitRate
+		r.mu.Lock()
+		r.lastEntities[i] = s.Entities
+		r.mu.Unlock()
+	}
+	if polled > 0 {
+		out.CacheHitRate = hit / float64(polled)
+	}
+	xs := r.ExchangeStats()
+	out.Entities -= xs.CrossMerges
+	out.Merges += xs.CrossMerges
+	out.ER.Comparisons += xs.Comparisons
+	out.ER.Candidates += xs.Candidates
+	out.ER.ANNProbes += xs.ANNProbes
+	out.ER.BlockSkips += xs.BlockSkips
+	return out
+}
+
+// ShardingStats is the stats op's sharding section (the capability the
+// server discovers via type assertion).
+func (r *Router) ShardingStats() *server.WireShardingStats {
+	xs := r.ExchangeStats()
+	ws := &server.WireShardingStats{
+		Shards:           len(r.shards),
+		ScatterQueries:   r.scatterQueries.Load(),
+		PartialRows:      r.partialRows.Load(),
+		RoutedRows:       r.routedRows.Load(),
+		ExchangeRounds:   r.exchangeRounds.Load(),
+		Digests:          r.digestsPulled.Load(),
+		CrossComparisons: uint64(xs.Comparisons),
+		CrossMerges:      uint64(xs.CrossMerges),
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, b := range r.shards {
+		ws.Nodes = append(ws.Nodes, server.WireShardNode{
+			Addr:     r.addrs[i],
+			LastCSN:  b.LastCSN(),
+			Entities: r.lastEntities[i],
+		})
+	}
+	return ws
+}
+
+// RegisterGauges wires the router's own metrics into the serving layer's
+// registry (the gaugeRegistrar capability).
+func (r *Router) RegisterGauges(reg *obs.Registry) {
+	reg.Gauge("router.shards", func() float64 { return float64(len(r.shards)) })
+	reg.Gauge("shard.scatter_queries_total", func() float64 { return float64(r.scatterQueries.Load()) })
+	reg.Gauge("shard.partial_rows_total", func() float64 { return float64(r.partialRows.Load()) })
+	reg.Gauge("shard.ingest_routed_rows_total", func() float64 { return float64(r.routedRows.Load()) })
+	reg.Gauge("shard.exchange_rounds_total", func() float64 { return float64(r.exchangeRounds.Load()) })
+	reg.Gauge("shard.digests_exchanged", func() float64 { return float64(r.digestsPulled.Load()) })
+	reg.Gauge("shard.cross_comparisons", func() float64 { return float64(r.ExchangeStats().Comparisons) })
+	reg.Gauge("shard.cross_merges", func() float64 { return float64(r.ExchangeStats().CrossMerges) })
+}
+
+// encodeRow renders a row in the canonical self-delimiting binary value
+// encoding — the total order scatter-gather merging sorts and dedups by.
+func encodeRow(vals []model.Value) string {
+	var buf []byte
+	for _, v := range vals {
+		buf = model.AppendValue(buf, v)
+	}
+	return string(buf)
+}

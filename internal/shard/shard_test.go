@@ -1,0 +1,450 @@
+package shard_test
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"scdb"
+	"scdb/client"
+	"scdb/internal/er"
+	"scdb/internal/repl"
+	"scdb/internal/server"
+	"scdb/internal/shard"
+)
+
+// startShardServer opens an in-memory single-node engine and serves it on
+// an ephemeral port — one shard of a test cluster.
+func startShardServer(tb testing.TB, opts scdb.Options) string {
+	tb.Helper()
+	db, err := scdb.Open(opts)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(func() { db.Close() })
+	srv := server.New(server.Config{Addr: "127.0.0.1:0", DB: db})
+	if err := srv.Start(); err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return srv.Addr().String()
+}
+
+// testCluster is an n-shard cluster fronted by a served router: shard
+// servers, the router engine, the router's own wire server, and a client
+// connected to it — the full client → router → shards path.
+type testCluster struct {
+	router *shard.Router
+	rc     *client.Client // speaks to the router's server
+	addr   string         // router server address
+}
+
+func newTestCluster(tb testing.TB, n int) *testCluster {
+	tb.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		addrs[i] = startShardServer(tb, scdb.Options{})
+	}
+	r, err := shard.Dial(shard.Config{IngestBatch: 5}, addrs...)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(func() { r.Close() })
+	srv := server.New(server.Config{Addr: "127.0.0.1:0", DB: r})
+	if err := srv.Start(); err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	rc, err := client.Dial(srv.Addr().String())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(func() { rc.Close() })
+	return &testCluster{router: r, rc: rc, addr: srv.Addr().String()}
+}
+
+// drugNames are distinct enough that only true duplicates score past the
+// default 0.85 acceptance threshold.
+var drugNames = []string{
+	"Methotrexate Sodium", "Warfarin", "Ibuprofen", "Paracetamol",
+	"Atorvastatin", "Omeprazole", "Metformin", "Lisinopril",
+	"Amoxicillin", "Azithromycin", "Doxycycline", "Prednisone",
+}
+
+// corpus builds the differential corpus: every drug appears in both
+// sources under different keys and attribute schemas, so each index i is a
+// cross-source ER truth pair. Prices are small ints (SUM/AVG stay exact
+// regardless of merge association order).
+func corpus() []scdb.Source {
+	var a, b scdb.Source
+	a.Name, b.Name = "pharma_a", "pharma_b"
+	for i, name := range drugNames {
+		cat := fmt.Sprintf("cat%d", i%3)
+		price := int64(10 + i*7)
+		a.Entities = append(a.Entities, scdb.Entity{
+			Key:   fmt.Sprintf("A-%02d", i),
+			Attrs: scdb.Record{"name": name, "category": cat, "price": price},
+		})
+		b.Entities = append(b.Entities, scdb.Entity{
+			Key:   fmt.Sprintf("B-%02d", i),
+			Attrs: scdb.Record{"drug": name, "category": cat, "price": price + 1},
+		})
+	}
+	return []scdb.Source{a, b}
+}
+
+func ingestCorpus(tb testing.TB, c *testCluster) {
+	tb.Helper()
+	for _, src := range corpus() {
+		if _, err := c.rc.IngestBatch(context.Background(), src, 5); err != nil {
+			tb.Fatal(err)
+		}
+	}
+}
+
+// render flattens a result the way the CLI does, making byte-identical
+// comparison meaningful.
+func render(rows *scdb.Rows) string {
+	var b strings.Builder
+	b.WriteString(strings.Join(rows.Columns, "|"))
+	b.WriteByte('\n')
+	for _, r := range rows.Data {
+		for i, v := range r {
+			if i > 0 {
+				b.WriteByte('|')
+			}
+			fmt.Fprintf(&b, "%v", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func TestShardOf(t *testing.T) {
+	if shard.ShardOf("anything", 1) != 0 || shard.ShardOf("anything", 0) != 0 {
+		t.Fatal("single shard must own everything")
+	}
+	hit := make([]int, 3)
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		s := shard.ShardOf(k, 3)
+		if s < 0 || s > 2 {
+			t.Fatalf("ShardOf(%q, 3) = %d", k, s)
+		}
+		if s != shard.ShardOf(k, 3) {
+			t.Fatal("placement must be deterministic")
+		}
+		hit[s]++
+	}
+	for s, n := range hit {
+		if n == 0 {
+			t.Errorf("shard %d got no keys out of 100", s)
+		}
+	}
+}
+
+// differentialQueries cover the merge paths: plain scans, SELECT *,
+// DISTINCT, grouped and global aggregates (COUNT/SUM/AVG/MIN/MAX), HAVING,
+// top-K push-down (composite sort key is unique, so the push-down boundary
+// is untied), WHERE, and a co-partitioned self-join.
+var differentialQueries = []string{
+	"SELECT key, name, price FROM pharma_a",
+	"SELECT * FROM pharma_a",
+	"SELECT DISTINCT category FROM pharma_a",
+	"SELECT category, COUNT(*) AS n, SUM(price) AS total, AVG(price) AS avg_price, MIN(price) AS lo, MAX(price) AS hi FROM pharma_a GROUP BY category ORDER BY category",
+	"SELECT category, COUNT(*) AS n FROM pharma_a GROUP BY category HAVING COUNT(*) >= 3 ORDER BY n DESC, category",
+	"SELECT COUNT(*) AS n, SUM(price) AS s, AVG(price) AS a, MIN(price) AS lo, MAX(price) AS hi FROM pharma_a",
+	"SELECT key, price FROM pharma_a ORDER BY price DESC, key LIMIT 5",
+	"SELECT key FROM pharma_a WHERE price > 40 ORDER BY key",
+	"SELECT a.key, a.name FROM pharma_a AS a JOIN pharma_a AS b ON a.key = b.key ORDER BY a.key",
+	"SELECT category, COUNT(*) + 1 AS n1 FROM pharma_a GROUP BY category ORDER BY category",
+}
+
+// TestClusterDifferential is the scale-out correctness gate: a 1-shard and
+// a 3-shard cluster must return byte-identical answers over the same
+// corpus — rows, aggregates, top-K, and post-ER entity counts — with at
+// least one ER truth pair actually split across shards.
+func TestClusterDifferential(t *testing.T) {
+	c1 := newTestCluster(t, 1)
+	c3 := newTestCluster(t, 3)
+	ingestCorpus(t, c1)
+	ingestCorpus(t, c3)
+
+	// The corpus must genuinely exercise cross-shard ER: at least one
+	// truth pair's records hash to different shards of the 3-shard
+	// cluster. Deterministic (FNV-1a is fixed), so this cannot flake.
+	crossPairs := 0
+	for i := range drugNames {
+		ka, kb := fmt.Sprintf("A-%02d", i), fmt.Sprintf("B-%02d", i)
+		if shard.ShardOf(ka, 3) != shard.ShardOf(kb, 3) {
+			crossPairs++
+			if !c3.router.SameRef(er.RefKey{Source: "pharma_a", Key: ka}, er.RefKey{Source: "pharma_b", Key: kb}) {
+				t.Errorf("truth pair %s/%s split across shards but not merged by the exchange", ka, kb)
+			}
+		}
+	}
+	if crossPairs == 0 {
+		t.Fatal("no truth pair spans shards; corpus does not exercise cross-shard ER")
+	}
+
+	for _, q := range differentialQueries {
+		r1, err := c1.rc.Query(q)
+		if err != nil {
+			t.Fatalf("1-shard %s: %v", q, err)
+		}
+		r3, err := c3.rc.Query(q)
+		if err != nil {
+			t.Fatalf("3-shard %s: %v", q, err)
+		}
+		if g1, g3 := render(r1), render(r3); g1 != g3 {
+			t.Errorf("%s diverges:\n1 shard:\n%s\n3 shards:\n%s", q, g1, g3)
+		}
+	}
+
+	// Post-ER global entity counts: the summed per-shard counts corrected
+	// by the exchange's cross-merges must equal the single-shard count.
+	s1, s3 := c1.router.Stats(), c3.router.Stats()
+	if s1.Entities == 0 || s1.Entities != s3.Entities {
+		t.Errorf("entities: 1 shard = %d, 3 shards = %d", s1.Entities, s3.Entities)
+	}
+	if s1.Merges != s3.Merges {
+		t.Errorf("merges: 1 shard = %d, 3 shards = %d", s1.Merges, s3.Merges)
+	}
+	if xs := c3.router.ExchangeStats(); xs.CrossMerges < 1 {
+		t.Errorf("cross merges = %d, want >= 1", xs.CrossMerges)
+	}
+	if xs := c1.router.ExchangeStats(); xs.CrossMerges != 0 {
+		t.Errorf("1-shard cluster reports cross merges: %+v", xs)
+	}
+}
+
+// TestRouterServedStats checks the wire-visible sharding section and that
+// both wire protocols answer identically through the router.
+func TestRouterServedStats(t *testing.T) {
+	c := newTestCluster(t, 3)
+	ingestCorpus(t, c)
+	if _, err := c.rc.Query("SELECT key FROM pharma_a"); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.rc.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := st.Sharding
+	if sh == nil {
+		t.Fatal("router stats missing sharding section")
+	}
+	if sh.Shards != 3 || len(sh.Nodes) != 3 {
+		t.Errorf("sharding = %+v", sh)
+	}
+	if sh.ScatterQueries == 0 || sh.PartialRows == 0 || sh.RoutedRows == 0 {
+		t.Errorf("scatter counters flat: %+v", sh)
+	}
+	if sh.ExchangeRounds == 0 || sh.Digests == 0 || sh.CrossMerges == 0 {
+		t.Errorf("exchange counters flat: %+v", sh)
+	}
+	var csn uint64
+	for _, n := range sh.Nodes {
+		csn += n.LastCSN
+	}
+	if csn == 0 {
+		t.Error("per-shard CSNs all zero after ingest")
+	}
+
+	// v1 and v2 clients must see the same merged answer.
+	v1, err := client.DialProto(c.addr, "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v1.Close()
+	q := "SELECT category, COUNT(*) AS n FROM pharma_a GROUP BY category ORDER BY category"
+	r2, err := c.rc.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := v1.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if render(r1) != render(r2) {
+		t.Errorf("v1/v2 divergence:\n%s\nvs\n%s", render(r1), render(r2))
+	}
+}
+
+// TestRouterRejectsUnroutable pins the explicit errors: text deliveries
+// and cross-shard links cannot be hash-routed.
+func TestRouterRejectsUnroutable(t *testing.T) {
+	c := newTestCluster(t, 3)
+	if err := c.router.IngestCtx(context.Background(), scdb.Source{Name: "docs", Texts: []string{"some text"}}); err == nil {
+		t.Error("text delivery must be rejected")
+	}
+	// Find two keys on different shards and link them.
+	ka, kb := "", ""
+	for i := 0; i < 100 && kb == ""; i++ {
+		k := fmt.Sprintf("L-%d", i)
+		if ka == "" {
+			ka = k
+		} else if shard.ShardOf(k, 3) != shard.ShardOf(ka, 3) {
+			kb = k
+		}
+	}
+	err := c.router.IngestCtx(context.Background(), scdb.Source{
+		Name:     "linked",
+		Entities: []scdb.Entity{{Key: ka}, {Key: kb}},
+		Links:    []scdb.Link{{FromKey: ka, Predicate: "rel", ToKey: kb}},
+	})
+	if err == nil || !strings.Contains(err.Error(), "crosses shards") {
+		t.Errorf("cross-shard link error = %v", err)
+	}
+}
+
+// TestReadYourWritesAcrossShards proves the cross-shard consistency story:
+// one shard is fronted by a client.Cluster whose reads prefer a streaming
+// replica, and a scatter read issued immediately after a routed write must
+// still see every written row — the cluster holds the read back (or falls
+// back to the shard primary) until the replica covers the write's CSN.
+func TestReadYourWritesAcrossShards(t *testing.T) {
+	// Shard 0: plain in-memory primary.
+	addr0 := startShardServer(t, scdb.Options{})
+	c0, err := client.Dial(addr0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c0.Close() })
+
+	// Shard 1: durable primary with a WAL-shipping replica; the router's
+	// backend is a Cluster preferring the replica for reads.
+	db1, err := scdb.Open(scdb.Options{Dir: t.TempDir(), WALSegmentBytes: 64 << 10, CheckpointBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db1.Close() })
+	srv1 := server.New(server.Config{Addr: "127.0.0.1:0", DB: db1})
+	if err := srv1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv1.Shutdown(ctx)
+	})
+	f, err := repl.Start(repl.Config{PrimaryAddr: srv1.Addr().String(), Dir: t.TempDir(), RefreshEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsrv := server.New(server.Config{Addr: "127.0.0.1:0", DB: f.DB(), ReplStats: f.Stats})
+	if err := fsrv.Start(); err != nil {
+		f.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		fsrv.Shutdown(ctx)
+		f.Close()
+	})
+	cl1, err := client.DialCluster(srv1.Addr().String(), fsrv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl1.Close() })
+
+	r, err := shard.New(shard.Config{
+		Backends: []shard.Backend{c0, cl1},
+		Addrs:    []string{addr0, srv1.Addr().String()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	total := 0
+	for round := 0; round < 3; round++ {
+		var src scdb.Source
+		src.Name = "meds"
+		for i := 0; i < 20; i++ {
+			src.Entities = append(src.Entities, scdb.Entity{
+				Key:   fmt.Sprintf("r%d-k%d", round, i),
+				Attrs: scdb.Record{"round": int64(round), "n": int64(i)},
+			})
+		}
+		if err := r.IngestCtx(context.Background(), src); err != nil {
+			t.Fatal(err)
+		}
+		total += len(src.Entities)
+
+		// Immediately read through the router: the scatter must include
+		// every row just written, on both shards, replica or not.
+		rows, _, err := r.QueryInfoCtx(context.Background(), "SELECT COUNT(*) AS n FROM meds")
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, _ := rows.Data[0][0].(int64)
+		if int(n) != total {
+			t.Fatalf("round %d: scatter count = %d, want %d (stale read broke read-your-writes)", round, n, total)
+		}
+	}
+	if r.CSN() == 0 {
+		t.Error("router CSN flat after writes")
+	}
+}
+
+func BenchmarkRouterScatter(b *testing.B) {
+	for _, n := range []int{1, 3} {
+		b.Run(fmt.Sprintf("shards%d", n), func(b *testing.B) {
+			c := newTestCluster(b, n)
+			for _, src := range corpus() {
+				if _, err := c.rc.IngestBatch(context.Background(), src, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+			queries := []struct{ name, q string }{
+				{"scan", "SELECT key, name, price FROM pharma_a"},
+				{"agg", "SELECT category, COUNT(*) AS n, AVG(price) AS p FROM pharma_a GROUP BY category"},
+				{"topk", "SELECT key, price FROM pharma_a ORDER BY price DESC, key LIMIT 5"},
+			}
+			for _, bq := range queries {
+				b.Run(bq.name, func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						if _, err := c.rc.Query(bq.q); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+func BenchmarkRouterIngest(b *testing.B) {
+	for _, n := range []int{1, 3} {
+		b.Run(fmt.Sprintf("shards%d", n), func(b *testing.B) {
+			c := newTestCluster(b, n)
+			b.ReportAllocs()
+			id := 0
+			for i := 0; i < b.N; i++ {
+				src := scdb.Source{Name: "feed"}
+				for j := 0; j < 100; j++ {
+					id++
+					src.Entities = append(src.Entities, scdb.Entity{
+						Key:   fmt.Sprintf("evt-%07d", id),
+						Attrs: scdb.Record{"name": fmt.Sprintf("unit %07d", id), "v": int64(id)},
+					})
+				}
+				if _, err := c.rc.IngestBatch(context.Background(), src, 25); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

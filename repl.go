@@ -7,6 +7,7 @@ package scdb
 
 import (
 	"scdb/internal/core"
+	"scdb/internal/er"
 	"scdb/internal/storage"
 )
 
@@ -48,3 +49,13 @@ func (db *DB) RefreshDerived() error { return db.inner.RefreshDerived() }
 // InvalidateCaches drops the materialization cache after replicated frames
 // land beneath the curation pipeline.
 func (db *DB) InvalidateCaches() { db.inner.InvalidateCaches() }
+
+// ERDigests exports the incremental cross-shard ER evidence past the given
+// watermarks: the entities this node's resolver has indexed and the
+// duplicate pairs it has accepted. The shard router pulls these after
+// routed ingests and feeds them to an er.Exchange so entities on
+// different shards still merge. Plumbing for internal/server and
+// internal/shard; application code should not need it.
+func (db *DB) ERDigests(entsSince, matchesSince int) er.DigestBatch {
+	return db.inner.ERDigests(entsSince, matchesSince)
+}

@@ -186,6 +186,15 @@ func fromValue(v model.Value) any {
 	return nil
 }
 
+// ToValue converts a public value to the internal model representation.
+// The shard router uses it to re-encode result rows into the canonical
+// binary form row merging sorts by; application code rarely needs it.
+func ToValue(v any) (model.Value, error) { return toValue(v) }
+
+// FromValue converts an internal model value back to its public form,
+// reversing ToValue.
+func FromValue(v model.Value) any { return fromValue(v) }
+
 // toRecord converts a public record.
 func toRecord(r Record) (model.Record, error) {
 	out := make(model.Record, len(r))
